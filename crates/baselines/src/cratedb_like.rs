@@ -1,0 +1,210 @@
+//! CrateDB-like sharded document store.
+//!
+//! CrateDB ingests rows as documents routed to shards, appends them to a
+//! per-shard segment and maintains inverted indexes on the indexed columns;
+//! visibility requires a periodic refresh that seals the in-flight segment.
+//! The analogue reproduces that shape: hash routing, per-shard append-only
+//! segments, two posting-list indexes, and refresh.
+
+use crate::store::{InsertRecord, StreamingStore};
+use std::collections::HashMap;
+
+/// Default number of shards (CrateDB's ingest benchmark used a handful of
+/// shards per node).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Documents accumulated in a shard before an automatic refresh.
+const AUTO_REFRESH_DOCS: usize = 16 * 1024;
+
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Sealed documents (visible to search).
+    sealed: Vec<InsertRecord>,
+    /// In-flight documents awaiting refresh.
+    in_flight: Vec<InsertRecord>,
+    /// Posting lists: row term -> document ids, col term -> document ids.
+    row_index: HashMap<u64, Vec<usize>>,
+    col_index: HashMap<u64, Vec<usize>>,
+}
+
+impl Shard {
+    fn refresh(&mut self) {
+        let base = self.sealed.len();
+        for (i, doc) in self.in_flight.drain(..).enumerate() {
+            let doc_id = base + i;
+            self.row_index.entry(doc.row).or_default().push(doc_id);
+            self.col_index.entry(doc.col).or_default().push(doc_id);
+            self.sealed.push(doc);
+        }
+    }
+}
+
+/// An in-memory analogue of a CrateDB table.
+#[derive(Debug, Clone)]
+pub struct DocStore {
+    shards: Vec<Shard>,
+    refreshes: u64,
+}
+
+impl DocStore {
+    /// Create a store with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Create a store with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: vec![Shard::default(); shards.max(1)],
+            refreshes: 0,
+        }
+    }
+
+    fn shard_for(&self, row: u64) -> usize {
+        (row.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of refresh passes performed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Total documents stored (sealed + in flight).
+    pub fn doc_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sealed.len() + s.in_flight.len())
+            .sum()
+    }
+
+    /// Accumulated weight for a cell across all its documents (searches the
+    /// inverted indexes of the owning shard; in-flight documents are not
+    /// visible until refresh, as in the real system).
+    pub fn get_visible(&self, row: u64, col: u64) -> Option<u64> {
+        let shard = &self.shards[self.shard_for(row)];
+        let row_docs = shard.row_index.get(&row)?;
+        let mut acc = None;
+        for &doc_id in row_docs {
+            let doc = &shard.sealed[doc_id];
+            if doc.col == col {
+                acc = Some(acc.unwrap_or(0) + doc.value);
+            }
+        }
+        acc
+    }
+}
+
+impl Default for DocStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingStore for DocStore {
+    fn name(&self) -> &'static str {
+        "cratedb-like"
+    }
+
+    fn insert_batch(&mut self, batch: &[InsertRecord]) {
+        for rec in batch {
+            let idx = self.shard_for(rec.row);
+            let shard = &mut self.shards[idx];
+            shard.in_flight.push(*rec);
+            if shard.in_flight.len() >= AUTO_REFRESH_DOCS {
+                shard.refresh();
+                self.refreshes += 1;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for shard in &mut self.shards {
+            if !shard.in_flight.is_empty() {
+                shard.refresh();
+                self.refreshes += 1;
+            }
+        }
+    }
+
+    fn ncells(&self) -> usize {
+        // Distinct (row, col) pairs across all documents.
+        let mut cells = std::collections::HashSet::new();
+        for shard in &self.shards {
+            for doc in shard.sealed.iter().chain(&shard.in_flight) {
+                cells.insert((doc.row, doc.col));
+            }
+        }
+        cells.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.sealed.iter().map(|d| d.value).sum::<u64>()
+                    + s.in_flight.iter().map(|d| d.value).sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_visible_after_flush() {
+        let mut s = DocStore::new();
+        s.insert_batch(&[InsertRecord::new(1, 2, 3), InsertRecord::new(1, 2, 4)]);
+        // Not yet refreshed -> not visible through the index.
+        assert_eq!(s.get_visible(1, 2), None);
+        s.flush();
+        assert_eq!(s.get_visible(1, 2), Some(7));
+        assert_eq!(s.doc_count(), 2);
+        assert_eq!(s.ncells(), 1);
+        assert_eq!(s.total_weight(), 7);
+    }
+
+    #[test]
+    fn sharding_spreads_rows() {
+        let mut s = DocStore::with_shards(4);
+        let batch: Vec<InsertRecord> =
+            (0..4000).map(|i| InsertRecord::new(i, 0, 1)).collect();
+        s.insert_batch(&batch);
+        s.flush();
+        let per_shard: Vec<usize> = s.shards.iter().map(|sh| sh.sealed.len()).collect();
+        assert!(per_shard.iter().all(|&n| n > 500), "skewed shards {per_shard:?}");
+    }
+
+    #[test]
+    fn auto_refresh_on_large_ingest() {
+        let mut s = DocStore::with_shards(1);
+        let batch: Vec<InsertRecord> = (0..(AUTO_REFRESH_DOCS as u64 * 2))
+            .map(|i| InsertRecord::new(i, i, 1))
+            .collect();
+        s.insert_batch(&batch);
+        assert!(s.refreshes() >= 2);
+    }
+
+    #[test]
+    fn weight_and_cells_count_duplicates_correctly() {
+        let mut s = DocStore::new();
+        for _ in 0..5 {
+            s.insert_batch(&[InsertRecord::new(9, 9, 2)]);
+        }
+        s.flush();
+        assert_eq!(s.total_weight(), 10);
+        assert_eq!(s.ncells(), 1);
+        assert_eq!(s.doc_count(), 5);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(DocStore::new().name(), "cratedb-like");
+    }
+}

@@ -1,0 +1,44 @@
+//! # hyperstream-baselines
+//!
+//! Simplified in-memory analogues of the database systems whose published
+//! insert rates appear as reference curves in the paper's Fig. 2, plus the
+//! published-rate models themselves.
+//!
+//! ## Why analogues?
+//!
+//! The original comparison points are full distributed systems (Apache
+//! Accumulo, SciDB, Oracle running TPC-C, CrateDB) that cannot be bundled
+//! into a Rust reproduction.  What the comparison actually needs is the
+//! *per-insert overhead structure* of each system class, because that is
+//! what separates the curves by orders of magnitude:
+//!
+//! | Analogue | Models | Per-insert work |
+//! |----------|--------|-----------------|
+//! | [`TabletStore`] | Accumulo (and Accumulo-backed D4M) | WAL append + sorted memtable insert + periodic flush to immutable sorted runs |
+//! | [`ArrayStore`]  | SciDB | chunk lookup + per-chunk sorted insert + periodic chunk "redimension" |
+//! | [`RowStore`]    | Oracle TPC-C new-order | WAL + primary B-tree + two secondary indexes + row materialisation |
+//! | [`DocStore`]    | CrateDB | shard routing + document append + two inverted-index postings + periodic refresh |
+//!
+//! Every analogue implements [`StreamingStore`], the same interface the
+//! benchmark harness drives the GraphBLAS/D4M structures through, so Fig. 2
+//! can be regenerated end-to-end on one machine.  The
+//! [`published`] module additionally carries the per-server rates reported
+//! in the papers the figure cites, used to draw the reference lines at
+//! cluster scale (we obviously cannot run 1,000-node Accumulo locally).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulo_like;
+pub mod cratedb_like;
+pub mod published;
+pub mod scidb_like;
+pub mod store;
+pub mod tpcc_like;
+
+pub use accumulo_like::TabletStore;
+pub use cratedb_like::DocStore;
+pub use published::{PublishedRate, PublishedSystem, ALL_PUBLISHED};
+pub use scidb_like::ArrayStore;
+pub use store::{InsertRecord, StreamingStore};
+pub use tpcc_like::RowStore;

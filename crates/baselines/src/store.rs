@@ -1,0 +1,53 @@
+//! The common streaming-insert interface all baselines implement.
+
+/// One streaming insert: an origin–destination update with a weight,
+/// identical in shape to the GraphBLAS update so every system ingests the
+/// same stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertRecord {
+    /// Row / origin identifier.
+    pub row: u64,
+    /// Column / destination identifier.
+    pub col: u64,
+    /// Update weight (accumulated under `+`).
+    pub value: u64,
+}
+
+impl InsertRecord {
+    /// Convenience constructor.
+    pub fn new(row: u64, col: u64, value: u64) -> Self {
+        Self { row, col, value }
+    }
+}
+
+/// A system under test in the Fig. 2 comparison.
+pub trait StreamingStore {
+    /// Short system name used in reports ("accumulo-like", "tpcc-like", …).
+    fn name(&self) -> &'static str;
+
+    /// Ingest a batch of inserts.
+    fn insert_batch(&mut self, batch: &[InsertRecord]);
+
+    /// Complete any deferred work (flush memtables, refresh indexes).
+    fn flush(&mut self);
+
+    /// Number of distinct `(row, col)` cells stored after a flush.
+    fn ncells(&self) -> usize;
+
+    /// Total accumulated weight across all cells (used to verify that no
+    /// system silently drops updates).
+    fn total_weight(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_constructor() {
+        let r = InsertRecord::new(1, 2, 3);
+        assert_eq!(r.row, 1);
+        assert_eq!(r.col, 2);
+        assert_eq!(r.value, 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! E4 (micro view) — cost of a single cascade step as a function of the
+//! receiving level's size, demonstrating why the amortised-per-update cost
+//! stays flat when cuts grow geometrically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperstream_graphblas::ops::binary::Plus;
+use hyperstream_graphblas::ops::ewise_add::ewise_add;
+use hyperstream_graphblas::Matrix;
+use hyperstream_hier::{HierConfig, HierMatrix};
+use hyperstream_workload::{PowerLawConfig, PowerLawGenerator};
+
+const DIM: u64 = 1 << 32;
+
+fn matrix_with(nnz: usize, seed: u64) -> Matrix<u64> {
+    let mut gen = PowerLawGenerator::new(PowerLawConfig {
+        seed,
+        ..PowerLawConfig::paper()
+    });
+    let edges = gen.batch(nnz);
+    let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+    let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+    let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+    Matrix::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus).unwrap()
+}
+
+fn bench_cascade_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_merge");
+    group.sample_size(15);
+    let incoming = matrix_with(1 << 14, 3);
+    for &target_nnz in &[1usize << 16, 1 << 18, 1 << 20] {
+        let target = matrix_with(target_nnz, 4);
+        group.throughput(Throughput::Elements((incoming.nvals() + target_nnz) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target_nnz),
+            &target_nnz,
+            |b, _| b.iter(|| ewise_add(&target, &incoming, Plus).nvals()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_level_count_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_count_ablation");
+    group.sample_size(10);
+    let mut gen = PowerLawGenerator::new(PowerLawConfig::paper());
+    let edges = gen.batch(200_000);
+    let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+    let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+    let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+    group.throughput(Throughput::Elements(edges.len() as u64));
+
+    for levels in [2usize, 3, 4, 5] {
+        let cfg = HierConfig::geometric(levels, 1 << 13, 8).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| {
+                let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg.clone()).unwrap();
+                for chunk in rows.chunks(10_000).zip(cols.chunks(10_000)).zip(vals.chunks(10_000))
+                {
+                    let ((r, c), v) = chunk;
+                    m.update_batch(r, c, v).unwrap();
+                }
+                m.total_entries_bound()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade_merge, bench_level_count_ablation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E7 — GraphBLAS kernel micro-benchmarks: build-from-tuples, ewise_add
+//! (the cascade primitive), mxm and reduce on hypersparse operands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperstream_graphblas::ops::binary::Plus;
+use hyperstream_graphblas::ops::ewise_add::ewise_add;
+use hyperstream_graphblas::ops::monoid::PlusMonoid;
+use hyperstream_graphblas::ops::mxm::mxm;
+use hyperstream_graphblas::ops::reduce::reduce_rows;
+use hyperstream_graphblas::ops::semiring::PlusTimes;
+use hyperstream_graphblas::Matrix;
+use hyperstream_workload::{PowerLawConfig, PowerLawGenerator};
+
+const DIM: u64 = 1 << 32;
+
+fn random_matrix(nnz: usize, seed: u64) -> Matrix<u64> {
+    let mut gen = PowerLawGenerator::new(PowerLawConfig {
+        seed,
+        ..PowerLawConfig::paper()
+    });
+    let edges = gen.batch(nnz);
+    let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+    let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+    let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+    Matrix::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus).unwrap()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_tuples");
+    for &nnz in &[10_000usize, 100_000] {
+        let mut gen = PowerLawGenerator::new(PowerLawConfig::paper());
+        let edges = gen.batch(nnz);
+        let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+        let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+        let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+        group.throughput(Throughput::Elements(nnz as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| Matrix::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus).unwrap().nvals())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ewise_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ewise_add");
+    group.sample_size(20);
+    for &(small, large) in &[(10_000usize, 100_000usize), (100_000, 1_000_000)] {
+        let a = random_matrix(small, 1);
+        let b = random_matrix(large, 2);
+        group.throughput(Throughput::Elements((small + large) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{small}_into_{large}")),
+            &(small, large),
+            |bench, _| bench.iter(|| ewise_add(&a, &b, Plus).nvals()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mxm_and_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxm_reduce");
+    group.sample_size(10);
+    let a = random_matrix(20_000, 7);
+    group.bench_function("mxm_20k_squared", |b| {
+        b.iter(|| mxm(&a, &a, PlusTimes).nvals())
+    });
+    let big = random_matrix(200_000, 8);
+    group.bench_function("reduce_rows_200k", |b| {
+        b.iter(|| reduce_rows(&big, PlusMonoid).nvals())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_ewise_add, bench_mxm_and_reduce);
+criterion_main!(benches);

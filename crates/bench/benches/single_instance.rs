@@ -1,0 +1,61 @@
+//! E1 — single-instance streaming update rate (Criterion version).
+//!
+//! Measures the per-batch ingest time of one hierarchical hypersparse
+//! matrix fed the paper's power-law stream, for several cut schedules, and
+//! of the flat pending-tuple matrix for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperstream_bench::paper_batches;
+use hyperstream_graphblas::Matrix;
+use hyperstream_hier::{HierConfig, HierMatrix};
+
+const DIM: u64 = 1 << 32;
+
+fn bench_hier_update(c: &mut Criterion) {
+    let batches = paper_batches(4, 42);
+    let batch_len: u64 = batches[0].len() as u64;
+
+    let mut group = c.benchmark_group("single_instance_update");
+    group.throughput(Throughput::Elements(batch_len * batches.len() as u64));
+    group.sample_size(10);
+
+    for (name, cfg) in [
+        ("hier_paper_cuts", HierConfig::paper_default()),
+        (
+            "hier_small_cuts",
+            HierConfig::from_cuts(vec![1 << 12, 1 << 15, 1 << 18]).unwrap(),
+        ),
+        ("hier_flat_equivalent", HierConfig::effectively_flat()),
+    ] {
+        group.bench_function(BenchmarkId::new("graphblas", name), |b| {
+            b.iter(|| {
+                let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg.clone()).unwrap();
+                for batch in &batches {
+                    let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
+                    let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
+                    let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
+                    m.update_batch(&rows, &cols, &vals).unwrap();
+                }
+                m.total_entries_bound()
+            })
+        });
+    }
+
+    group.bench_function(BenchmarkId::new("graphblas", "flat_pending_tuples"), |b| {
+        b.iter(|| {
+            let mut m = Matrix::<u64>::new(DIM, DIM).with_pending_limit(1 << 17);
+            for batch in &batches {
+                for e in batch {
+                    m.accum_element(e.src, e.dst, e.weight).unwrap();
+                }
+            }
+            m.wait();
+            m.nvals()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hier_update);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiments E2/E3 — Figure 2: update rate as a function of the number of
+//! servers for hierarchical GraphBLAS, hierarchical D4M, and the database
+//! systems of the original figure.
+//!
+//! The hierarchical GraphBLAS curve is measured locally (single instance +
+//! multi-instance weak scaling) and extrapolated to the 1,100-node MIT
+//! SuperCloud topology; database analogues are measured locally at one
+//! server; the original published results are replayed as reference lines.
+//! Every row is labelled `measured` or `modelled`.
+//!
+//! Run with `--quick` for a reduced measurement, `--csv` for CSV output.
+
+use hyperstream_bench::{fmt_rate, quick_mode};
+use hyperstream_cluster::fig2::headline_comparison;
+use hyperstream_cluster::{build_fig2, render_csv, render_table, Fig2Options};
+
+fn main() {
+    let opts = if quick_mode() {
+        Fig2Options::quick()
+    } else {
+        Fig2Options::default()
+    };
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    eprintln!(
+        "building Fig. 2 data set (updates/instance = {}, local instances up to {}) ...",
+        opts.updates_per_instance, opts.max_local_instances
+    );
+    let series = build_fig2(&opts);
+
+    if csv {
+        print!("{}", render_csv(&series));
+    } else {
+        println!("=== E2/E3: update rate vs number of servers (Fig. 2) ===");
+        println!();
+        print!("{}", render_table(&series));
+        println!();
+        let (ours, best_published) = headline_comparison(&series);
+        println!(
+            "extrapolated hierarchical GraphBLAS at 1,100 servers: {} updates/s",
+            fmt_rate(ours)
+        );
+        println!(
+            "best previously published (Hierarchical D4M, 1,100 servers): {} updates/s",
+            fmt_rate(best_published)
+        );
+        println!(
+            "paper reports 7.5e10; reproduction {} the prior published results by {:.1}x",
+            if ours > best_published { "exceeds" } else { "does NOT exceed" },
+            ours / best_published
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment E5 — memory-pressure validation of Fig. 1: what fraction of
+//! the update traffic is served by fast memory (cache) for a flat matrix
+//! versus a hierarchical matrix, using the cache simulator.
+
+use hyperstream_bench::quick_mode;
+use hyperstream_hier::memtrace::compare_strategies;
+use hyperstream_hier::HierConfig;
+
+fn main() {
+    let quick = quick_mode();
+    let updates: u64 = if quick { 50_000 } else { 400_000 };
+    let pending_limit = 1u64 << 14;
+    println!("=== E5: fast- vs slow-memory traffic (cache-simulated) ===");
+    println!("updates per scenario: {updates}");
+    println!();
+    println!(
+        "{:<16} {:<28} {:>12} {:>14} {:>12}",
+        "steady nnz", "strategy", "fast frac", "avg ns/access", "dram touches"
+    );
+    println!("{}", "-".repeat(88));
+
+    for &settled_nnz in &[1_000_000u64, 10_000_000, 100_000_000] {
+        let cfg = HierConfig::paper_default();
+        let cmp = compare_strategies(updates, settled_nnz, pending_limit, &cfg);
+        for (name, report) in [("flat pending-tuples", &cmp.flat), ("hierarchical", &cmp.hier)] {
+            println!(
+                "{:<16} {:<28} {:>12.3} {:>14.1} {:>12}",
+                settled_nnz,
+                name,
+                report.fast_fraction(),
+                report.avg_ns_per_access(),
+                report.dram_accesses
+            );
+        }
+        println!(
+            "{:<16} {:<28} {:>12.2}x slower per access (flat vs hierarchical)",
+            "", "-> flat slowdown", cmp.slowdown_of_flat()
+        );
+    }
+
+    println!();
+    println!(
+        "Fig. 1 claim: \"hierarchical hypersparse matrices ensure that the majority of \
+         updates are performed in fast memory\" — confirmed when the hierarchical fast \
+         fraction stays above 0.5 while the flat fraction collapses as nnz grows."
+    );
+}

@@ -1,0 +1,58 @@
+//! Experiment E6 — throughput versus query (materialisation) frequency.
+//!
+//! The hierarchy defers work; a query must sum all levels (`A = Σ A_i`).
+//! This harness measures sustained ingest throughput when a full
+//! materialisation is requested every `q` batches, quantifying the cost of
+//! fresh analytics on a streaming hierarchy.
+
+use hyperstream_bench::{fmt_rate, paper_batches, quick_mode};
+use hyperstream_hier::{HierConfig, HierMatrix};
+use std::time::Instant;
+
+const DIM: u64 = 1 << 32;
+
+fn main() {
+    let quick = quick_mode();
+    let nbatches = if quick { 6 } else { 30 };
+    let batches = paper_batches(nbatches, 55);
+    let total_updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    println!("=== E6: ingest throughput vs query frequency ===");
+    println!("{} batches x 100k edges; query = full materialisation of Σ A_i", nbatches);
+    println!();
+    println!(
+        "{:<24} {:>16} {:>14} {:>12}",
+        "query every N batches", "updates/sec", "queries", "final nnz"
+    );
+    println!("{}", "-".repeat(70));
+
+    for &every in &[0usize, 1, 2, 5, 10] {
+        let mut m = HierMatrix::<u64>::new(DIM, DIM, HierConfig::paper_default()).unwrap();
+        let mut queries = 0u64;
+        let start = Instant::now();
+        for (i, batch) in batches.iter().enumerate() {
+            let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
+            let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
+            let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
+            m.update_batch(&rows, &cols, &vals).unwrap();
+            if every > 0 && (i + 1) % every == 0 {
+                std::hint::black_box(m.materialize().nvals());
+                queries += 1;
+            }
+        }
+        let final_nnz = m.materialize_ref().nvals();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let label = if every == 0 {
+            "never (ingest only)".to_string()
+        } else {
+            format!("every {every}")
+        };
+        println!(
+            "{:<24} {:>16} {:>14} {:>12}",
+            label,
+            fmt_rate(total_updates as f64 / secs),
+            queries,
+            final_nnz
+        );
+    }
+}

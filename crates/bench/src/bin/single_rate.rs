@@ -1,0 +1,58 @@
+//! Experiment E1 — single-instance streaming update rate.
+//!
+//! Reproduces the paper's claim that "hierarchical hypersparse matrices
+//! achieve over 1,000,000 updates per second in a single instance" by
+//! streaming the paper's per-instance workload (power-law edges in batches
+//! of 100,000) into one instance of every system and reporting the sustained
+//! rate.  Run with `--quick` for a reduced batch count.
+
+use hyperstream_bench::{fmt_rate, paper_batches, quick_mode};
+use hyperstream_cluster::{measure_system, SystemKind};
+
+fn main() {
+    let quick = quick_mode();
+    let batches = if quick { 5 } else { 50 };
+    println!("=== E1: single-instance update rate ===");
+    println!(
+        "workload: power-law stream, {} batches x 100,000 edges ({} total updates){}",
+        batches,
+        batches * 100_000,
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!();
+    println!(
+        "{:<28} {:>14} {:>12} {:>16}",
+        "system", "updates", "seconds", "updates/sec"
+    );
+    println!("{}", "-".repeat(74));
+
+    let stream = paper_batches(batches, 2020);
+    let dim = 1u64 << 32;
+    let mut hier_rate = 0.0;
+    for &sys in SystemKind::all() {
+        // The slowest analogues get a shorter stream so the harness finishes
+        // in minutes; rates are still per-update and comparable.
+        let sys_stream: Vec<_> = match sys {
+            SystemKind::HierGraphBlas | SystemKind::FlatGraphBlas => stream.clone(),
+            _ => stream.iter().take(stream.len().min(5)).cloned().collect(),
+        };
+        let r = measure_system(sys, &sys_stream, dim);
+        if sys == SystemKind::HierGraphBlas {
+            hier_rate = r.updates_per_second();
+        }
+        println!(
+            "{:<28} {:>14} {:>12.3} {:>16}",
+            sys.label(),
+            r.updates,
+            r.seconds,
+            fmt_rate(r.updates_per_second())
+        );
+    }
+
+    println!();
+    println!(
+        "paper claim: > 1.0e6 updates/s per instance;  measured hierarchical GraphBLAS: {}  [{}]",
+        fmt_rate(hier_rate),
+        if hier_rate > 1.0e6 { "PASS" } else { "below claim on this machine" }
+    );
+}

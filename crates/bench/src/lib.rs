@@ -1,0 +1,70 @@
+//! # hyperstream-bench
+//!
+//! Benchmark harness for the hierarchical hypersparse GraphBLAS
+//! reproduction.  Two kinds of artifacts live here:
+//!
+//! * **Criterion micro-benchmarks** (`benches/`) — kernel-level timings of
+//!   the GraphBLAS operations, the hierarchical cascade, and the baseline
+//!   stores; and
+//! * **experiment binaries** (`src/bin/`) — long-running harnesses that
+//!   regenerate each figure/claim of the paper's evaluation (see
+//!   `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for the
+//!   recorded results):
+//!
+//! | binary | experiment |
+//! |--------|-----------|
+//! | `single_rate` | E1 — single-instance update rate (the ">1,000,000 updates/s" claim) |
+//! | `fig2` | E2/E3 — update rate vs. number of servers for every system |
+//! | `cut_sweep` | E4 — ablation over cut schedules and level counts |
+//! | `memory_pressure` | E5 — fast- vs slow-memory traffic, flat vs hierarchical |
+//! | `query_tradeoff` | E6 — throughput vs. query (materialisation) frequency |
+//!
+//! All binaries take a `--quick` flag to run a reduced configuration and
+//! print the same tables.
+
+#![forbid(unsafe_code)]
+
+use hyperstream_workload::{Edge, PowerLawConfig, PowerLawGenerator, StreamConfig};
+
+/// Shared helper: the paper's per-instance workload (power-law edges in
+/// batches of 100,000), scaled to `batches` batches.
+pub fn paper_batches(batches: usize, seed: u64) -> Vec<Vec<Edge>> {
+    let gen = PowerLawGenerator::new(PowerLawConfig {
+        seed,
+        ..PowerLawConfig::paper()
+    });
+    let cfg = StreamConfig::scaled_down(batches);
+    hyperstream_workload::StreamPartitioner::new(gen, cfg)
+        .batches()
+        .collect()
+}
+
+/// Shared helper: parse a `--quick` flag from the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Format a rate with engineering-notation style used in the reports.
+pub fn fmt_rate(rate: f64) -> String {
+    format!("{rate:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_batches_shape() {
+        let b = paper_batches(2, 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].len(), 100_000);
+        // Deterministic for the same seed.
+        let b2 = paper_batches(2, 1);
+        assert_eq!(b[0][..10], b2[0][..10]);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(75e9), "7.500e10");
+    }
+}

@@ -1,0 +1,162 @@
+//! Extrapolation from locally measured rates to cluster scale.
+//!
+//! The paper's experiment has no inter-instance communication, so the
+//! aggregate rate at `S` servers is
+//!
+//! ```text
+//! rate(S) = per_instance_rate
+//!         * instances_per_node * node_efficiency   // measured locally
+//!         * S^scaling_exponent                     // multi-node scaling
+//! ```
+//!
+//! `per_instance_rate` and `node_efficiency` are *measured* on the local
+//! machine; the multi-node exponent defaults to the near-linear weak scaling
+//! the paper observes (its Fig. 2 line is straight on a log–log plot).  Every
+//! extrapolated point is labelled as modelled so reports never conflate the
+//! two.
+
+use crate::node::ClusterSpec;
+use crate::scaling::{efficiencies, ScalingPoint};
+
+/// Extrapolation model built from local measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtrapolationModel {
+    /// Measured single-instance update rate (updates/s).
+    pub per_instance_rate: f64,
+    /// Measured parallel efficiency when running one instance per local core
+    /// (1.0 = perfect).
+    pub node_efficiency: f64,
+    /// Exponent of the multi-node weak scaling (1.0 = perfectly linear).
+    pub internode_exponent: f64,
+    /// Cluster topology to extrapolate onto.
+    pub cluster: ClusterSpec,
+}
+
+impl ExtrapolationModel {
+    /// Build a model from a measured weak-scaling curve.
+    ///
+    /// The single-instance rate comes from the first point; the node
+    /// efficiency from the last point (the most heavily loaded measured
+    /// configuration).  The inter-node exponent defaults to 0.98 — the
+    /// near-linear scaling of the paper's Fig. 2 — because independent
+    /// instances share nothing across nodes.
+    pub fn from_scaling(points: &[ScalingPoint], cluster: ClusterSpec) -> Self {
+        let per_instance_rate = points
+            .first()
+            .map(|p| p.per_instance_rate())
+            .unwrap_or(0.0);
+        let eff = efficiencies(points);
+        let node_efficiency = eff.last().copied().unwrap_or(1.0).clamp(0.05, 1.0);
+        Self {
+            per_instance_rate,
+            node_efficiency,
+            internode_exponent: 0.98,
+            cluster,
+        }
+    }
+
+    /// Aggregate rate of one fully loaded node.
+    pub fn node_rate(&self) -> f64 {
+        self.per_instance_rate * self.cluster.processes_per_node as f64 * self.node_efficiency
+    }
+
+    /// Aggregate rate at `servers` nodes.
+    pub fn rate_at(&self, servers: u64) -> f64 {
+        if servers == 0 {
+            return 0.0;
+        }
+        self.node_rate() * (servers as f64).powf(self.internode_exponent)
+    }
+
+    /// Total instances at `servers` nodes.
+    pub fn instances_at(&self, servers: u64) -> u64 {
+        servers * self.cluster.processes_per_node as u64
+    }
+
+    /// The server counts conventionally plotted on Fig. 2's x-axis
+    /// (1, 2, 4, … up to the cluster size, plus the cluster size itself).
+    pub fn default_server_counts(&self) -> Vec<u64> {
+        let mut counts = Vec::new();
+        let mut s = 1u64;
+        while s < self.cluster.nodes as u64 {
+            counts.push(s);
+            s *= 2;
+        }
+        counts.push(self.cluster.nodes as u64);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ClusterSpec;
+
+    fn model(rate: f64, eff: f64) -> ExtrapolationModel {
+        ExtrapolationModel {
+            per_instance_rate: rate,
+            node_efficiency: eff,
+            internode_exponent: 0.98,
+            cluster: ClusterSpec::supercloud_full(),
+        }
+    }
+
+    #[test]
+    fn from_scaling_uses_first_and_last_points() {
+        let pts = vec![
+            ScalingPoint {
+                instances: 1,
+                updates: 1_000_000,
+                seconds: 1.0,
+            },
+            ScalingPoint {
+                instances: 4,
+                updates: 4_000_000,
+                seconds: 1.25,
+            },
+        ];
+        let m = ExtrapolationModel::from_scaling(&pts, ClusterSpec::supercloud_full());
+        assert!((m.per_instance_rate - 1.0e6).abs() < 1.0);
+        assert!((m.node_efficiency - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_scales_nearly_linearly() {
+        let m = model(1.0e6, 0.9);
+        let r1 = m.rate_at(1);
+        let r1100 = m.rate_at(1100);
+        assert!(r1100 > 900.0 * r1);
+        assert!(r1100 < 1100.0 * r1 * 1.01);
+        assert_eq!(m.rate_at(0), 0.0);
+    }
+
+    #[test]
+    fn paper_headline_reachable_with_measured_like_numbers() {
+        // With the paper's own per-instance rate (>1M updates/s), 28
+        // instances per node and 1,100 nodes, the model must land in the
+        // 10^10..10^11 range that Fig. 2 reports.
+        let m = model(3.0e6, 0.85);
+        let total = m.rate_at(1100);
+        assert!(
+            total > 1.0e10 && total < 2.0e11,
+            "extrapolated rate {total:.3e} outside the expected band"
+        );
+        assert_eq!(m.instances_at(1100), 30_800);
+    }
+
+    #[test]
+    fn default_server_counts_cover_axis() {
+        let m = model(1.0e6, 1.0);
+        let counts = m.default_server_counts();
+        assert_eq!(counts.first(), Some(&1));
+        assert_eq!(counts.last(), Some(&1100));
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_scaling_curve_gives_zero_rate() {
+        let m = ExtrapolationModel::from_scaling(&[], ClusterSpec::supercloud_full());
+        assert_eq!(m.per_instance_rate, 0.0);
+        assert_eq!(m.rate_at(100), 0.0);
+    }
+}

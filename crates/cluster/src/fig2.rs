@@ -1,0 +1,255 @@
+//! Assembly of the Figure 2 data set: update rate versus number of servers
+//! for every system in the comparison.
+
+use crate::extrapolate::ExtrapolationModel;
+use crate::measure::{measure_system, SystemKind};
+use crate::node::ClusterSpec;
+use crate::scaling::measure_scaling;
+use hyperstream_baselines::published::published;
+use hyperstream_baselines::{PublishedSystem, ALL_PUBLISHED};
+use hyperstream_workload::{Edge, PowerLawConfig, PowerLawGenerator};
+
+/// One (servers, rate) point of a Fig. 2 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Point {
+    /// Number of servers (x-axis).
+    pub servers: u64,
+    /// Updates per second (y-axis).
+    pub rate: f64,
+    /// True when the point is a direct local measurement, false when it is
+    /// extrapolated or replayed from published results.
+    pub measured: bool,
+}
+
+/// One labelled curve of Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, ordered by server count.
+    pub points: Vec<Fig2Point>,
+}
+
+impl Fig2Series {
+    /// The rate at the largest server count in the series.
+    pub fn peak_rate(&self) -> f64 {
+        self.points.last().map(|p| p.rate).unwrap_or(0.0)
+    }
+}
+
+/// Knobs of the Fig. 2 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Options {
+    /// Updates streamed per instance during the local measurements.
+    pub updates_per_instance: u64,
+    /// Matrix dimension (2^32 for IPv4-sized traffic matrices).
+    pub dim: u64,
+    /// Maximum number of concurrent local instances to measure
+    /// (defaults to the local core count).
+    pub max_local_instances: usize,
+    /// Cluster to extrapolate onto (defaults to the full SuperCloud).
+    pub cluster: ClusterSpec,
+}
+
+impl Default for Fig2Options {
+    fn default() -> Self {
+        Self {
+            updates_per_instance: 400_000,
+            dim: 1 << 32,
+            max_local_instances: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cluster: ClusterSpec::supercloud_full(),
+        }
+    }
+}
+
+impl Fig2Options {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            updates_per_instance: 40_000,
+            max_local_instances: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Produce every series of Fig. 2:
+///
+/// * "Hierarchical GraphBLAS" — measured locally (single instance and
+///   multi-instance weak scaling), extrapolated to the full cluster;
+/// * the locally measured single-server rates of the database analogues and
+///   hierarchical D4M (one measured point each at `servers = 1`); and
+/// * the published reference lines of the original figure.
+pub fn build_fig2(opts: &Fig2Options) -> Vec<Fig2Series> {
+    let mut series = Vec::new();
+
+    // --- Hierarchical GraphBLAS: measure locally, extrapolate. ---
+    let instance_counts: Vec<usize> = {
+        let mut v = vec![1usize];
+        let mut n = 2usize;
+        while n <= opts.max_local_instances {
+            v.push(n);
+            n *= 2;
+        }
+        v
+    };
+    let scaling = measure_scaling(
+        SystemKind::HierGraphBlas,
+        &instance_counts,
+        opts.updates_per_instance,
+        opts.dim,
+    );
+    let model = ExtrapolationModel::from_scaling(&scaling, opts.cluster);
+    let mut points = Vec::new();
+    for servers in model.default_server_counts() {
+        points.push(Fig2Point {
+            servers,
+            rate: model.rate_at(servers),
+            // The single-server point is grounded in a real measurement of a
+            // full node's worth of instances only when the local machine has
+            // that many cores; it is still labelled modelled because the
+            // per-node instance count is the SuperCloud's, not the local one.
+            measured: false,
+        });
+    }
+    // Prepend the genuinely measured local points (expressed as fractional
+    // "servers" worth of instances is meaningless, so they are reported as
+    // a measured point at servers = 1 using the measured node efficiency).
+    if let Some(first) = scaling.first() {
+        points.insert(
+            0,
+            Fig2Point {
+                servers: 1,
+                rate: first.aggregate_rate(),
+                measured: true,
+            },
+        );
+    }
+    series.push(Fig2Series {
+        label: "Hierarchical GraphBLAS".to_string(),
+        points,
+    });
+
+    // --- Locally measured single-instance systems (one point each). ---
+    let batches = measurement_batches(opts);
+    for &sys in &[
+        SystemKind::HierD4m,
+        SystemKind::AccumuloLike,
+        SystemKind::SciDbLike,
+        SystemKind::TpcCLike,
+        SystemKind::CrateDbLike,
+        SystemKind::FlatGraphBlas,
+    ] {
+        let measured = measure_system(sys, &batches, opts.dim);
+        series.push(Fig2Series {
+            label: format!("{} [local]", sys.label()),
+            points: vec![Fig2Point {
+                servers: 1,
+                rate: measured.updates_per_second(),
+                measured: true,
+            }],
+        });
+    }
+
+    // --- Published reference lines. ---
+    for r in ALL_PUBLISHED {
+        let mut pts = Vec::new();
+        let mut s = 1u64;
+        while s <= r.max_servers {
+            pts.push(Fig2Point {
+                servers: s,
+                rate: r.rate_at(s),
+                measured: false,
+            });
+            s *= 4;
+        }
+        if pts.last().map(|p| p.servers) != Some(r.max_servers) {
+            pts.push(Fig2Point {
+                servers: r.max_servers,
+                rate: r.rate_at(r.max_servers),
+                measured: false,
+            });
+        }
+        series.push(Fig2Series {
+            label: format!("{} [published]", r.label),
+            points: pts,
+        });
+    }
+
+    series
+}
+
+/// The headline comparison of the paper: does the hierarchical GraphBLAS
+/// extrapolation exceed the best previously published rate?
+pub fn headline_comparison(series: &[Fig2Series]) -> (f64, f64) {
+    let ours = series
+        .iter()
+        .find(|s| s.label.starts_with("Hierarchical GraphBLAS"))
+        .map(|s| s.peak_rate())
+        .unwrap_or(0.0);
+    let best_published = published(PublishedSystem::HierarchicalD4m).rate_at(1100);
+    (ours, best_published)
+}
+
+fn measurement_batches(opts: &Fig2Options) -> Vec<Vec<Edge>> {
+    let mut gen = PowerLawGenerator::new(PowerLawConfig {
+        dim: opts.dim,
+        seed: 2020,
+        ..PowerLawConfig::paper()
+    });
+    // Use a modest number of updates for the per-system single-point
+    // measurements; slow systems (TPC-C analogue) would otherwise dominate
+    // the harness runtime.
+    let per_batch = 10_000usize;
+    let batches = (opts.updates_per_instance as usize / per_batch).clamp(1, 20);
+    (0..batches).map(|_| gen.batch(per_batch)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig2_has_all_series() {
+        let series = build_fig2(&Fig2Options::quick());
+        // 1 hierarchical GraphBLAS + 6 local systems + 6 published lines.
+        assert_eq!(series.len(), 13);
+        let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("Hierarchical GraphBLAS")));
+        assert!(labels.iter().any(|l| l.contains("Accumulo D4M [published]")));
+        for s in &series {
+            assert!(!s.points.is_empty(), "empty series {}", s.label);
+            for w in s.points.windows(2) {
+                assert!(w[0].servers <= w[1].servers);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_graphblas_wins_at_scale() {
+        let series = build_fig2(&Fig2Options::quick());
+        let (ours, best_published) = headline_comparison(&series);
+        assert!(
+            ours > best_published,
+            "hierarchical GraphBLAS ({ours:.3e}) should exceed the best published rate ({best_published:.3e})"
+        );
+    }
+
+    #[test]
+    fn measured_points_flagged() {
+        let series = build_fig2(&Fig2Options::quick());
+        let local: Vec<&Fig2Series> = series
+            .iter()
+            .filter(|s| s.label.contains("[local]"))
+            .collect();
+        assert_eq!(local.len(), 6);
+        assert!(local.iter().all(|s| s.points.iter().all(|p| p.measured)));
+        let published: Vec<&Fig2Series> = series
+            .iter()
+            .filter(|s| s.label.contains("[published]"))
+            .collect();
+        assert!(published.iter().all(|s| s.points.iter().all(|p| !p.measured)));
+    }
+}

@@ -1,0 +1,43 @@
+//! # hyperstream-cluster
+//!
+//! A model of the MIT SuperCloud experiment of §III: many *independent*
+//! hierarchical-matrix instances, one per process, spread over many server
+//! nodes, all streaming edges simultaneously.
+//!
+//! The paper's experiment is embarrassingly parallel — instances never
+//! communicate; the aggregate rate is the sum of per-instance rates times a
+//! parallel-efficiency factor (memory-bandwidth and scheduler contention
+//! within a node).  That structure makes an honest reproduction possible on
+//! one machine:
+//!
+//! 1. [`measure`] — measure real single-instance update rates for every
+//!    system (hierarchical GraphBLAS, flat GraphBLAS, hierarchical D4M,
+//!    the database analogues) on the local machine;
+//! 2. [`scaling`] — run 1..=`cores` real instances concurrently (one thread
+//!    each) and measure the per-node parallel efficiency curve;
+//! 3. [`extrapolate`] — combine measured per-instance rate, measured
+//!    efficiency, and the cluster topology ([`node::ClusterSpec`]) to
+//!    produce the update rate at any server count, labelling every point as
+//!    *measured* or *modelled*;
+//! 4. [`fig2`] — assemble the full Figure 2 data set (our measured systems
+//!    plus the published reference lines from `hyperstream-baselines`).
+//!
+//! The `fig2` benchmark binary in `hyperstream-bench` is a thin CLI around
+//! step 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extrapolate;
+pub mod fig2;
+pub mod measure;
+pub mod node;
+pub mod report;
+pub mod scaling;
+
+pub use extrapolate::ExtrapolationModel;
+pub use fig2::{build_fig2, Fig2Options, Fig2Point, Fig2Series};
+pub use measure::{measure_system, MeasuredRate, SystemKind};
+pub use node::{ClusterSpec, NodeSpec};
+pub use report::{render_csv, render_table};
+pub use scaling::{measure_scaling, ScalingPoint};

@@ -1,0 +1,195 @@
+//! Single-instance update-rate measurement for every system under test.
+
+use hyperstream_baselines::{
+    ArrayStore, DocStore, InsertRecord, RowStore, StreamingStore, TabletStore,
+};
+use hyperstream_d4m::{HierAssoc, HierAssocConfig};
+use hyperstream_graphblas::Matrix;
+use hyperstream_hier::{HierConfig, HierMatrix};
+use hyperstream_workload::{edges_to_tuples, Edge};
+use std::time::Instant;
+
+/// The systems compared in the single-instance and Fig. 2 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Hierarchical hypersparse GraphBLAS matrix (the paper's contribution).
+    HierGraphBlas,
+    /// A single flat GraphBLAS matrix with pending tuples (no hierarchy).
+    FlatGraphBlas,
+    /// Hierarchical D4M associative arrays (string keys).
+    HierD4m,
+    /// Accumulo-like tablet store analogue.
+    AccumuloLike,
+    /// SciDB-like chunked array store analogue.
+    SciDbLike,
+    /// TPC-C-like transactional row store analogue.
+    TpcCLike,
+    /// CrateDB-like sharded document store analogue.
+    CrateDbLike,
+}
+
+impl SystemKind {
+    /// Display label (matches the Fig. 2 legend where applicable).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::HierGraphBlas => "Hierarchical GraphBLAS",
+            SystemKind::FlatGraphBlas => "Flat GraphBLAS",
+            SystemKind::HierD4m => "Hierarchical D4M",
+            SystemKind::AccumuloLike => "Accumulo (analogue)",
+            SystemKind::SciDbLike => "SciDB (analogue)",
+            SystemKind::TpcCLike => "Oracle TPC-C (analogue)",
+            SystemKind::CrateDbLike => "CrateDB (analogue)",
+        }
+    }
+
+    /// All systems, fastest-expected first.
+    pub fn all() -> &'static [SystemKind] {
+        &[
+            SystemKind::HierGraphBlas,
+            SystemKind::FlatGraphBlas,
+            SystemKind::HierD4m,
+            SystemKind::AccumuloLike,
+            SystemKind::CrateDbLike,
+            SystemKind::SciDbLike,
+            SystemKind::TpcCLike,
+        ]
+    }
+}
+
+/// A measured single-instance ingest rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredRate {
+    /// Which system was measured.
+    pub system: SystemKind,
+    /// Total updates applied.
+    pub updates: u64,
+    /// Wall-clock seconds taken.
+    pub seconds: f64,
+}
+
+impl MeasuredRate {
+    /// Updates per second.
+    pub fn updates_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.updates as f64 / self.seconds
+        }
+    }
+}
+
+/// Stream `batches` of edges into one instance of `system` and measure the
+/// sustained update rate.  The same edge batches are used for every system.
+pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> MeasuredRate {
+    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let start = Instant::now();
+    match system {
+        SystemKind::HierGraphBlas => {
+            let mut m = HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default())
+                .expect("valid dims");
+            for batch in batches {
+                let (r, c, v) = edges_to_tuples(batch);
+                m.update_batch(&r, &c, &v).expect("in-bounds updates");
+            }
+            std::hint::black_box(m.total_entries_bound());
+        }
+        SystemKind::FlatGraphBlas => {
+            let mut m = Matrix::<u64>::new(dim, dim).with_pending_limit(1 << 17);
+            for batch in batches {
+                for e in batch {
+                    m.accum_element(e.src, e.dst, e.weight).expect("in bounds");
+                }
+            }
+            m.wait();
+            std::hint::black_box(m.nvals());
+        }
+        SystemKind::HierD4m => {
+            let mut m = HierAssoc::new(HierAssocConfig::default_schedule());
+            for batch in batches {
+                for e in batch {
+                    m.update(&e.src.to_string(), &e.dst.to_string(), e.weight as f64);
+                }
+            }
+            std::hint::black_box(m.updates());
+        }
+        SystemKind::AccumuloLike => run_store(&mut TabletStore::new(), batches),
+        SystemKind::SciDbLike => run_store(&mut ArrayStore::new(), batches),
+        SystemKind::TpcCLike => run_store(&mut RowStore::new(), batches),
+        SystemKind::CrateDbLike => run_store(&mut DocStore::new(), batches),
+    }
+    MeasuredRate {
+        system,
+        updates: total,
+        seconds: start.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+fn run_store<S: StreamingStore>(store: &mut S, batches: &[Vec<Edge>]) {
+    for batch in batches {
+        let recs: Vec<InsertRecord> = batch
+            .iter()
+            .map(|e| InsertRecord::new(e.src, e.dst, e.weight))
+            .collect();
+        store.insert_batch(&recs);
+    }
+    store.flush();
+    std::hint::black_box(store.total_weight());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperstream_workload::{PowerLawConfig, PowerLawGenerator};
+
+    fn small_batches() -> Vec<Vec<Edge>> {
+        let mut gen = PowerLawGenerator::new(PowerLawConfig {
+            vertices: 10_000,
+            dim: 1 << 32,
+            seed: 3,
+            ..PowerLawConfig::default()
+        });
+        (0..4).map(|_| gen.batch(2_000)).collect()
+    }
+
+    #[test]
+    fn all_systems_measurable() {
+        let batches = small_batches();
+        for &sys in SystemKind::all() {
+            let r = measure_system(sys, &batches, 1 << 32);
+            assert_eq!(r.updates, 8_000, "{:?}", sys);
+            assert!(r.updates_per_second() > 0.0, "{:?}", sys);
+        }
+    }
+
+    #[test]
+    fn hierarchical_graphblas_not_slower_than_tpcc_analogue() {
+        let batches = small_batches();
+        let hier = measure_system(SystemKind::HierGraphBlas, &batches, 1 << 32);
+        let tpcc = measure_system(SystemKind::TpcCLike, &batches, 1 << 32);
+        // A weak sanity check at tiny scale (the real separation shows up at
+        // realistic batch counts in the benchmarks).
+        assert!(hier.updates_per_second() > 0.2 * tpcc.updates_per_second());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            SystemKind::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), SystemKind::all().len());
+    }
+
+    #[test]
+    fn measured_rate_math() {
+        let r = MeasuredRate {
+            system: SystemKind::HierGraphBlas,
+            updates: 1000,
+            seconds: 0.5,
+        };
+        assert_eq!(r.updates_per_second(), 2000.0);
+        let zero = MeasuredRate {
+            seconds: 0.0,
+            ..r
+        };
+        assert_eq!(zero.updates_per_second(), 0.0);
+    }
+}

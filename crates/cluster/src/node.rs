@@ -1,0 +1,106 @@
+//! Cluster topology: nodes, processes, instances.
+
+/// Hardware description of one server node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Memory per node in GiB.
+    pub memory_gib: u32,
+}
+
+impl NodeSpec {
+    /// The MIT SuperCloud nodes used by the paper (Intel Xeon Platinum,
+    /// roughly 32 usable cores and 192 GiB per node; 1,100 nodes ≈ 34,000
+    /// processors).
+    pub fn supercloud() -> Self {
+        Self {
+            cores: 32,
+            memory_gib: 192,
+        }
+    }
+
+    /// The local machine, probed from the OS.
+    pub fn local() -> Self {
+        Self {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(4),
+            memory_gib: 16,
+        }
+    }
+}
+
+/// Topology of a whole cluster run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Number of server nodes.
+    pub nodes: u32,
+    /// Matrix-building processes per node (each owns one hierarchical
+    /// matrix instance).
+    pub processes_per_node: u32,
+}
+
+impl ClusterSpec {
+    /// The paper's largest configuration: 1,100 servers, ~28 processes per
+    /// node giving ~31,000 instances on ~34,000 cores.
+    pub fn supercloud_full() -> Self {
+        Self {
+            node: NodeSpec::supercloud(),
+            nodes: 1100,
+            processes_per_node: 28,
+        }
+    }
+
+    /// A single SuperCloud node.
+    pub fn supercloud_single_node() -> Self {
+        Self {
+            nodes: 1,
+            ..Self::supercloud_full()
+        }
+    }
+
+    /// Total number of matrix instances.
+    pub fn total_instances(&self) -> u64 {
+        self.nodes as u64 * self.processes_per_node as u64
+    }
+
+    /// Total number of processor cores.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.node.cores as u64
+    }
+
+    /// Process oversubscription factor (processes per core).
+    pub fn oversubscription(&self) -> f64 {
+        self.processes_per_node as f64 / self.node.cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supercloud_scale_matches_paper() {
+        let c = ClusterSpec::supercloud_full();
+        // ~31,000 instances on ~1,100 nodes with ~34,000 processors.
+        assert_eq!(c.nodes, 1100);
+        assert!((30_000..32_000).contains(&c.total_instances()));
+        assert!((33_000..36_000).contains(&c.total_cores()));
+        assert!(c.oversubscription() <= 1.0);
+    }
+
+    #[test]
+    fn single_node_spec() {
+        let c = ClusterSpec::supercloud_single_node();
+        assert_eq!(c.nodes, 1);
+        assert_eq!(c.total_instances(), 28);
+    }
+
+    #[test]
+    fn local_node_has_cores() {
+        assert!(NodeSpec::local().cores >= 1);
+    }
+}

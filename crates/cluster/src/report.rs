@@ -1,0 +1,88 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use crate::fig2::Fig2Series;
+
+/// Render a set of Fig. 2 series as an aligned text table
+/// (one row per point).
+pub fn render_table(series: &[Fig2Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<38} {:>8} {:>16} {:>9}\n",
+        "system", "servers", "updates/sec", "source"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{:<38} {:>8} {:>16.3e} {:>9}\n",
+                s.label,
+                p.servers,
+                p.rate,
+                if p.measured { "measured" } else { "modelled" }
+            ));
+        }
+    }
+    out
+}
+
+/// Render as CSV with header `system,servers,updates_per_sec,source`.
+pub fn render_csv(series: &[Fig2Series]) -> String {
+    let mut out = String::from("system,servers,updates_per_sec,source\n");
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{},{},{:.6e},{}\n",
+                s.label.replace(',', ";"),
+                p.servers,
+                p.rate,
+                if p.measured { "measured" } else { "modelled" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2::Fig2Point;
+
+    fn sample() -> Vec<Fig2Series> {
+        vec![Fig2Series {
+            label: "Sys,tem A".to_string(),
+            points: vec![
+                Fig2Point {
+                    servers: 1,
+                    rate: 1.0e6,
+                    measured: true,
+                },
+                Fig2Point {
+                    servers: 1100,
+                    rate: 7.5e10,
+                    measured: false,
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn table_contains_rows_and_sources() {
+        let t = render_table(&sample());
+        assert!(t.contains("Sys,tem A"));
+        assert!(t.contains("measured"));
+        assert!(t.contains("modelled"));
+        assert!(t.contains("1100"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_has_header() {
+        let c = render_csv(&sample());
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("system,servers,updates_per_sec,source"));
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("Sys;tem A,1,"));
+        assert_eq!(c.lines().count(), 3);
+    }
+}

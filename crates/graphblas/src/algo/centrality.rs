@@ -1,0 +1,222 @@
+//! Centrality measures: PageRank and connected components, expressed with
+//! the GraphBLAS kernels.
+//!
+//! These round out the "various network statistics" computed on streaming
+//! traffic matrices (paper §III) and exercise `mxv`/`vxm` and `ewise` paths
+//! on hypersparse operands.
+
+use crate::index::Index;
+use crate::matrix::Matrix;
+use crate::ops::monoid::PlusMonoid;
+use crate::ops::mxv::vxm;
+use crate::ops::reduce::reduce_rows;
+use crate::ops::semiring::{MinFirst, PlusTimes};
+use crate::types::ScalarType;
+use crate::vector::SparseVector;
+
+/// PageRank over the directed graph whose adjacency pattern is `a`
+/// (edge `i -> j` for every stored entry; weights ignored).
+///
+/// Returns the rank of every vertex that has at least one in- or out-edge.
+/// `damping` is the usual 0.85; iteration stops after `max_iters` or when
+/// the L1 change drops below `tol`.
+pub fn pagerank<T: ScalarType>(
+    a: &Matrix<T>,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> SparseVector<f64> {
+    // Collect the active vertex set (sources and destinations).
+    let (rows, cols, _) = a.extract_tuples();
+    let mut active: Vec<Index> = rows.iter().chain(cols.iter()).copied().collect();
+    active.sort_unstable();
+    active.dedup();
+    let n = active.len();
+    if n == 0 {
+        return SparseVector::new(a.nrows());
+    }
+
+    // Column-stochastic transition: P(i, j) = 1 / outdeg(i) for each edge.
+    let out_deg = reduce_rows(
+        &crate::ops::apply::apply(a, crate::ops::unary::One),
+        PlusMonoid,
+    );
+    let mut prows = Vec::with_capacity(rows.len());
+    let mut pcols = Vec::with_capacity(rows.len());
+    let mut pvals = Vec::with_capacity(rows.len());
+    for k in 0..rows.len() {
+        let d = out_deg.get(rows[k]).map(|v| v.to_f64()).unwrap_or(1.0);
+        prows.push(rows[k]);
+        pcols.push(cols[k]);
+        pvals.push(1.0 / d.max(1.0));
+    }
+    let p = Matrix::from_tuples(
+        a.nrows(),
+        a.ncols(),
+        &prows,
+        &pcols,
+        &pvals,
+        crate::ops::binary::Plus,
+    )
+    .expect("transition matrix coordinates are in bounds");
+
+    // Rank vector initialised uniformly over the active set.
+    let mut rank = SparseVector::<f64>::new(a.nrows());
+    for &v in &active {
+        rank.set(v, 1.0 / n as f64).expect("active vertex in range");
+    }
+    let teleport = (1.0 - damping) / n as f64;
+
+    for _ in 0..max_iters {
+        let spread = vxm(&rank, &p, PlusTimes);
+        let mut next = SparseVector::<f64>::new(a.nrows());
+        let mut delta = 0.0;
+        for &v in &active {
+            let val = teleport + damping * spread.get(v).unwrap_or(0.0);
+            delta += (val - rank.get(v).unwrap_or(0.0)).abs();
+            next.set(v, val).expect("active vertex in range");
+        }
+        rank = next;
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Connected components of the *undirected* graph whose adjacency pattern is
+/// `a` (treated symmetrically), via label propagation with the `(min,
+/// second)` semiring.
+///
+/// Returns, for every vertex with at least one edge, the smallest vertex id
+/// in its component.
+pub fn connected_components<T: ScalarType>(a: &Matrix<T>) -> SparseVector<u64> {
+    let (rows, cols, _) = a.extract_tuples();
+    // Symmetric u64 pattern.
+    let mut sr: Vec<Index> = Vec::with_capacity(rows.len() * 2);
+    let mut sc: Vec<Index> = Vec::with_capacity(rows.len() * 2);
+    for k in 0..rows.len() {
+        sr.push(rows[k]);
+        sc.push(cols[k]);
+        sr.push(cols[k]);
+        sc.push(rows[k]);
+    }
+    let ones = vec![1u64; sr.len()];
+    let sym = Matrix::from_tuples(
+        a.nrows(),
+        a.nrows().max(a.ncols()),
+        &sr,
+        &sc,
+        &ones,
+        crate::ops::binary::Second,
+    )
+    .expect("pattern rebuild");
+
+    let mut active: Vec<Index> = sr.clone();
+    active.sort_unstable();
+    active.dedup();
+
+    // labels(v) = v initially.
+    let mut labels = SparseVector::<u64>::new(sym.nrows());
+    for &v in &active {
+        labels.set(v, v).expect("vertex in range");
+    }
+    // Propagate the minimum label along edges until a fixed point.
+    loop {
+        let propagated = vxm(&labels, &sym, MinFirst);
+        let mut changed = false;
+        let mut next = labels.clone();
+        for (v, incoming) in propagated.iter() {
+            let current = labels.get(v).unwrap_or(u64::MAX);
+            // MinSecond propagates neighbour labels; take the min of the
+            // incoming label and the current one.
+            if incoming < current {
+                next.set(v, incoming).expect("vertex in range");
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn graph(nrows: u64, edges: &[(u64, u64)]) -> Matrix<u64> {
+        let rows: Vec<u64> = edges.iter().map(|e| e.0).collect();
+        let cols: Vec<u64> = edges.iter().map(|e| e.1).collect();
+        let vals = vec![1u64; edges.len()];
+        Matrix::from_tuples(nrows, nrows, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_highest() {
+        // Star pointing at vertex 0: everyone links to 0.
+        let g = graph(10, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let pr = pagerank(&g, 0.85, 50, 1e-9);
+        let r0 = pr.get(0).unwrap();
+        for v in 1..=4u64 {
+            assert!(r0 > pr.get(v).unwrap(), "hub must out-rank leaf {v}");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_about_one() {
+        let g = graph(8, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let pr = pagerank(&g, 0.85, 100, 1e-10);
+        let total: f64 = pr.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 0.05, "total rank {total}");
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        let g = Matrix::<u64>::new(8, 8);
+        assert!(pagerank(&g, 0.85, 10, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn pagerank_symmetric_cycle_is_uniform() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 0.85, 100, 1e-12);
+        let vals: Vec<f64> = (0..4).map(|v| pr.get(v).unwrap()).collect();
+        for w in vals.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn components_two_clusters() {
+        let g = graph(1 << 32, &[(1, 2), (2, 3), (100, 101)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.get(1), Some(1));
+        assert_eq!(cc.get(2), Some(1));
+        assert_eq!(cc.get(3), Some(1));
+        assert_eq!(cc.get(100), Some(100));
+        assert_eq!(cc.get(101), Some(100));
+        assert_eq!(cc.get(50), None);
+    }
+
+    #[test]
+    fn components_chain_converges_to_smallest_id() {
+        let g = graph(100, &[(9, 8), (8, 7), (7, 6), (6, 5)]);
+        let cc = connected_components(&g);
+        for v in 5..=9u64 {
+            assert_eq!(cc.get(v), Some(5));
+        }
+    }
+
+    #[test]
+    fn components_hypersparse_ids() {
+        let a = 1u64 << 33;
+        let g = graph(1 << 40, &[(a, a + 7)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.get(a), Some(a));
+        assert_eq!(cc.get(a + 7), Some(a));
+    }
+}

@@ -1,0 +1,15 @@
+//! Graph algorithms expressed in the language of sparse linear algebra.
+//!
+//! These are the "various network statistics" a real streaming-analysis
+//! process would compute on each traffic matrix as it is updated (paper,
+//! §III), and they double as end-to-end exercises of the GraphBLAS kernels.
+
+pub mod centrality;
+pub mod degree;
+pub mod traversal;
+pub mod triangles;
+
+pub use centrality::{connected_components, pagerank};
+pub use degree::{col_degree, degree_distribution, row_degree, DegreeDistribution};
+pub use traversal::bfs_levels;
+pub use triangles::triangle_count;

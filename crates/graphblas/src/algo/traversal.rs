@@ -1,0 +1,121 @@
+//! Breadth-first search expressed as repeated `vxm` over a boolean-style
+//! semiring.
+
+use crate::index::Index;
+use crate::matrix::Matrix;
+use crate::ops::semiring::MinSecond;
+use crate::ops::mxv::vxm;
+use crate::types::ScalarType;
+use crate::vector::SparseVector;
+
+/// Level-synchronous BFS from `source` on the directed graph whose adjacency
+/// pattern is `a` (edge `i -> j` when `a(i, j)` is stored).
+///
+/// Returns a sparse vector whose entry `v(j)` is the BFS level of vertex `j`
+/// (source has level 1), containing only the reachable vertices.
+pub fn bfs_levels<T: ScalarType>(a: &Matrix<T>, source: Index) -> SparseVector<u64> {
+    // Work on the pattern as u64 so levels can be carried through the semiring.
+    let (rows, cols, _) = a.extract_tuples();
+    let ones = vec![1u64; rows.len()];
+    let pattern = Matrix::from_tuples(
+        a.nrows(),
+        a.ncols(),
+        &rows,
+        &cols,
+        &ones,
+        crate::ops::binary::Second,
+    )
+    .expect("pattern rebuild");
+
+    let mut levels = SparseVector::<u64>::new(a.nrows());
+    if source >= a.nrows() {
+        return levels;
+    }
+    levels.set(source, 1).expect("source in range");
+    let mut frontier = SparseVector::<u64>::new(a.nrows());
+    frontier.set(source, 1).expect("source in range");
+
+    let mut level = 1u64;
+    while !frontier.is_empty() {
+        level += 1;
+        // next = frontier * pattern (min-second keeps any reaching parent)
+        let reached = vxm(&frontier, &pattern, MinSecond);
+        let mut next = SparseVector::<u64>::new(a.nrows());
+        for (j, _) in reached.iter() {
+            if levels.get(j).is_none() {
+                levels.set(j, level).expect("in range");
+                next.set(j, 1).expect("in range");
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn path_graph(n: u64) -> Matrix<u64> {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let rows: Vec<u64> = (0..n - 1).collect();
+        let cols: Vec<u64> = (1..n).collect();
+        let vals = vec![1u64; (n - 1) as usize];
+        Matrix::from_tuples(n, n, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels.get(0), Some(1));
+        assert_eq!(levels.get(1), Some(2));
+        assert_eq!(levels.get(4), Some(5));
+        assert_eq!(levels.nvals(), 5);
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_absent() {
+        let g = path_graph(5);
+        let levels = bfs_levels(&g, 3);
+        assert_eq!(levels.get(3), Some(1));
+        assert_eq!(levels.get(4), Some(2));
+        assert_eq!(levels.get(0), None);
+        assert_eq!(levels.nvals(), 2);
+    }
+
+    #[test]
+    fn bfs_on_branching_graph() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond)
+        let g = Matrix::from_tuples(
+            4,
+            4,
+            &[0, 0, 1, 2],
+            &[1, 2, 3, 3],
+            &[1u64, 1, 1, 1],
+            Plus,
+        )
+        .unwrap();
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels.get(0), Some(1));
+        assert_eq!(levels.get(1), Some(2));
+        assert_eq!(levels.get(2), Some(2));
+        assert_eq!(levels.get(3), Some(3));
+    }
+
+    #[test]
+    fn bfs_source_out_of_range() {
+        let g = path_graph(3);
+        let levels = bfs_levels(&g, 99);
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn bfs_isolated_source() {
+        let g = Matrix::<u64>::new(8, 8);
+        let levels = bfs_levels(&g, 2);
+        assert_eq!(levels.nvals(), 1);
+        assert_eq!(levels.get(2), Some(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Triangle counting via the Burkhardt / Cohen masked-multiply formulation
+//! (`ntri = sum(sum((A*A) .* A)) / 6` for a symmetric adjacency pattern).
+
+use crate::matrix::Matrix;
+use crate::ops::ewise_mult::ewise_mult;
+use crate::ops::monoid::PlusMonoid;
+use crate::ops::mxm::mxm;
+use crate::ops::reduce::reduce_scalar;
+use crate::ops::semiring::PlusTimes;
+use crate::ops::binary::Times;
+use crate::ops::unary::One;
+use crate::types::ScalarType;
+
+/// Count triangles in an undirected graph whose *symmetric* adjacency
+/// pattern is stored in `a` (both `(i,j)` and `(j,i)` present, no
+/// self-loops).  Weights are ignored.
+pub fn triangle_count<T: ScalarType>(a: &Matrix<T>) -> u64 {
+    // Work on a u64 pattern so path counts cannot overflow small types.
+    let (rows, cols, _) = a.extract_tuples();
+    let ones = vec![1u64; rows.len()];
+    let pattern = Matrix::from_tuples(
+        a.nrows(),
+        a.ncols(),
+        &rows,
+        &cols,
+        &ones,
+        crate::ops::binary::Second,
+    )
+    .expect("pattern rebuild");
+    let pattern = crate::ops::apply::apply(&pattern, One);
+
+    let paths2 = mxm(&pattern, &pattern, PlusTimes);
+    let closed = ewise_mult(&paths2, &pattern, Times);
+    let total = reduce_scalar(&closed, PlusMonoid);
+    total / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn symmetric(edges: &[(u64, u64)], n: u64) -> Matrix<u64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for &(a, b) in edges {
+            rows.push(a);
+            cols.push(b);
+            rows.push(b);
+            cols.push(a);
+        }
+        let vals = vec![1u64; rows.len()];
+        Matrix::from_tuples(n, n, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = symmetric(&[(0, 1), (1, 2), (0, 2)], 4);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let g = symmetric(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = symmetric(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 4);
+        assert_eq!(triangle_count(&g), 4);
+    }
+
+    #[test]
+    fn weights_are_ignored() {
+        let g = Matrix::from_tuples(
+            4,
+            4,
+            &[0, 1, 1, 2, 0, 2],
+            &[1, 0, 2, 1, 2, 0],
+            &[9u64, 9, 9, 9, 9, 9],
+            Plus,
+        )
+        .unwrap();
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(triangle_count(&Matrix::<u64>::new(8, 8)), 0);
+    }
+
+    #[test]
+    fn hypersparse_triangle() {
+        let base = 1u64 << 33;
+        let g = symmetric(&[(base, base + 1), (base + 1, base + 2), (base, base + 2)], 1 << 40);
+        assert_eq!(triangle_count(&g), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types mirroring the GraphBLAS C API error codes.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type GrbResult<T> = Result<T, GrbError>;
+
+/// Errors reported by GraphBLAS-style operations.
+///
+/// The variants correspond to the `GrB_Info` error codes of the C API that
+/// are reachable from safe Rust (out-of-memory and panic-related codes are
+/// handled by the Rust runtime instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrbError {
+    /// A row or column index is outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u64,
+        /// The dimension it was compared against.
+        dim: u64,
+    },
+    /// Two objects have incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An operation received an empty object where a non-empty one is required.
+    EmptyObject(&'static str),
+    /// A domain error: the value cannot be represented in the output type.
+    Domain(String),
+    /// The requested entry does not exist (GrB_NO_VALUE).
+    NoValue,
+    /// An invalid argument value (e.g. zero dimension, malformed cut list).
+    InvalidValue(String),
+}
+
+impl fmt::Display for GrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrbError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            GrbError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            GrbError::EmptyObject(what) => write!(f, "empty object: {what}"),
+            GrbError::Domain(msg) => write!(f, "domain error: {msg}"),
+            GrbError::NoValue => write!(f, "no value stored at the requested position"),
+            GrbError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GrbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GrbError::IndexOutOfBounds { index: 10, dim: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+
+        let e = GrbError::DimensionMismatch {
+            detail: "2x3 vs 4x5".into(),
+        };
+        assert!(e.to_string().contains("2x3 vs 4x5"));
+
+        let e = GrbError::EmptyObject("cut list");
+        assert!(e.to_string().contains("cut list"));
+
+        let e = GrbError::Domain("negative".into());
+        assert!(e.to_string().contains("negative"));
+
+        assert!(GrbError::NoValue.to_string().contains("no value"));
+
+        let e = GrbError::InvalidValue("zero dim".into());
+        assert!(e.to_string().contains("zero dim"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GrbError::NoValue, GrbError::NoValue);
+        assert_ne!(
+            GrbError::NoValue,
+            GrbError::EmptyObject("x"),
+        );
+    }
+}

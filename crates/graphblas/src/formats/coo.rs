@@ -1,0 +1,309 @@
+//! Coordinate-list (COO / triplet) format.
+//!
+//! COO is the natural format for *building* matrices from streams of edges:
+//! appending is `O(1)` and touches only the tail of three vectors, which is
+//! exactly the cache-friendly behaviour the hierarchical matrix exploits at
+//! its lowest level.  Before a COO can be used algebraically it is sorted and
+//! duplicate coordinates are combined with a binary operator
+//! ([`Coo::sort_dedup`]), mirroring `GrB_Matrix_build`.
+
+use crate::error::{GrbError, GrbResult};
+use crate::formats::{Entry, MemoryFootprint};
+use crate::index::{validate_dims, validate_index, Index};
+use crate::ops::BinaryOp;
+use crate::types::ScalarType;
+
+/// An append-only list of `(row, col, value)` tuples with matrix dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<T> {
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<T>,
+    /// True when the tuples are known to be sorted row-major and duplicate free.
+    sorted_dedup: bool,
+}
+
+impl<T: ScalarType> Coo<T> {
+    /// Create an empty COO with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if the dimensions are invalid (zero or above the cap); use
+    /// [`Coo::try_new`] for a fallible constructor.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::try_new(nrows, ncols).expect("invalid matrix dimensions")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            sorted_dedup: true, // empty is trivially sorted
+        })
+    }
+
+    /// Create with pre-reserved capacity for `cap` tuples.
+    pub fn with_capacity(nrows: Index, ncols: Index, cap: usize) -> Self {
+        let mut c = Self::new(nrows, ncols);
+        c.rows.reserve(cap);
+        c.cols.reserve(cap);
+        c.vals.reserve(cap);
+        c
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored tuples (may include duplicates until
+    /// [`Coo::sort_dedup`] is called).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True when the tuples are known to be row-major sorted and duplicate
+    /// free.
+    pub fn is_sorted_dedup(&self) -> bool {
+        self.sorted_dedup
+    }
+
+    /// Append a tuple without bounds checking beyond a debug assertion.
+    /// Bounds are validated by the public [`Matrix`](crate::matrix::Matrix)
+    /// API before reaching this point.
+    pub fn push(&mut self, row: Index, col: Index, val: T) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        // Appending may break sortedness; cheaply detect the common in-order case.
+        if self.sorted_dedup {
+            if let (Some(&lr), Some(&lc)) = (self.rows.last(), self.cols.last()) {
+                if (row, col) <= (lr, lc) {
+                    self.sorted_dedup = false;
+                }
+            }
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Append a tuple with bounds checking.
+    pub fn try_push(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        self.push(row, col, val);
+        Ok(())
+    }
+
+    /// Append many tuples from parallel slices.
+    pub fn extend_from_slices(
+        &mut self,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[T],
+    ) -> GrbResult<()> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "tuple slice lengths differ: {} rows, {} cols, {} vals",
+                    rows.len(),
+                    cols.len(),
+                    vals.len()
+                ),
+            });
+        }
+        self.rows.reserve(rows.len());
+        self.cols.reserve(cols.len());
+        self.vals.reserve(vals.len());
+        for ((&r, &c), &v) in rows.iter().zip(cols).zip(vals) {
+            self.try_push(r, c, v)?;
+        }
+        Ok(())
+    }
+
+    /// Remove all tuples, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+        self.sorted_dedup = true;
+    }
+
+    /// Iterate over stored tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Entry<T>> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Sort tuples row-major and combine duplicates with `dup`.
+    ///
+    /// After this call the tuples are strictly increasing in `(row, col)` and
+    /// [`Coo::is_sorted_dedup`] returns true.  This is the expensive step of
+    /// `GrB_Matrix_build`; its cost is `O(nnz log nnz)`.
+    pub fn sort_dedup<Op: BinaryOp<T>>(&mut self, dup: Op) {
+        if self.sorted_dedup {
+            return;
+        }
+        let n = self.rows.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+
+        let mut rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for &i in &perm {
+            let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    let last = vals.last_mut().expect("vals non-empty");
+                    *last = dup.apply(*last, v);
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+        self.sorted_dedup = true;
+    }
+
+    /// Consume the COO and return its tuple vectors `(rows, cols, vals)`.
+    pub fn into_parts(self) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        (self.rows, self.cols, self.vals)
+    }
+
+    /// Borrow the tuple slices `(rows, cols, vals)`.
+    pub fn parts(&self) -> (&[Index], &[Index], &[T]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Bytes of memory used by the tuple arrays.
+    pub fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            index_bytes: (self.rows.capacity() + self.cols.capacity())
+                * std::mem::size_of::<Index>(),
+            value_bytes: self.vals.capacity() * std::mem::size_of::<T>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Plus, Second};
+
+    #[test]
+    fn new_and_push() {
+        let mut c = Coo::<u64>::new(1 << 32, 1 << 32);
+        assert!(c.is_empty());
+        c.push(5, 6, 1);
+        c.push(5, 7, 2);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_sorted_dedup());
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(5, 6, 1), (5, 7, 2)]);
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        assert!(Coo::<f64>::try_new(0, 5).is_err());
+        assert!(Coo::<f64>::try_new(5, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_order_push_clears_sorted_flag() {
+        let mut c = Coo::<u64>::new(100, 100);
+        c.push(9, 9, 1);
+        c.push(3, 3, 1);
+        assert!(!c.is_sorted_dedup());
+        c.sort_dedup(Plus);
+        assert!(c.is_sorted_dedup());
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(3, 3, 1), (9, 9, 1)]);
+    }
+
+    #[test]
+    fn sort_dedup_accumulates_duplicates() {
+        let mut c = Coo::<u64>::new(10, 10);
+        c.push(1, 2, 10);
+        c.push(0, 0, 1);
+        c.push(1, 2, 5);
+        c.push(1, 2, 1);
+        c.sort_dedup(Plus);
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1), (1, 2, 16)]);
+    }
+
+    #[test]
+    fn sort_dedup_second_keeps_last_sorted_occurrence() {
+        let mut c = Coo::<u32>::new(10, 10);
+        c.push(1, 1, 100);
+        c.push(0, 5, 7);
+        c.push(1, 1, 200);
+        c.sort_dedup(Second);
+        let entries: Vec<_> = c.iter().collect();
+        // Stable permutation sort keeps insertion order among equal keys, so
+        // Second keeps the latest inserted value.
+        assert_eq!(entries, vec![(0, 5, 7), (1, 1, 200)]);
+    }
+
+    #[test]
+    fn try_push_bounds() {
+        let mut c = Coo::<u8>::new(4, 4);
+        assert!(c.try_push(3, 3, 1).is_ok());
+        assert!(c.try_push(4, 0, 1).is_err());
+        assert!(c.try_push(0, 4, 1).is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn extend_from_slices_checks_lengths() {
+        let mut c = Coo::<u8>::new(4, 4);
+        assert!(c.extend_from_slices(&[0, 1], &[1, 2], &[1, 2]).is_ok());
+        assert_eq!(c.len(), 2);
+        assert!(c.extend_from_slices(&[0], &[1, 2], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = Coo::<u64>::with_capacity(10, 10, 64);
+        for i in 0..10 {
+            c.push(i, i, i);
+        }
+        let before = c.memory().total();
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.is_sorted_dedup());
+        assert_eq!(c.memory().total(), before);
+    }
+
+    #[test]
+    fn memory_counts_indices_and_values() {
+        let mut c = Coo::<u64>::new(10, 10);
+        c.push(0, 0, 1);
+        let m = c.memory();
+        assert!(m.index_bytes >= 16);
+        assert!(m.value_bytes >= 8);
+    }
+}

@@ -1,0 +1,210 @@
+//! CSR — conventional compressed sparse row storage.
+//!
+//! CSR keeps a row-pointer array of length `nrows + 1`, so its memory cost is
+//! `O(nnz + nrows)`.  For ordinary sparse matrices (web graphs, meshes) that
+//! is the right trade-off; for hypersparse traffic matrices with `2^32` rows
+//! it is four billion pointers of pure overhead.  The format exists here as
+//! the non-hypersparse comparison point and for small dense-ish index spaces
+//! (e.g. per-subnet matrices).
+
+use crate::error::{GrbError, GrbResult};
+use crate::formats::coo::Coo;
+use crate::formats::dcsr::Dcsr;
+use crate::formats::{Entry, MemoryFootprint};
+use crate::index::{validate_dims, Index};
+use crate::ops::BinaryOp;
+use crate::types::ScalarType;
+
+/// Maximum number of rows for which a CSR may be allocated (guards against
+/// accidentally materialising a 2^32-row pointer array).
+pub const CSR_MAX_ROWS: Index = 1 << 28;
+
+/// Conventional compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: Index,
+    ncols: Index,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: ScalarType> Csr<T> {
+    /// An empty CSR matrix.  Fails if `nrows` exceeds [`CSR_MAX_ROWS`].
+    pub fn try_new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        if nrows > CSR_MAX_ROWS {
+            return Err(GrbError::InvalidValue(format!(
+                "CSR row dimension {nrows} exceeds the {CSR_MAX_ROWS} cap; use Dcsr for hypersparse index spaces"
+            )));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows as usize + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        })
+    }
+
+    /// Panicking constructor (see [`Csr::try_new`]).
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::try_new(nrows, ncols).expect("invalid CSR dimensions")
+    }
+
+    /// Build from a COO, sorting and combining duplicates with `dup`.
+    pub fn from_coo<Op: BinaryOp<T>>(mut coo: Coo<T>, dup: Op) -> GrbResult<Self> {
+        coo.sort_dedup(dup);
+        let mut m = Self::try_new(coo.nrows(), coo.ncols())?;
+        let (rows, cols, vals) = coo.parts();
+        m.col_idx = cols.to_vec();
+        m.vals = vals.to_vec();
+        // Counting sort of row pointers (rows are already sorted).
+        for &r in rows {
+            m.row_ptr[r as usize + 1] += 1;
+        }
+        for i in 1..m.row_ptr.len() {
+            m.row_ptr[i] += m.row_ptr[i - 1];
+        }
+        Ok(m)
+    }
+
+    /// Build from a DCSR (loses nothing; gains the dense row-pointer array).
+    pub fn from_dcsr(d: &Dcsr<T>) -> GrbResult<Self> {
+        Self::from_coo(d.to_coo(), crate::ops::binary::Second)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nvals(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.col_idx.is_empty()
+    }
+
+    /// The columns and values of row `row` (possibly empty slices).
+    pub fn row(&self, row: Index) -> (&[Index], &[T]) {
+        let lo = self.row_ptr[row as usize];
+        let hi = self.row_ptr[row as usize + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Value stored at `(row, col)`, or `None`.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        if row >= self.nrows {
+            return None;
+        }
+        let (cols, vals) = self.row(row);
+        let j = cols.binary_search(&col).ok()?;
+        Some(vals[j])
+    }
+
+    /// Iterate over stored entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Entry<T>> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Convert to hypersparse DCSR.
+    pub fn to_dcsr(&self) -> Dcsr<T> {
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        Dcsr::from_sorted_coo(&coo).expect("CSR iteration is sorted")
+    }
+
+    /// Bytes of memory used, including the dense row-pointer array.
+    pub fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            index_bytes: self.row_ptr.capacity() * std::mem::size_of::<usize>()
+                + self.col_idx.capacity() * std::mem::size_of::<Index>(),
+            value_bytes: self.vals.capacity() * std::mem::size_of::<T>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn sample() -> Csr<i64> {
+        let mut coo = Coo::new(6, 6);
+        for &(r, c, v) in &[(0, 1, 1i64), (0, 3, 2), (2, 2, 3), (5, 0, 4), (0, 1, 10)] {
+            coo.push(r, c, v);
+        }
+        Csr::from_coo(coo, Plus).unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let m = sample();
+        assert_eq!(m.nvals(), 4);
+        assert_eq!(m.get(0, 1), Some(11));
+        assert_eq!(m.get(0, 3), Some(2));
+        assert_eq!(m.get(2, 2), Some(3));
+        assert_eq!(m.get(5, 0), Some(4));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.get(99, 0), None);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_slices() {
+        let m = sample();
+        let (cols, vals) = m.row(1);
+        assert!(cols.is_empty());
+        assert!(vals.is_empty());
+        let (cols, _) = m.row(0);
+        assert_eq!(cols, &[1, 3]);
+    }
+
+    #[test]
+    fn hypersparse_rows_rejected() {
+        assert!(Csr::<f64>::try_new(1 << 32, 16).is_err());
+        assert!(Csr::<f64>::try_new(CSR_MAX_ROWS, 16).is_ok());
+    }
+
+    #[test]
+    fn round_trip_through_dcsr() {
+        let m = sample();
+        let d = m.to_dcsr();
+        assert_eq!(d.nvals(), m.nvals());
+        let back = Csr::from_dcsr(&d).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn iter_matches_gets() {
+        let m = sample();
+        for (r, c, v) in m.iter() {
+            assert_eq!(m.get(r, c), Some(v));
+        }
+        assert_eq!(m.iter().count(), m.nvals());
+    }
+
+    #[test]
+    fn csr_memory_scales_with_nrows_unlike_dcsr() {
+        let csr_small = Csr::<u64>::new(16, 16);
+        let csr_big = Csr::<u64>::new(1 << 20, 16);
+        assert!(csr_big.memory().total() > csr_small.memory().total() * 1000);
+
+        let dcsr_small = Dcsr::<u64>::new(16, 16);
+        let dcsr_big = Dcsr::<u64>::new(1 << 50, 16);
+        assert_eq!(dcsr_big.memory().total(), dcsr_small.memory().total());
+    }
+}

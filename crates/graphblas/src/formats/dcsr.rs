@@ -1,0 +1,552 @@
+//! DCSR — doubly compressed sparse row (hypersparse) storage.
+//!
+//! Standard CSR stores a row-pointer array of length `nrows + 1`, which is
+//! unusable when `nrows = 2^32` (IPv4) or `2^64` (IPv6) and only a few
+//! thousand rows are occupied.  DCSR additionally compresses the row axis:
+//! only non-empty rows appear, each identified by its 64-bit row id.  Memory
+//! is `O(nnz + #non-empty rows)` — the "hypersparse" property the paper's
+//! traffic matrices depend on.
+//!
+//! A `Dcsr` is immutable once built; streaming mutation happens in COO form
+//! (pending tuples or the lowest hierarchy level) and is *merged* into a
+//! DCSR with [`Dcsr::merge`], which is exactly the `A_{i+1} = A_{i+1} ⊕ A_i`
+//! cascade step.
+
+use crate::error::{GrbError, GrbResult};
+use crate::formats::coo::Coo;
+use crate::formats::{Entry, MemoryFootprint};
+use crate::index::{validate_dims, Index};
+use crate::ops::BinaryOp;
+use crate::types::ScalarType;
+
+/// Doubly compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsr<T> {
+    nrows: Index,
+    ncols: Index,
+    /// Sorted ids of non-empty rows.
+    row_ids: Vec<Index>,
+    /// `row_ptr[k]..row_ptr[k+1]` is the slice of `col_idx`/`vals` for row `row_ids[k]`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<Index>,
+    /// Stored values, parallel to `col_idx`.
+    vals: Vec<T>,
+}
+
+impl<T: ScalarType> Dcsr<T> {
+    /// An empty hypersparse matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::try_new(nrows, ncols).expect("invalid matrix dimensions")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ids: Vec::new(),
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        })
+    }
+
+    /// Build from a COO that has already been sorted and deduplicated.
+    ///
+    /// Returns an error if the COO is not in sorted/dedup state.
+    pub fn from_sorted_coo(coo: &Coo<T>) -> GrbResult<Self> {
+        if !coo.is_sorted_dedup() {
+            return Err(GrbError::InvalidValue(
+                "COO must be sorted and deduplicated before DCSR conversion".into(),
+            ));
+        }
+        let mut m = Self::try_new(coo.nrows(), coo.ncols())?;
+        let (rows, cols, vals) = coo.parts();
+        m.col_idx.reserve(cols.len());
+        m.vals.reserve(vals.len());
+        for i in 0..rows.len() {
+            let r = rows[i];
+            if m.row_ids.last() != Some(&r) {
+                m.row_ids.push(r);
+                m.row_ptr.push(m.col_idx.len());
+            }
+            m.col_idx.push(cols[i]);
+            m.vals.push(vals[i]);
+            *m.row_ptr.last_mut().expect("row_ptr non-empty") = m.col_idx.len();
+        }
+        Ok(m)
+    }
+
+    /// Build by sorting and deduplicating an arbitrary COO with `dup`.
+    pub fn from_coo<Op: BinaryOp<T>>(mut coo: Coo<T>, dup: Op) -> GrbResult<Self> {
+        coo.sort_dedup(dup);
+        Self::from_sorted_coo(&coo)
+    }
+
+    /// Build directly from tuple slices (convenience used heavily in tests).
+    pub fn from_tuples<Op: BinaryOp<T>>(
+        nrows: Index,
+        ncols: Index,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[T],
+        dup: Op,
+    ) -> GrbResult<Self> {
+        let mut coo = Coo::try_new(nrows, ncols)?;
+        coo.extend_from_slices(rows, cols, vals)?;
+        Self::from_coo(coo, dup)
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nvals(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.col_idx.is_empty()
+    }
+
+    /// Number of non-empty rows (the "hyper" dimension).
+    pub fn nrows_nonempty(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// The sorted ids of the non-empty rows.
+    pub fn row_ids(&self) -> &[Index] {
+        &self.row_ids
+    }
+
+    /// The columns and values of logical row `row`, if that row is non-empty.
+    pub fn row(&self, row: Index) -> Option<(&[Index], &[T])> {
+        let k = self.row_ids.binary_search(&row).ok()?;
+        Some(self.row_slot(k))
+    }
+
+    /// The columns and values of the `k`-th non-empty row.
+    pub fn row_slot(&self, k: usize) -> (&[Index], &[T]) {
+        let lo = self.row_ptr[k];
+        let hi = self.row_ptr[k + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Value stored at `(row, col)`, or `None`.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        let (cols, vals) = self.row(row)?;
+        let j = cols.binary_search(&col).ok()?;
+        Some(vals[j])
+    }
+
+    /// Iterate over stored entries in row-major order.
+    pub fn iter(&self) -> DcsrIter<'_, T> {
+        DcsrIter {
+            dcsr: self,
+            slot: 0,
+            offset: 0,
+        }
+    }
+
+    /// Extract all tuples into parallel vectors (row-major order).
+    pub fn extract_tuples(&self) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        let mut rows = Vec::with_capacity(self.nvals());
+        let mut cols = Vec::with_capacity(self.nvals());
+        let mut vals = Vec::with_capacity(self.nvals());
+        for (r, c, v) in self.iter() {
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        (rows, cols, vals)
+    }
+
+    /// Convert back to a (sorted, deduplicated) COO.
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    /// Merge another DCSR into this one under the binary operator `op`
+    /// (set-union on the pattern, `op` on collisions).
+    ///
+    /// This is the cascade primitive `A_{i+1} = A_{i+1} ⊕ A_i` of the
+    /// hierarchical hypersparse matrix: a two-pointer merge whose cost is
+    /// `O(nnz(self) + nnz(other))`, i.e. it reads and rewrites the larger
+    /// matrix once per cascade rather than once per streaming update.
+    pub fn merge<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op) -> GrbResult<Dcsr<T>> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "{}x{} vs {}x{}",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                ),
+            });
+        }
+        let mut out = Dcsr::new(self.nrows, self.ncols);
+        out.row_ids
+            .reserve(self.row_ids.len().max(other.row_ids.len()));
+        out.col_idx.reserve(self.nvals() + other.nvals());
+        out.vals.reserve(self.nvals() + other.nvals());
+
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < self.row_ids.len() || ib < other.row_ids.len() {
+            let ra = self.row_ids.get(ia).copied();
+            let rb = other.row_ids.get(ib).copied();
+            match (ra, rb) {
+                (Some(r), Some(rr)) if r == rr => {
+                    let (ca, va) = self.row_slot(ia);
+                    let (cb, vb) = other.row_slot(ib);
+                    out.push_merged_row(r, ca, va, cb, vb, op);
+                    ia += 1;
+                    ib += 1;
+                }
+                (Some(r), Some(rr)) if r < rr => {
+                    let (ca, va) = self.row_slot(ia);
+                    out.push_row(r, ca, va);
+                    ia += 1;
+                }
+                (Some(_), Some(rr)) => {
+                    let (cb, vb) = other.row_slot(ib);
+                    out.push_row(rr, cb, vb);
+                    ib += 1;
+                }
+                (Some(r), None) => {
+                    let (ca, va) = self.row_slot(ia);
+                    out.push_row(r, ca, va);
+                    ia += 1;
+                }
+                (None, Some(rr)) => {
+                    let (cb, vb) = other.row_slot(ib);
+                    out.push_row(rr, cb, vb);
+                    ib += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Append a complete row (used by merge and by kernel implementations).
+    pub(crate) fn push_row(&mut self, row: Index, cols: &[Index], vals: &[T]) {
+        debug_assert_eq!(cols.len(), vals.len());
+        if cols.is_empty() {
+            return;
+        }
+        debug_assert!(self.row_ids.last().map_or(true, |&last| last < row));
+        self.row_ids.push(row);
+        self.col_idx.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    fn push_merged_row<Op: BinaryOp<T>>(
+        &mut self,
+        row: Index,
+        ca: &[Index],
+        va: &[T],
+        cb: &[Index],
+        vb: &[T],
+        op: Op,
+    ) {
+        self.row_ids.push(row);
+        let (mut ja, mut jb) = (0usize, 0usize);
+        while ja < ca.len() || jb < cb.len() {
+            match (ca.get(ja), cb.get(jb)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    self.col_idx.push(a);
+                    self.vals.push(op.apply(va[ja], vb[jb]));
+                    ja += 1;
+                    jb += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    self.col_idx.push(a);
+                    self.vals.push(va[ja]);
+                    ja += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    self.col_idx.push(b);
+                    self.vals.push(vb[jb]);
+                    jb += 1;
+                }
+                (Some(&a), None) => {
+                    self.col_idx.push(a);
+                    self.vals.push(va[ja]);
+                    ja += 1;
+                }
+                (None, Some(&b)) => {
+                    self.col_idx.push(b);
+                    self.vals.push(vb[jb]);
+                    jb += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Bytes of memory used by the compressed arrays.
+    pub fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            index_bytes: self.row_ids.capacity() * std::mem::size_of::<Index>()
+                + self.row_ptr.capacity() * std::mem::size_of::<usize>()
+                + self.col_idx.capacity() * std::mem::size_of::<Index>(),
+            value_bytes: self.vals.capacity() * std::mem::size_of::<T>(),
+        }
+    }
+
+    /// Internal consistency check used by tests and debug assertions:
+    /// row ids strictly increasing, row_ptr monotone, columns strictly
+    /// increasing within each row, and array lengths consistent.
+    pub fn check_invariants(&self) -> GrbResult<()> {
+        if self.row_ptr.len() != self.row_ids.len() + 1 {
+            return Err(GrbError::InvalidValue("row_ptr length mismatch".into()));
+        }
+        if self.col_idx.len() != self.vals.len() {
+            return Err(GrbError::InvalidValue("col/val length mismatch".into()));
+        }
+        if *self.row_ptr.last().expect("non-empty row_ptr") != self.col_idx.len() {
+            return Err(GrbError::InvalidValue("row_ptr tail mismatch".into()));
+        }
+        for w in self.row_ids.windows(2) {
+            if w[0] >= w[1] {
+                return Err(GrbError::InvalidValue("row ids not strictly increasing".into()));
+            }
+        }
+        for k in 0..self.row_ids.len() {
+            if self.row_ids[k] >= self.nrows {
+                return Err(GrbError::IndexOutOfBounds {
+                    index: self.row_ids[k],
+                    dim: self.nrows,
+                });
+            }
+            if self.row_ptr[k] > self.row_ptr[k + 1] {
+                return Err(GrbError::InvalidValue("row_ptr not monotone".into()));
+            }
+            if self.row_ptr[k] == self.row_ptr[k + 1] {
+                return Err(GrbError::InvalidValue("empty row stored".into()));
+            }
+            let (cols, _) = self.row_slot(k);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GrbError::InvalidValue(
+                        "columns not strictly increasing within row".into(),
+                    ));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c >= self.ncols {
+                    return Err(GrbError::IndexOutOfBounds {
+                        index: c,
+                        dim: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-major iterator over the stored entries of a [`Dcsr`].
+pub struct DcsrIter<'a, T> {
+    dcsr: &'a Dcsr<T>,
+    slot: usize,
+    offset: usize,
+}
+
+impl<'a, T: ScalarType> Iterator for DcsrIter<'a, T> {
+    type Item = Entry<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.slot < self.dcsr.row_ids.len() {
+            let lo = self.dcsr.row_ptr[self.slot];
+            let hi = self.dcsr.row_ptr[self.slot + 1];
+            let i = lo + self.offset;
+            if i < hi {
+                self.offset += 1;
+                return Some((
+                    self.dcsr.row_ids[self.slot],
+                    self.dcsr.col_idx[i],
+                    self.dcsr.vals[i],
+                ));
+            }
+            self.slot += 1;
+            self.offset = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.dcsr.nvals()
+            - self
+                .dcsr
+                .row_ptr
+                .get(self.slot)
+                .copied()
+                .unwrap_or(self.dcsr.nvals())
+            - self.offset;
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn sample() -> Dcsr<u64> {
+        Dcsr::from_tuples(
+            1 << 40,
+            1 << 40,
+            &[5, 5, 900_000_000_000, 7, 5],
+            &[10, 2, 3, 10, 10],
+            &[1, 2, 3, 4, 5],
+            Plus,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_from_tuples_hypersparse() {
+        let m = sample();
+        m.check_invariants().unwrap();
+        assert_eq!(m.nvals(), 4); // (5,10) deduplicated: 1+5
+        assert_eq!(m.nrows_nonempty(), 3);
+        assert_eq!(m.get(5, 10), Some(6));
+        assert_eq!(m.get(5, 2), Some(2));
+        assert_eq!(m.get(900_000_000_000, 3), Some(3));
+        assert_eq!(m.get(7, 10), Some(4));
+        assert_eq!(m.get(7, 11), None);
+        assert_eq!(m.get(6, 10), None);
+    }
+
+    #[test]
+    fn iter_is_row_major_sorted() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (5, 2, 2),
+                (5, 10, 6),
+                (7, 10, 4),
+                (900_000_000_000, 3, 3)
+            ]
+        );
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(entries, sorted);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Dcsr::<f64>::new(10, 10);
+        assert!(m.is_empty());
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.nrows_nonempty(), 0);
+        assert_eq!(m.iter().count(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_unsorted_coo_rejected() {
+        let mut coo = Coo::<u64>::new(10, 10);
+        coo.push(5, 5, 1);
+        coo.push(1, 1, 1);
+        assert!(Dcsr::from_sorted_coo(&coo).is_err());
+    }
+
+    #[test]
+    fn merge_disjoint_and_overlapping() {
+        let a = Dcsr::from_tuples(100, 100, &[1, 2], &[1, 2], &[10u64, 20], Plus).unwrap();
+        let b = Dcsr::from_tuples(100, 100, &[2, 3], &[2, 3], &[5u64, 7], Plus).unwrap();
+        let c = a.merge(&b, Plus).unwrap();
+        c.check_invariants().unwrap();
+        assert_eq!(c.nvals(), 3);
+        assert_eq!(c.get(1, 1), Some(10));
+        assert_eq!(c.get(2, 2), Some(25));
+        assert_eq!(c.get(3, 3), Some(7));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = sample();
+        let empty = Dcsr::<u64>::new(a.nrows(), a.ncols());
+        let c = a.merge(&empty, Plus).unwrap();
+        assert_eq!(c, a);
+        let c2 = empty.merge(&a, Plus).unwrap();
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn merge_dimension_mismatch() {
+        let a = Dcsr::<u64>::new(10, 10);
+        let b = Dcsr::<u64>::new(10, 11);
+        assert!(a.merge(&b, Plus).is_err());
+    }
+
+    #[test]
+    fn merge_same_row_interleaved_columns() {
+        let a = Dcsr::from_tuples(10, 10, &[4, 4, 4], &[1, 5, 9], &[1u32, 5, 9], Plus).unwrap();
+        let b = Dcsr::from_tuples(10, 10, &[4, 4], &[0, 5], &[100u32, 50], Plus).unwrap();
+        let c = a.merge(&b, Plus).unwrap();
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(4, 0, 100), (4, 1, 1), (4, 5, 55), (4, 9, 9)]
+        );
+    }
+
+    #[test]
+    fn extract_tuples_round_trip() {
+        let m = sample();
+        let (r, c, v) = m.extract_tuples();
+        let rebuilt =
+            Dcsr::from_tuples(m.nrows(), m.ncols(), &r, &c, &v, Plus).unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn to_coo_is_sorted() {
+        let m = sample();
+        let coo = m.to_coo();
+        assert!(coo.is_sorted_dedup());
+        assert_eq!(coo.len(), m.nvals());
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let small = Dcsr::from_tuples(100, 100, &[1], &[1], &[1u64], Plus).unwrap();
+        let big = Dcsr::from_tuples(
+            100,
+            100,
+            &(0..100u64).collect::<Vec<_>>(),
+            &(0..100u64).collect::<Vec<_>>(),
+            &vec![1u64; 100],
+            Plus,
+        )
+        .unwrap();
+        assert!(big.memory().total() > small.memory().total());
+    }
+
+    #[test]
+    fn memory_independent_of_dimensions() {
+        let small_dims = Dcsr::from_tuples(100, 100, &[1], &[1], &[1u64], Plus).unwrap();
+        let huge_dims =
+            Dcsr::from_tuples(1 << 50, 1 << 50, &[1], &[1], &[1u64], Plus).unwrap();
+        assert_eq!(small_dims.memory().total(), huge_dims.memory().total());
+    }
+}

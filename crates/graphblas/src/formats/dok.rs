@@ -1,0 +1,221 @@
+//! DOK — dictionary-of-keys (hash map) storage.
+//!
+//! A hash map from `(row, col)` to value supports `O(1)` accumulating point
+//! updates, which makes it the obvious straw-man for streaming inserts.  Its
+//! weakness — and the reason the paper's hierarchy wins — is that once the
+//! map outgrows the cache every update is a random access to slow memory,
+//! and iteration/merging is unordered and allocation-heavy.  The
+//! hierarchical benchmarks use DOK as one of the flat-update baselines.
+
+use crate::error::GrbResult;
+use crate::formats::coo::Coo;
+use crate::formats::dcsr::Dcsr;
+use crate::formats::{Entry, MemoryFootprint};
+use crate::index::{validate_dims, validate_index, Index};
+use crate::ops::BinaryOp;
+use crate::types::ScalarType;
+use std::collections::HashMap;
+
+/// Dictionary-of-keys sparse matrix.
+#[derive(Debug, Clone)]
+pub struct Dok<T> {
+    nrows: Index,
+    ncols: Index,
+    map: HashMap<(Index, Index), T>,
+}
+
+impl<T: ScalarType> Dok<T> {
+    /// An empty DOK matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::try_new(nrows, ncols).expect("invalid matrix dimensions")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            map: HashMap::new(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nvals(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Overwrite the value at `(row, col)`.
+    pub fn set(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        self.map.insert((row, col), val);
+        Ok(())
+    }
+
+    /// Accumulate `val` into `(row, col)` with the operator `op`
+    /// (`A(i,j) = op(A(i,j), v)`, or plain insert when absent).
+    pub fn accum<Op: BinaryOp<T>>(&mut self, row: Index, col: Index, val: T, op: Op) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        self.map
+            .entry((row, col))
+            .and_modify(|v| *v = op.apply(*v, val))
+            .or_insert(val);
+        Ok(())
+    }
+
+    /// Value stored at `(row, col)`, or `None`.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        self.map.get(&(row, col)).copied()
+    }
+
+    /// Remove the entry at `(row, col)`, returning it if present.
+    pub fn remove(&mut self, row: Index, col: Index) -> Option<T> {
+        self.map.remove(&(row, col))
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterate over stored entries in arbitrary (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = Entry<T>> + '_ {
+        self.map.iter().map(|(&(r, c), &v)| (r, c, v))
+    }
+
+    /// Convert to a COO (unsorted).
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    /// Convert to hypersparse DCSR (sorts the entries).
+    pub fn to_dcsr(&self) -> Dcsr<T> {
+        Dcsr::from_coo(self.to_coo(), crate::ops::binary::Second)
+            .expect("DOK entries are within bounds")
+    }
+
+    /// Approximate bytes of memory used by the hash map.
+    ///
+    /// The std `HashMap` does not expose its allocation size; this uses the
+    /// standard estimate of `capacity * (key + value + 1 control byte)`
+    /// which is what the memory-pressure experiments need (an upper-bound
+    /// shape, not byte-exact accounting).
+    pub fn memory(&self) -> MemoryFootprint {
+        let per_slot = std::mem::size_of::<(Index, Index)>() + std::mem::size_of::<T>() + 1;
+        MemoryFootprint {
+            index_bytes: self.map.capacity() * std::mem::size_of::<(Index, Index)>()
+                + self.map.capacity(),
+            value_bytes: self.map.capacity() * std::mem::size_of::<T>(),
+        }
+        .max_with_len(self.map.len() * per_slot)
+    }
+}
+
+impl MemoryFootprint {
+    fn max_with_len(self, min_total: usize) -> Self {
+        if self.total() >= min_total {
+            self
+        } else {
+            MemoryFootprint {
+                index_bytes: min_total,
+                value_bytes: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Max, Plus};
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = Dok::<f64>::new(1 << 32, 1 << 32);
+        m.set(1_000_000_000, 2_000_000_000, 1.5).unwrap();
+        assert_eq!(m.get(1_000_000_000, 2_000_000_000), Some(1.5));
+        assert_eq!(m.nvals(), 1);
+        assert_eq!(m.remove(1_000_000_000, 2_000_000_000), Some(1.5));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(0, 0), None);
+    }
+
+    #[test]
+    fn accum_applies_operator() {
+        let mut m = Dok::<u64>::new(10, 10);
+        m.accum(3, 4, 10, Plus).unwrap();
+        m.accum(3, 4, 5, Plus).unwrap();
+        assert_eq!(m.get(3, 4), Some(15));
+        m.accum(3, 4, 100, Max).unwrap();
+        assert_eq!(m.get(3, 4), Some(100));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Dok::<u8>::new(4, 4);
+        assert!(m.set(4, 0, 1).is_err());
+        assert!(m.accum(0, 4, 1, Plus).is_err());
+    }
+
+    #[test]
+    fn conversion_to_dcsr_sorts() {
+        let mut m = Dok::<u32>::new(100, 100);
+        for i in (0..50u64).rev() {
+            m.accum(i, i * 2 % 100, 1, Plus).unwrap();
+        }
+        let d = m.to_dcsr();
+        d.check_invariants().unwrap();
+        assert_eq!(d.nvals(), m.nvals());
+        for (r, c, v) in m.iter() {
+            assert_eq!(d.get(r, c), Some(v));
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut m = Dok::<i32>::new(4, 4);
+        m.set(0, 0, 1).unwrap();
+        m.set(0, 0, 2).unwrap();
+        assert_eq!(m.get(0, 0), Some(2));
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn memory_nonzero_once_populated() {
+        let mut m = Dok::<u64>::new(100, 100);
+        assert_eq!(m.nvals(), 0);
+        for i in 0..64 {
+            m.set(i, i, i).unwrap();
+        }
+        assert!(m.memory().total() > 64 * 8);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = Dok::<u64>::new(100, 100);
+        m.set(1, 1, 1).unwrap();
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Sparse storage formats.
+//!
+//! | Format | Memory | Best at | Used for |
+//! |--------|--------|---------|----------|
+//! | [`coo::Coo`]   | `O(nnz)`             | appending unsorted tuples        | construction, pending updates |
+//! | [`dcsr::Dcsr`] | `O(nnz + #non-empty rows)` | row-wise traversal, merging | the compressed "settled" form of every matrix (hypersparse-safe) |
+//! | [`csr::Csr`]   | `O(nnz + nrows)`     | dense-ish row spaces             | comparison baseline; breaks down for 2^32-row traffic matrices |
+//! | [`dok::Dok`]   | `O(nnz)` hash map    | random single-element updates    | comparison baseline for streaming inserts |
+//!
+//! The paper's argument is about which of these an *update stream* should
+//! touch and when: appending to a small COO/DCSR in cache is cheap; merging
+//! into a large DCSR in DRAM is expensive; hence the hierarchy.
+
+pub mod coo;
+pub mod csr;
+pub mod dcsr;
+pub mod dok;
+
+use crate::index::Index;
+
+/// A single stored entry `(row, col, value)`.
+pub type Entry<T> = (Index, Index, T);
+
+/// Summary of the memory consumed by a sparse structure, in bytes.
+///
+/// These figures drive the memory-hierarchy placement decisions in
+/// `hyperstream-memsim` and the statistics reported by the hierarchical
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Bytes used by index arrays (row ids, row pointers, column ids).
+    pub index_bytes: usize,
+    /// Bytes used by the stored values.
+    pub value_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.index_bytes + self.value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_total() {
+        let f = MemoryFootprint {
+            index_bytes: 100,
+            value_bytes: 28,
+        };
+        assert_eq!(f.total(), 128);
+        assert_eq!(MemoryFootprint::default().total(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Write masks.
+//!
+//! GraphBLAS operations optionally take a mask controlling which output
+//! positions may be written.  The mask here is *structural*: a position is
+//! allowed if the mask matrix stores an entry there (or does not, when
+//! complemented), regardless of the stored value — this matches how masks
+//! are used in the traffic-analysis pipelines (e.g. "only update counts for
+//! flows we are already tracking").
+
+use crate::formats::dcsr::Dcsr;
+use crate::index::Index;
+use crate::matrix::Matrix;
+use crate::types::ScalarType;
+
+/// A structural write mask borrowed from a mask matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Mask<'a, M> {
+    pattern: &'a Dcsr<M>,
+    complement: bool,
+}
+
+impl<'a, M: ScalarType> Mask<'a, M> {
+    /// Mask allowing positions where `pattern` has a stored entry.
+    ///
+    /// The mask matrix must be settled (no pending tuples); use
+    /// [`Matrix::to_settled`] or [`Matrix::wait`] first if needed.
+    pub fn structural(pattern: &'a Matrix<M>) -> Self {
+        Self {
+            pattern: pattern.dcsr(),
+            complement: false,
+        }
+    }
+
+    /// Mask allowing positions where `pattern` has **no** stored entry.
+    pub fn complement(pattern: &'a Matrix<M>) -> Self {
+        Self {
+            pattern: pattern.dcsr(),
+            complement: true,
+        }
+    }
+
+    /// True when output position `(row, col)` may be written.
+    pub fn allows(&self, row: Index, col: Index) -> bool {
+        let present = self.pattern.get(row, col).is_some();
+        present != self.complement
+    }
+
+    /// Filter a settled matrix, keeping only the allowed positions.
+    pub fn filter<T: ScalarType>(&self, m: &Matrix<T>) -> Matrix<T> {
+        let src = m.to_settled();
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (r, c, v) in src.iter_settled() {
+            if self.allows(r, c) {
+                rows.push(r);
+                cols.push(c);
+                vals.push(v);
+            }
+        }
+        Matrix::from_tuples(m.nrows(), m.ncols(), &rows, &cols, &vals, crate::ops::binary::Second)
+            .expect("filtered entries are in bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn mask_matrix() -> Matrix<bool> {
+        Matrix::from_tuples(10, 10, &[1, 2], &[1, 2], &[true, true], Plus).unwrap()
+    }
+
+    #[test]
+    fn structural_mask_allows_stored_positions() {
+        let mm = mask_matrix();
+        let mask = Mask::structural(&mm);
+        assert!(mask.allows(1, 1));
+        assert!(mask.allows(2, 2));
+        assert!(!mask.allows(3, 3));
+    }
+
+    #[test]
+    fn complement_mask_inverts() {
+        let mm = mask_matrix();
+        let mask = Mask::complement(&mm);
+        assert!(!mask.allows(1, 1));
+        assert!(mask.allows(3, 3));
+    }
+
+    #[test]
+    fn filter_keeps_only_allowed() {
+        let mm = mask_matrix();
+        let mask = Mask::structural(&mm);
+        let data = Matrix::from_tuples(
+            10,
+            10,
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[10u64, 20, 30],
+            Plus,
+        )
+        .unwrap();
+        let filtered = mask.filter(&data);
+        assert_eq!(filtered.nvals(), 2);
+        assert_eq!(filtered.get(1, 1), Some(10));
+        assert_eq!(filtered.get(3, 3), None);
+
+        let complement_filtered = Mask::complement(&mm).filter(&data);
+        assert_eq!(complement_filtered.nvals(), 1);
+        assert_eq!(complement_filtered.get(3, 3), Some(30));
+    }
+}

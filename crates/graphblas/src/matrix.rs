@@ -1,0 +1,436 @@
+//! The public [`Matrix`] type: a hypersparse matrix with SuiteSparse-style
+//! pending tuples.
+//!
+//! A `Matrix<T>` is a settled [`Dcsr`] plus an append-only [`Coo`] of
+//! *pending tuples*.  Point updates ([`Matrix::set_element`],
+//! [`Matrix::accum_element`]) go to the pending buffer in `O(1)`; whole-matrix
+//! operations and queries first call [`Matrix::wait`], which sorts the
+//! pending tuples and merges them into the settled structure — the same
+//! "defer and batch" idea the hierarchical matrix generalises to multiple
+//! levels.
+
+use crate::error::{GrbError, GrbResult};
+use crate::formats::coo::Coo;
+use crate::formats::dcsr::Dcsr;
+use crate::formats::{Entry, MemoryFootprint};
+use crate::index::{validate_dims, validate_index, Index};
+use crate::ops::binary::{Plus, Second};
+use crate::ops::BinaryOp;
+use crate::types::ScalarType;
+
+/// A hypersparse matrix over scalar type `T`.
+///
+/// See the [crate-level documentation](crate) for an overview and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    nrows: Index,
+    ncols: Index,
+    settled: Dcsr<T>,
+    pending: Coo<T>,
+    /// Number of pending tuples at which `wait()` is triggered automatically.
+    pending_limit: usize,
+}
+
+/// Default number of pending tuples before an automatic `wait()`.
+///
+/// SuiteSparse grows its pending list adaptively; a fixed, generous default
+/// keeps behaviour predictable for the streaming benchmarks (the hierarchy
+/// supplies the adaptivity instead).
+pub const DEFAULT_PENDING_LIMIT: usize = 1 << 20;
+
+impl<T: ScalarType> Matrix<T> {
+    /// Create an empty `nrows x ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics on invalid dimensions; use [`Matrix::try_new`] to handle the
+    /// error instead.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self::try_new(nrows, ncols).expect("invalid matrix dimensions")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            settled: Dcsr::try_new(nrows, ncols)?,
+            pending: Coo::try_new(nrows, ncols)?,
+            pending_limit: DEFAULT_PENDING_LIMIT,
+        })
+    }
+
+    /// Build a matrix from tuple slices, combining duplicates with `dup`
+    /// (the `GrB_Matrix_build` equivalent).
+    pub fn from_tuples<Op: BinaryOp<T>>(
+        nrows: Index,
+        ncols: Index,
+        rows: &[Index],
+        cols: &[Index],
+        vals: &[T],
+        dup: Op,
+    ) -> GrbResult<Self> {
+        let settled = Dcsr::from_tuples(nrows, ncols, rows, cols, vals, dup)?;
+        Ok(Self {
+            nrows,
+            ncols,
+            settled,
+            pending: Coo::try_new(nrows, ncols)?,
+            pending_limit: DEFAULT_PENDING_LIMIT,
+        })
+    }
+
+    /// Wrap an existing settled [`Dcsr`] as a matrix.
+    pub fn from_dcsr(d: Dcsr<T>) -> Self {
+        Self {
+            nrows: d.nrows(),
+            ncols: d.ncols(),
+            pending: Coo::new(d.nrows(), d.ncols()),
+            pending_limit: DEFAULT_PENDING_LIMIT,
+            settled: d,
+        }
+    }
+
+    /// Set the number of pending tuples that triggers an automatic
+    /// [`Matrix::wait`].  Returns `self` for builder-style chaining.
+    pub fn with_pending_limit(mut self, limit: usize) -> Self {
+        self.pending_limit = limit.max(1);
+        self
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    ///
+    /// Requires no mutation: pending tuples are counted conservatively by
+    /// settling a clone only when pending tuples exist.  Use
+    /// [`Matrix::nvals_settled`] + [`Matrix::npending`] to inspect the split
+    /// without any work.
+    pub fn nvals(&self) -> usize {
+        if self.pending.is_empty() {
+            self.settled.nvals()
+        } else {
+            // Cheap path impossible: duplicates between pending and settled
+            // may collapse. Clone-and-settle for correctness.
+            let mut tmp = self.clone();
+            tmp.wait();
+            tmp.settled.nvals()
+        }
+    }
+
+    /// Number of entries in the settled (compressed) structure only.
+    pub fn nvals_settled(&self) -> usize {
+        self.settled.nvals()
+    }
+
+    /// Number of pending (not yet merged) tuples.
+    pub fn npending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when the matrix stores no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.settled.is_empty() && self.pending.is_empty()
+    }
+
+    /// Number of non-empty rows in the settled structure.
+    pub fn nrows_nonempty(&self) -> usize {
+        self.settled.nrows_nonempty()
+    }
+
+    /// Overwrite the element at `(row, col)` ("last write wins").
+    pub fn set_element(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        self.pending.push(row, col, val);
+        if self.pending.len() >= self.pending_limit {
+            self.wait_with(Second);
+        }
+        Ok(())
+    }
+
+    /// Accumulate `val` into `(row, col)` under `+` — the streaming-update
+    /// operation of the paper (`A(i,j) += v`).
+    pub fn accum_element(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        self.pending.push(row, col, val);
+        if self.pending.len() >= self.pending_limit {
+            self.wait();
+        }
+        Ok(())
+    }
+
+    /// Accumulate a batch of tuples under `+`.
+    pub fn accum_tuples(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(GrbError::DimensionMismatch {
+                detail: "tuple slice lengths differ".into(),
+            });
+        }
+        for i in 0..rows.len() {
+            self.accum_element(rows[i], cols[i], vals[i])?;
+        }
+        Ok(())
+    }
+
+    /// Force all pending tuples into the settled structure using `+` on
+    /// duplicates (the common accumulate semantics).
+    pub fn wait(&mut self) {
+        self.wait_with(Plus);
+    }
+
+    /// Force all pending tuples into the settled structure using an explicit
+    /// duplicate-combination operator.
+    pub fn wait_with<Op: BinaryOp<T>>(&mut self, dup: Op) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::replace(&mut self.pending, Coo::new(self.nrows, self.ncols));
+        let delta = Dcsr::from_coo(pending, dup).expect("pending tuples are within bounds");
+        self.settled = self
+            .settled
+            .merge(&delta, dup)
+            .expect("dimensions match by construction");
+    }
+
+    /// Value at `(row, col)` taking pending tuples into account
+    /// (pending values accumulate under `+`).
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        let mut acc = self.settled.get(row, col);
+        for (r, c, v) in self.pending.iter() {
+            if r == row && c == col {
+                acc = Some(match acc {
+                    Some(a) => a.add(v),
+                    None => v,
+                });
+            }
+        }
+        acc
+    }
+
+    /// Remove every stored entry, keeping dimensions.
+    pub fn clear(&mut self) {
+        self.settled = Dcsr::new(self.nrows, self.ncols);
+        self.pending.clear();
+    }
+
+    /// Access the settled hypersparse structure (pending tuples excluded).
+    ///
+    /// Kernels call [`Matrix::wait`] first, so in practice this is the whole
+    /// matrix.
+    pub fn dcsr(&self) -> &Dcsr<T> {
+        &self.settled
+    }
+
+    /// Settle pending tuples and return the complete hypersparse structure.
+    pub fn settled_dcsr(&mut self) -> &Dcsr<T> {
+        self.wait();
+        &self.settled
+    }
+
+    /// A settled copy of this matrix (does not mutate `self`).
+    pub fn to_settled(&self) -> Matrix<T> {
+        let mut m = self.clone();
+        m.wait();
+        m
+    }
+
+    /// Iterate over settled entries in row-major order.  Call
+    /// [`Matrix::wait`] first if pending tuples must be included.
+    pub fn iter_settled(&self) -> impl Iterator<Item = Entry<T>> + '_ {
+        self.settled.iter()
+    }
+
+    /// Extract all tuples (row-major, pending folded in) without mutating `self`.
+    pub fn extract_tuples(&self) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        if self.pending.is_empty() {
+            self.settled.extract_tuples()
+        } else {
+            self.to_settled().settled.extract_tuples()
+        }
+    }
+
+    /// Total bytes of memory used (settled + pending structures).
+    pub fn memory(&self) -> MemoryFootprint {
+        let s = self.settled.memory();
+        let p = self.pending.memory();
+        MemoryFootprint {
+            index_bytes: s.index_bytes + p.index_bytes,
+            value_bytes: s.value_bytes + p.value_bytes,
+        }
+    }
+
+    /// Validate internal invariants (used by property tests).
+    pub fn check_invariants(&self) -> GrbResult<()> {
+        self.settled.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_empty() {
+        let m = Matrix::<f64>::new(1 << 32, 1 << 32);
+        assert!(m.is_empty());
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.nrows(), 1 << 32);
+    }
+
+    #[test]
+    fn invalid_dims() {
+        assert!(Matrix::<f64>::try_new(0, 1).is_err());
+    }
+
+    #[test]
+    fn accum_element_accumulates() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.accum_element(5, 7, 2).unwrap();
+        m.accum_element(5, 7, 3).unwrap();
+        assert_eq!(m.get(5, 7), Some(5));
+        assert_eq!(m.npending(), 2);
+        m.wait();
+        assert_eq!(m.npending(), 0);
+        assert_eq!(m.get(5, 7), Some(5));
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn set_element_last_write_wins() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.set_element(5, 7, 2).unwrap();
+        m.set_element(5, 7, 9).unwrap();
+        m.wait_with(Second);
+        assert_eq!(m.get(5, 7), Some(9));
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn mixed_settled_and_pending_get() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.accum_element(1, 1, 10).unwrap();
+        m.wait();
+        m.accum_element(1, 1, 5).unwrap();
+        // settled 10 + pending 5
+        assert_eq!(m.get(1, 1), Some(15));
+        assert_eq!(m.nvals(), 1);
+        assert_eq!(m.nvals_settled(), 1);
+        assert_eq!(m.npending(), 1);
+    }
+
+    #[test]
+    fn pending_limit_triggers_auto_wait() {
+        let mut m = Matrix::<u64>::new(1000, 1000).with_pending_limit(8);
+        for i in 0..20 {
+            m.accum_element(i % 10, i % 10, 1).unwrap();
+        }
+        assert!(m.npending() < 8);
+        assert!(m.nvals_settled() > 0);
+        // Total content is still correct.
+        let total: u64 = m.extract_tuples().2.iter().sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        assert!(m.accum_element(10, 0, 1).is_err());
+        assert!(m.set_element(0, 10, 1).is_err());
+        assert!(m.accum_tuples(&[1, 11], &[1, 1], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn accum_tuples_batch() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.accum_tuples(&[1, 2, 1], &[1, 2, 1], &[5, 6, 7]).unwrap();
+        assert_eq!(m.get(1, 1), Some(12));
+        assert_eq!(m.get(2, 2), Some(6));
+        assert!(m.accum_tuples(&[1], &[1, 2], &[1]).is_err());
+    }
+
+    #[test]
+    fn from_tuples_build() {
+        let m = Matrix::from_tuples(
+            1 << 40,
+            1 << 40,
+            &[3, 3, 1 << 39],
+            &[4, 4, 0],
+            &[1.0f64, 2.0, 3.0],
+            Plus,
+        )
+        .unwrap();
+        assert_eq!(m.nvals(), 2);
+        assert_eq!(m.get(3, 4), Some(3.0));
+        assert_eq!(m.get(1 << 39, 0), Some(3.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        m.accum_element(1, 1, 1).unwrap();
+        m.wait();
+        m.accum_element(2, 2, 2).unwrap();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.nrows(), 10);
+    }
+
+    #[test]
+    fn extract_tuples_includes_pending_without_mutation() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        m.accum_element(1, 1, 1).unwrap();
+        m.wait();
+        m.accum_element(2, 2, 2).unwrap();
+        let (r, c, v) = m.extract_tuples();
+        assert_eq!(r, vec![1, 2]);
+        assert_eq!(c, vec![1, 2]);
+        assert_eq!(v, vec![1, 2]);
+        // still pending afterwards (no mutation through &self)
+        assert_eq!(m.npending(), 1);
+    }
+
+    #[test]
+    fn to_settled_does_not_mutate_original() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        m.accum_element(3, 3, 7).unwrap();
+        let s = m.to_settled();
+        assert_eq!(s.npending(), 0);
+        assert_eq!(s.nvals_settled(), 1);
+        assert_eq!(m.npending(), 1);
+        assert_eq!(m.nvals_settled(), 0);
+    }
+
+    #[test]
+    fn memory_reports_nonzero() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        m.accum_element(1, 2, 3).unwrap();
+        assert!(m.memory().total() > 0);
+    }
+
+    #[test]
+    fn invariants_hold_after_waits() {
+        let mut m = Matrix::<i64>::new(1 << 20, 1 << 20);
+        for i in 0..1000i64 {
+            let r = (i * 7919 % 1000) as u64;
+            let c = (i * 104729 % 1000) as u64;
+            m.accum_element(r, c, i).unwrap();
+            if i % 100 == 0 {
+                m.wait();
+                m.check_invariants().unwrap();
+            }
+        }
+        m.wait();
+        m.check_invariants().unwrap();
+    }
+}

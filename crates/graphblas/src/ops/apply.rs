@@ -1,0 +1,70 @@
+//! Apply a unary operator to every stored entry — `C = f(A)`.
+
+use crate::matrix::Matrix;
+use crate::ops::binary::Second;
+use crate::ops::UnaryOp;
+use crate::types::ScalarType;
+
+/// `C(i,j) = f(A(i,j))` for every stored entry of `A`.
+///
+/// The output pattern equals the input pattern even if `f` maps a value to
+/// zero (GraphBLAS keeps explicit zeros); use
+/// [`select`](crate::ops::select::select) to drop entries.
+pub fn apply<T, Op>(a: &Matrix<T>, op: Op) -> Matrix<T>
+where
+    T: ScalarType,
+    Op: UnaryOp<T>,
+{
+    let (rows, cols, vals) = a.extract_tuples();
+    let mapped: Vec<T> = vals.into_iter().map(|v| op.apply(v)).collect();
+    Matrix::from_tuples(a.nrows(), a.ncols(), &rows, &cols, &mapped, Second)
+        .expect("apply preserves coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+    use crate::ops::unary::{AInv, Abs, FnUnaryOp, One};
+
+    fn m() -> Matrix<i64> {
+        Matrix::from_tuples(16, 16, &[0, 3, 5], &[1, 2, 3], &[-4, 9, 0], Plus).unwrap()
+    }
+
+    #[test]
+    fn one_builds_pattern_matrix() {
+        let p = apply(&m(), One);
+        assert_eq!(p.nvals(), 3);
+        assert_eq!(p.get(0, 1), Some(1));
+        assert_eq!(p.get(3, 2), Some(1));
+        assert_eq!(p.get(5, 3), Some(1));
+    }
+
+    #[test]
+    fn abs_and_ainv() {
+        let a = apply(&m(), Abs);
+        assert_eq!(a.get(0, 1), Some(4));
+        let n = apply(&m(), AInv);
+        assert_eq!(n.get(3, 2), Some(-9));
+    }
+
+    #[test]
+    fn zero_results_are_kept_in_pattern() {
+        let z = apply(&m(), FnUnaryOp::new(|_x: i64| 0));
+        assert_eq!(z.nvals(), 3);
+        assert_eq!(z.get(0, 1), Some(0));
+    }
+
+    #[test]
+    fn apply_to_empty() {
+        let e = Matrix::<i64>::new(4, 4);
+        assert!(apply(&e, One).is_empty());
+    }
+
+    #[test]
+    fn apply_includes_pending() {
+        let mut a = Matrix::<i64>::new(4, 4);
+        a.accum_element(1, 1, -3).unwrap();
+        assert_eq!(apply(&a, Abs).get(1, 1), Some(3));
+    }
+}

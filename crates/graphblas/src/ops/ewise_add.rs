@@ -1,0 +1,174 @@
+//! Element-wise addition (set union) — `C = A ⊕ B`.
+//!
+//! This is the workhorse of the hierarchical hypersparse matrix: the cascade
+//! step `A_{i+1} = A_{i+1} ⊕ A_i` and the final query `A = Σ_i A_i` are both
+//! `ewise_add` under the `Plus` monoid.  The kernel is a row-wise two-pointer
+//! merge with cost `O(nnz(A) + nnz(B))`.
+
+use crate::error::GrbResult;
+use crate::matrix::Matrix;
+use crate::ops::{BinaryOp, Monoid};
+use crate::types::ScalarType;
+
+/// `C = A ⊕ B`: the pattern of `C` is the union of the patterns of `A` and
+/// `B`; where both store an entry the values are combined with `op`.
+///
+/// Pending tuples in either operand are folded in first (on copies; the
+/// operands are not mutated).
+///
+/// # Panics
+/// Panics if the dimensions differ; use [`try_ewise_add`] for a fallible
+/// version.
+pub fn ewise_add<T, Op>(a: &Matrix<T>, b: &Matrix<T>, op: Op) -> Matrix<T>
+where
+    T: ScalarType,
+    Op: BinaryOp<T>,
+{
+    try_ewise_add(a, b, op).expect("ewise_add dimension mismatch")
+}
+
+/// Fallible version of [`ewise_add`].
+pub fn try_ewise_add<T, Op>(a: &Matrix<T>, b: &Matrix<T>, op: Op) -> GrbResult<Matrix<T>>
+where
+    T: ScalarType,
+    Op: BinaryOp<T>,
+{
+    let (sa, sb);
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        sa = a.to_settled();
+        sa.dcsr()
+    };
+    let db = if b.npending() == 0 {
+        b.dcsr()
+    } else {
+        sb = b.to_settled();
+        sb.dcsr()
+    };
+    let merged = da.merge(db, op)?;
+    Ok(Matrix::from_dcsr(merged))
+}
+
+/// `C = A ⊕ B` under a monoid (alias of [`ewise_add`]; the monoid identity is
+/// not needed because absent entries are simply copied, but requiring a
+/// monoid documents that the caller relies on associativity/commutativity —
+/// as the hierarchical cascade does).
+pub fn ewise_add_monoid<T, M>(a: &Matrix<T>, b: &Matrix<T>, monoid: M) -> Matrix<T>
+where
+    T: ScalarType,
+    M: Monoid<T>,
+{
+    ewise_add(a, b, monoid)
+}
+
+/// Sum a slice of matrices: `C = Σ_i A_i` under a monoid.
+///
+/// This is the "complete all pending updates for analysis" step of the
+/// paper (`A = Σ_{i=1}^N A_i`).  The sum is computed smallest-first to keep
+/// intermediate results small.
+pub fn sum_all<T, M>(mats: &[&Matrix<T>], monoid: M) -> Option<Matrix<T>>
+where
+    T: ScalarType,
+    M: Monoid<T>,
+{
+    if mats.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..mats.len()).collect();
+    order.sort_by_key(|&i| mats[i].nvals_settled() + mats[i].npending());
+    let mut acc = mats[order[0]].to_settled();
+    for &i in &order[1..] {
+        acc = ewise_add(&acc, mats[i], monoid);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Max, Plus};
+    use crate::ops::monoid::PlusMonoid;
+
+    fn m(entries: &[(u64, u64, u64)]) -> Matrix<u64> {
+        let rows: Vec<_> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<_> = entries.iter().map(|e| e.1).collect();
+        let vals: Vec<_> = entries.iter().map(|e| e.2).collect();
+        Matrix::from_tuples(1 << 32, 1 << 32, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn union_of_patterns() {
+        let a = m(&[(1, 1, 10), (2, 2, 20)]);
+        let b = m(&[(2, 2, 5), (3, 3, 30)]);
+        let c = ewise_add(&a, &b, Plus);
+        assert_eq!(c.nvals(), 3);
+        assert_eq!(c.get(1, 1), Some(10));
+        assert_eq!(c.get(2, 2), Some(25));
+        assert_eq!(c.get(3, 3), Some(30));
+    }
+
+    #[test]
+    fn other_operators() {
+        let a = m(&[(1, 1, 10)]);
+        let b = m(&[(1, 1, 3)]);
+        assert_eq!(ewise_add(&a, &b, Max).get(1, 1), Some(10));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::<u64>::new(4, 4);
+        let b = Matrix::<u64>::new(4, 5);
+        assert!(try_ewise_add(&a, &b, Plus).is_err());
+    }
+
+    #[test]
+    fn pending_tuples_are_included() {
+        let mut a = Matrix::<u64>::new(1 << 32, 1 << 32);
+        a.accum_element(1, 1, 7).unwrap(); // pending only
+        let b = m(&[(1, 1, 3)]);
+        let c = ewise_add(&a, &b, Plus);
+        assert_eq!(c.get(1, 1), Some(10));
+        // a unchanged
+        assert_eq!(a.npending(), 1);
+    }
+
+    #[test]
+    fn add_with_empty_is_identity() {
+        let a = m(&[(5, 6, 1), (7, 8, 2)]);
+        let empty = Matrix::<u64>::new(a.nrows(), a.ncols());
+        let c = ewise_add(&a, &empty, Plus);
+        assert_eq!(c.nvals(), a.nvals());
+        assert_eq!(c.get(5, 6), Some(1));
+        assert_eq!(c.get(7, 8), Some(2));
+    }
+
+    #[test]
+    fn commutative_under_plus() {
+        let a = m(&[(1, 2, 3), (4, 5, 6)]);
+        let b = m(&[(1, 2, 10), (9, 9, 1)]);
+        let ab = ewise_add(&a, &b, Plus);
+        let ba = ewise_add(&b, &a, Plus);
+        assert_eq!(ab.extract_tuples(), ba.extract_tuples());
+    }
+
+    #[test]
+    fn sum_all_matches_pairwise() {
+        let a = m(&[(1, 1, 1)]);
+        let b = m(&[(1, 1, 2), (2, 2, 2)]);
+        let c = m(&[(3, 3, 3)]);
+        let total = sum_all(&[&a, &b, &c], PlusMonoid).unwrap();
+        assert_eq!(total.get(1, 1), Some(3));
+        assert_eq!(total.get(2, 2), Some(2));
+        assert_eq!(total.get(3, 3), Some(3));
+        assert_eq!(total.nvals(), 3);
+        assert!(sum_all::<u64, _>(&[], PlusMonoid).is_none());
+    }
+
+    #[test]
+    fn monoid_alias() {
+        let a = m(&[(1, 1, 1)]);
+        let b = m(&[(1, 1, 2)]);
+        assert_eq!(ewise_add_monoid(&a, &b, PlusMonoid).get(1, 1), Some(3));
+    }
+}

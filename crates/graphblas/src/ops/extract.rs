@@ -1,0 +1,188 @@
+//! Sub-matrix extraction (`GrB_extract`).
+
+use crate::error::{GrbError, GrbResult};
+use crate::index::{Index, IndexRange};
+use crate::matrix::Matrix;
+use crate::ops::binary::Second;
+use crate::types::ScalarType;
+use crate::vector::SparseVector;
+
+/// Extract the sub-matrix `A[rows, cols]`, re-indexed to the origin.
+///
+/// `C(i - rows.start, j - cols.start) = A(i, j)` for every stored entry
+/// falling inside both ranges.  Empty ranges produce an error because a
+/// zero-dimension matrix cannot be represented.
+pub fn extract<T: ScalarType>(
+    a: &Matrix<T>,
+    rows: IndexRange,
+    cols: IndexRange,
+) -> GrbResult<Matrix<T>> {
+    if rows.is_empty() || cols.is_empty() {
+        return Err(GrbError::InvalidValue(
+            "extract ranges must be non-empty".into(),
+        ));
+    }
+    if rows.end > a.nrows() || cols.end > a.ncols() {
+        return Err(GrbError::DimensionMismatch {
+            detail: format!(
+                "range [{}, {}) x [{}, {}) exceeds matrix {}x{}",
+                rows.start,
+                rows.end,
+                cols.start,
+                cols.end,
+                a.nrows(),
+                a.ncols()
+            ),
+        });
+    }
+    let (r, c, v) = a.extract_tuples();
+    let mut out_r = Vec::new();
+    let mut out_c = Vec::new();
+    let mut out_v = Vec::new();
+    for i in 0..r.len() {
+        if rows.contains(r[i]) && cols.contains(c[i]) {
+            out_r.push(r[i] - rows.start);
+            out_c.push(c[i] - cols.start);
+            out_v.push(v[i]);
+        }
+    }
+    Matrix::from_tuples(rows.len(), cols.len(), &out_r, &out_c, &out_v, Second)
+}
+
+/// Extract row `i` of `A` as a sparse vector of length `A.ncols()`.
+pub fn extract_row<T: ScalarType>(a: &Matrix<T>, row: Index) -> GrbResult<SparseVector<T>> {
+    if row >= a.nrows() {
+        return Err(GrbError::IndexOutOfBounds {
+            index: row,
+            dim: a.nrows(),
+        });
+    }
+    let settled;
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        settled = a.to_settled();
+        settled.dcsr()
+    };
+    let mut out = SparseVector::new(a.ncols());
+    if let Some((cols, vals)) = da.row(row) {
+        for (k, &c) in cols.iter().enumerate() {
+            out.set(c, vals[k])?;
+        }
+    }
+    Ok(out)
+}
+
+/// Extract column `j` of `A` as a sparse vector of length `A.nrows()`.
+pub fn extract_col<T: ScalarType>(a: &Matrix<T>, col: Index) -> GrbResult<SparseVector<T>> {
+    if col >= a.ncols() {
+        return Err(GrbError::IndexOutOfBounds {
+            index: col,
+            dim: a.ncols(),
+        });
+    }
+    let settled;
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        settled = a.to_settled();
+        settled.dcsr()
+    };
+    let mut out = SparseVector::new(a.nrows());
+    for (r, c, v) in da.iter() {
+        if c == col {
+            out.set(r, v)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn m() -> Matrix<u64> {
+        Matrix::from_tuples(
+            100,
+            100,
+            &[10, 10, 20, 50, 99],
+            &[10, 20, 20, 60, 99],
+            &[1, 2, 3, 4, 5],
+            Plus,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extract_window() {
+        let sub = extract(
+            &m(),
+            IndexRange::new(10, 30).unwrap(),
+            IndexRange::new(10, 30).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sub.nrows(), 20);
+        assert_eq!(sub.ncols(), 20);
+        assert_eq!(sub.nvals(), 3);
+        assert_eq!(sub.get(0, 0), Some(1)); // was (10,10)
+        assert_eq!(sub.get(0, 10), Some(2)); // was (10,20)
+        assert_eq!(sub.get(10, 10), Some(3)); // was (20,20)
+    }
+
+    #[test]
+    fn extract_out_of_bounds() {
+        assert!(extract(
+            &m(),
+            IndexRange::new(0, 101).unwrap(),
+            IndexRange::all(100)
+        )
+        .is_err());
+        assert!(extract(
+            &m(),
+            IndexRange::new(5, 5).unwrap(),
+            IndexRange::all(100)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extract_whole_matrix_is_identity() {
+        let a = m();
+        let whole = extract(&a, IndexRange::all(100), IndexRange::all(100)).unwrap();
+        assert_eq!(whole.extract_tuples(), a.extract_tuples());
+    }
+
+    #[test]
+    fn row_and_col_extraction() {
+        let a = m();
+        let r10 = extract_row(&a, 10).unwrap();
+        assert_eq!(r10.nvals(), 2);
+        assert_eq!(r10.get(10), Some(1));
+        assert_eq!(r10.get(20), Some(2));
+
+        let c20 = extract_col(&a, 20).unwrap();
+        assert_eq!(c20.nvals(), 2);
+        assert_eq!(c20.get(10), Some(2));
+        assert_eq!(c20.get(20), Some(3));
+
+        let empty_row = extract_row(&a, 0).unwrap();
+        assert!(empty_row.is_empty());
+
+        assert!(extract_row(&a, 100).is_err());
+        assert!(extract_col(&a, 100).is_err());
+    }
+
+    #[test]
+    fn extraction_with_pending() {
+        let mut a = Matrix::<u64>::new(50, 50);
+        a.accum_element(1, 2, 9).unwrap();
+        let r = extract_row(&a, 1).unwrap();
+        assert_eq!(r.get(2), Some(9));
+        let c = extract_col(&a, 2).unwrap();
+        assert_eq!(c.get(1), Some(9));
+        let sub = extract(&a, IndexRange::new(0, 10).unwrap(), IndexRange::new(0, 10).unwrap())
+            .unwrap();
+        assert_eq!(sub.get(1, 2), Some(9));
+    }
+}

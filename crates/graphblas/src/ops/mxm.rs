@@ -1,0 +1,234 @@
+//! Matrix–matrix multiplication over a semiring — `C = A ⊕.⊗ B`.
+//!
+//! The kernel is a hypersparse row-wise Gustavson: for each non-empty row
+//! `i` of `A`, the rows `B(k, :)` for every stored `A(i, k)` are scaled by
+//! `A(i,k)` under `⊗` and merged under `⊕` into row `C(i, :)`.  The
+//! accumulator is a sorted scatter list keyed by column id, so cost is
+//! proportional to the number of multiply–add operations (flops) rather
+//! than to any matrix dimension — essential when dimensions are `2^64`.
+
+use crate::error::{GrbError, GrbResult};
+use crate::matrix::Matrix;
+use crate::ops::{BinaryOp, Semiring};
+use crate::types::ScalarType;
+use std::collections::BTreeMap;
+
+/// `C = A ⊕.⊗ B` over the given semiring.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree; use [`try_mxm`] instead to
+/// handle the error.
+pub fn mxm<T, S>(a: &Matrix<T>, b: &Matrix<T>, semiring: S) -> Matrix<T>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    try_mxm(a, b, semiring).expect("mxm dimension mismatch")
+}
+
+/// Fallible version of [`mxm`].
+pub fn try_mxm<T, S>(a: &Matrix<T>, b: &Matrix<T>, semiring: S) -> GrbResult<Matrix<T>>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    if a.ncols() != b.nrows() {
+        return Err(GrbError::DimensionMismatch {
+            detail: format!(
+                "inner dimensions differ: A is {}x{}, B is {}x{}",
+                a.nrows(),
+                a.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    let add = semiring.add();
+    let mul = semiring.mul();
+
+    let (sa, sb);
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        sa = a.to_settled();
+        sa.dcsr()
+    };
+    let db = if b.npending() == 0 {
+        b.dcsr()
+    } else {
+        sb = b.to_settled();
+        sb.dcsr()
+    };
+
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+
+    for &i in da.row_ids() {
+        let (a_cols, a_vals) = da.row(i).expect("listed row is non-empty");
+        // Sorted accumulator for row i of C.  BTreeMap keeps columns ordered;
+        // the number of distinct columns touched is bounded by the flops.
+        let mut acc: BTreeMap<u64, T> = BTreeMap::new();
+        for (idx, &k) in a_cols.iter().enumerate() {
+            let aik = a_vals[idx];
+            if let Some((b_cols, b_vals)) = db.row(k) {
+                for (j_idx, &j) in b_cols.iter().enumerate() {
+                    let product = mul.apply(aik, b_vals[j_idx]);
+                    acc.entry(j)
+                        .and_modify(|v| *v = add.apply(*v, product))
+                        .or_insert(product);
+                }
+            }
+        }
+        for (j, v) in acc {
+            rows.push(i);
+            cols.push(j);
+            vals.push(v);
+        }
+    }
+    Matrix::from_tuples(
+        a.nrows(),
+        b.ncols(),
+        &rows,
+        &cols,
+        &vals,
+        crate::ops::binary::Second,
+    )
+}
+
+/// Number of scalar multiplications `mxm(a, b)` would perform (the "flops"
+/// measure used to size benchmark workloads).
+pub fn mxm_flops<T: ScalarType>(a: &Matrix<T>, b: &Matrix<T>) -> u64 {
+    let (sa, sb);
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        sa = a.to_settled();
+        sa.dcsr()
+    };
+    let db = if b.npending() == 0 {
+        b.dcsr()
+    } else {
+        sb = b.to_settled();
+        sb.dcsr()
+    };
+    let mut flops = 0u64;
+    for &i in da.row_ids() {
+        let (a_cols, _) = da.row(i).expect("row non-empty");
+        for &k in a_cols {
+            if let Some((b_cols, _)) = db.row(k) {
+                flops += b_cols.len() as u64;
+            }
+        }
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+    use crate::ops::semiring::{LorLand, MinPlus, PlusTimes};
+
+    fn m(nrows: u64, ncols: u64, entries: &[(u64, u64, i64)]) -> Matrix<i64> {
+        let rows: Vec<_> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<_> = entries.iter().map(|e| e.1).collect();
+        let vals: Vec<_> = entries.iter().map(|e| e.2).collect();
+        Matrix::from_tuples(nrows, ncols, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn small_dense_product() {
+        // A = [1 2; 3 4], B = [5 6; 7 8] => C = [19 22; 43 50]
+        let a = m(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]);
+        let b = m(2, 2, &[(0, 0, 5), (0, 1, 6), (1, 0, 7), (1, 1, 8)]);
+        let c = mxm(&a, &b, PlusTimes);
+        assert_eq!(c.get(0, 0), Some(19));
+        assert_eq!(c.get(0, 1), Some(22));
+        assert_eq!(c.get(1, 0), Some(43));
+        assert_eq!(c.get(1, 1), Some(50));
+    }
+
+    #[test]
+    fn hypersparse_product() {
+        let big = 1u64 << 40;
+        let a = m(big, big, &[(7, 1_000_000_000, 2)]);
+        let b = m(big, big, &[(1_000_000_000, 99, 3)]);
+        let c = mxm(&a, &b, PlusTimes);
+        assert_eq!(c.nvals(), 1);
+        assert_eq!(c.get(7, 99), Some(6));
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = m(8, 8, &[(1, 1, 1)]);
+        let empty = Matrix::<i64>::new(8, 8);
+        assert!(mxm(&a, &empty, PlusTimes).is_empty());
+        assert!(mxm(&empty, &a, PlusTimes).is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = Matrix::<i64>::new(4, 5);
+        let b = Matrix::<i64>::new(4, 4);
+        assert!(try_mxm(&a, &b, PlusTimes).is_err());
+    }
+
+    #[test]
+    fn min_plus_shortest_paths_one_hop() {
+        // Path weights: 0->1 (4), 1->2 (3), 0->2 (10).  One relaxation of
+        // (min,+) over the adjacency gives 0->2 via 1 = 7.
+        let adj = m(3, 3, &[(0, 1, 4), (1, 2, 3), (0, 2, 10)]);
+        let two_hop = mxm(&adj, &adj, MinPlus);
+        assert_eq!(two_hop.get(0, 2), Some(7));
+    }
+
+    #[test]
+    fn boolean_reachability() {
+        let a = m(4, 4, &[(0, 1, 1), (1, 2, 1)]);
+        let c = mxm(&a, &a, LorLand);
+        assert_eq!(c.get(0, 2), Some(1));
+        assert_eq!(c.get(0, 1), None);
+    }
+
+    #[test]
+    fn flops_counts_products() {
+        let a = m(4, 4, &[(0, 1, 1), (0, 2, 1)]);
+        let b = m(4, 4, &[(1, 0, 1), (1, 3, 1), (2, 3, 1)]);
+        // row 0 of A: k=1 hits 2 entries of B, k=2 hits 1 entry => 3 flops
+        assert_eq!(mxm_flops(&a, &b), 3);
+    }
+
+    #[test]
+    fn pending_tuples_participate() {
+        let mut a = Matrix::<i64>::new(3, 3);
+        a.accum_element(0, 1, 2).unwrap();
+        let b = m(3, 3, &[(1, 2, 5)]);
+        let c = mxm(&a, &b, PlusTimes);
+        assert_eq!(c.get(0, 2), Some(10));
+    }
+
+    #[test]
+    fn square_of_triangle_counts_paths() {
+        // Undirected triangle 0-1-2 stored symmetrically.
+        let tri = m(
+            3,
+            3,
+            &[
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (2, 1, 1),
+                (0, 2, 1),
+                (2, 0, 1),
+            ],
+        );
+        let sq = mxm(&tri, &tri, PlusTimes);
+        // diagonal = degree
+        assert_eq!(sq.get(0, 0), Some(2));
+        assert_eq!(sq.get(1, 1), Some(2));
+        assert_eq!(sq.get(2, 2), Some(2));
+        // off-diagonal = number of 2-paths = 1 for each pair
+        assert_eq!(sq.get(0, 1), Some(1));
+    }
+}

@@ -1,0 +1,191 @@
+//! Matrix–vector and vector–matrix products over a semiring.
+
+use crate::error::{GrbError, GrbResult};
+use crate::matrix::Matrix;
+use crate::ops::{BinaryOp, Semiring};
+use crate::types::ScalarType;
+use crate::vector::SparseVector;
+use std::collections::BTreeMap;
+
+/// `w = A ⊕.⊗ u` (matrix times column vector).
+///
+/// # Panics
+/// Panics when `A.ncols() != u.size()`; see [`try_mxv`].
+pub fn mxv<T, S>(a: &Matrix<T>, u: &SparseVector<T>, semiring: S) -> SparseVector<T>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    try_mxv(a, u, semiring).expect("mxv dimension mismatch")
+}
+
+/// Fallible version of [`mxv`].
+pub fn try_mxv<T, S>(
+    a: &Matrix<T>,
+    u: &SparseVector<T>,
+    semiring: S,
+) -> GrbResult<SparseVector<T>>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    if a.ncols() != u.size() {
+        return Err(GrbError::DimensionMismatch {
+            detail: format!("A is {}x{}, u has size {}", a.nrows(), a.ncols(), u.size()),
+        });
+    }
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let settled;
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        settled = a.to_settled();
+        settled.dcsr()
+    };
+    let mut out = SparseVector::new(a.nrows());
+    for &i in da.row_ids() {
+        let (cols, vals) = da.row(i).expect("row non-empty");
+        let mut acc: Option<T> = None;
+        for (k, &j) in cols.iter().enumerate() {
+            if let Some(uj) = u.get(j) {
+                let p = mul.apply(vals[k], uj);
+                acc = Some(match acc {
+                    Some(v) => add.apply(v, p),
+                    None => p,
+                });
+            }
+        }
+        if let Some(v) = acc {
+            out.set(i, v)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `w = u ⊕.⊗ A` (row vector times matrix).
+///
+/// # Panics
+/// Panics when `u.size() != A.nrows()`; see [`try_vxm`].
+pub fn vxm<T, S>(u: &SparseVector<T>, a: &Matrix<T>, semiring: S) -> SparseVector<T>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    try_vxm(u, a, semiring).expect("vxm dimension mismatch")
+}
+
+/// Fallible version of [`vxm`].
+pub fn try_vxm<T, S>(
+    u: &SparseVector<T>,
+    a: &Matrix<T>,
+    semiring: S,
+) -> GrbResult<SparseVector<T>>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    if u.size() != a.nrows() {
+        return Err(GrbError::DimensionMismatch {
+            detail: format!("u has size {}, A is {}x{}", u.size(), a.nrows(), a.ncols()),
+        });
+    }
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let settled;
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        settled = a.to_settled();
+        settled.dcsr()
+    };
+    let mut acc: BTreeMap<u64, T> = BTreeMap::new();
+    for (i, ui) in u.iter() {
+        if let Some((cols, vals)) = da.row(i) {
+            for (k, &j) in cols.iter().enumerate() {
+                let p = mul.apply(ui, vals[k]);
+                acc.entry(j)
+                    .and_modify(|v| *v = add.apply(*v, p))
+                    .or_insert(p);
+            }
+        }
+    }
+    let mut out = SparseVector::new(a.ncols());
+    for (j, v) in acc {
+        out.set(j, v)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+    use crate::ops::semiring::PlusTimes;
+
+    fn m(nrows: u64, ncols: u64, entries: &[(u64, u64, i64)]) -> Matrix<i64> {
+        let rows: Vec<_> = entries.iter().map(|e| e.0).collect();
+        let cols: Vec<_> = entries.iter().map(|e| e.1).collect();
+        let vals: Vec<_> = entries.iter().map(|e| e.2).collect();
+        Matrix::from_tuples(nrows, ncols, &rows, &cols, &vals, Plus).unwrap()
+    }
+
+    #[test]
+    fn mxv_small() {
+        // A = [1 2; 3 4], u = [1, 1] => w = [3, 7]
+        let a = m(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]);
+        let u = SparseVector::from_tuples(2, &[0, 1], &[1, 1], Plus).unwrap();
+        let w = mxv(&a, &u, PlusTimes);
+        assert_eq!(w.get(0), Some(3));
+        assert_eq!(w.get(1), Some(7));
+    }
+
+    #[test]
+    fn mxv_sparse_vector_skips_missing() {
+        let a = m(4, 4, &[(0, 0, 1), (0, 3, 5), (2, 3, 7)]);
+        let u = SparseVector::from_tuples(4, &[3], &[2], Plus).unwrap();
+        let w = mxv(&a, &u, PlusTimes);
+        assert_eq!(w.get(0), Some(10));
+        assert_eq!(w.get(2), Some(14));
+        assert_eq!(w.get(1), None);
+        assert_eq!(w.nvals(), 2);
+    }
+
+    #[test]
+    fn vxm_small() {
+        // u^T A with A = [1 2; 3 4], u = [1, 1] => [4, 6]
+        let a = m(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]);
+        let u = SparseVector::from_tuples(2, &[0, 1], &[1, 1], Plus).unwrap();
+        let w = vxm(&u, &a, PlusTimes);
+        assert_eq!(w.get(0), Some(4));
+        assert_eq!(w.get(1), Some(6));
+    }
+
+    #[test]
+    fn dimension_mismatches() {
+        let a = Matrix::<i64>::new(3, 4);
+        let u = SparseVector::<i64>::new(3);
+        assert!(try_mxv(&a, &u, PlusTimes).is_err());
+        let u4 = SparseVector::<i64>::new(4);
+        assert!(try_vxm(&u4, &a, PlusTimes).is_err());
+    }
+
+    #[test]
+    fn hypersparse_mxv() {
+        let big = 1u64 << 48;
+        let a = m(big, big, &[(1_000_000, 2_000_000, 3)]);
+        let mut u = SparseVector::<i64>::new(big);
+        u.set(2_000_000, 10).unwrap();
+        let w = mxv(&a, &u, PlusTimes);
+        assert_eq!(w.get(1_000_000), Some(30));
+        assert_eq!(w.nvals(), 1);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Matrix::<i64>::new(4, 4);
+        let u = SparseVector::<i64>::new(4);
+        assert!(mxv(&a, &u, PlusTimes).is_empty());
+        assert!(vxm(&u, &a, PlusTimes).is_empty());
+    }
+}

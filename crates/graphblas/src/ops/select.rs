@@ -1,0 +1,137 @@
+//! Entry selection (the `GxB_select` extension): keep a subset of entries
+//! chosen by position or value.
+
+use crate::matrix::Matrix;
+use crate::ops::binary::Second;
+use crate::types::ScalarType;
+
+/// Predicates understood by [`select`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectOp<T> {
+    /// Keep entries strictly below the diagonal offset by `k` (`j - i < k`).
+    Tril(i64),
+    /// Keep entries strictly above the diagonal offset by `k` (`j - i > k`).
+    Triu(i64),
+    /// Keep diagonal entries (`j == i`).
+    Diag,
+    /// Drop diagonal entries (`j != i`).
+    OffDiag,
+    /// Keep entries whose value is not the additive identity.
+    NonZero,
+    /// Keep entries whose value equals the threshold.
+    ValueEq(T),
+    /// Keep entries whose value is strictly greater than the threshold.
+    ValueGt(T),
+    /// Keep entries whose value is strictly less than the threshold.
+    ValueLt(T),
+    /// Keep entries whose value is greater than or equal to the threshold.
+    ValueGe(T),
+}
+
+impl<T: ScalarType> SelectOp<T> {
+    /// Evaluate the predicate for entry `(row, col, value)`.
+    pub fn keep(&self, row: u64, col: u64, val: T) -> bool {
+        match *self {
+            SelectOp::Tril(k) => (col as i128 - row as i128) < k as i128,
+            SelectOp::Triu(k) => (col as i128 - row as i128) > k as i128,
+            SelectOp::Diag => row == col,
+            SelectOp::OffDiag => row != col,
+            SelectOp::NonZero => !val.is_zero(),
+            SelectOp::ValueEq(t) => val == t,
+            SelectOp::ValueGt(t) => val > t,
+            SelectOp::ValueLt(t) => val < t,
+            SelectOp::ValueGe(t) => val >= t,
+        }
+    }
+}
+
+/// Keep only the entries of `A` satisfying the predicate.
+pub fn select<T: ScalarType>(a: &Matrix<T>, op: SelectOp<T>) -> Matrix<T> {
+    let (rows, cols, vals) = a.extract_tuples();
+    let mut out_r = Vec::new();
+    let mut out_c = Vec::new();
+    let mut out_v = Vec::new();
+    for i in 0..rows.len() {
+        if op.keep(rows[i], cols[i], vals[i]) {
+            out_r.push(rows[i]);
+            out_c.push(cols[i]);
+            out_v.push(vals[i]);
+        }
+    }
+    Matrix::from_tuples(a.nrows(), a.ncols(), &out_r, &out_c, &out_v, Second)
+        .expect("selected entries remain in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Plus;
+
+    fn m() -> Matrix<i64> {
+        Matrix::from_tuples(
+            10,
+            10,
+            &[0, 1, 2, 3, 5],
+            &[0, 3, 2, 1, 5],
+            &[0, 4, -2, 9, 7],
+            Plus,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triangular_selection() {
+        let lower = select(&m(), SelectOp::Tril(0));
+        assert_eq!(lower.nvals(), 1); // only (3,1)
+        assert_eq!(lower.get(3, 1), Some(9));
+        let upper = select(&m(), SelectOp::Triu(0));
+        assert_eq!(upper.nvals(), 1); // only (1,3)
+        assert_eq!(upper.get(1, 3), Some(4));
+    }
+
+    #[test]
+    fn diagonal_selection() {
+        let d = select(&m(), SelectOp::Diag);
+        assert_eq!(d.nvals(), 3);
+        assert_eq!(d.get(0, 0), Some(0));
+        assert_eq!(d.get(2, 2), Some(-2));
+        assert_eq!(d.get(5, 5), Some(7));
+        let od = select(&m(), SelectOp::OffDiag);
+        assert_eq!(od.nvals(), 2);
+    }
+
+    #[test]
+    fn value_selection() {
+        let nz = select(&m(), SelectOp::NonZero);
+        assert_eq!(nz.nvals(), 4);
+        let gt = select(&m(), SelectOp::ValueGt(4));
+        assert_eq!(gt.nvals(), 2);
+        let lt = select(&m(), SelectOp::ValueLt(0));
+        assert_eq!(lt.nvals(), 1);
+        let ge = select(&m(), SelectOp::ValueGe(4));
+        assert_eq!(ge.nvals(), 3);
+        let eq = select(&m(), SelectOp::ValueEq(9));
+        assert_eq!(eq.nvals(), 1);
+    }
+
+    #[test]
+    fn heavy_hitter_thresholding_workflow() {
+        // Typical traffic-analysis use: keep only flows with >= 5 packets.
+        let heavy = select(&m(), SelectOp::ValueGe(5));
+        assert_eq!(heavy.nvals(), 2);
+        assert!(heavy.get(3, 1).is_some());
+        assert!(heavy.get(5, 5).is_some());
+    }
+
+    #[test]
+    fn select_on_empty_and_offsets() {
+        let e = Matrix::<i64>::new(4, 4);
+        assert!(select(&e, SelectOp::Diag).is_empty());
+        // Offset triangles: k=2 keeps entries with j-i > 2.
+        let t = select(&m(), SelectOp::Triu(1));
+        assert_eq!(t.nvals(), 1);
+        assert_eq!(t.get(1, 3), Some(4));
+        let t = select(&m(), SelectOp::Triu(2));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Predefined unary operators.
+
+use super::UnaryOp;
+use crate::types::ScalarType;
+
+/// `z = x` (the identity operator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+/// `z = 1` for every stored entry — used to build structural (pattern-only)
+/// matrices, e.g. turning a weighted traffic matrix into an adjacency
+/// pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct One;
+
+/// `z = -x` (additive inverse).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AInv;
+
+/// `z = 1 / x` (multiplicative inverse; integer types use wrapping division,
+/// zero maps to zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MInv;
+
+/// `z = |x|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Abs;
+
+/// `z = 1` if `x == 0` else `0` (logical NOT of truthiness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lnot;
+
+impl<T: ScalarType> UnaryOp<T> for Identity {
+    fn apply(&self, x: T) -> T {
+        x
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for One {
+    fn apply(&self, _x: T) -> T {
+        T::one()
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for AInv {
+    fn apply(&self, x: T) -> T {
+        T::zero().sub(x)
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for MInv {
+    fn apply(&self, x: T) -> T {
+        T::one().div(x)
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for Abs {
+    fn apply(&self, x: T) -> T {
+        x.abs_val()
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for Lnot {
+    fn apply(&self, x: T) -> T {
+        if x.is_zero() {
+            T::one()
+        } else {
+            T::zero()
+        }
+    }
+}
+
+/// A unary operator defined by an arbitrary function pointer.
+#[derive(Clone, Copy)]
+pub struct FnUnaryOp<T> {
+    f: fn(T) -> T,
+}
+
+impl<T> FnUnaryOp<T> {
+    /// Wrap a plain function pointer as a unary operator.
+    pub fn new(f: fn(T) -> T) -> Self {
+        Self { f }
+    }
+}
+
+impl<T: ScalarType> UnaryOp<T> for FnUnaryOp<T> {
+    fn apply(&self, x: T) -> T {
+        (self.f)(x)
+    }
+}
+
+impl<T> std::fmt::Debug for FnUnaryOp<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnUnaryOp")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_one() {
+        assert_eq!(UnaryOp::<i32>::apply(&Identity, 42), 42);
+        assert_eq!(UnaryOp::<i32>::apply(&One, 42), 1);
+        assert_eq!(UnaryOp::<f64>::apply(&One, 0.0), 1.0);
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(UnaryOp::<i32>::apply(&AInv, 5), -5);
+        assert_eq!(UnaryOp::<f64>::apply(&MInv, 4.0), 0.25);
+        assert_eq!(UnaryOp::<i32>::apply(&MInv, 0), 0);
+        assert_eq!(UnaryOp::<i64>::apply(&Abs, -9), 9);
+    }
+
+    #[test]
+    fn logical_not() {
+        assert_eq!(UnaryOp::<u32>::apply(&Lnot, 0), 1);
+        assert_eq!(UnaryOp::<u32>::apply(&Lnot, 17), 0);
+    }
+
+    #[test]
+    fn fn_unary_op() {
+        let double = FnUnaryOp::new(|x: u64| x * 2);
+        assert_eq!(double.apply(21), 42);
+        assert_eq!(format!("{double:?}"), "FnUnaryOp");
+    }
+}

@@ -1,0 +1,218 @@
+//! Scalar value types storable in GraphBLAS matrices and vectors.
+//!
+//! The GraphBLAS C API predefines a small set of numeric types
+//! (`GrB_BOOL`, `GrB_INT8` … `GrB_FP64`).  Here the same role is played by
+//! the [`ScalarType`] trait, which every kernel is generic over.  The trait
+//! deliberately carries the handful of arithmetic primitives the predefined
+//! operators need, so the crate has no dependency on `num-traits`.
+
+/// A scalar type storable in a sparse matrix.
+///
+/// The trait provides the primitive operations out of which the predefined
+/// [binary operators](crate::ops::binary), [monoids](crate::ops::monoid) and
+/// [semirings](crate::ops::semiring) are built.
+pub trait ScalarType:
+    Copy + PartialEq + PartialOrd + std::fmt::Debug + Default + Send + Sync + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Identity of the `Min` monoid (the largest representable value).
+    fn max_value() -> Self;
+    /// Identity of the `Max` monoid (the smallest representable value).
+    fn min_value() -> Self;
+
+    /// Wrapping / saturating-free addition as used by the `Plus` operator.
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction as used by the `Minus` operator.
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication as used by the `Times` operator.
+    fn mul(self, rhs: Self) -> Self;
+    /// Division as used by the `Div` operator (integer division for integer
+    /// types; division by zero yields `zero()` as in SuiteSparse).
+    fn div(self, rhs: Self) -> Self;
+    /// Pairwise minimum.
+    fn min_val(self, rhs: Self) -> Self;
+    /// Pairwise maximum.
+    fn max_val(self, rhs: Self) -> Self;
+    /// Absolute value (identity for unsigned types).
+    fn abs_val(self) -> Self;
+
+    /// Lossy conversion to `f64`, used for reporting and rate computations.
+    fn to_f64(self) -> f64;
+    /// Lossy conversion from `f64`, used by generators and tests.
+    fn from_f64(v: f64) -> Self;
+    /// Conversion from a `u64` count (used when values are edge weights/counts).
+    fn from_u64(v: u64) -> Self;
+
+    /// True when the value is exactly the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl ScalarType for $t {
+            fn zero() -> Self { 0.0 }
+            fn one() -> Self { 1.0 }
+            fn max_value() -> Self { <$t>::INFINITY }
+            fn min_value() -> Self { <$t>::NEG_INFINITY }
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            fn sub(self, rhs: Self) -> Self { self - rhs }
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+            fn div(self, rhs: Self) -> Self { self / rhs }
+            fn min_val(self, rhs: Self) -> Self { if self < rhs { self } else { rhs } }
+            fn max_val(self, rhs: Self) -> Self { if self > rhs { self } else { rhs } }
+            fn abs_val(self) -> Self { self.abs() }
+            fn to_f64(self) -> f64 { self as f64 }
+            fn from_f64(v: f64) -> Self { v as $t }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl ScalarType for $t {
+            fn zero() -> Self { 0 }
+            fn one() -> Self { 1 }
+            fn max_value() -> Self { <$t>::MAX }
+            fn min_value() -> Self { <$t>::MIN }
+            fn add(self, rhs: Self) -> Self { self.wrapping_add(rhs) }
+            fn sub(self, rhs: Self) -> Self { self.wrapping_sub(rhs) }
+            fn mul(self, rhs: Self) -> Self { self.wrapping_mul(rhs) }
+            fn div(self, rhs: Self) -> Self {
+                if rhs == 0 { 0 } else { self.wrapping_div(rhs) }
+            }
+            fn min_val(self, rhs: Self) -> Self { std::cmp::min(self, rhs) }
+            fn max_val(self, rhs: Self) -> Self { std::cmp::max(self, rhs) }
+            fn abs_val(self) -> Self {
+                #[allow(unused_comparisons)]
+                if self < 0 { self.wrapping_neg() } else { self }
+            }
+            fn to_f64(self) -> f64 { self as f64 }
+            fn from_f64(v: f64) -> Self { v as $t }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_scalar_float!(f32, f64);
+impl_scalar_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ScalarType for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn max_value() -> Self {
+        true
+    }
+    fn min_value() -> Self {
+        false
+    }
+    fn add(self, rhs: Self) -> Self {
+        self || rhs
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self && !rhs
+    }
+    fn mul(self, rhs: Self) -> Self {
+        self && rhs
+    }
+    fn div(self, rhs: Self) -> Self {
+        if rhs {
+            self
+        } else {
+            false
+        }
+    }
+    fn min_val(self, rhs: Self) -> Self {
+        self && rhs
+    }
+    fn max_val(self, rhs: Self) -> Self {
+        self || rhs
+    }
+    fn abs_val(self) -> Self {
+        self
+    }
+    fn to_f64(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn from_f64(v: f64) -> Self {
+        v != 0.0
+    }
+    fn from_u64(v: u64) -> Self {
+        v != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_identities() {
+        assert_eq!(f64::zero(), 0.0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(f64::max_value(), f64::INFINITY);
+        assert_eq!(f64::min_value(), f64::NEG_INFINITY);
+        assert!(f64::zero().is_zero());
+        assert!(!f64::one().is_zero());
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        assert_eq!(u8::MAX.add(1), 0);
+        assert_eq!(0u8.sub(1), u8::MAX);
+        assert_eq!(200u8.mul(2), 144); // wrapping
+        assert_eq!(10u32.div(0), 0); // div-by-zero policy
+        assert_eq!((-5i32).abs_val(), 5);
+        assert_eq!(5u32.abs_val(), 5);
+    }
+
+    #[test]
+    fn min_max_values() {
+        assert_eq!(3i64.min_val(-7), -7);
+        assert_eq!(3i64.max_val(-7), 3);
+        assert_eq!(3.5f64.min_val(2.5), 2.5);
+        assert_eq!(3.5f64.max_val(2.5), 3.5);
+        assert_eq!(i32::max_value(), i32::MAX);
+        assert_eq!(u16::min_value(), 0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(u64::from_f64(42.9), 42);
+        assert_eq!(f64::from_u64(7), 7.0);
+        assert_eq!(i32::from_u64(9), 9);
+        assert_eq!(255u8.to_f64(), 255.0);
+    }
+
+    #[test]
+    fn bool_algebra_is_or_and() {
+        assert_eq!(true.add(false), true);
+        assert_eq!(false.add(false), false);
+        assert_eq!(true.mul(false), false);
+        assert_eq!(true.mul(true), true);
+        assert_eq!(true.sub(true), false);
+        assert_eq!(bool::from_u64(3), true);
+        assert_eq!(bool::from_f64(0.0), false);
+        assert_eq!(true.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(f64::default(), f64::zero());
+        assert_eq!(u64::default(), u64::zero());
+        assert_eq!(bool::default(), bool::zero());
+    }
+}

@@ -1,0 +1,483 @@
+//! The hierarchical hypersparse matrix itself.
+
+use crate::config::HierConfig;
+use crate::stats::HierStats;
+use hyperstream_graphblas::formats::MemoryFootprint;
+use hyperstream_graphblas::ops::binary::Plus;
+use hyperstream_graphblas::ops::ewise_add::ewise_add;
+use hyperstream_graphblas::ops::monoid::PlusMonoid;
+use hyperstream_graphblas::ops::reduce::reduce_scalar;
+use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, ScalarType};
+
+/// An N-level hierarchical hypersparse matrix accumulating under `+`.
+///
+/// See the [crate-level documentation](crate) for the algorithm and an
+/// example.  The accumulation operator is the `Plus` monoid of the scalar
+/// type (logical OR for `bool`), matching the paper's usage; the linearity
+/// guarantees the paper emphasises hold because cascades are ordinary
+/// GraphBLAS `ewise_add` calls.
+#[derive(Debug, Clone)]
+pub struct HierMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    config: HierConfig,
+    levels: Vec<Matrix<T>>,
+    stats: HierStats,
+}
+
+impl<T: ScalarType> HierMatrix<T> {
+    /// Create an empty hierarchical matrix.
+    pub fn new(nrows: Index, ncols: Index, config: HierConfig) -> GrbResult<Self> {
+        let n_levels = config.levels();
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            // Disable the per-matrix automatic wait: the hierarchy itself is
+            // the batching policy.
+            levels.push(Matrix::try_new(nrows, ncols)?.with_pending_limit(usize::MAX));
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            stats: HierStats::new(n_levels),
+            config,
+            levels,
+        })
+    }
+
+    /// Create with the default (paper) cut schedule.
+    pub fn with_default_config(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        Self::new(nrows, ncols, HierConfig::default())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// The cut configuration.
+    pub fn config(&self) -> &HierConfig {
+        &self.config
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &HierStats {
+        &self.stats
+    }
+
+    /// Reset instrumentation counters (matrix contents are unchanged).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierStats::new(self.levels.len());
+    }
+
+    /// Apply one streaming update `A(row, col) += val`.
+    pub fn update(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        self.levels[0].accum_element(row, col, val)?;
+        self.stats.updates += 1;
+        self.maybe_cascade();
+        Ok(())
+    }
+
+    /// Apply a batch of updates given as parallel slices.
+    ///
+    /// The cascade check runs once per batch (not per tuple), which mirrors
+    /// how the paper's benchmark feeds 100,000-edge sets into `A_1`.
+    pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(GrbError::DimensionMismatch {
+                detail: "tuple slice lengths differ".into(),
+            });
+        }
+        for i in 0..rows.len() {
+            self.levels[0].accum_element(rows[i], cols[i], vals[i])?;
+        }
+        self.stats.updates += rows.len() as u64;
+        self.maybe_cascade();
+        Ok(())
+    }
+
+    /// Apply a whole update matrix: `A_1 = A_1 ⊕ A` (the paper's formulation).
+    pub fn update_matrix(&mut self, a: &Matrix<T>) -> GrbResult<()> {
+        if a.nrows() != self.nrows || a.ncols() != self.ncols {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "update matrix is {}x{}, hierarchy is {}x{}",
+                    a.nrows(),
+                    a.ncols(),
+                    self.nrows,
+                    self.ncols
+                ),
+            });
+        }
+        let nupd = a.nvals_settled() + a.npending();
+        self.levels[0] = ewise_add(&self.levels[0], a, Plus);
+        self.stats.updates += nupd as u64;
+        self.maybe_cascade();
+        Ok(())
+    }
+
+    /// Upper bound on the number of stored entries at level `i`
+    /// (exact for settled levels; counts pending tuples before duplicate
+    /// collapse for level 0).
+    pub fn level_entries_bound(&self, level: usize) -> usize {
+        self.levels[level].nvals_settled() + self.levels[level].npending()
+    }
+
+    /// Upper bound on the total number of stored entries across all levels.
+    pub fn total_entries_bound(&self) -> usize {
+        (0..self.levels.len())
+            .map(|i| self.level_entries_bound(i))
+            .sum()
+    }
+
+    /// Per-level entry bounds, useful for inspecting the cascade state.
+    pub fn entries_per_level(&self) -> Vec<usize> {
+        (0..self.levels.len())
+            .map(|i| self.level_entries_bound(i))
+            .collect()
+    }
+
+    /// Per-level memory footprints.
+    pub fn memory_per_level(&self) -> Vec<MemoryFootprint> {
+        self.levels.iter().map(|l| l.memory()).collect()
+    }
+
+    /// Total bytes across all levels.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_per_level().iter().map(|m| m.total()).sum()
+    }
+
+    /// Sum of all stored values (in `f64`), computable without materialising
+    /// because summation is linear across levels.
+    pub fn total_weight(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| reduce_scalar(l, PlusMonoid).to_f64())
+            .sum::<f64>()
+            .round() as u64
+    }
+
+    /// Materialise the full matrix `A = Σ_i A_i` (the paper's query step).
+    ///
+    /// The hierarchy itself is left untouched, so streaming can continue
+    /// afterwards; only the statistics record the materialisation.
+    pub fn materialize(&mut self) -> Matrix<T> {
+        self.stats.materializations += 1;
+        self.materialize_ref()
+    }
+
+    /// Materialise without touching statistics (usable through `&self`).
+    pub fn materialize_ref(&self) -> Matrix<T> {
+        let mut acc = Matrix::new(self.nrows, self.ncols);
+        for level in &self.levels {
+            acc = ewise_add(&acc, level, Plus);
+        }
+        acc
+    }
+
+    /// Exact number of stored entries of the represented matrix
+    /// (requires a materialisation pass).
+    pub fn nvals_exact(&self) -> usize {
+        self.materialize_ref().nvals()
+    }
+
+    /// Value of the represented matrix at `(row, col)`: the sum of the
+    /// entry across all levels.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        let mut acc: Option<T> = None;
+        for level in &self.levels {
+            if let Some(v) = level.get(row, col) {
+                acc = Some(match acc {
+                    Some(a) => a.add(v),
+                    None => v,
+                });
+            }
+        }
+        acc
+    }
+
+    /// Push every entry up into the top level (complete all pending
+    /// cascades), leaving levels `0..N-1` empty.  Useful before handing the
+    /// matrix off for analysis or for checkpointing.
+    pub fn flush(&mut self) {
+        let top = self.levels.len() - 1;
+        for i in 0..top {
+            let entries = self.level_entries_bound(i);
+            if entries == 0 {
+                continue;
+            }
+            self.cascade_level(i);
+        }
+    }
+
+    /// Remove every stored entry from every level (dimensions and
+    /// configuration are kept; statistics are reset).
+    pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.reset_stats();
+    }
+
+    /// Run the cascade check starting at level 0, exactly as in the paper:
+    /// repeat while `nnz(A_i) > c_i` and `i < N`.
+    ///
+    /// The fill proxy for level 0 is its pending-tuple count, which counts
+    /// duplicates; when the proxy trips the cut the level is first settled
+    /// (cheap — it is cache resident by construction) and the *distinct*
+    /// entry count decides whether a cascade really happens.  Duplicate-heavy
+    /// streams therefore stay in fast memory, which is the behaviour the
+    /// paper relies on for traffic matrices with heavy-hitter flows.
+    fn maybe_cascade(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.levels.len() {
+            let cut = self
+                .config
+                .cut(i)
+                .expect("every level below the top has a cut");
+            if (self.level_entries_bound(i) as u64) <= cut {
+                break;
+            }
+            if self.levels[i].npending() > 0 {
+                self.levels[i].wait();
+                if (self.levels[i].nvals_settled() as u64) <= cut {
+                    break;
+                }
+            }
+            self.cascade_level(i);
+            i += 1;
+        }
+    }
+
+    /// Unconditionally cascade level `i` into level `i + 1` and clear it.
+    fn cascade_level(&mut self, i: usize) {
+        debug_assert!(i + 1 < self.levels.len());
+        // Settle level i first so the merge sees compressed data.
+        self.levels[i].wait();
+        let moved = self.levels[i].nvals_settled() as u64;
+        if moved == 0 {
+            return;
+        }
+        let merged = ewise_add(&self.levels[i + 1], &self.levels[i], Plus);
+        self.levels[i + 1] = merged.with_pending_limit(usize::MAX);
+        self.levels[i].clear();
+        self.stats.cascades[i] += 1;
+        self.stats.entries_moved[i] += moved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HierConfig {
+        HierConfig::from_cuts(vec![8, 64, 512]).unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let m = HierMatrix::<u64>::new(1 << 32, 1 << 32, small_config()).unwrap();
+        assert_eq!(m.levels(), 4);
+        assert_eq!(m.nrows(), 1 << 32);
+        assert_eq!(m.total_entries_bound(), 0);
+        assert_eq!(m.stats().updates, 0);
+    }
+
+    #[test]
+    fn single_updates_accumulate() {
+        let mut m = HierMatrix::<u64>::new(100, 100, small_config()).unwrap();
+        m.update(3, 4, 2).unwrap();
+        m.update(3, 4, 5).unwrap();
+        m.update(9, 9, 1).unwrap();
+        assert_eq!(m.get(3, 4), Some(7));
+        assert_eq!(m.get(9, 9), Some(1));
+        assert_eq!(m.get(0, 0), None);
+        assert_eq!(m.stats().updates, 3);
+        assert_eq!(m.total_weight(), 8);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = HierMatrix::<u64>::new(10, 10, small_config()).unwrap();
+        assert!(m.update(10, 0, 1).is_err());
+        assert!(m.update_batch(&[1, 20], &[1, 1], &[1, 1]).is_err());
+        assert!(m.update_batch(&[1], &[1, 2], &[1]).is_err());
+    }
+
+    #[test]
+    fn cascades_happen_and_preserve_content() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        // 1000 distinct entries with small cuts forces multiple cascades.
+        for i in 0..1000u64 {
+            m.update(i % 777, (i * 13) % 991, 1).unwrap();
+        }
+        assert!(m.stats().cascades_from_level(0) > 0, "no level-0 cascades");
+        assert!(m.stats().total_cascades() > 0);
+        // Content must be identical to a flat accumulation.
+        let mut flat = Matrix::<u64>::new(1 << 20, 1 << 20);
+        for i in 0..1000u64 {
+            flat.accum_element(i % 777, (i * 13) % 991, 1).unwrap();
+        }
+        flat.wait();
+        let materialized = m.materialize();
+        assert_eq!(materialized.nvals(), flat.nvals());
+        assert_eq!(materialized.extract_tuples(), flat.extract_tuples());
+    }
+
+    #[test]
+    fn cascade_equivalence_under_duplicate_heavy_stream() {
+        // Heavy duplication: many updates to few cells, exercising value
+        // accumulation across cascade boundaries.
+        let mut m = HierMatrix::<u64>::new(64, 64, small_config()).unwrap();
+        let mut flat = Matrix::<u64>::new(64, 64);
+        for i in 0..5000u64 {
+            let (r, c) = (i % 5, (i / 5) % 5);
+            m.update(r, c, 1).unwrap();
+            flat.accum_element(r, c, 1).unwrap();
+        }
+        flat.wait();
+        let snap = m.materialize();
+        assert_eq!(snap.extract_tuples(), flat.extract_tuples());
+        assert_eq!(m.total_weight(), 5000);
+    }
+
+    #[test]
+    fn batch_updates_equivalent_to_singles() {
+        let cfg = small_config();
+        let rows: Vec<u64> = (0..300).map(|i| i % 41).collect();
+        let cols: Vec<u64> = (0..300).map(|i| (i * 7) % 53).collect();
+        let vals: Vec<u64> = (0..300).map(|i| i % 3 + 1).collect();
+
+        let mut a = HierMatrix::<u64>::new(100, 100, cfg.clone()).unwrap();
+        a.update_batch(&rows, &cols, &vals).unwrap();
+
+        let mut b = HierMatrix::<u64>::new(100, 100, cfg).unwrap();
+        for i in 0..rows.len() {
+            b.update(rows[i], cols[i], vals[i]).unwrap();
+        }
+        assert_eq!(
+            a.materialize().extract_tuples(),
+            b.materialize().extract_tuples()
+        );
+        assert_eq!(a.stats().updates, b.stats().updates);
+    }
+
+    #[test]
+    fn update_matrix_form() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        let upd = Matrix::from_tuples(
+            1 << 16,
+            1 << 16,
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[5u64, 6, 7],
+            Plus,
+        )
+        .unwrap();
+        m.update_matrix(&upd).unwrap();
+        m.update_matrix(&upd).unwrap();
+        assert_eq!(m.get(1, 1), Some(10));
+        assert_eq!(m.stats().updates, 6);
+
+        let wrong = Matrix::<u64>::new(4, 4);
+        assert!(m.update_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn flush_moves_everything_to_top() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..200u64 {
+            m.update(i, i, 1).unwrap();
+        }
+        m.flush();
+        let per_level = m.entries_per_level();
+        for (i, &n) in per_level.iter().enumerate() {
+            if i + 1 < per_level.len() {
+                assert_eq!(n, 0, "level {i} not empty after flush");
+            } else {
+                assert_eq!(n, 200);
+            }
+        }
+        assert_eq!(m.total_weight(), 200);
+    }
+
+    #[test]
+    fn materialize_does_not_disturb_streaming() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..100u64 {
+            m.update(i, 0, 1).unwrap();
+        }
+        let snap1 = m.materialize();
+        for i in 100..200u64 {
+            m.update(i, 0, 1).unwrap();
+        }
+        let snap2 = m.materialize();
+        assert_eq!(snap1.nvals(), 100);
+        assert_eq!(snap2.nvals(), 200);
+        assert_eq!(m.stats().materializations, 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_stats() {
+        let mut m = HierMatrix::<u64>::new(100, 100, small_config()).unwrap();
+        for i in 0..50u64 {
+            m.update(i, i, 1).unwrap();
+        }
+        m.clear();
+        assert_eq!(m.total_entries_bound(), 0);
+        assert_eq!(m.stats().updates, 0);
+        assert_eq!(m.nvals_exact(), 0);
+    }
+
+    #[test]
+    fn effectively_flat_config_never_cascades() {
+        let mut m =
+            HierMatrix::<u64>::new(1 << 20, 1 << 20, HierConfig::effectively_flat()).unwrap();
+        for i in 0..1000u64 {
+            m.update(i, i, 1).unwrap();
+        }
+        assert_eq!(m.stats().total_cascades(), 0);
+        assert_eq!(m.nvals_exact(), 1000);
+    }
+
+    #[test]
+    fn fast_update_fraction_high_for_duplicate_heavy_stream() {
+        // When the stream repeatedly hits the same few cells, level 0
+        // absorbs most weight and few entries cascade.
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..10_000u64 {
+            m.update(i % 4, i % 4, 1).unwrap();
+        }
+        assert!(m.stats().fast_update_fraction() > 0.9);
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        let before = m.memory_bytes();
+        for i in 0..2000u64 {
+            m.update(i, i, 1).unwrap();
+        }
+        assert!(m.memory_bytes() > before);
+        assert_eq!(m.memory_per_level().len(), 4);
+    }
+
+    #[test]
+    fn f64_values_supported() {
+        let mut m = HierMatrix::<f64>::new(100, 100, small_config()).unwrap();
+        for _ in 0..100 {
+            m.update(1, 1, 0.5).unwrap();
+        }
+        assert_eq!(m.get(1, 1), Some(50.0));
+        assert_eq!(m.total_weight(), 50);
+    }
+}

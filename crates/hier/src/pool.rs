@@ -1,0 +1,184 @@
+//! A pool of independent hierarchical matrix instances.
+//!
+//! The paper's 75 G-updates/s figure comes from 31,000 *independent*
+//! instances, one per process, each building its own graph.  Within one
+//! process the same pattern appears when a stream is sharded by flow hash
+//! across several instances (e.g. one per worker thread).  `InstancePool`
+//! provides that sharding plus aggregate statistics; the
+//! `hyperstream-cluster` crate runs one pool per simulated node.
+
+use crate::config::HierConfig;
+use crate::matrix::HierMatrix;
+use crate::stats::HierStats;
+use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
+
+/// A set of independent [`HierMatrix`] instances sharded by source index.
+#[derive(Debug, Clone)]
+pub struct InstancePool<T> {
+    instances: Vec<HierMatrix<T>>,
+}
+
+impl<T: ScalarType> InstancePool<T> {
+    /// Create `count` instances of `nrows x ncols` matrices sharing one cut
+    /// configuration.
+    pub fn new(count: usize, nrows: Index, ncols: Index, config: HierConfig) -> GrbResult<Self> {
+        let mut instances = Vec::with_capacity(count.max(1));
+        for _ in 0..count.max(1) {
+            instances.push(HierMatrix::new(nrows, ncols, config.clone())?);
+        }
+        Ok(Self { instances })
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the pool has no instances (never the case for pools built
+    /// with [`InstancePool::new`], which clamps to at least one).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The instance an update with this source index is routed to.
+    pub fn route(&self, src: Index) -> usize {
+        // Multiplicative hash so nearby sources spread across instances.
+        let h = src
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
+        (h % self.instances.len() as u64) as usize
+    }
+
+    /// Apply an update, routing it to the owning instance.
+    pub fn update(&mut self, src: Index, dst: Index, val: T) -> GrbResult<()> {
+        let i = self.route(src);
+        self.instances[i].update(src, dst, val)
+    }
+
+    /// Direct access to an instance.
+    pub fn instance(&self, i: usize) -> &HierMatrix<T> {
+        &self.instances[i]
+    }
+
+    /// Direct mutable access to an instance.
+    pub fn instance_mut(&mut self, i: usize) -> &mut HierMatrix<T> {
+        &mut self.instances[i]
+    }
+
+    /// Iterate over the instances.
+    pub fn iter(&self) -> impl Iterator<Item = &HierMatrix<T>> {
+        self.instances.iter()
+    }
+
+    /// Total updates applied across all instances.
+    pub fn total_updates(&self) -> u64 {
+        self.instances.iter().map(|m| m.stats().updates).sum()
+    }
+
+    /// Aggregate statistics (sums over instances).
+    pub fn aggregate_stats(&self) -> HierStats {
+        let levels = self
+            .instances
+            .first()
+            .map(|m| m.levels())
+            .unwrap_or(1);
+        let mut agg = HierStats::new(levels);
+        for m in &self.instances {
+            let s = m.stats();
+            agg.updates += s.updates;
+            agg.materializations += s.materializations;
+            for l in 0..levels {
+                agg.cascades[l] += s.cascades_from_level(l);
+                agg.entries_moved[l] += s.entries_moved_from_level(l);
+            }
+        }
+        agg
+    }
+
+    /// Materialise the union of all instances into a single matrix
+    /// (sum of the per-instance matrices — valid because instances hold
+    /// disjoint or additively-combinable content).
+    pub fn materialize_union(&self) -> Option<Matrix<T>> {
+        let mats: Vec<Matrix<T>> = self.instances.iter().map(|m| m.materialize_ref()).collect();
+        let refs: Vec<&Matrix<T>> = mats.iter().collect();
+        hyperstream_graphblas::ops::ewise_add::sum_all(
+            &refs,
+            hyperstream_graphblas::ops::monoid::PlusMonoid,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> InstancePool<u64> {
+        InstancePool::new(n, 1 << 20, 1 << 20, HierConfig::from_cuts(vec![16, 256]).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_clamps_to_one() {
+        assert_eq!(pool(0).len(), 1);
+        assert_eq!(pool(4).len(), 4);
+        assert!(!pool(4).is_empty());
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let p = pool(7);
+        for src in 0..1000u64 {
+            let r1 = p.route(src);
+            let r2 = p.route(src);
+            assert_eq!(r1, r2);
+            assert!(r1 < 7);
+        }
+    }
+
+    #[test]
+    fn routing_spreads_sources() {
+        let p = pool(8);
+        let mut counts = vec![0usize; 8];
+        for src in 0..8000u64 {
+            counts[p.route(src)] += 1;
+        }
+        // No instance should be starved or hold the vast majority.
+        assert!(counts.iter().all(|&c| c > 200), "skewed routing: {counts:?}");
+    }
+
+    #[test]
+    fn updates_routed_and_counted() {
+        let mut p = pool(4);
+        for i in 0..400u64 {
+            p.update(i, i * 2 % 1000, 1).unwrap();
+        }
+        assert_eq!(p.total_updates(), 400);
+        let agg = p.aggregate_stats();
+        assert_eq!(agg.updates, 400);
+        // Every instance should have received some updates.
+        assert!(p.iter().all(|m| m.stats().updates > 0));
+    }
+
+    #[test]
+    fn union_matches_total_weight() {
+        let mut p = pool(3);
+        for i in 0..300u64 {
+            p.update(i % 50, i % 70, 2).unwrap();
+        }
+        let union = p.materialize_union().unwrap();
+        let total: u64 = union
+            .extract_tuples()
+            .2
+            .iter()
+            .sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn per_instance_access() {
+        let mut p = pool(2);
+        p.instance_mut(0).update(1, 1, 5).unwrap();
+        assert_eq!(p.instance(0).get(1, 1), Some(5));
+        assert_eq!(p.instance(1).get(1, 1), None);
+    }
+}

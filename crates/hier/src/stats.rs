@@ -1,0 +1,121 @@
+//! Instrumentation of a hierarchical matrix: cascade counts, entries moved,
+//! and memory footprints per level.
+
+/// Counters maintained by a [`HierMatrix`](crate::HierMatrix).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierStats {
+    /// Total number of logical updates applied (`update` calls, counting
+    /// each tuple of a batch).
+    pub updates: u64,
+    /// Number of cascades out of each level (`cascades[i]` = times level `i`
+    /// overflowed into level `i + 1`).
+    pub cascades: Vec<u64>,
+    /// Total entries moved out of each level by cascades.
+    pub entries_moved: Vec<u64>,
+    /// Number of full materialisations (`Σ A_i`) performed.
+    pub materializations: u64,
+}
+
+impl HierStats {
+    /// Create counters for a hierarchy with `levels` levels.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            updates: 0,
+            cascades: vec![0; levels],
+            entries_moved: vec![0; levels],
+            materializations: 0,
+        }
+    }
+
+    /// Cascades out of level `level` (0-based).
+    pub fn cascades_from_level(&self, level: usize) -> u64 {
+        self.cascades.get(level).copied().unwrap_or(0)
+    }
+
+    /// Entries moved out of level `level` by cascades.
+    pub fn entries_moved_from_level(&self, level: usize) -> u64 {
+        self.entries_moved.get(level).copied().unwrap_or(0)
+    }
+
+    /// Total cascades across all levels.
+    pub fn total_cascades(&self) -> u64 {
+        self.cascades.iter().sum()
+    }
+
+    /// Total entries moved across all levels.  Each logical update can be
+    /// moved at most once per level, so this is bounded by
+    /// `updates * levels`; the ratio [`HierStats::write_amplification`]
+    /// measures how much re-writing the hierarchy performs.
+    pub fn total_entries_moved(&self) -> u64 {
+        self.entries_moved.iter().sum()
+    }
+
+    /// Entries moved per logical update (the write amplification of the
+    /// cascade; the paper's design keeps this close to 1 per level touched).
+    pub fn write_amplification(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_entries_moved() as f64 / self.updates as f64
+        }
+    }
+
+    /// Fraction of updates that were absorbed without leaving level 0
+    /// (the "performed in fast memory" fraction of Fig. 1).
+    pub fn fast_update_fraction(&self) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        let moved_out_of_l0 = self.entries_moved_from_level(0);
+        1.0 - (moved_out_of_l0 as f64 / self.updates as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let s = HierStats::new(4);
+        assert_eq!(s.updates, 0);
+        assert_eq!(s.cascades.len(), 4);
+        assert_eq!(s.total_cascades(), 0);
+        assert_eq!(s.write_amplification(), 0.0);
+        assert_eq!(s.fast_update_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accessors_out_of_range_are_zero() {
+        let s = HierStats::new(2);
+        assert_eq!(s.cascades_from_level(7), 0);
+        assert_eq!(s.entries_moved_from_level(7), 0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = HierStats {
+            updates: 1000,
+            cascades: vec![10, 2, 0],
+            entries_moved: vec![500, 400, 0],
+            materializations: 3,
+        };
+        assert_eq!(s.total_cascades(), 12);
+        assert_eq!(s.total_entries_moved(), 900);
+        assert!((s.write_amplification() - 0.9).abs() < 1e-12);
+        assert!((s.fast_update_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_fraction_clamped() {
+        // entries_moved can exceed updates when values collapse; fraction
+        // must stay in [0, 1].
+        let s = HierStats {
+            updates: 10,
+            cascades: vec![5],
+            entries_moved: vec![50],
+            materializations: 0,
+        };
+        assert_eq!(s.fast_update_fraction(), 0.0);
+    }
+}

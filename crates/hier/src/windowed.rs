@@ -1,0 +1,212 @@
+//! Time-windowed hierarchical matrices.
+//!
+//! The traffic-matrix applications the paper cites analyse *temporal
+//! fluctuations* — packet counts per origin/destination per time window.
+//! [`WindowedHierMatrix`] keeps one [`HierMatrix`] per fixed-length window
+//! of the update stream, rotating automatically, so an analysis pipeline can
+//! ask for "the matrix of the last window" or "the sum over the last k
+//! windows" while the stream keeps flowing.  Each window is itself a full
+//! hierarchical matrix, so per-window ingest keeps the paper's fast-memory
+//! behaviour.
+
+use crate::config::HierConfig;
+use crate::matrix::HierMatrix;
+use hyperstream_graphblas::ops::binary::Plus;
+use hyperstream_graphblas::ops::ewise_add::ewise_add;
+use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
+use std::collections::VecDeque;
+
+/// A rotating sequence of hierarchical matrices, one per time window.
+#[derive(Debug, Clone)]
+pub struct WindowedHierMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    config: HierConfig,
+    /// Number of updates per window.
+    window_updates: u64,
+    /// Maximum number of retained windows (older windows are dropped).
+    max_windows: usize,
+    /// Closed windows, oldest first.
+    closed: VecDeque<HierMatrix<T>>,
+    /// The window currently receiving updates.
+    current: HierMatrix<T>,
+    /// Updates received by the current window.
+    current_count: u64,
+    /// Total windows ever closed (including dropped ones).
+    windows_closed: u64,
+}
+
+impl<T: ScalarType> WindowedHierMatrix<T> {
+    /// Create a windowed matrix: each window absorbs `window_updates`
+    /// updates; at most `max_windows` closed windows are retained.
+    pub fn new(
+        nrows: Index,
+        ncols: Index,
+        config: HierConfig,
+        window_updates: u64,
+        max_windows: usize,
+    ) -> GrbResult<Self> {
+        Ok(Self {
+            current: HierMatrix::new(nrows, ncols, config.clone())?,
+            nrows,
+            ncols,
+            config,
+            window_updates: window_updates.max(1),
+            max_windows: max_windows.max(1),
+            closed: VecDeque::new(),
+            current_count: 0,
+            windows_closed: 0,
+        })
+    }
+
+    /// Number of closed windows currently retained.
+    pub fn retained_windows(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Total windows closed since construction (including evicted ones).
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Updates absorbed by the in-progress window so far.
+    pub fn current_window_updates(&self) -> u64 {
+        self.current_count
+    }
+
+    /// Apply one streaming update to the current window, rotating first if
+    /// the window is full.
+    pub fn update(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        if self.current_count >= self.window_updates {
+            self.rotate()?;
+        }
+        self.current.update(row, col, val)?;
+        self.current_count += 1;
+        Ok(())
+    }
+
+    /// Close the current window immediately (e.g. at a wall-clock boundary)
+    /// and start a new one.
+    pub fn rotate(&mut self) -> GrbResult<()> {
+        let fresh = HierMatrix::new(self.nrows, self.ncols, self.config.clone())?;
+        let finished = std::mem::replace(&mut self.current, fresh);
+        self.closed.push_back(finished);
+        self.windows_closed += 1;
+        self.current_count = 0;
+        while self.closed.len() > self.max_windows {
+            self.closed.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Materialise the `k`-th most recent *closed* window (0 = most recent).
+    pub fn window(&self, k: usize) -> Option<Matrix<T>> {
+        let idx = self.closed.len().checked_sub(1 + k)?;
+        Some(self.closed[idx].materialize_ref())
+    }
+
+    /// Materialise the in-progress window.
+    pub fn current_window(&self) -> Matrix<T> {
+        self.current.materialize_ref()
+    }
+
+    /// Materialise the sum of the last `k` closed windows plus the current
+    /// one — the "recent traffic" view used for background models.
+    pub fn recent(&self, k: usize) -> Matrix<T> {
+        let mut acc = self.current.materialize_ref();
+        for i in 0..k.min(self.closed.len()) {
+            let idx = self.closed.len() - 1 - i;
+            acc = ewise_add(&acc, &self.closed[idx].materialize_ref(), Plus);
+        }
+        acc
+    }
+
+    /// Per-window total weights (oldest retained first, then the current
+    /// window) — the raw series for temporal-fluctuation analysis.
+    pub fn weight_series(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.closed.iter().map(|w| w.total_weight()).collect();
+        out.push(self.current.total_weight());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windowed(window: u64, max: usize) -> WindowedHierMatrix<u64> {
+        WindowedHierMatrix::new(
+            1 << 20,
+            1 << 20,
+            HierConfig::from_cuts(vec![16, 128]).unwrap(),
+            window,
+            max,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_rotate_automatically() {
+        let mut w = windowed(100, 8);
+        for i in 0..350u64 {
+            w.update(i % 50, i % 70, 1).unwrap();
+        }
+        assert_eq!(w.windows_closed(), 3);
+        assert_eq!(w.retained_windows(), 3);
+        assert_eq!(w.current_window_updates(), 50);
+        let series = w.weight_series();
+        assert_eq!(series, vec![100, 100, 100, 50]);
+    }
+
+    #[test]
+    fn eviction_respects_max_windows() {
+        let mut w = windowed(10, 2);
+        for i in 0..100u64 {
+            w.update(i, i, 1).unwrap();
+        }
+        assert_eq!(w.retained_windows(), 2);
+        assert_eq!(w.windows_closed(), 9);
+    }
+
+    #[test]
+    fn window_access_most_recent_first() {
+        let mut w = windowed(10, 4);
+        // First window hits cell (1,1), second hits (2,2).
+        for _ in 0..10 {
+            w.update(1, 1, 1).unwrap();
+        }
+        for _ in 0..10 {
+            w.update(2, 2, 1).unwrap();
+        }
+        w.rotate().unwrap();
+        let most_recent = w.window(0).unwrap();
+        assert_eq!(most_recent.get(2, 2), Some(10));
+        assert_eq!(most_recent.get(1, 1), None);
+        let older = w.window(1).unwrap();
+        assert_eq!(older.get(1, 1), Some(10));
+        assert!(w.window(2).is_none());
+    }
+
+    #[test]
+    fn recent_sums_windows_and_current() {
+        let mut w = windowed(10, 4);
+        for _ in 0..25 {
+            w.update(7, 7, 1).unwrap();
+        }
+        // Two closed windows (10 + 10) and 5 in the current one.
+        let last1 = w.recent(1);
+        assert_eq!(last1.get(7, 7), Some(15));
+        let last2 = w.recent(2);
+        assert_eq!(last2.get(7, 7), Some(25));
+        let current_only = w.recent(0);
+        assert_eq!(current_only.get(7, 7), Some(5));
+    }
+
+    #[test]
+    fn manual_rotate_on_empty_window_is_allowed() {
+        let mut w = windowed(10, 4);
+        w.rotate().unwrap();
+        assert_eq!(w.windows_closed(), 1);
+        assert_eq!(w.weight_series(), vec![0, 0]);
+    }
+}

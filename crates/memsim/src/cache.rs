@@ -1,0 +1,271 @@
+//! A set-associative, write-allocate, LRU cache simulator.
+//!
+//! The simulator is deliberately simple — one level, physical addresses are
+//! whatever `u64` keys the caller supplies — because its job is comparative:
+//! feed it the address trace of a *flat* update loop and of a *hierarchical*
+//! update loop over the same edge stream and compare hit rates (experiment
+//! E5).  Absolute miss counts are not meant to match any particular CPU.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64-byte-line L1-like cache.
+    pub fn l1() -> Self {
+        Self {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// A 1 MiB, 16-way L2-like cache.
+    pub fn l2() -> Self {
+        Self {
+            capacity_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
+    }
+
+    /// A 32 MiB, 16-way L3-like cache.
+    pub fn l3() -> Self {
+        Self {
+            capacity_bytes: 32 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize / self.ways
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when there were no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Set-associative LRU cache simulator.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    cfg: CacheConfig,
+    line_shift: u32,
+    sets: Vec<Vec<u64>>, // each set: line tags in LRU order (front = MRU)
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Create a simulator with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (line size not a power of two,
+    /// capacity not divisible into sets, zero ways).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0, "associativity must be positive");
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Self {
+            cfg,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            sets: vec![Vec::with_capacity(cfg.ways); sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Access one byte address; returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Access a contiguous byte range (e.g. one stored entry's index+value).
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.saturating_sub(1)) >> self.line_shift;
+        for line in first..=last {
+            self.access(line << self.line_shift);
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drop all cached lines and counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(CacheConfig::l1());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1008)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let cfg = CacheConfig {
+            capacity_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        };
+        let mut c = CacheSim::new(cfg);
+        // Stream a working set 32x the cache size twice: second pass still misses.
+        let span = cfg.capacity_bytes * 32;
+        for pass in 0..2 {
+            for addr in (0..span).step_by(64) {
+                c.access(addr);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        assert!(c.stats().hit_rate() < 0.05);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits() {
+        let mut c = CacheSim::new(CacheConfig::l1());
+        let span = 8 * 1024u64; // 8 KiB fits in 32 KiB
+        for pass in 0..3 {
+            for addr in (0..span).step_by(64) {
+                c.access(addr);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+        }; // 2 sets x 2 ways
+        let mut c = CacheSim::new(cfg);
+        // Addresses mapping to set 0: lines 0, 2, 4 (line = addr/64; set = line % 2)
+        c.access(0); // line 0
+        c.access(128); // line 2
+        c.access(0); // touch line 0 -> MRU
+        c.access(256); // line 4 evicts line 2 (LRU)
+        assert!(c.access(0)); // still cached
+        assert!(!c.access(128)); // was evicted
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = CacheSim::new(CacheConfig::l1());
+        c.access_range(100, 200); // spans lines 1..=4 (bytes 100..300)
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = CacheSim::new(CacheConfig::l1());
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn preset_geometries_consistent() {
+        for cfg in [CacheConfig::l1(), CacheConfig::l2(), CacheConfig::l3()] {
+            assert!(cfg.sets() > 0);
+            assert_eq!(
+                cfg.sets() as u64 * cfg.ways as u64 * cfg.line_bytes,
+                cfg.capacity_bytes
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_line_size_panics() {
+        CacheSim::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 48,
+            ways: 2,
+        });
+    }
+}

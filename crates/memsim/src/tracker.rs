@@ -1,0 +1,237 @@
+//! Multi-level access tracker: classifies a stream of memory touches into
+//! the level of the hierarchy that served them.
+//!
+//! The tracker chains three [`CacheSim`]s (L1 → L2 → L3); an access that
+//! misses every cache is charged to DRAM.  Update strategies under test
+//! report their touches through [`AccessTracker::touch`] /
+//! [`AccessTracker::touch_range`], and experiment E5 compares the resulting
+//! [`TrackerReport`]s for flat vs. hierarchical streaming inserts.
+
+use crate::cache::{CacheConfig, CacheSim};
+use crate::hierarchy::MemoryHierarchy;
+
+/// Whether a touch was a read or a write (kept for reporting; the cache
+/// model itself is write-allocate so both behave identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Per-level access counts produced by an [`AccessTracker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrackerReport {
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by L3.
+    pub l3_hits: u64,
+    /// Accesses that had to go to DRAM.
+    pub dram_accesses: u64,
+    /// Estimated total time in nanoseconds under the bound hierarchy model.
+    pub total_ns: f64,
+}
+
+impl TrackerReport {
+    /// Total number of touches.
+    pub fn total_accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.dram_accesses
+    }
+
+    /// Fraction of touches served by any cache level (the "fast memory"
+    /// fraction of Fig. 1).
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.l1_hits + self.l2_hits + self.l3_hits) as f64 / total as f64
+    }
+
+    /// Average nanoseconds per touch.
+    pub fn avg_ns_per_access(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_ns / total as f64
+        }
+    }
+}
+
+/// Chained-cache access tracker.
+#[derive(Debug, Clone)]
+pub struct AccessTracker {
+    l1: CacheSim,
+    l2: CacheSim,
+    l3: CacheSim,
+    hierarchy: MemoryHierarchy,
+    report: TrackerReport,
+}
+
+impl AccessTracker {
+    /// Tracker with L1/L2/L3 geometries matching the default Xeon node model.
+    pub fn new() -> Self {
+        Self::with_configs(
+            CacheConfig::l1(),
+            CacheConfig::l2(),
+            CacheConfig::l3(),
+            MemoryHierarchy::xeon_node(),
+        )
+    }
+
+    /// Tracker with explicit cache geometries and latency model.
+    pub fn with_configs(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        l3: CacheConfig,
+        hierarchy: MemoryHierarchy,
+    ) -> Self {
+        Self {
+            l1: CacheSim::new(l1),
+            l2: CacheSim::new(l2),
+            l3: CacheSim::new(l3),
+            hierarchy,
+            report: TrackerReport::default(),
+        }
+    }
+
+    /// Record one touched byte address.
+    pub fn touch(&mut self, addr: u64, _kind: AccessKind) {
+        let levels = self.hierarchy.levels();
+        if self.l1.access(addr) {
+            self.report.l1_hits += 1;
+            self.report.total_ns += levels[0].latency_ns;
+        } else if self.l2.access(addr) {
+            self.report.l2_hits += 1;
+            self.report.total_ns += levels[1.min(levels.len() - 1)].latency_ns;
+        } else if self.l3.access(addr) {
+            self.report.l3_hits += 1;
+            self.report.total_ns += levels[2.min(levels.len() - 1)].latency_ns;
+        } else {
+            self.report.dram_accesses += 1;
+            self.report.total_ns += levels[levels.len() - 1].latency_ns;
+        }
+    }
+
+    /// Record a touched byte range (one touch per cache line).
+    pub fn touch_range(&mut self, addr: u64, bytes: u64, kind: AccessKind) {
+        let line = self.l1.config().line_bytes;
+        let first = addr / line;
+        let last = (addr + bytes.saturating_sub(1)) / line;
+        for l in first..=last {
+            self.touch(l * line, kind);
+        }
+    }
+
+    /// The counts accumulated so far.
+    pub fn report(&self) -> TrackerReport {
+        self.report
+    }
+
+    /// Clear counters and cache contents.
+    pub fn reset(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+        self.report = TrackerReport::default();
+    }
+}
+
+impl Default for AccessTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_set_stays_fast() {
+        let mut t = AccessTracker::new();
+        for pass in 0..3 {
+            for addr in (0..8 * 1024u64).step_by(8) {
+                t.touch(addr, AccessKind::Write);
+            }
+            if pass == 0 {
+                t.reset_counters_only();
+            }
+        }
+        let r = t.report();
+        assert!(r.fast_fraction() > 0.95, "fast fraction {}", r.fast_fraction());
+    }
+
+    impl AccessTracker {
+        fn reset_counters_only(&mut self) {
+            self.report = TrackerReport::default();
+        }
+    }
+
+    #[test]
+    fn huge_random_working_set_goes_to_dram() {
+        let mut t = AccessTracker::new();
+        // Touch 2 million distinct lines once each: almost everything misses
+        // all three caches after they warm up.
+        let mut addr = 0u64;
+        for i in 0..2_000_000u64 {
+            addr = addr.wrapping_add(0x9E3779B97F4A7C15).rotate_left(7) ^ i;
+            t.touch(addr % (1 << 36), AccessKind::Write);
+        }
+        let r = t.report();
+        assert!(
+            r.dram_accesses as f64 > 0.5 * r.total_accesses() as f64,
+            "dram fraction too low: {} of {}",
+            r.dram_accesses,
+            r.total_accesses()
+        );
+    }
+
+    #[test]
+    fn touch_range_counts_lines() {
+        let mut t = AccessTracker::new();
+        t.touch_range(0, 256, AccessKind::Read); // 4 lines of 64B
+        assert_eq!(t.report().total_accesses(), 4);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = TrackerReport {
+            l1_hits: 6,
+            l2_hits: 2,
+            l3_hits: 1,
+            dram_accesses: 1,
+            total_ns: 100.0,
+        };
+        assert_eq!(r.total_accesses(), 10);
+        assert!((r.fast_fraction() - 0.9).abs() < 1e-12);
+        assert!((r.avg_ns_per_access() - 10.0).abs() < 1e-12);
+        assert_eq!(TrackerReport::default().fast_fraction(), 0.0);
+        assert_eq!(TrackerReport::default().avg_ns_per_access(), 0.0);
+    }
+
+    #[test]
+    fn dram_time_dominates_when_missing() {
+        let mut fast = AccessTracker::new();
+        for _ in 0..1000 {
+            fast.touch(64, AccessKind::Read);
+        }
+        let mut slow = AccessTracker::new();
+        for i in 0..1000u64 {
+            slow.touch(i * (1 << 22), AccessKind::Read);
+        }
+        assert!(slow.report().avg_ns_per_access() > fast.report().avg_ns_per_access() * 5.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = AccessTracker::new();
+        t.touch(0, AccessKind::Write);
+        t.reset();
+        assert_eq!(t.report().total_accesses(), 0);
+    }
+}

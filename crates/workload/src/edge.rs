@@ -1,0 +1,73 @@
+//! The streaming edge/update record shared by all generators.
+
+/// A single streaming update: add `weight` to entry `(src, dst)` of the
+/// traffic/adjacency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Row index (origin vertex / source IP).
+    pub src: u64,
+    /// Column index (destination vertex / destination IP).
+    pub dst: u64,
+    /// Update weight (packet or byte count; 1 for simple edge counts).
+    pub weight: u64,
+}
+
+impl Edge {
+    /// Construct an edge with weight 1.
+    pub fn unit(src: u64, dst: u64) -> Self {
+        Self {
+            src,
+            dst,
+            weight: 1,
+        }
+    }
+
+    /// Construct an edge with an explicit weight.
+    pub fn weighted(src: u64, dst: u64, weight: u64) -> Self {
+        Self { src, dst, weight }
+    }
+}
+
+/// Split a slice of edges into its three parallel coordinate/value vectors,
+/// the form the GraphBLAS build/update APIs take.
+pub fn edges_to_tuples(edges: &[Edge]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut rows = Vec::with_capacity(edges.len());
+    let mut cols = Vec::with_capacity(edges.len());
+    let mut vals = Vec::with_capacity(edges.len());
+    for e in edges {
+        rows.push(e.src);
+        cols.push(e.dst);
+        vals.push(e.weight);
+    }
+    (rows, cols, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Edge::unit(3, 5);
+        assert_eq!(e.weight, 1);
+        let w = Edge::weighted(3, 5, 42);
+        assert_eq!(w.weight, 42);
+        assert_eq!(w.src, 3);
+        assert_eq!(w.dst, 5);
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let edges = vec![Edge::unit(1, 2), Edge::weighted(3, 4, 9)];
+        let (r, c, v) = edges_to_tuples(&edges);
+        assert_eq!(r, vec![1, 3]);
+        assert_eq!(c, vec![2, 4]);
+        assert_eq!(v, vec![1, 9]);
+    }
+
+    #[test]
+    fn empty_conversion() {
+        let (r, c, v) = edges_to_tuples(&[]);
+        assert!(r.is_empty() && c.is_empty() && v.is_empty());
+    }
+}

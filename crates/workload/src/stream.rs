@@ -1,0 +1,175 @@
+//! Stream partitioning: cutting an edge stream into the fixed-size update
+//! batches that are fed to each matrix instance.
+//!
+//! The paper streams `total_edges = 100,000,000` edges per instance as
+//! `batches = 1,000` sets of `batch_size = 100,000` entries (§III).
+
+use crate::edge::Edge;
+
+/// Shape of a streaming-insert experiment for one matrix instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of update batches.
+    pub batches: usize,
+    /// Edges per batch.
+    pub batch_size: usize,
+}
+
+impl StreamConfig {
+    /// The paper's per-instance workload: 1,000 batches of 100,000 edges
+    /// (10^8 total).
+    pub fn paper() -> Self {
+        Self {
+            batches: 1000,
+            batch_size: 100_000,
+        }
+    }
+
+    /// A laptop-scale version preserving the batch structure (used by tests
+    /// and the default benchmark profile): the batch size is the paper's,
+    /// the number of batches is reduced.
+    pub fn scaled_down(batches: usize) -> Self {
+        Self {
+            batches,
+            batch_size: 100_000,
+        }
+    }
+
+    /// Total number of edges streamed.
+    pub fn total_edges(&self) -> usize {
+        self.batches * self.batch_size
+    }
+}
+
+/// Splits any edge iterator into batches according to a [`StreamConfig`].
+#[derive(Debug)]
+pub struct StreamPartitioner<G> {
+    generator: G,
+    config: StreamConfig,
+}
+
+impl<G: Iterator<Item = Edge>> StreamPartitioner<G> {
+    /// Wrap an edge generator.
+    pub fn new(generator: G, config: StreamConfig) -> Self {
+        Self { generator, config }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Iterate over the batches.
+    pub fn batches(self) -> BatchIter<G> {
+        BatchIter {
+            generator: self.generator,
+            config: self.config,
+            emitted: 0,
+        }
+    }
+}
+
+/// Iterator over fixed-size batches of edges.
+#[derive(Debug)]
+pub struct BatchIter<G> {
+    generator: G,
+    config: StreamConfig,
+    emitted: usize,
+}
+
+impl<G: Iterator<Item = Edge>> Iterator for BatchIter<G> {
+    type Item = Vec<Edge>;
+
+    fn next(&mut self) -> Option<Vec<Edge>> {
+        if self.emitted >= self.config.batches {
+            return None;
+        }
+        let mut batch = Vec::with_capacity(self.config.batch_size);
+        for _ in 0..self.config.batch_size {
+            match self.generator.next() {
+                Some(e) => batch.push(e),
+                None => break,
+            }
+        }
+        self.emitted += 1;
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.config.batches - self.emitted;
+        (0, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::{PowerLawConfig, PowerLawGenerator};
+
+    #[test]
+    fn paper_config_shape() {
+        let c = StreamConfig::paper();
+        assert_eq!(c.batches, 1000);
+        assert_eq!(c.batch_size, 100_000);
+        assert_eq!(c.total_edges(), 100_000_000);
+    }
+
+    #[test]
+    fn scaled_down_preserves_batch_size() {
+        let c = StreamConfig::scaled_down(10);
+        assert_eq!(c.batch_size, 100_000);
+        assert_eq!(c.total_edges(), 1_000_000);
+    }
+
+    #[test]
+    fn partitioner_produces_requested_batches() {
+        let gen = PowerLawGenerator::new(PowerLawConfig::default());
+        let cfg = StreamConfig {
+            batches: 5,
+            batch_size: 100,
+        };
+        let batches: Vec<Vec<Edge>> = StreamPartitioner::new(gen, cfg).batches().collect();
+        assert_eq!(batches.len(), 5);
+        assert!(batches.iter().all(|b| b.len() == 100));
+    }
+
+    #[test]
+    fn finite_generator_short_final_batch() {
+        let edges = vec![Edge::unit(1, 2); 250];
+        let cfg = StreamConfig {
+            batches: 5,
+            batch_size: 100,
+        };
+        let batches: Vec<Vec<Edge>> =
+            StreamPartitioner::new(edges.into_iter(), cfg).batches().collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 100);
+        assert_eq!(batches[2].len(), 50);
+    }
+
+    #[test]
+    fn empty_generator_yields_nothing() {
+        let cfg = StreamConfig {
+            batches: 3,
+            batch_size: 10,
+        };
+        let batches: Vec<Vec<Edge>> =
+            StreamPartitioner::new(std::iter::empty(), cfg).batches().collect();
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn config_accessor() {
+        let gen = std::iter::empty();
+        let cfg = StreamConfig {
+            batches: 1,
+            batch_size: 1,
+        };
+        let p = StreamPartitioner::new(gen, cfg);
+        assert_eq!(p.config(), cfg);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cut-tuning example: how to choose the hierarchy parameters for a given
+//! workload, combining the analytic cost model with a quick empirical check.
+//!
+//! Run with `cargo run --release --example cut_tuning`.
+
+use hyperstream::hier::{recommend_cuts, sweep_cut_schedules};
+use hyperstream::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let hierarchy = MemoryHierarchy::xeon_node();
+    let expected_nnz = 10_000_000u64;
+
+    // 1. Analytic recommendation from the memory-hierarchy model.
+    let recommended = recommend_cuts(&hierarchy, expected_nnz, 8);
+    println!("recommended cut schedule for ~{expected_nnz} stored entries: {:?}", recommended.cuts());
+
+    // 2. Cost-model sweep over a family of schedules.
+    println!("\ncost-model sweep (top 5 of the candidate family):");
+    let sweep = sweep_cut_schedules(
+        &hierarchy,
+        expected_nnz,
+        &[2, 3, 4, 5],
+        &[1 << 12, 1 << 15, 1 << 18],
+        8,
+    );
+    println!("{:>28} {:>18} {:>16}", "cuts", "predicted upd/s", "speedup vs flat");
+    for rec in sweep.iter().take(5) {
+        println!(
+            "{:>28} {:>18.3e} {:>16.1}",
+            format!("{:?}", rec.cuts),
+            rec.predicted_updates_per_sec,
+            rec.predicted_speedup_vs_flat
+        );
+    }
+
+    // 3. Empirical check of the top candidate against the paper default and
+    //    the flat baseline on a real stream.
+    let mut gen = PowerLawGenerator::new(PowerLawConfig::paper());
+    let batches: Vec<Vec<Edge>> = (0..10).map(|_| gen.batch(50_000)).collect();
+    let candidates = [
+        ("flat (no hierarchy)", HierConfig::effectively_flat()),
+        ("paper default", HierConfig::paper_default()),
+        (
+            "cost-model best",
+            HierConfig::from_cuts(sweep[0].cuts.clone()).unwrap(),
+        ),
+    ];
+    println!("\nempirical check (500k power-law updates each):");
+    println!("{:>22} {:>16} {:>14}", "schedule", "measured upd/s", "cascades");
+    for (name, cfg) in candidates {
+        let mut m = HierMatrix::<u64>::new(1 << 32, 1 << 32, cfg).unwrap();
+        let start = Instant::now();
+        for batch in &batches {
+            let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
+            let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
+            let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
+            m.update_batch(&rows, &cols, &vals).unwrap();
+        }
+        let rate = m.stats().updates as f64 / start.elapsed().as_secs_f64();
+        println!(
+            "{:>22} {:>16.3e} {:>14}",
+            name,
+            rate,
+            m.stats().total_cascades()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a hierarchical hypersparse traffic matrix, stream
+//! updates into it, and query it — the end-to-end workflow of the paper's
+//! §II in a few dozen lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hyperstream::prelude::*;
+
+fn main() {
+    // 1. A 2^32 x 2^32 IPv4 traffic matrix with a 4-level hierarchy.
+    //    Memory is O(entries), never O(2^32).
+    let cuts = HierConfig::geometric(4, 1 << 14, 8).expect("valid cut schedule");
+    let mut traffic =
+        HierMatrix::<u64>::new(1u64 << 32, 1u64 << 32, cuts).expect("valid dimensions");
+
+    // 2. Stream 500,000 synthetic flow updates into it.
+    let mut gen = IpTrafficGenerator::new(IpTrafficConfig::default());
+    let start = std::time::Instant::now();
+    for flow in gen.by_ref().take(500_000) {
+        traffic
+            .update(flow.src, flow.dst, flow.weight)
+            .expect("addresses are within the IPv4 index space");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = traffic.stats();
+    println!("streamed {} updates in {:.2}s  ({:.3e} updates/s)",
+        stats.updates, secs, stats.updates as f64 / secs);
+    println!(
+        "cascades per level: {:?}   entries per level: {:?}",
+        stats.cascades,
+        traffic.entries_per_level()
+    );
+    println!(
+        "fraction of updates absorbed in fast memory (level 0): {:.3}",
+        stats.fast_update_fraction()
+    );
+
+    // 3. Query: materialise A = Σ A_i and compute network statistics.
+    let snapshot = traffic.materialize();
+    println!("materialised matrix: {} stored entries", snapshot.nvals());
+
+    let per_source = reduce_rows(&snapshot, PlusMonoid);
+    let top = per_source.top_k(5);
+    println!("top 5 sources by packet count:");
+    for (addr, packets) in top {
+        println!("  {:>12} -> {} packets", format!("{addr:#010x}"), packets);
+    }
+
+    // 4. Streaming continues transparently after a query.
+    for flow in gen.take(1000) {
+        traffic.update(flow.src, flow.dst, flow.weight).unwrap();
+    }
+    println!("total updates after resuming: {}", traffic.stats().updates);
+}

@@ -1,0 +1,81 @@
+//! # hyperstream
+//!
+//! Hierarchical hypersparse GraphBLAS matrices for streaming graph and
+//! network-traffic analysis — a from-scratch Rust reproduction of
+//! *"75,000,000,000 Streaming Inserts/Second Using Hierarchical Hypersparse
+//! GraphBLAS Matrices"* (Kepner et al., 2020).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`graphblas`] — hypersparse GraphBLAS substrate (formats, monoids,
+//!   semirings, kernels, graph algorithms);
+//! * [`hier`] — the hierarchical hypersparse matrix (the paper's
+//!   contribution) plus cut tuning and memory-trace instrumentation;
+//! * [`d4m`] — D4M-style associative arrays and hierarchical associative
+//!   arrays (string-keyed baselines);
+//! * [`baselines`] — in-memory analogues of the database systems of Fig. 2
+//!   and the published reference rates;
+//! * [`workload`] — power-law / Kronecker / IP-traffic stream generators;
+//! * [`memsim`] — memory-hierarchy cost model and cache simulator;
+//! * [`cluster`] — single-node measurement, weak-scaling executor and
+//!   SuperCloud-scale extrapolation (the Fig. 2 harness).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hyperstream::prelude::*;
+//!
+//! // A 2^32 x 2^32 hierarchical traffic matrix with the default cuts.
+//! let mut traffic = HierMatrix::<u64>::with_default_config(1 << 32, 1 << 32).unwrap();
+//!
+//! // Stream some synthetic flows into it.
+//! let mut gen = IpTrafficGenerator::new(IpTrafficConfig::default());
+//! for flow in gen.by_ref().take(10_000) {
+//!     traffic.update(flow.src, flow.dst, flow.weight).unwrap();
+//! }
+//! assert_eq!(traffic.stats().updates, 10_000);
+//!
+//! // Query: materialise and compute per-source packet counts.
+//! let snapshot = traffic.materialize();
+//! let per_source = reduce_rows(&snapshot, PlusMonoid);
+//! assert!(per_source.nvals() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hyperstream_baselines as baselines;
+pub use hyperstream_cluster as cluster;
+pub use hyperstream_d4m as d4m;
+pub use hyperstream_graphblas as graphblas;
+pub use hyperstream_hier as hier;
+pub use hyperstream_memsim as memsim;
+pub use hyperstream_workload as workload;
+
+/// One-stop import of the most commonly used items across the workspace.
+pub mod prelude {
+    pub use hyperstream_graphblas::prelude::*;
+
+    pub use hyperstream_hier::{HierConfig, HierMatrix, HierStats, InstancePool};
+
+    pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};
+
+    pub use hyperstream_baselines::{
+        ArrayStore, DocStore, InsertRecord, RowStore, StreamingStore, TabletStore,
+    };
+
+    pub use hyperstream_workload::{
+        edges_to_tuples, Edge, IpTrafficConfig, IpTrafficGenerator, IpVersion, KroneckerConfig,
+        KroneckerGenerator, PowerLawConfig, PowerLawGenerator, StreamConfig, StreamPartitioner,
+        Zipf,
+    };
+
+    pub use hyperstream_memsim::{
+        AccessTracker, CacheConfig, CacheSim, CostModel, MemoryHierarchy,
+    };
+
+    pub use hyperstream_cluster::{
+        build_fig2, measure_scaling, measure_system, ClusterSpec, ExtrapolationModel,
+        Fig2Options, NodeSpec, SystemKind,
+    };
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the hierarchical matrix must represent
+//! exactly the same mathematical object as a flat GraphBLAS matrix and as a
+//! D4M associative array fed the same stream, regardless of the cut
+//! schedule, and the whole pipeline (workload -> hierarchy -> analytics)
+//! must hold together.
+
+use hyperstream::prelude::*;
+
+fn stream(n: usize, seed: u64) -> Vec<Edge> {
+    let gen = PowerLawGenerator::new(PowerLawConfig {
+        vertices: 5_000,
+        dim: 1 << 32,
+        seed,
+        ..PowerLawConfig::default()
+    });
+    gen.take(n).collect()
+}
+
+#[test]
+fn hierarchy_equals_flat_for_many_cut_schedules() {
+    let edges = stream(20_000, 11);
+    // Flat reference.
+    let mut flat = Matrix::<u64>::new(1 << 32, 1 << 32);
+    for e in &edges {
+        flat.accum_element(e.src, e.dst, e.weight).unwrap();
+    }
+    flat.wait();
+
+    for cuts in [
+        vec![16u64],
+        vec![64, 512],
+        vec![100, 1_000, 10_000],
+        vec![1 << 12, 1 << 15, 1 << 18],
+    ] {
+        let cfg = HierConfig::from_cuts(cuts.clone()).unwrap();
+        let mut hier = HierMatrix::<u64>::new(1 << 32, 1 << 32, cfg).unwrap();
+        for e in &edges {
+            hier.update(e.src, e.dst, e.weight).unwrap();
+        }
+        let snap = hier.materialize();
+        assert_eq!(
+            snap.extract_tuples(),
+            flat.extract_tuples(),
+            "hierarchy with cuts {cuts:?} diverged from the flat matrix"
+        );
+    }
+}
+
+#[test]
+fn hierarchy_equals_d4m_assoc_on_the_same_stream() {
+    let edges = stream(3_000, 23);
+    let mut hier = HierMatrix::<u64>::with_default_config(1 << 32, 1 << 32).unwrap();
+    let mut assoc = HierAssoc::with_default_config();
+    for e in &edges {
+        hier.update(e.src, e.dst, e.weight).unwrap();
+        assoc.update(&e.src.to_string(), &e.dst.to_string(), e.weight as f64);
+    }
+    // Same total weight and same number of distinct cells.
+    assert_eq!(hier.total_weight(), assoc.total() as u64);
+    assert_eq!(hier.nvals_exact(), assoc.materialize().nnz());
+    // Spot-check a handful of cells through both APIs.
+    for e in edges.iter().take(50) {
+        let h = hier.get(e.src, e.dst).unwrap();
+        let a = assoc.get(&e.src.to_string(), &e.dst.to_string()).unwrap();
+        assert_eq!(h as f64, a);
+    }
+}
+
+#[test]
+fn baseline_stores_agree_with_graphblas_content() {
+    let edges = stream(5_000, 31);
+    let mut hier = HierMatrix::<u64>::with_default_config(1 << 32, 1 << 32).unwrap();
+    let records: Vec<InsertRecord> = edges
+        .iter()
+        .map(|e| InsertRecord::new(e.src, e.dst, e.weight))
+        .collect();
+
+    let mut tablet = TabletStore::new();
+    let mut array = ArrayStore::new();
+    let mut rows = RowStore::new();
+    let mut docs = DocStore::new();
+    for e in &edges {
+        hier.update(e.src, e.dst, e.weight).unwrap();
+    }
+    tablet.insert_batch(&records);
+    array.insert_batch(&records);
+    rows.insert_batch(&records);
+    docs.insert_batch(&records);
+    for store in [
+        &mut tablet as &mut dyn StreamingStore,
+        &mut array,
+        &mut rows,
+        &mut docs,
+    ] {
+        store.flush();
+    }
+
+    let expected_cells = hier.nvals_exact();
+    let expected_weight = hier.total_weight();
+    for store in [
+        &tablet as &dyn StreamingStore,
+        &array,
+        &rows,
+        &docs,
+    ] {
+        assert_eq!(store.ncells(), expected_cells, "{} cell count", store.name());
+        assert_eq!(
+            store.total_weight(),
+            expected_weight,
+            "{} total weight",
+            store.name()
+        );
+    }
+}
+
+#[test]
+fn instance_pool_preserves_global_content() {
+    let edges = stream(8_000, 41);
+    let mut pool = InstancePool::<u64>::new(
+        4,
+        1 << 32,
+        1 << 32,
+        HierConfig::from_cuts(vec![64, 1024]).unwrap(),
+    )
+    .unwrap();
+    let mut flat = Matrix::<u64>::new(1 << 32, 1 << 32);
+    for e in &edges {
+        pool.update(e.src, e.dst, e.weight).unwrap();
+        flat.accum_element(e.src, e.dst, e.weight).unwrap();
+    }
+    flat.wait();
+    let union = pool.materialize_union().unwrap();
+    assert_eq!(union.extract_tuples(), flat.extract_tuples());
+    assert_eq!(pool.total_updates(), edges.len() as u64);
+}
+
+#[test]
+fn end_to_end_traffic_analytics_pipeline() {
+    // workload -> hierarchical matrix -> graph analytics, all through the
+    // facade crate's prelude.
+    let dim = IpVersion::V4.dim();
+    let mut m = HierMatrix::<u64>::with_default_config(dim, dim).unwrap();
+    let gen = IpTrafficGenerator::new(IpTrafficConfig {
+        supernodes: 8,
+        supernode_fraction: 0.5,
+        seed: 99,
+        ..IpTrafficConfig::default()
+    });
+    let supers: Vec<u64> = gen.supernode_addresses().to_vec();
+    for flow in gen.take(30_000) {
+        m.update(flow.src, flow.dst, flow.weight).unwrap();
+    }
+    let snap = m.materialize();
+    assert!(snap.nvals() > 1000);
+
+    // Per-destination packet counts must rank a supernode near the top.
+    let per_dest = reduce_cols(&snap, PlusMonoid);
+    let top: Vec<u64> = per_dest.top_k(8).into_iter().map(|(a, _)| a).collect();
+    assert!(
+        top.iter().any(|a| supers.contains(a)),
+        "no supernode among the top destinations"
+    );
+
+    // Total packets conserved through the whole pipeline.
+    let total_from_reduce: u64 = reduce_scalar(&snap, PlusMonoid);
+    assert_eq!(total_from_reduce, m.total_weight());
+}
