@@ -73,8 +73,7 @@ impl TabletStore {
         if self.memtable.is_empty() {
             return;
         }
-        let run: Vec<(Vec<u8>, u64)> =
-            std::mem::take(&mut self.memtable).into_iter().collect();
+        let run: Vec<(Vec<u8>, u64)> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.runs.push(run);
         self.minor_compactions += 1;
     }
@@ -169,8 +168,7 @@ mod tests {
     #[test]
     fn memtable_limit_triggers_compaction() {
         let mut t = TabletStore::with_memtable_limit(10);
-        let batch: Vec<InsertRecord> =
-            (0..100).map(|i| InsertRecord::new(i, i, 1)).collect();
+        let batch: Vec<InsertRecord> = (0..100).map(|i| InsertRecord::new(i, i, 1)).collect();
         t.insert_batch(&batch);
         assert!(t.minor_compactions() >= 9);
         assert!(t.run_count() >= 9);

@@ -173,12 +173,14 @@ mod tests {
     #[test]
     fn sharding_spreads_rows() {
         let mut s = DocStore::with_shards(4);
-        let batch: Vec<InsertRecord> =
-            (0..4000).map(|i| InsertRecord::new(i, 0, 1)).collect();
+        let batch: Vec<InsertRecord> = (0..4000).map(|i| InsertRecord::new(i, 0, 1)).collect();
         s.insert_batch(&batch);
         s.flush();
         let per_shard: Vec<usize> = s.shards.iter().map(|sh| sh.sealed.len()).collect();
-        assert!(per_shard.iter().all(|&n| n > 500), "skewed shards {per_shard:?}");
+        assert!(
+            per_shard.iter().all(|&n| n > 500),
+            "skewed shards {per_shard:?}"
+        );
     }
 
     #[test]

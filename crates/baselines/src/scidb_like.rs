@@ -176,8 +176,8 @@ mod tests {
         let mut s = ArrayStore::with_chunk_dim(100);
         s.insert_batch(&[
             InsertRecord::new(5, 5, 1),
-            InsertRecord::new(50, 50, 1),  // same chunk (0,0)
-            InsertRecord::new(150, 5, 1),  // chunk (1,0)
+            InsertRecord::new(50, 50, 1), // same chunk (0,0)
+            InsertRecord::new(150, 5, 1), // chunk (1,0)
         ]);
         assert_eq!(s.chunk_count(), 2);
     }

@@ -1,5 +1,8 @@
 //! The common streaming-insert interface all baselines implement.
 
+use hyperstream_graphblas::sink::check_tuple_lengths;
+use hyperstream_graphblas::{GrbResult, Index, StreamingSink};
+
 /// One streaming insert: an origin–destination update with a weight,
 /// identical in shape to the GraphBLAS update so every system ingests the
 /// same stream.
@@ -39,6 +42,61 @@ pub trait StreamingStore {
     fn total_weight(&self) -> u64;
 }
 
+/// Implement the workspace-wide [`StreamingSink`] interface for a baseline
+/// store in terms of its [`StreamingStore`] methods, so the measurement
+/// harness can drive database analogues and GraphBLAS matrices through one
+/// generic call site.  (A blanket `impl<S: StreamingStore> StreamingSink for
+/// S` would violate the orphan rule — `StreamingSink` lives in
+/// `hyperstream-graphblas` — hence the macro.)
+macro_rules! impl_streaming_sink_via_store {
+    ($($store:ty),+ $(,)?) => {$(
+        impl StreamingSink<u64> for $store {
+            fn sink_name(&self) -> &str {
+                StreamingStore::name(self)
+            }
+
+            fn insert(&mut self, row: Index, col: Index, val: u64) -> GrbResult<()> {
+                StreamingStore::insert_batch(self, &[InsertRecord::new(row, col, val)]);
+                Ok(())
+            }
+
+            fn insert_batch(
+                &mut self,
+                rows: &[Index],
+                cols: &[Index],
+                vals: &[u64],
+            ) -> GrbResult<()> {
+                check_tuple_lengths(rows, cols, vals)?;
+                let records: Vec<InsertRecord> = (0..rows.len())
+                    .map(|i| InsertRecord::new(rows[i], cols[i], vals[i]))
+                    .collect();
+                StreamingStore::insert_batch(self, &records);
+                Ok(())
+            }
+
+            fn flush(&mut self) -> GrbResult<()> {
+                StreamingStore::flush(self);
+                Ok(())
+            }
+
+            fn nvals(&self) -> usize {
+                self.ncells()
+            }
+
+            fn total_weight(&self) -> f64 {
+                StreamingStore::total_weight(self) as f64
+            }
+        }
+    )+};
+}
+
+impl_streaming_sink_via_store!(
+    crate::accumulo_like::TabletStore,
+    crate::cratedb_like::DocStore,
+    crate::scidb_like::ArrayStore,
+    crate::tpcc_like::RowStore,
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +107,27 @@ mod tests {
         assert_eq!(r.row, 1);
         assert_eq!(r.col, 2);
         assert_eq!(r.value, 3);
+    }
+
+    #[test]
+    fn every_store_implements_streaming_sink() {
+        use crate::{ArrayStore, DocStore, RowStore, TabletStore};
+
+        let mut sinks: Vec<Box<dyn StreamingSink<u64>>> = vec![
+            Box::new(TabletStore::new()),
+            Box::new(ArrayStore::new()),
+            Box::new(RowStore::new()),
+            Box::new(DocStore::new()),
+        ];
+        for sink in &mut sinks {
+            sink.insert(1, 2, 10).unwrap();
+            sink.insert(1, 2, 5).unwrap();
+            sink.insert_batch(&[3, 500], &[4, 600], &[7, 8]).unwrap();
+            assert!(sink.insert_batch(&[1], &[1, 2], &[1]).is_err());
+            sink.flush().unwrap();
+            assert_eq!(sink.nvals(), 3, "{}", sink.sink_name());
+            assert_eq!(sink.total_weight(), 30.0, "{}", sink.sink_name());
+            assert!(!sink.sink_name().is_empty());
+        }
     }
 }

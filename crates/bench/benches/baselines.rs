@@ -1,86 +1,34 @@
 //! E3 (micro view) — per-batch ingest cost of the database analogues and
 //! hierarchical D4M against the hierarchical GraphBLAS matrix on the same
 //! power-law stream.
+//!
+//! Every system is constructed by `make_sink` and driven through the one
+//! generic `drive_sink` harness, so the measured differences are the
+//! systems', not the harness's.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hyperstream_baselines::{
-    ArrayStore, DocStore, InsertRecord, RowStore, StreamingStore, TabletStore,
-};
 use hyperstream_bench::paper_batches;
-use hyperstream_d4m::HierAssoc;
-use hyperstream_hier::{HierConfig, HierMatrix};
+use hyperstream_cluster::{drive_sink, make_sink, SystemKind};
 
 const DIM: u64 = 1 << 32;
 
 fn bench_baseline_ingest(c: &mut Criterion) {
     // One paper batch (100k edges), scaled down to keep the slow analogues in
     // a reasonable Criterion budget.
-    let batch: Vec<_> = paper_batches(1, 9)[0][..20_000].to_vec();
-    let records: Vec<InsertRecord> = batch
-        .iter()
-        .map(|e| InsertRecord::new(e.src, e.dst, e.weight))
-        .collect();
+    let batches = vec![paper_batches(1, 9)[0][..20_000].to_vec()];
 
     let mut group = c.benchmark_group("baseline_ingest_20k");
-    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.throughput(Throughput::Elements(batches[0].len() as u64));
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("system", "hier_graphblas"), |b| {
-        b.iter(|| {
-            let mut m = HierMatrix::<u64>::new(DIM, DIM, HierConfig::paper_default()).unwrap();
-            let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
-            let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
-            let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
-            m.update_batch(&rows, &cols, &vals).unwrap();
-            m.total_entries_bound()
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("system", "hier_d4m"), |b| {
-        b.iter(|| {
-            let mut m = HierAssoc::with_default_config();
-            for e in &batch {
-                m.update(&e.src.to_string(), &e.dst.to_string(), e.weight as f64);
-            }
-            m.updates()
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("system", "accumulo_like"), |b| {
-        b.iter(|| {
-            let mut s = TabletStore::new();
-            s.insert_batch(&records);
-            s.flush();
-            s.total_weight()
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("system", "scidb_like"), |b| {
-        b.iter(|| {
-            let mut s = ArrayStore::new();
-            s.insert_batch(&records);
-            s.flush();
-            s.total_weight()
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("system", "tpcc_like"), |b| {
-        b.iter(|| {
-            let mut s = RowStore::new();
-            s.insert_batch(&records);
-            s.flush();
-            s.total_weight()
-        })
-    });
-
-    group.bench_function(BenchmarkId::new("system", "cratedb_like"), |b| {
-        b.iter(|| {
-            let mut s = DocStore::new();
-            s.insert_batch(&records);
-            s.flush();
-            s.total_weight()
-        })
-    });
+    for &sys in SystemKind::all() {
+        group.bench_function(BenchmarkId::new("system", format!("{sys:?}")), |b| {
+            b.iter(|| {
+                let mut sink = make_sink(sys, DIM);
+                drive_sink(sink.as_mut(), &batches)
+            })
+        });
+    }
 
     group.finish();
 }

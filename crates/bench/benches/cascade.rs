@@ -54,7 +54,10 @@ fn bench_level_count_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
             b.iter(|| {
                 let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg.clone()).unwrap();
-                for chunk in rows.chunks(10_000).zip(cols.chunks(10_000)).zip(vals.chunks(10_000))
+                for chunk in rows
+                    .chunks(10_000)
+                    .zip(cols.chunks(10_000))
+                    .zip(vals.chunks(10_000))
                 {
                     let ((r, c), v) = chunk;
                     m.update_batch(r, c, v).unwrap();

@@ -35,7 +35,11 @@ fn bench_build(c: &mut Criterion) {
         let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
         group.throughput(Throughput::Elements(nnz as u64));
         group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
-            b.iter(|| Matrix::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus).unwrap().nvals())
+            b.iter(|| {
+                Matrix::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus)
+                    .unwrap()
+                    .nvals()
+            })
         });
     }
     group.finish();

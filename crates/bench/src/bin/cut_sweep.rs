@@ -5,32 +5,26 @@
 //! The paper states the cuts "are easily tunable to achieve optimal
 //! performance"; this harness shows the tuning surface.
 
-use hyperstream_bench::{fmt_rate, paper_batches, quick_mode};
+use hyperstream_bench::{fmt_rate, paper_batches, quick_mode, timed_drive};
 use hyperstream_hier::{sweep_cut_schedules, HierConfig, HierMatrix};
 use hyperstream_memsim::MemoryHierarchy;
-use std::time::Instant;
 
 const DIM: u64 = 1 << 32;
 
 fn measure(cfg: &HierConfig, batches: &[Vec<hyperstream_workload::Edge>]) -> f64 {
-    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
     let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg.clone()).unwrap();
-    let start = Instant::now();
-    for batch in batches {
-        let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
-        let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
-        let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
-        m.update_batch(&rows, &cols, &vals).unwrap();
-    }
-    std::hint::black_box(m.total_entries_bound());
-    total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    let (updates, seconds) = timed_drive(&mut m, batches);
+    updates as f64 / seconds
 }
 
 fn main() {
     let quick = quick_mode();
     let nbatches = if quick { 5 } else { 30 };
     let batches = paper_batches(nbatches, 77);
-    println!("=== E4: cut-schedule ablation ({} batches x 100k edges) ===", nbatches);
+    println!(
+        "=== E4: cut-schedule ablation ({} batches x 100k edges) ===",
+        nbatches
+    );
     println!();
     println!(
         "{:<12} {:<12} {:>16} {:>18}",
@@ -65,6 +59,12 @@ fn main() {
     // Flat baseline for reference.
     let flat_rate = measure(&HierConfig::effectively_flat(), &batches);
     println!();
-    println!("flat (no hierarchy) baseline: {} updates/s", fmt_rate(flat_rate));
-    println!("best recommendation from the cost model: cuts = {:?}", predictions[0].cuts);
+    println!(
+        "flat (no hierarchy) baseline: {} updates/s",
+        fmt_rate(flat_rate)
+    );
+    println!(
+        "best recommendation from the cost model: cuts = {:?}",
+        predictions[0].cuts
+    );
 }

@@ -46,7 +46,11 @@ fn main() {
         );
         println!(
             "paper reports 7.5e10; reproduction {} the prior published results by {:.1}x",
-            if ours > best_published { "exceeds" } else { "does NOT exceed" },
+            if ours > best_published {
+                "exceeds"
+            } else {
+                "does NOT exceed"
+            },
             ours / best_published
         );
     }

@@ -22,7 +22,10 @@ fn main() {
     for &settled_nnz in &[1_000_000u64, 10_000_000, 100_000_000] {
         let cfg = HierConfig::paper_default();
         let cmp = compare_strategies(updates, settled_nnz, pending_limit, &cfg);
-        for (name, report) in [("flat pending-tuples", &cmp.flat), ("hierarchical", &cmp.hier)] {
+        for (name, report) in [
+            ("flat pending-tuples", &cmp.flat),
+            ("hierarchical", &cmp.hier),
+        ] {
             println!(
                 "{:<16} {:<28} {:>12.3} {:>14.1} {:>12}",
                 settled_nnz,
@@ -34,7 +37,9 @@ fn main() {
         }
         println!(
             "{:<16} {:<28} {:>12.2}x slower per access (flat vs hierarchical)",
-            "", "-> flat slowdown", cmp.slowdown_of_flat()
+            "",
+            "-> flat slowdown",
+            cmp.slowdown_of_flat()
         );
     }
 

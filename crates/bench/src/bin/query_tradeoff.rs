@@ -18,7 +18,10 @@ fn main() {
     let total_updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
 
     println!("=== E6: ingest throughput vs query frequency ===");
-    println!("{} batches x 100k edges; query = full materialisation of Σ A_i", nbatches);
+    println!(
+        "{} batches x 100k edges; query = full materialisation of Σ A_i",
+        nbatches
+    );
     println!();
     println!(
         "{:<24} {:>16} {:>14} {:>12}",

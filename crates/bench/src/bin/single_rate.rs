@@ -3,11 +3,107 @@
 //! Reproduces the paper's claim that "hierarchical hypersparse matrices
 //! achieve over 1,000,000 updates per second in a single instance" by
 //! streaming the paper's per-instance workload (power-law edges in batches
-//! of 100,000) into one instance of every system and reporting the sustained
-//! rate.  Run with `--quick` for a reduced batch count.
+//! of 100,000) into one instance of every system — all through the
+//! `StreamingSink` harness — and reporting the sustained rate.  A second
+//! sweep varies the hierarchy depth, the knob the paper tunes.
+//!
+//! Besides the human-readable table, the run writes
+//! `BENCH_single_rate.json` (machine-readable: per-system rates and
+//! inserts/sec per hierarchy depth) so successive commits can be compared
+//! automatically.  Run with `--quick` for a reduced batch count.
 
-use hyperstream_bench::{fmt_rate, paper_batches, quick_mode};
+use hyperstream_bench::{fmt_rate, paper_batches, quick_mode, timed_drive};
 use hyperstream_cluster::{measure_system, SystemKind};
+use hyperstream_hier::{HierConfig, HierMatrix};
+use hyperstream_workload::Edge;
+
+const DIM: u64 = 1 << 32;
+
+/// Rate of one hierarchy depth (geometric cuts from the paper's base cut).
+struct DepthRate {
+    levels: usize,
+    cuts: Vec<u64>,
+    updates: u64,
+    seconds: f64,
+}
+
+fn measure_depth(levels: usize, batches: &[Vec<Edge>]) -> DepthRate {
+    let cfg = if levels <= 1 {
+        // The flat baseline: a cut so large it never trips.  Reported as
+        // depth 1 with no cuts — the sentinel cut is an implementation
+        // detail and exceeds f64 precision in JSON consumers.
+        HierConfig::effectively_flat()
+    } else {
+        HierConfig::geometric(levels, 1 << 12, 8).expect("valid geometric schedule")
+    };
+    let cuts = if levels <= 1 {
+        Vec::new()
+    } else {
+        cfg.cuts().to_vec()
+    };
+    let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg).expect("valid dims");
+    let (updates, seconds) = timed_drive(&mut m, batches);
+    DepthRate {
+        levels,
+        cuts,
+        updates,
+        seconds,
+    }
+}
+
+fn json_label(s: &str) -> &str {
+    // All labels we emit are static ASCII identifiers; assert instead of
+    // implementing a JSON string escaper.
+    assert!(
+        !s.contains(['"', '\\']) && s.is_ascii(),
+        "label needs JSON escaping: {s}"
+    );
+    s
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    systems: &[(SystemKind, u64, f64)],
+    depths: &[DepthRate],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"single_rate\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"dim\": {DIM},");
+    out.push_str("  \"systems\": [\n");
+    for (i, (sys, updates, seconds)) in systems.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"system\": \"{}\", \"label\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}}}",
+            json_label(&format!("{sys:?}")),
+            json_label(sys.label()),
+            updates,
+            seconds,
+            *updates as f64 / seconds,
+        );
+        out.push_str(if i + 1 < systems.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"hierarchy_depths\": [\n");
+    for (i, d) in depths.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"levels\": {}, \"cuts\": {:?}, \"updates\": {}, \"seconds\": {:.6}, \"inserts_per_sec\": {:.1}}}",
+            d.levels,
+            d.cuts,
+            d.updates,
+            d.seconds,
+            d.updates as f64 / d.seconds,
+        );
+        out.push_str(if i + 1 < depths.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
 
 fn main() {
     let quick = quick_mode();
@@ -27,8 +123,8 @@ fn main() {
     println!("{}", "-".repeat(74));
 
     let stream = paper_batches(batches, 2020);
-    let dim = 1u64 << 32;
     let mut hier_rate = 0.0;
+    let mut system_rows: Vec<(SystemKind, u64, f64)> = Vec::new();
     for &sys in SystemKind::all() {
         // The slowest analogues get a shorter stream so the harness finishes
         // in minutes; rates are still per-update and comparable.
@@ -36,10 +132,11 @@ fn main() {
             SystemKind::HierGraphBlas | SystemKind::FlatGraphBlas => stream.clone(),
             _ => stream.iter().take(stream.len().min(5)).cloned().collect(),
         };
-        let r = measure_system(sys, &sys_stream, dim);
+        let r = measure_system(sys, &sys_stream, DIM);
         if sys == SystemKind::HierGraphBlas {
             hier_rate = r.updates_per_second();
         }
+        system_rows.push((sys, r.updates, r.seconds));
         println!(
             "{:<28} {:>14} {:>12.3} {:>16}",
             sys.label(),
@@ -51,8 +148,49 @@ fn main() {
 
     println!();
     println!(
+        "{:<28} {:>14} {:>12} {:>16}",
+        "hierarchy depth", "updates", "seconds", "inserts/sec"
+    );
+    println!("{}", "-".repeat(74));
+    let depth_stream: Vec<_> = stream
+        .iter()
+        .take(stream.len().min(if quick { 3 } else { 20 }))
+        .cloned()
+        .collect();
+    let depths: Vec<DepthRate> = [1usize, 2, 3, 4, 5]
+        .iter()
+        .map(|&levels| {
+            let d = measure_depth(levels, &depth_stream);
+            let label = if d.cuts.is_empty() {
+                format!("{} level (flat, no cuts)", d.levels)
+            } else {
+                format!("{} levels, cuts {:?}", d.levels, d.cuts)
+            };
+            println!(
+                "{:<28} {:>14} {:>12.3} {:>16}",
+                label,
+                d.updates,
+                d.seconds,
+                fmt_rate(d.updates as f64 / d.seconds)
+            );
+            d
+        })
+        .collect();
+
+    let json_path = "BENCH_single_rate.json";
+    match write_json(json_path, quick, &system_rows, &depths) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
+
+    println!();
+    println!(
         "paper claim: > 1.0e6 updates/s per instance;  measured hierarchical GraphBLAS: {}  [{}]",
         fmt_rate(hier_rate),
-        if hier_rate > 1.0e6 { "PASS" } else { "below claim on this machine" }
+        if hier_rate > 1.0e6 {
+            "PASS"
+        } else {
+            "below claim on this machine"
+        }
     );
 }

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+use hyperstream_graphblas::StreamingSink;
 use hyperstream_workload::{Edge, PowerLawConfig, PowerLawGenerator, StreamConfig};
 
 /// Shared helper: the paper's per-instance workload (power-law edges in
@@ -37,6 +38,19 @@ pub fn paper_batches(batches: usize, seed: u64) -> Vec<Vec<Edge>> {
     hyperstream_workload::StreamPartitioner::new(gen, cfg)
         .batches()
         .collect()
+}
+
+/// Shared helper: time [`hyperstream_cluster::drive_sink`] over `batches`
+/// and return `(updates, seconds)` — the one timing wrapper every
+/// experiment binary uses, so their reported rates stay comparable.
+pub fn timed_drive<S: StreamingSink<u64> + ?Sized>(
+    sink: &mut S,
+    batches: &[Vec<Edge>],
+) -> (u64, f64) {
+    let updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let start = std::time::Instant::now();
+    hyperstream_cluster::drive_sink(sink, batches);
+    (updates, start.elapsed().as_secs_f64().max(1e-9))
 }
 
 /// Shared helper: parse a `--quick` flag from the command line.

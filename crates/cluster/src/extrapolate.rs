@@ -41,10 +41,7 @@ impl ExtrapolationModel {
     /// near-linear scaling of the paper's Fig. 2 — because independent
     /// instances share nothing across nodes.
     pub fn from_scaling(points: &[ScalingPoint], cluster: ClusterSpec) -> Self {
-        let per_instance_rate = points
-            .first()
-            .map(|p| p.per_instance_rate())
-            .unwrap_or(0.0);
+        let per_instance_rate = points.first().map(|p| p.per_instance_rate()).unwrap_or(0.0);
         let eff = efficiencies(points);
         let node_efficiency = eff.last().copied().unwrap_or(1.0).clamp(0.05, 1.0);
         Self {

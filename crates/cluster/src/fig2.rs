@@ -217,8 +217,12 @@ mod tests {
         // 1 hierarchical GraphBLAS + 6 local systems + 6 published lines.
         assert_eq!(series.len(), 13);
         let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
-        assert!(labels.iter().any(|l| l.starts_with("Hierarchical GraphBLAS")));
-        assert!(labels.iter().any(|l| l.contains("Accumulo D4M [published]")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("Hierarchical GraphBLAS")));
+        assert!(labels
+            .iter()
+            .any(|l| l.contains("Accumulo D4M [published]")));
         for s in &series {
             assert!(!s.points.is_empty(), "empty series {}", s.label);
             for w in s.points.windows(2) {
@@ -250,6 +254,8 @@ mod tests {
             .iter()
             .filter(|s| s.label.contains("[published]"))
             .collect();
-        assert!(published.iter().all(|s| s.points.iter().all(|p| !p.measured)));
+        assert!(published
+            .iter()
+            .all(|s| s.points.iter().all(|p| !p.measured)));
     }
 }

@@ -1,10 +1,13 @@
 //! Single-instance update-rate measurement for every system under test.
+//!
+//! Every system is constructed as a `Box<dyn StreamingSink<u64>>` by
+//! [`make_sink`] and driven by the single generic [`drive_sink`] harness —
+//! there is exactly one ingest loop, so a timing difference between systems
+//! can only come from the systems themselves.
 
-use hyperstream_baselines::{
-    ArrayStore, DocStore, InsertRecord, RowStore, StreamingStore, TabletStore,
-};
+use hyperstream_baselines::{ArrayStore, DocStore, RowStore, TabletStore};
 use hyperstream_d4m::{HierAssoc, HierAssocConfig};
-use hyperstream_graphblas::Matrix;
+use hyperstream_graphblas::{Matrix, StreamingSink};
 use hyperstream_hier::{HierConfig, HierMatrix};
 use hyperstream_workload::{edges_to_tuples, Edge};
 use std::time::Instant;
@@ -78,62 +81,61 @@ impl MeasuredRate {
     }
 }
 
-/// Stream `batches` of edges into one instance of `system` and measure the
-/// sustained update rate.  The same edge batches are used for every system.
-pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> MeasuredRate {
-    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
-    let start = Instant::now();
+/// Construct one fresh instance of `system` behind the workspace-wide
+/// [`StreamingSink`] interface.  `dim` bounds the index space of the
+/// GraphBLAS-backed sinks (the key-value analogues are unbounded).
+pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSink<u64>> {
     match system {
-        SystemKind::HierGraphBlas => {
-            let mut m = HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default())
-                .expect("valid dims");
-            for batch in batches {
-                let (r, c, v) = edges_to_tuples(batch);
-                m.update_batch(&r, &c, &v).expect("in-bounds updates");
-            }
-            std::hint::black_box(m.total_entries_bound());
-        }
+        SystemKind::HierGraphBlas => Box::new(
+            HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default()).expect("valid dims"),
+        ),
         SystemKind::FlatGraphBlas => {
-            let mut m = Matrix::<u64>::new(dim, dim).with_pending_limit(1 << 17);
-            for batch in batches {
-                for e in batch {
-                    m.accum_element(e.src, e.dst, e.weight).expect("in bounds");
-                }
-            }
-            m.wait();
-            std::hint::black_box(m.nvals());
+            Box::new(Matrix::<u64>::new(dim, dim).with_pending_limit(1 << 17))
         }
-        SystemKind::HierD4m => {
-            let mut m = HierAssoc::new(HierAssocConfig::default_schedule());
-            for batch in batches {
-                for e in batch {
-                    m.update(&e.src.to_string(), &e.dst.to_string(), e.weight as f64);
-                }
-            }
-            std::hint::black_box(m.updates());
-        }
-        SystemKind::AccumuloLike => run_store(&mut TabletStore::new(), batches),
-        SystemKind::SciDbLike => run_store(&mut ArrayStore::new(), batches),
-        SystemKind::TpcCLike => run_store(&mut RowStore::new(), batches),
-        SystemKind::CrateDbLike => run_store(&mut DocStore::new(), batches),
-    }
-    MeasuredRate {
-        system,
-        updates: total,
-        seconds: start.elapsed().as_secs_f64().max(1e-9),
+        SystemKind::HierD4m => Box::new(HierAssoc::new(HierAssocConfig::default_schedule())),
+        SystemKind::AccumuloLike => Box::new(TabletStore::new()),
+        SystemKind::SciDbLike => Box::new(ArrayStore::new()),
+        SystemKind::TpcCLike => Box::new(RowStore::new()),
+        SystemKind::CrateDbLike => Box::new(DocStore::new()),
     }
 }
 
-fn run_store<S: StreamingStore>(store: &mut S, batches: &[Vec<Edge>]) {
+/// The one generic ingest loop: stream every batch into `sink`, flush, and
+/// read back the total weight (defeating dead-code elimination and checking
+/// that no updates were dropped).  Returns the total weight ingested.
+pub fn drive_sink<S: StreamingSink<u64> + ?Sized>(sink: &mut S, batches: &[Vec<Edge>]) -> f64 {
     for batch in batches {
-        let recs: Vec<InsertRecord> = batch
-            .iter()
-            .map(|e| InsertRecord::new(e.src, e.dst, e.weight))
-            .collect();
-        store.insert_batch(&recs);
+        let (rows, cols, vals) = edges_to_tuples(batch);
+        sink.insert_batch(&rows, &cols, &vals)
+            .expect("in-bounds updates");
     }
-    store.flush();
-    std::hint::black_box(store.total_weight());
+    sink.flush().expect("flush completes");
+    std::hint::black_box(sink.total_weight())
+}
+
+/// Stream `batches` of edges into one instance of `system` and measure the
+/// sustained update rate.  The same edge batches are used for every system,
+/// and every system runs through [`drive_sink`].
+pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> MeasuredRate {
+    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let mut sink = make_sink(system, dim);
+    let start = Instant::now();
+    let weight = drive_sink(sink.as_mut(), batches);
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    debug_assert_eq!(
+        weight,
+        batches
+            .iter()
+            .flatten()
+            .map(|e| e.weight as f64)
+            .sum::<f64>(),
+        "sink dropped updates"
+    );
+    MeasuredRate {
+        system,
+        updates: total,
+        seconds,
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +174,44 @@ mod tests {
     }
 
     #[test]
+    fn every_sink_ingests_the_same_stream_identically() {
+        let batches = small_batches();
+        let expected_weight: f64 = batches.iter().flatten().map(|e| e.weight as f64).sum();
+        for &sys in SystemKind::all() {
+            let mut sink = make_sink(sys, 1 << 32);
+            let weight = drive_sink(sink.as_mut(), &batches);
+            assert_eq!(
+                weight,
+                expected_weight,
+                "{} dropped updates",
+                sink.sink_name()
+            );
+            assert!(sink.nvals() > 0, "{} stored nothing", sink.sink_name());
+        }
+    }
+
+    #[test]
+    fn graphblas_sinks_agree_on_distinct_cells() {
+        // The hierarchical, flat and D4M sinks represent the same matrix, so
+        // after identical streams they must report identical nvals.
+        let batches = small_batches();
+        let nvals: Vec<usize> = [
+            SystemKind::HierGraphBlas,
+            SystemKind::FlatGraphBlas,
+            SystemKind::HierD4m,
+        ]
+        .iter()
+        .map(|&sys| {
+            let mut sink = make_sink(sys, 1 << 32);
+            drive_sink(sink.as_mut(), &batches);
+            sink.nvals()
+        })
+        .collect();
+        assert_eq!(nvals[0], nvals[1]);
+        assert_eq!(nvals[0], nvals[2]);
+    }
+
+    #[test]
     fn labels_unique() {
         let labels: std::collections::HashSet<_> =
             SystemKind::all().iter().map(|s| s.label()).collect();
@@ -186,10 +226,7 @@ mod tests {
             seconds: 0.5,
         };
         assert_eq!(r.updates_per_second(), 2000.0);
-        let zero = MeasuredRate {
-            seconds: 0.0,
-            ..r
-        };
+        let zero = MeasuredRate { seconds: 0.0, ..r };
         assert_eq!(zero.updates_per_second(), 0.0);
     }
 }

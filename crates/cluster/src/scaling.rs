@@ -2,8 +2,6 @@
 //! real threads and measure aggregate throughput and parallel efficiency.
 
 use crate::measure::SystemKind;
-use hyperstream_graphblas::Matrix;
-use hyperstream_hier::{HierConfig, HierMatrix};
 use hyperstream_workload::{PowerLawConfig, PowerLawGenerator};
 use std::time::Instant;
 
@@ -100,37 +98,17 @@ fn run_one_instance(system: SystemKind, instance_id: u64, updates: u64, dim: u64
         ..PowerLawConfig::default()
     });
     const BATCH: usize = 10_000;
-    match system {
-        SystemKind::HierGraphBlas => {
-            let mut m = HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default())
-                .expect("valid dims");
-            let mut remaining = updates;
-            while remaining > 0 {
-                let take = remaining.min(BATCH as u64) as usize;
-                let batch = gen.batch(take);
-                let rows: Vec<u64> = batch.iter().map(|e| e.src).collect();
-                let cols: Vec<u64> = batch.iter().map(|e| e.dst).collect();
-                let vals: Vec<u64> = batch.iter().map(|e| e.weight).collect();
-                m.update_batch(&rows, &cols, &vals).expect("in bounds");
-                remaining -= take as u64;
-            }
-            std::hint::black_box(m.total_entries_bound());
-        }
-        SystemKind::FlatGraphBlas => {
-            let mut m = Matrix::<u64>::new(dim, dim).with_pending_limit(1 << 17);
-            let mut remaining = updates;
-            while remaining > 0 {
-                let take = remaining.min(BATCH as u64) as usize;
-                for e in gen.batch(take) {
-                    m.accum_element(e.src, e.dst, e.weight).expect("in bounds");
-                }
-                remaining -= take as u64;
-            }
-            m.wait();
-            std::hint::black_box(m.nvals());
-        }
-        _ => unreachable!("guarded by measure_scaling"),
+    let mut sink = crate::measure::make_sink(system, dim);
+    let mut remaining = updates;
+    while remaining > 0 {
+        let take = remaining.min(BATCH as u64) as usize;
+        let batch = gen.batch(take);
+        let (rows, cols, vals) = hyperstream_workload::edges_to_tuples(&batch);
+        sink.insert_batch(&rows, &cols, &vals).expect("in bounds");
+        remaining -= take as u64;
     }
+    sink.flush().expect("flush completes");
+    std::hint::black_box(sink.total_weight());
 }
 
 #[cfg(test)]
@@ -179,7 +157,11 @@ mod tests {
         // Two instances should deliver more aggregate throughput than one
         // on any machine with at least two cores; allow generous slack for
         // single-core CI machines.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) >= 2 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            >= 2
+        {
             assert!(pts[1].aggregate_rate() > pts[0].aggregate_rate() * 0.8);
         }
     }

@@ -1,0 +1,247 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Provides the measurement API surface the `hyperstream-bench` benches use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`).  Instead of criterion's full
+//! statistical pipeline it runs a warm-up iteration plus a bounded number of
+//! timed samples and prints median time and throughput per benchmark — good
+//! enough to rank configurations and spot large regressions offline.
+//!
+//! Running a bench binary with `--test` (as `cargo test --benches` does)
+//! executes every benchmark exactly once for a fast smoke check.  Swap the
+//! workspace `Cargo.toml` entry for the real crate to get full statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function part and a parameter part (`function/param`).
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under timing; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (not timed).
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    /// Run one benchmark that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op hook).
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.test_mode {
+            1
+        } else {
+            // Bound the sample count: this harness is for offline ranking,
+            // not publication-grade statistics.
+            self.sample_size.min(10)
+        }
+    }
+
+    fn report(&self, id: &str, median: Duration) {
+        let secs = median.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:>12.3e} elem/s", n as f64 / secs)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:>12.3e} B/s", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<50} {:>12.3?}/iter{rate}",
+            format!("{}/{id}", self.name),
+            median
+        );
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // `cargo test --benches` runs bench binaries with `--test`.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from benchmark groups, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat_smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0u64..100).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}

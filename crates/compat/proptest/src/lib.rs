@@ -1,0 +1,333 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with [`Strategy::prop_map`], range and
+//! tuple strategies, [`prop::collection::vec`], the [`proptest!`] macro, and
+//! the `prop_assert*` macros.  Differences from upstream:
+//!
+//! * **No shrinking** — a failing case reports its case index; cases are
+//!   deterministic per test (the RNG is seeded from the test name), so a
+//!   failure is reproducible by re-running the test.
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately instead of
+//!   returning `Err`, which is equivalent observable behaviour here.
+//!
+//! Swap the workspace `Cargo.toml` entry for the real crate to restore
+//! shrinking; the test source is compatible with both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG used to generate test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically (tests derive the seed from their name).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Stable FNV-1a hash used to derive per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (no shrinking through the map).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, usize, u32, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// A strategy producing `Vec`s of values from `element`, with a
+        /// length drawn from `size` (any `usize` strategy, e.g. `0..300`).
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, L> {
+            element: S,
+            size: L,
+        }
+
+        /// Generate vectors of `element` values with lengths from `size`.
+        pub fn vec<S: Strategy, L: Strategy<Value = usize>>(
+            element: S,
+            size: L,
+        ) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-test configuration (`cases` = number of generated inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Define property tests.  Mirrors `proptest::proptest!`.
+///
+/// The `#[test]` attributes inside the macro are expanded into real unit
+/// tests when used from test code; the doctest below only checks that the
+/// macro expands, because doctests cannot register (or call) unit tests.
+///
+/// ```
+/// use hyperstream_proptest_compat::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::seed_from_u64(seed ^ (case as u64) << 1);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let run = || { $body };
+                if let Err(payload) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic; re-run to reproduce)",
+                        case + 1, config.cases, stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (5u64..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let u = (0usize..=3).generate(&mut rng);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = prop::collection::vec((0u64..100, 0u64..100), 0usize..50);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 50);
+            assert!(v.iter().all(|&(a, b)| a < 100 && b < 100));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = (1u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_smoke(xs in prop::collection::vec(0u64..5, 0usize..20), k in 1u64..4) {
+            let total: u64 = xs.iter().sum();
+            prop_assert!(total <= 5 * xs.len() as u64);
+            prop_assert_eq!(k.min(4), k);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

@@ -82,8 +82,24 @@ impl Assoc {
     }
 
     /// Number of stored entries.
+    ///
+    /// When pending (unsettled) updates exist this settles a clone, which is
+    /// expensive — on hot paths prefer [`Assoc::nnz_bound`] and settle
+    /// explicitly with [`Assoc::settle`] before reading the exact count.
     pub fn nnz(&self) -> usize {
         self.values.nvals()
+    }
+
+    /// Upper bound on [`Assoc::nnz`] computable in `O(1)`: counts pending
+    /// updates before duplicate collapse.
+    pub fn nnz_bound(&self) -> usize {
+        self.values.nvals_settled() + self.values.npending()
+    }
+
+    /// Fold all pending updates into the compressed structure, making
+    /// [`Assoc::nnz`] exact and cheap.
+    pub fn settle(&mut self) {
+        self.values.wait();
     }
 
     /// True when no entries are stored.

@@ -3,8 +3,8 @@
 
 use crate::index::Index;
 use crate::matrix::Matrix;
-use crate::ops::semiring::MinSecond;
 use crate::ops::mxv::vxm;
+use crate::ops::semiring::MinSecond;
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 
@@ -88,15 +88,8 @@ mod tests {
     #[test]
     fn bfs_on_branching_graph() {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond)
-        let g = Matrix::from_tuples(
-            4,
-            4,
-            &[0, 0, 1, 2],
-            &[1, 2, 3, 3],
-            &[1u64, 1, 1, 1],
-            Plus,
-        )
-        .unwrap();
+        let g = Matrix::from_tuples(4, 4, &[0, 0, 1, 2], &[1, 2, 3, 3], &[1u64, 1, 1, 1], Plus)
+            .unwrap();
         let levels = bfs_levels(&g, 0);
         assert_eq!(levels.get(0), Some(1));
         assert_eq!(levels.get(1), Some(2));

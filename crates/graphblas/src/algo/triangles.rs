@@ -2,12 +2,12 @@
 //! (`ntri = sum(sum((A*A) .* A)) / 6` for a symmetric adjacency pattern).
 
 use crate::matrix::Matrix;
+use crate::ops::binary::Times;
 use crate::ops::ewise_mult::ewise_mult;
 use crate::ops::monoid::PlusMonoid;
 use crate::ops::mxm::mxm;
 use crate::ops::reduce::reduce_scalar;
 use crate::ops::semiring::PlusTimes;
-use crate::ops::binary::Times;
 use crate::ops::unary::One;
 use crate::types::ScalarType;
 
@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn hypersparse_triangle() {
         let base = 1u64 << 33;
-        let g = symmetric(&[(base, base + 1), (base + 1, base + 2), (base, base + 2)], 1 << 40);
+        let g = symmetric(
+            &[(base, base + 1), (base + 1, base + 2), (base, base + 2)],
+            1 << 40,
+        );
         assert_eq!(triangle_count(&g), 1);
     }
 }

@@ -83,9 +83,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(GrbError::NoValue, GrbError::NoValue);
-        assert_ne!(
-            GrbError::NoValue,
-            GrbError::EmptyObject("x"),
-        );
+        assert_ne!(GrbError::NoValue, GrbError::EmptyObject("x"),);
     }
 }

@@ -323,7 +323,9 @@ impl<T: ScalarType> Dcsr<T> {
         }
         for w in self.row_ids.windows(2) {
             if w[0] >= w[1] {
-                return Err(GrbError::InvalidValue("row ids not strictly increasing".into()));
+                return Err(GrbError::InvalidValue(
+                    "row ids not strictly increasing".into(),
+                ));
             }
         }
         for k in 0..self.row_ids.len() {
@@ -439,12 +441,7 @@ mod tests {
         let entries: Vec<_> = m.iter().collect();
         assert_eq!(
             entries,
-            vec![
-                (5, 2, 2),
-                (5, 10, 6),
-                (7, 10, 4),
-                (900_000_000_000, 3, 3)
-            ]
+            vec![(5, 2, 2), (5, 10, 6), (7, 10, 4), (900_000_000_000, 3, 3)]
         );
         let mut sorted = entries.clone();
         sorted.sort_by_key(|&(r, c, _)| (r, c));
@@ -504,18 +501,14 @@ mod tests {
         let b = Dcsr::from_tuples(10, 10, &[4, 4], &[0, 5], &[100u32, 50], Plus).unwrap();
         let c = a.merge(&b, Plus).unwrap();
         let entries: Vec<_> = c.iter().collect();
-        assert_eq!(
-            entries,
-            vec![(4, 0, 100), (4, 1, 1), (4, 5, 55), (4, 9, 9)]
-        );
+        assert_eq!(entries, vec![(4, 0, 100), (4, 1, 1), (4, 5, 55), (4, 9, 9)]);
     }
 
     #[test]
     fn extract_tuples_round_trip() {
         let m = sample();
         let (r, c, v) = m.extract_tuples();
-        let rebuilt =
-            Dcsr::from_tuples(m.nrows(), m.ncols(), &r, &c, &v, Plus).unwrap();
+        let rebuilt = Dcsr::from_tuples(m.nrows(), m.ncols(), &r, &c, &v, Plus).unwrap();
         assert_eq!(rebuilt, m);
     }
 
@@ -545,8 +538,7 @@ mod tests {
     #[test]
     fn memory_independent_of_dimensions() {
         let small_dims = Dcsr::from_tuples(100, 100, &[1], &[1], &[1u64], Plus).unwrap();
-        let huge_dims =
-            Dcsr::from_tuples(1 << 50, 1 << 50, &[1], &[1], &[1u64], Plus).unwrap();
+        let huge_dims = Dcsr::from_tuples(1 << 50, 1 << 50, &[1], &[1], &[1u64], Plus).unwrap();
         assert_eq!(small_dims.memory().total(), huge_dims.memory().total());
     }
 }

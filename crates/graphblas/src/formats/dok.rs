@@ -70,7 +70,13 @@ impl<T: ScalarType> Dok<T> {
 
     /// Accumulate `val` into `(row, col)` with the operator `op`
     /// (`A(i,j) = op(A(i,j), v)`, or plain insert when absent).
-    pub fn accum<Op: BinaryOp<T>>(&mut self, row: Index, col: Index, val: T, op: Op) -> GrbResult<()> {
+    pub fn accum<Op: BinaryOp<T>>(
+        &mut self,
+        row: Index,
+        col: Index,
+        val: T,
+        op: Op,
+    ) -> GrbResult<()> {
         validate_index(row, self.nrows)?;
         validate_index(col, self.ncols)?;
         self.map

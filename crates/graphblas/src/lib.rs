@@ -55,6 +55,7 @@ pub mod ops;
 pub mod formats;
 
 pub mod matrix;
+pub mod sink;
 pub mod vector;
 
 pub mod mask;
@@ -64,6 +65,7 @@ pub mod algo;
 pub use error::{GrbError, GrbResult};
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
+pub use sink::StreamingSink;
 pub use types::ScalarType;
 pub use vector::SparseVector;
 
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::ops::transpose::transpose;
     pub use crate::ops::unary::{AInv, Abs, Identity, MInv, One};
     pub use crate::ops::{BinaryOp, Monoid, Semiring, UnaryOp};
+    pub use crate::sink::StreamingSink;
     pub use crate::types::ScalarType;
     pub use crate::vector::SparseVector;
 }

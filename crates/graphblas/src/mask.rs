@@ -58,8 +58,15 @@ impl<'a, M: ScalarType> Mask<'a, M> {
                 vals.push(v);
             }
         }
-        Matrix::from_tuples(m.nrows(), m.ncols(), &rows, &cols, &vals, crate::ops::binary::Second)
-            .expect("filtered entries are in bounds")
+        Matrix::from_tuples(
+            m.nrows(),
+            m.ncols(),
+            &rows,
+            &cols,
+            &vals,
+            crate::ops::binary::Second,
+        )
+        .expect("filtered entries are in bounds")
     }
 }
 
@@ -93,15 +100,8 @@ mod tests {
     fn filter_keeps_only_allowed() {
         let mm = mask_matrix();
         let mask = Mask::structural(&mm);
-        let data = Matrix::from_tuples(
-            10,
-            10,
-            &[1, 2, 3],
-            &[1, 2, 3],
-            &[10u64, 20, 30],
-            Plus,
-        )
-        .unwrap();
+        let data =
+            Matrix::from_tuples(10, 10, &[1, 2, 3], &[1, 2, 3], &[10u64, 20, 30], Plus).unwrap();
         let filtered = mask.filter(&data);
         assert_eq!(filtered.nvals(), 2);
         assert_eq!(filtered.get(1, 1), Some(10));

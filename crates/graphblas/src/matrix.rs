@@ -9,7 +9,7 @@
 //! "defer and batch" idea the hierarchical matrix generalises to multiple
 //! levels.
 
-use crate::error::{GrbError, GrbResult};
+use crate::error::GrbResult;
 use crate::formats::coo::Coo;
 use crate::formats::dcsr::Dcsr;
 use crate::formats::{Entry, MemoryFootprint};
@@ -171,11 +171,7 @@ impl<T: ScalarType> Matrix<T> {
 
     /// Accumulate a batch of tuples under `+`.
     pub fn accum_tuples(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
-        if rows.len() != cols.len() || rows.len() != vals.len() {
-            return Err(GrbError::DimensionMismatch {
-                detail: "tuple slice lengths differ".into(),
-            });
-        }
+        crate::sink::check_tuple_lengths(rows, cols, vals)?;
         for i in 0..rows.len() {
             self.accum_element(rows[i], cols[i], vals[i])?;
         }

@@ -235,9 +235,9 @@ mod tests {
 
     #[test]
     fn bool_specialisations() {
-        assert_eq!(BinaryOp::<bool>::apply(&Plus, true, false), true);
-        assert_eq!(BinaryOp::<bool>::apply(&Times, true, false), false);
-        assert_eq!(BinaryOp::<bool>::apply(&Min, true, false), false);
-        assert_eq!(BinaryOp::<bool>::apply(&Max, true, false), true);
+        assert!(BinaryOp::<bool>::apply(&Plus, true, false));
+        assert!(!BinaryOp::<bool>::apply(&Times, true, false));
+        assert!(!BinaryOp::<bool>::apply(&Min, true, false));
+        assert!(BinaryOp::<bool>::apply(&Max, true, false));
     }
 }

@@ -29,13 +29,7 @@ where
 {
     if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
         return Err(GrbError::DimensionMismatch {
-            detail: format!(
-                "{}x{} vs {}x{}",
-                a.nrows(),
-                a.ncols(),
-                b.nrows(),
-                b.ncols()
-            ),
+            detail: format!("{}x{} vs {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols()),
         });
     }
     let (sa, sb);
@@ -86,7 +80,14 @@ where
             }
         }
     }
-    Matrix::from_tuples(a.nrows(), a.ncols(), &rows, &cols, &vals, crate::ops::binary::Second)
+    Matrix::from_tuples(
+        a.nrows(),
+        a.ncols(),
+        &rows,
+        &cols,
+        &vals,
+        crate::ops::binary::Second,
+    )
 }
 
 #[cfg(test)]

@@ -132,18 +132,8 @@ mod tests {
 
     #[test]
     fn extract_out_of_bounds() {
-        assert!(extract(
-            &m(),
-            IndexRange::new(0, 101).unwrap(),
-            IndexRange::all(100)
-        )
-        .is_err());
-        assert!(extract(
-            &m(),
-            IndexRange::new(5, 5).unwrap(),
-            IndexRange::all(100)
-        )
-        .is_err());
+        assert!(extract(&m(), IndexRange::new(0, 101).unwrap(), IndexRange::all(100)).is_err());
+        assert!(extract(&m(), IndexRange::new(5, 5).unwrap(), IndexRange::all(100)).is_err());
     }
 
     #[test]
@@ -181,8 +171,12 @@ mod tests {
         assert_eq!(r.get(2), Some(9));
         let c = extract_col(&a, 2).unwrap();
         assert_eq!(c.get(1), Some(9));
-        let sub = extract(&a, IndexRange::new(0, 10).unwrap(), IndexRange::new(0, 10).unwrap())
-            .unwrap();
+        let sub = extract(
+            &a,
+            IndexRange::new(0, 10).unwrap(),
+            IndexRange::new(0, 10).unwrap(),
+        )
+        .unwrap();
         assert_eq!(sub.get(1, 2), Some(9));
     }
 }

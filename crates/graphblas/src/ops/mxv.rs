@@ -20,11 +20,7 @@ where
 }
 
 /// Fallible version of [`mxv`].
-pub fn try_mxv<T, S>(
-    a: &Matrix<T>,
-    u: &SparseVector<T>,
-    semiring: S,
-) -> GrbResult<SparseVector<T>>
+pub fn try_mxv<T, S>(a: &Matrix<T>, u: &SparseVector<T>, semiring: S) -> GrbResult<SparseVector<T>>
 where
     T: ScalarType,
     S: Semiring<T>,
@@ -76,11 +72,7 @@ where
 }
 
 /// Fallible version of [`vxm`].
-pub fn try_vxm<T, S>(
-    u: &SparseVector<T>,
-    a: &Matrix<T>,
-    semiring: S,
-) -> GrbResult<SparseVector<T>>
+pub fn try_vxm<T, S>(u: &SparseVector<T>, a: &Matrix<T>, semiring: S) -> GrbResult<SparseVector<T>>
 where
     T: ScalarType,
     S: Semiring<T>,

@@ -185,8 +185,8 @@ mod tests {
         assert_eq!(3i64.max_val(-7), 3);
         assert_eq!(3.5f64.min_val(2.5), 2.5);
         assert_eq!(3.5f64.max_val(2.5), 3.5);
-        assert_eq!(i32::max_value(), i32::MAX);
-        assert_eq!(u16::min_value(), 0);
+        assert_eq!(<i32 as ScalarType>::max_value(), i32::MAX);
+        assert_eq!(<u16 as ScalarType>::min_value(), 0);
     }
 
     #[test]
@@ -199,13 +199,13 @@ mod tests {
 
     #[test]
     fn bool_algebra_is_or_and() {
-        assert_eq!(true.add(false), true);
-        assert_eq!(false.add(false), false);
-        assert_eq!(true.mul(false), false);
-        assert_eq!(true.mul(true), true);
-        assert_eq!(true.sub(true), false);
-        assert_eq!(bool::from_u64(3), true);
-        assert_eq!(bool::from_f64(0.0), false);
+        assert!(true.add(false));
+        assert!(!false.add(false));
+        assert!(!true.mul(false));
+        assert!(true.mul(true));
+        assert!(!true.sub(true));
+        assert!(bool::from_u64(3));
+        assert!(!bool::from_f64(0.0));
         assert_eq!(true.to_f64(), 1.0);
     }
 

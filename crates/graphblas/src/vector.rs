@@ -27,7 +27,9 @@ impl<T: ScalarType> SparseVector<T> {
     /// Fallible constructor.
     pub fn try_new(size: Index) -> GrbResult<Self> {
         if size == 0 {
-            return Err(GrbError::InvalidValue("vector size must be non-zero".into()));
+            return Err(GrbError::InvalidValue(
+                "vector size must be non-zero".into(),
+            ));
         }
         Ok(Self {
             size,
@@ -255,8 +257,7 @@ mod tests {
 
     #[test]
     fn top_k_orders_by_value() {
-        let v =
-            SparseVector::from_tuples(100, &[1, 2, 3, 4], &[5u64, 50, 10, 50], Plus).unwrap();
+        let v = SparseVector::from_tuples(100, &[1, 2, 3, 4], &[5u64, 50, 10, 50], Plus).unwrap();
         let top = v.top_k(3);
         assert_eq!(top, vec![(2, 50), (4, 50), (3, 10)]);
         assert_eq!(v.top_k(0), vec![]);

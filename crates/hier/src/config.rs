@@ -23,7 +23,7 @@ impl HierConfig {
         if cuts.is_empty() {
             return Err(GrbError::EmptyObject("cut list"));
         }
-        if cuts.iter().any(|&c| c == 0) {
+        if cuts.contains(&0) {
             return Err(GrbError::InvalidValue("cuts must be non-zero".into()));
         }
         for w in cuts.windows(2) {
@@ -56,9 +56,8 @@ impl HierConfig {
         }
         let cuts = (0..levels - 1)
             .map(|i| {
-                base.checked_mul(ratio.pow(i as u32)).ok_or_else(|| {
-                    GrbError::InvalidValue("cut schedule overflows u64".into())
-                })
+                base.checked_mul(ratio.pow(i as u32))
+                    .ok_or_else(|| GrbError::InvalidValue("cut schedule overflows u64".into()))
             })
             .collect::<GrbResult<Vec<u64>>>()?;
         Self::from_cuts(cuts)

@@ -7,7 +7,7 @@ use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
 use hyperstream_graphblas::ops::reduce::reduce_scalar;
-use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, ScalarType};
+use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, ScalarType, StreamingSink};
 
 /// An N-level hierarchical hypersparse matrix accumulating under `+`.
 ///
@@ -92,11 +92,7 @@ impl<T: ScalarType> HierMatrix<T> {
     /// The cascade check runs once per batch (not per tuple), which mirrors
     /// how the paper's benchmark feeds 100,000-edge sets into `A_1`.
     pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
-        if rows.len() != cols.len() || rows.len() != vals.len() {
-            return Err(GrbError::DimensionMismatch {
-                detail: "tuple slice lengths differ".into(),
-            });
-        }
+        hyperstream_graphblas::sink::check_tuple_lengths(rows, cols, vals)?;
         for i in 0..rows.len() {
             self.levels[0].accum_element(rows[i], cols[i], vals[i])?;
         }
@@ -159,11 +155,16 @@ impl<T: ScalarType> HierMatrix<T> {
     /// Sum of all stored values (in `f64`), computable without materialising
     /// because summation is linear across levels.
     pub fn total_weight(&self) -> u64 {
+        self.total_weight_f64().round() as u64
+    }
+
+    /// Sum of all stored values without integer rounding, for scalar types
+    /// with fractional weights.
+    pub fn total_weight_f64(&self) -> f64 {
         self.levels
             .iter()
             .map(|l| reduce_scalar(l, PlusMonoid).to_f64())
             .sum::<f64>()
-            .round() as u64
     }
 
     /// Materialise the full matrix `A = Σ_i A_i` (the paper's query step).
@@ -272,6 +273,35 @@ impl<T: ScalarType> HierMatrix<T> {
         self.levels[i].clear();
         self.stats.cascades[i] += 1;
         self.stats.entries_moved[i] += moved;
+    }
+}
+
+/// The paper's insert path: `insert` feeds level 0 and runs the cascade
+/// check, `flush` completes all outstanding cascades.
+impl<T: ScalarType> StreamingSink<T> for HierMatrix<T> {
+    fn sink_name(&self) -> &str {
+        "hier-graphblas"
+    }
+
+    fn insert(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        self.update(row, col, val)
+    }
+
+    fn insert_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        self.update_batch(rows, cols, vals)
+    }
+
+    fn flush(&mut self) -> GrbResult<()> {
+        HierMatrix::flush(self);
+        Ok(())
+    }
+
+    fn nvals(&self) -> usize {
+        self.nvals_exact()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight_f64()
     }
 }
 
@@ -469,6 +499,39 @@ mod tests {
         }
         assert!(m.memory_bytes() > before);
         assert_eq!(m.memory_per_level().len(), 4);
+    }
+
+    #[test]
+    fn streaming_sink_path_equals_native_path() {
+        let mut native = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        let mut sink: Box<dyn StreamingSink<u64>> =
+            Box::new(HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap());
+        for i in 0..500u64 {
+            native.update(i % 97, (i * 11) % 89, 1).unwrap();
+            sink.insert(i % 97, (i * 11) % 89, 1).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.sink_name(), "hier-graphblas");
+        assert_eq!(sink.nvals(), native.nvals_exact());
+        assert_eq!(sink.total_weight(), 500.0);
+        assert_eq!(native.total_weight(), 500);
+    }
+
+    #[test]
+    fn sink_flush_completes_cascades() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        StreamingSink::insert_batch(
+            &mut m,
+            &(0..100u64).collect::<Vec<_>>(),
+            &(0..100u64).collect::<Vec<_>>(),
+            &[1u64; 100],
+        )
+        .unwrap();
+        StreamingSink::flush(&mut m).unwrap();
+        let per_level = m.entries_per_level();
+        for (i, &n) in per_level.iter().enumerate().take(per_level.len() - 1) {
+            assert_eq!(n, 0, "level {i} not flushed");
+        }
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl TraceComparison {
 /// Simulate the touch pattern of `updates` streaming inserts into a flat
 /// hypersparse matrix that already holds `settled_nnz` entries and merges
 /// its pending buffer every `pending_limit` updates.
-pub fn simulate_flat_trace(
-    updates: u64,
-    settled_nnz: u64,
-    pending_limit: u64,
-) -> TrackerReport {
+pub fn simulate_flat_trace(updates: u64, settled_nnz: u64, pending_limit: u64) -> TrackerReport {
     let mut tracker = AccessTracker::new();
     let pending_limit = pending_limit.max(1);
     let settled_bytes = settled_nnz.saturating_mul(BYTES_PER_ENTRY);
@@ -63,9 +59,7 @@ pub fn simulate_flat_trace(
         if settled_nnz > 1 {
             let probes = 64 - settled_nnz.leading_zeros() as u64;
             for p in 0..probes {
-                hash = hash
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(u ^ p);
+                hash = hash.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(u ^ p);
                 let off = hash % settled_bytes.max(1);
                 tracker.touch(settled_base + off, AccessKind::Read);
             }
@@ -85,18 +79,12 @@ pub fn simulate_flat_trace(
 /// Simulate the touch pattern of `updates` streaming inserts into a
 /// hierarchical matrix with the given cut schedule (top level assumed to
 /// hold `settled_nnz` entries at steady state).
-pub fn simulate_hier_trace(
-    updates: u64,
-    settled_nnz: u64,
-    config: &HierConfig,
-) -> TrackerReport {
+pub fn simulate_hier_trace(updates: u64, settled_nnz: u64, config: &HierConfig) -> TrackerReport {
     let mut tracker = AccessTracker::new();
     let cuts = config.cuts();
     let mut level_fill: Vec<u64> = vec![0; config.levels()];
     // Place each level at a distinct base address.
-    let level_base: Vec<u64> = (0..config.levels() as u64)
-        .map(|i| (i + 1) << 36)
-        .collect();
+    let level_base: Vec<u64> = (0..config.levels() as u64).map(|i| (i + 1) << 36).collect();
     let top = config.levels() - 1;
 
     for u in 0..updates {

@@ -43,9 +43,7 @@ impl<T: ScalarType> InstancePool<T> {
     /// The instance an update with this source index is routed to.
     pub fn route(&self, src: Index) -> usize {
         // Multiplicative hash so nearby sources spread across instances.
-        let h = src
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(17);
+        let h = src.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
         (h % self.instances.len() as u64) as usize
     }
 
@@ -77,11 +75,7 @@ impl<T: ScalarType> InstancePool<T> {
 
     /// Aggregate statistics (sums over instances).
     pub fn aggregate_stats(&self) -> HierStats {
-        let levels = self
-            .instances
-            .first()
-            .map(|m| m.levels())
-            .unwrap_or(1);
+        let levels = self.instances.first().map(|m| m.levels()).unwrap_or(1);
         let mut agg = HierStats::new(levels);
         for m in &self.instances {
             let s = m.stats();
@@ -113,8 +107,13 @@ mod tests {
     use super::*;
 
     fn pool(n: usize) -> InstancePool<u64> {
-        InstancePool::new(n, 1 << 20, 1 << 20, HierConfig::from_cuts(vec![16, 256]).unwrap())
-            .unwrap()
+        InstancePool::new(
+            n,
+            1 << 20,
+            1 << 20,
+            HierConfig::from_cuts(vec![16, 256]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -143,7 +142,10 @@ mod tests {
             counts[p.route(src)] += 1;
         }
         // No instance should be starved or hold the vast majority.
-        assert!(counts.iter().all(|&c| c > 200), "skewed routing: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 200),
+            "skewed routing: {counts:?}"
+        );
     }
 
     #[test]
@@ -166,11 +168,7 @@ mod tests {
             p.update(i % 50, i % 70, 2).unwrap();
         }
         let union = p.materialize_union().unwrap();
-        let total: u64 = union
-            .extract_tuples()
-            .2
-            .iter()
-            .sum();
+        let total: u64 = union.extract_tuples().2.iter().sum();
         assert_eq!(total, 600);
     }
 

@@ -33,11 +33,7 @@ pub struct CutRecommendation {
 /// (half of L2 by default), and each higher level is `ratio` times larger,
 /// stopping once the next cut would exceed `expected_nnz` (the top level is
 /// unbounded anyway).
-pub fn recommend_cuts(
-    hierarchy: &MemoryHierarchy,
-    expected_nnz: u64,
-    ratio: u64,
-) -> HierConfig {
+pub fn recommend_cuts(hierarchy: &MemoryHierarchy, expected_nnz: u64, ratio: u64) -> HierConfig {
     let model = CostModel::new(hierarchy.clone());
     let bytes_per_entry = model.bytes_per_entry.max(1);
     // Use the second level of the hierarchy (L2) as the residence target for

@@ -13,7 +13,7 @@ use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add;
-use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
+use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType, StreamingSink};
 use std::collections::VecDeque;
 
 /// A rotating sequence of hierarchical matrices, one per time window.
@@ -128,6 +128,53 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
         out.push(self.current.total_weight());
         out
     }
+
+    /// Total weight across all *retained* windows plus the current one
+    /// (weight in evicted windows is gone by design).
+    pub fn total_weight_f64(&self) -> f64 {
+        self.closed
+            .iter()
+            .map(|w| w.total_weight_f64())
+            .sum::<f64>()
+            + self.current.total_weight_f64()
+    }
+
+    /// Materialised union of all retained windows plus the current one.
+    pub fn materialize_retained(&self) -> Matrix<T> {
+        self.recent(self.closed.len())
+    }
+}
+
+/// The windowed insert path: `insert` feeds the current window (rotating on
+/// schedule); counts and weights cover the retained windows, so a sink
+/// driven past its retention horizon reports less than it ingested — by
+/// design, since windowing is the paper's temporal-analysis mode.
+impl<T: ScalarType> StreamingSink<T> for WindowedHierMatrix<T> {
+    fn sink_name(&self) -> &str {
+        "hier-graphblas-windowed"
+    }
+
+    fn insert(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        self.update(row, col, val)
+    }
+
+    fn flush(&mut self) -> GrbResult<()> {
+        // Completing deferred work means finishing cascades in every
+        // retained hierarchy; the window schedule itself is not advanced.
+        for w in &mut self.closed {
+            w.flush();
+        }
+        self.current.flush();
+        Ok(())
+    }
+
+    fn nvals(&self) -> usize {
+        self.materialize_retained().nvals()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight_f64()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +247,31 @@ mod tests {
         assert_eq!(last2.get(7, 7), Some(25));
         let current_only = w.recent(0);
         assert_eq!(current_only.get(7, 7), Some(5));
+    }
+
+    #[test]
+    fn streaming_sink_reports_retained_totals() {
+        let mut w = windowed(10, 4);
+        let sink: &mut dyn StreamingSink<u64> = &mut w;
+        for i in 0..25u64 {
+            sink.insert(i % 3, i % 3, 1).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.sink_name(), "hier-graphblas-windowed");
+        // Nothing evicted yet (2 closed + current ≤ 4 retained).
+        assert_eq!(sink.total_weight(), 25.0);
+        assert_eq!(sink.nvals(), 3);
+    }
+
+    #[test]
+    fn sink_totals_drop_evicted_windows() {
+        let mut w = windowed(10, 2);
+        for i in 0..50u64 {
+            StreamingSink::insert(&mut w, i, i, 1).unwrap();
+        }
+        // 4 closed windows (2 evicted) + current: 2 * 10 + 10 remain.
+        assert_eq!(w.total_weight_f64(), 30.0);
+        assert_eq!(w.materialize_retained().nvals(), 30);
     }
 
     #[test]

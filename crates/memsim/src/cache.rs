@@ -92,7 +92,10 @@ impl CacheSim {
     /// Panics if the geometry is inconsistent (line size not a power of two,
     /// capacity not divisible into sets, zero ways).
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways > 0, "associativity must be positive");
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");

@@ -71,7 +71,9 @@ impl CostModel {
         let pending_limit = pending_limit.max(1);
         // Append to the pending buffer: sequential access to a small buffer.
         let pending_bytes = pending_limit * self.bytes_per_entry;
-        let fast_ns = self.hierarchy.access_latency_ns(pending_bytes.min(64 * 1024));
+        let fast_ns = self
+            .hierarchy
+            .access_latency_ns(pending_bytes.min(64 * 1024));
         // Every pending_limit updates the whole settled structure is re-read
         // and re-written (two-pointer merge): 2 * nnz * bytes streamed.
         let settled_bytes = nnz.saturating_mul(self.bytes_per_entry);

@@ -163,7 +163,11 @@ mod tests {
             }
         }
         let r = t.report();
-        assert!(r.fast_fraction() > 0.95, "fast fraction {}", r.fast_fraction());
+        assert!(
+            r.fast_fraction() > 0.95,
+            "fast fraction {}",
+            r.fast_fraction()
+        );
     }
 
     impl AccessTracker {

@@ -96,9 +96,7 @@ impl IpTrafficGenerator {
         );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let dim = cfg.version.dim();
-        let supernode_addrs = (0..cfg.supernodes)
-            .map(|_| rng.gen_range(0..dim))
-            .collect();
+        let supernode_addrs = (0..cfg.supernodes).map(|_| rng.gen_range(0..dim)).collect();
         Self {
             host_zipf: Zipf::new(cfg.active_hosts, cfg.popularity_exponent),
             cfg,
@@ -140,7 +138,9 @@ impl IpTrafficGenerator {
             let dst_rank = self.host_zipf.sample(&mut self.rng);
             self.host_address(dst_rank)
         };
-        let weight = self.rng.gen_range(1..=self.cfg.max_packets_per_update.max(1));
+        let weight = self
+            .rng
+            .gen_range(1..=self.cfg.max_packets_per_update.max(1));
         Edge { src, dst, weight }
     }
 

@@ -142,10 +142,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut c1 = PowerLawConfig::default();
-        c1.seed = 1;
-        let mut c2 = PowerLawConfig::default();
-        c2.seed = 2;
+        let c1 = PowerLawConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let c2 = PowerLawConfig {
+            seed: 2,
+            ..Default::default()
+        };
         assert_ne!(
             PowerLawGenerator::new(c1).batch(100),
             PowerLawGenerator::new(c2).batch(100)
@@ -198,7 +202,10 @@ mod tests {
         };
         let edges = PowerLawGenerator::new(cfg).batch(1000);
         let above_half = edges.iter().filter(|e| e.src > (1 << 31)).count();
-        assert!(above_half > 200, "ids not spread: {above_half}/1000 above 2^31");
+        assert!(
+            above_half > 200,
+            "ids not spread: {above_half}/1000 above 2^31"
+        );
     }
 
     #[test]

@@ -144,8 +144,9 @@ mod tests {
             batches: 5,
             batch_size: 100,
         };
-        let batches: Vec<Vec<Edge>> =
-            StreamPartitioner::new(edges.into_iter(), cfg).batches().collect();
+        let batches: Vec<Vec<Edge>> = StreamPartitioner::new(edges.into_iter(), cfg)
+            .batches()
+            .collect();
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0].len(), 100);
         assert_eq!(batches[2].len(), 50);
@@ -157,8 +158,9 @@ mod tests {
             batches: 3,
             batch_size: 10,
         };
-        let batches: Vec<Vec<Edge>> =
-            StreamPartitioner::new(std::iter::empty(), cfg).batches().collect();
+        let batches: Vec<Vec<Edge>> = StreamPartitioner::new(std::iter::empty(), cfg)
+            .batches()
+            .collect();
         assert!(batches.is_empty());
     }
 

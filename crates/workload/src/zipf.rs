@@ -119,12 +119,7 @@ mod tests {
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        let max_idx = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap()
-            .0;
+        let max_idx = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
         assert_eq!(max_idx, 1);
         // And the frequency should drop noticeably by rank 10.
         assert!(counts[1] > counts[10] * 3);

@@ -13,7 +13,10 @@ fn main() {
 
     // 1. Analytic recommendation from the memory-hierarchy model.
     let recommended = recommend_cuts(&hierarchy, expected_nnz, 8);
-    println!("recommended cut schedule for ~{expected_nnz} stored entries: {:?}", recommended.cuts());
+    println!(
+        "recommended cut schedule for ~{expected_nnz} stored entries: {:?}",
+        recommended.cuts()
+    );
 
     // 2. Cost-model sweep over a family of schedules.
     println!("\ncost-model sweep (top 5 of the candidate family):");
@@ -24,7 +27,10 @@ fn main() {
         &[1 << 12, 1 << 15, 1 << 18],
         8,
     );
-    println!("{:>28} {:>18} {:>16}", "cuts", "predicted upd/s", "speedup vs flat");
+    println!(
+        "{:>28} {:>18} {:>16}",
+        "cuts", "predicted upd/s", "speedup vs flat"
+    );
     for rec in sweep.iter().take(5) {
         println!(
             "{:>28} {:>18.3e} {:>16.1}",
@@ -47,7 +53,10 @@ fn main() {
         ),
     ];
     println!("\nempirical check (500k power-law updates each):");
-    println!("{:>22} {:>16} {:>14}", "schedule", "measured upd/s", "cascades");
+    println!(
+        "{:>22} {:>16} {:>14}",
+        "schedule", "measured upd/s", "cascades"
+    );
     for (name, cfg) in candidates {
         let mut m = HierMatrix::<u64>::new(1 << 32, 1 << 32, cfg).unwrap();
         let start = Instant::now();

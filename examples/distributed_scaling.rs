@@ -24,7 +24,10 @@ fn main() {
     }
 
     println!("== weak scaling on the local machine ({cores} cores) ==");
-    println!("{:>10} {:>16} {:>18} {:>12}", "instances", "updates", "aggregate upd/s", "efficiency");
+    println!(
+        "{:>10} {:>16} {:>18} {:>12}",
+        "instances", "updates", "aggregate upd/s", "efficiency"
+    );
     let points = measure_scaling(
         SystemKind::HierGraphBlas,
         &counts,
@@ -66,6 +69,8 @@ fn main() {
         "\npaper headline at 1,100 servers: 7.5e10 updates/s; this model: {:.3e} updates/s",
         model.rate_at(1100)
     );
-    println!("(absolute numbers depend on this machine; the paper's shape — near-linear \
-              scaling of independent instances — is what the model preserves)");
+    println!(
+        "(absolute numbers depend on this machine; the paper's shape — near-linear \
+              scaling of independent instances — is what the model preserves)"
+    );
 }

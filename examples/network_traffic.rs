@@ -70,7 +70,11 @@ fn main() {
     let scanners = degrees.top_k(5);
     println!("\n== top fan-out sources (scanner candidates) ==");
     for (addr, fanout) in &scanners {
-        println!("  {:>12} contacts {} distinct destinations", format!("{addr:#010x}"), fanout);
+        println!(
+            "  {:>12} contacts {} distinct destinations",
+            format!("{addr:#010x}"),
+            fanout
+        );
     }
 
     // Heavy-flow extraction: flows with at least 16 packets.

@@ -23,8 +23,12 @@ fn main() {
     }
     let secs = start.elapsed().as_secs_f64();
     let stats = traffic.stats();
-    println!("streamed {} updates in {:.2}s  ({:.3e} updates/s)",
-        stats.updates, secs, stats.updates as f64 / secs);
+    println!(
+        "streamed {} updates in {:.2}s  ({:.3e} updates/s)",
+        stats.updates,
+        secs,
+        stats.updates as f64 / secs
+    );
     println!(
         "cascades per level: {:?}   entries per level: {:?}",
         stats.cascades,

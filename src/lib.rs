@@ -56,7 +56,9 @@ pub use hyperstream_workload as workload;
 pub mod prelude {
     pub use hyperstream_graphblas::prelude::*;
 
-    pub use hyperstream_hier::{HierConfig, HierMatrix, HierStats, InstancePool};
+    pub use hyperstream_hier::{
+        HierConfig, HierMatrix, HierStats, InstancePool, WindowedHierMatrix,
+    };
 
     pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};
 
@@ -75,7 +77,7 @@ pub mod prelude {
     };
 
     pub use hyperstream_cluster::{
-        build_fig2, measure_scaling, measure_system, ClusterSpec, ExtrapolationModel,
-        Fig2Options, NodeSpec, SystemKind,
+        build_fig2, drive_sink, make_sink, measure_scaling, measure_system, ClusterSpec,
+        ExtrapolationModel, Fig2Options, NodeSpec, SystemKind,
     };
 }

@@ -68,47 +68,37 @@ fn hierarchy_equals_d4m_assoc_on_the_same_stream() {
 
 #[test]
 fn baseline_stores_agree_with_graphblas_content() {
+    // Every system — the hierarchy included — ingests the stream through the
+    // same `StreamingSink` interface the measurement harness uses.
     let edges = stream(5_000, 31);
+    let (rows, cols, vals) = edges_to_tuples(&edges);
+
     let mut hier = HierMatrix::<u64>::with_default_config(1 << 32, 1 << 32).unwrap();
-    let records: Vec<InsertRecord> = edges
-        .iter()
-        .map(|e| InsertRecord::new(e.src, e.dst, e.weight))
-        .collect();
+    hier.insert_batch(&rows, &cols, &vals).unwrap();
+    StreamingSink::flush(&mut hier).unwrap();
+    let expected_cells = StreamingSink::nvals(&hier);
+    let expected_weight = StreamingSink::total_weight(&hier);
 
-    let mut tablet = TabletStore::new();
-    let mut array = ArrayStore::new();
-    let mut rows = RowStore::new();
-    let mut docs = DocStore::new();
-    for e in &edges {
-        hier.update(e.src, e.dst, e.weight).unwrap();
-    }
-    tablet.insert_batch(&records);
-    array.insert_batch(&records);
-    rows.insert_batch(&records);
-    docs.insert_batch(&records);
-    for store in [
-        &mut tablet as &mut dyn StreamingStore,
-        &mut array,
-        &mut rows,
-        &mut docs,
-    ] {
-        store.flush();
-    }
-
-    let expected_cells = hier.nvals_exact();
-    let expected_weight = hier.total_weight();
-    for store in [
-        &tablet as &dyn StreamingStore,
-        &array,
-        &rows,
-        &docs,
-    ] {
-        assert_eq!(store.ncells(), expected_cells, "{} cell count", store.name());
+    let mut sinks: Vec<Box<dyn StreamingSink<u64>>> = vec![
+        Box::new(TabletStore::new()),
+        Box::new(ArrayStore::new()),
+        Box::new(RowStore::new()),
+        Box::new(DocStore::new()),
+    ];
+    for sink in &mut sinks {
+        sink.insert_batch(&rows, &cols, &vals).unwrap();
+        sink.flush().unwrap();
         assert_eq!(
-            store.total_weight(),
+            sink.nvals(),
+            expected_cells,
+            "{} cell count",
+            sink.sink_name()
+        );
+        assert_eq!(
+            sink.total_weight(),
             expected_weight,
             "{} total weight",
-            store.name()
+            sink.sink_name()
         );
     }
 }

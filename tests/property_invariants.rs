@@ -16,11 +16,7 @@ const DIM: u64 = 1 << 32;
 /// Strategy: a stream of updates with indices drawn from a small id pool
 /// (to force duplicates) scattered over the hypersparse index space.
 fn update_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
-    prop::collection::vec(
-        (0u64..200, 0u64..200, 1u64..5),
-        0..max_len,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0u64..200, 0u64..200, 1u64..5), 0..max_len).prop_map(|v| {
         v.into_iter()
             .map(|(r, c, w)| {
                 // Scatter over the 2^32 space while keeping collisions likely.
@@ -37,6 +33,21 @@ fn build_flat(updates: &[(u64, u64, u64)]) -> Matrix<u64> {
     }
     m.wait();
     m
+}
+
+/// Strategy: an arbitrary valid cut schedule (strictly increasing, non-zero),
+/// 2–5 levels with small cuts so streams of a few hundred updates cascade.
+fn cut_schedule() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..64, 1usize..5).prop_map(|deltas| {
+        let mut acc = 0u64;
+        deltas
+            .into_iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -111,6 +122,44 @@ proptest! {
             one_by_one.materialize().extract_tuples(),
             batched.materialize().extract_tuples()
         );
+    }
+
+    #[test]
+    fn cascade_schedule_invariance(
+        updates in update_stream(400),
+        cuts_a in cut_schedule(),
+        cuts_b in cut_schedule(),
+        query_at in 1usize..400,
+    ) {
+        // The paper's correctness claim: because ⊕ is associative and
+        // commutative, the cascade schedule — *any* schedule — changes only
+        // the cost of maintaining the matrix, never its content.  Two
+        // hierarchies with independently random cut schedules, one of them
+        // interrupted mid-stream by a materialisation and a full flush, must
+        // both equal the flat accumulation.  Both are driven through the
+        // `StreamingSink` interface the measurement harness uses.
+        let cfg_a = HierConfig::from_cuts(cuts_a).unwrap();
+        let cfg_b = HierConfig::from_cuts(cuts_b).unwrap();
+        let mut a = HierMatrix::<u64>::new(DIM, DIM, cfg_a).unwrap();
+        let mut b = HierMatrix::<u64>::new(DIM, DIM, cfg_b).unwrap();
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            StreamingSink::insert(&mut a, r, c, v).unwrap();
+            StreamingSink::insert(&mut b, r, c, v).unwrap();
+            if i == query_at {
+                // Mid-stream query on `a`, mid-stream cascade-completion on
+                // `b`: neither may disturb the represented matrix.
+                let _ = a.materialize();
+                StreamingSink::flush(&mut b).unwrap();
+            }
+        }
+        let flat = build_flat(&updates);
+        prop_assert_eq!(a.materialize().extract_tuples(), flat.extract_tuples());
+        prop_assert_eq!(b.materialize().extract_tuples(), flat.extract_tuples());
+        // Weight linearity holds at any moment, through the sink interface.
+        let expected: u64 = updates.iter().map(|u| u.2).sum();
+        prop_assert_eq!(StreamingSink::total_weight(&a), expected as f64);
+        prop_assert_eq!(StreamingSink::total_weight(&b), expected as f64);
+        prop_assert_eq!(StreamingSink::nvals(&a), flat.nvals());
     }
 
     #[test]
