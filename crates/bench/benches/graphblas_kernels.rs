@@ -61,6 +61,40 @@ fn bench_ewise_add(c: &mut Criterion) {
     group.finish();
 }
 
+/// The streaming bulk-insert path: one batch through `accum_tuples` (one
+/// validation pass + bulk pending extend + one settle check) versus the
+/// per-element `accum_element` loop it replaced.  The settle (`wait`) is
+/// included so the scratch-reusing sort/merge is measured too.
+fn bench_accum_tuples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accum_tuples");
+    let mut gen = PowerLawGenerator::new(PowerLawConfig::paper());
+    const NNZ: usize = 100_000;
+    let edges = gen.batch(NNZ);
+    let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+    let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+    let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+    group.throughput(Throughput::Elements(NNZ as u64));
+    group.bench_function("bulk_batch_100k", |b| {
+        b.iter(|| {
+            let mut m = Matrix::<u64>::new(DIM, DIM);
+            m.accum_tuples(&rows, &cols, &vals).unwrap();
+            m.wait();
+            m.nvals_settled()
+        })
+    });
+    group.bench_function("per_element_100k", |b| {
+        b.iter(|| {
+            let mut m = Matrix::<u64>::new(DIM, DIM);
+            for i in 0..NNZ {
+                m.accum_element(rows[i], cols[i], vals[i]).unwrap();
+            }
+            m.wait();
+            m.nvals_settled()
+        })
+    });
+    group.finish();
+}
+
 fn bench_mxm_and_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("mxm_reduce");
     group.sample_size(10);
@@ -75,5 +109,11 @@ fn bench_mxm_and_reduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_ewise_add, bench_mxm_and_reduce);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_ewise_add,
+    bench_accum_tuples,
+    bench_mxm_and_reduce
+);
 criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Experiment E8 — sharded parallel ingest rate versus shard count.
+//!
+//! The paper's Fig. 2 scaling curve was previously *extrapolated* from a
+//! single-instance measurement; this harness *measures* it: the same fixed
+//! edge stream is driven through a `ShardedHierMatrix` at every shard count
+//! in `1..=max(4, cores)` and the aggregate insert rate is recorded.  Two
+//! real effects produce the speedup:
+//!
+//! * on multi-core machines, shards ingest in parallel (the paper's
+//!   process-level scaling at thread level); and
+//! * at any core count, each shard's hierarchy holds ~1/N of the stream, so
+//!   cascade merges rewrite ~1/N of the data — the working-set effect the
+//!   hierarchy itself exploits, one level up.
+//!
+//! The run writes `BENCH_parallel_rate.json` (per-shard-count aggregate
+//! rates, speedups vs. 1 shard, and run metadata) so successive commits can
+//! be compared automatically.  Flags: `--quick` (reduced stream),
+//! `--max-shards N` (cap the sweep, e.g. the CI smoke runs 2),
+//! `--batches N` (override the stream length).
+
+use hyperstream_bench::{arg_value, bench_meta, fmt_rate, quick_mode, timed_drive};
+use hyperstream_hier::{HierConfig, ShardedConfig, ShardedHierMatrix};
+use hyperstream_workload::{
+    Edge, PowerLawConfig, PowerLawGenerator, StreamConfig, StreamPartitioner,
+};
+
+const DIM: u64 = 1 << 32;
+
+/// The sweep workload: the paper's batch structure (100,000-edge sets) over
+/// a *wide* power-law graph — more logical vertices and a flatter exponent
+/// than the Fig. 2 stream, so most edges are distinct cells.  This is the
+/// regime the sharded engine exists for (e.g. enterprise IP-similarity
+/// graphs, where almost every observed IP pair is new): a duplicate-heavy
+/// stream is absorbed by level 0 and never stresses the upper levels.
+fn sweep_batches(batches: usize, seed: u64) -> Vec<Vec<Edge>> {
+    let gen = PowerLawGenerator::new(PowerLawConfig {
+        vertices: 1 << 26,
+        alpha: 1.05,
+        seed,
+        ..PowerLawConfig::paper()
+    });
+    StreamPartitioner::new(gen, StreamConfig::scaled_down(batches))
+        .batches()
+        .collect()
+}
+
+/// Cut schedule for the sweep.  Deliberately small relative to the stream
+/// (the stream holds many multiples of the top cut in distinct entries), so
+/// a single hierarchy is past its sweet spot and the per-shard working-set
+/// reduction is visible even on one core — the regime sharding exists for.
+fn sweep_cuts() -> HierConfig {
+    HierConfig::geometric(4, 1 << 9, 4).expect("valid schedule")
+}
+
+struct ShardRate {
+    shards: usize,
+    updates: u64,
+    seconds: f64,
+}
+
+impl ShardRate {
+    fn aggregate_rate(&self) -> f64 {
+        self.updates as f64 / self.seconds
+    }
+}
+
+/// Measure one shard count.  Each configuration is driven `runs` times on a
+/// fresh engine and the fastest run is reported (standard best-of-N for
+/// throughput: the minimum wall time has the least scheduler/page-fault
+/// noise, which matters on shared machines).
+fn measure_shards(shards: usize, batches: &[Vec<Edge>], runs: usize) -> ShardRate {
+    let mut best_seconds = f64::INFINITY;
+    let mut updates = 0;
+    for _ in 0..runs.max(1) {
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            sweep_cuts(),
+            ShardedConfig {
+                // Fine-grained chunks keep per-shard cascades frequent, so
+                // the sweep exercises the cascade path hard at every shard
+                // count (the regime the engine is for).
+                chunk_tuples: 4096,
+                ..ShardedConfig::with_shards(shards)
+            },
+        )
+        .expect("valid dims");
+        let (u, seconds) = timed_drive(&mut engine, batches);
+        updates = u;
+        best_seconds = best_seconds.min(seconds);
+    }
+    ShardRate {
+        shards,
+        updates,
+        seconds: best_seconds,
+    }
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    batches: usize,
+    cuts: &[u64],
+    rates: &[ShardRate],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+
+    let meta = bench_meta();
+    let base_rate = rates
+        .first()
+        .map(|r| r.aggregate_rate())
+        .unwrap_or(f64::NAN);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"parallel_rate\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"dim\": {DIM},");
+    out.push_str(&meta.json_fields());
+    let _ = writeln!(out, "  \"batches\": {batches},");
+    let _ = writeln!(out, "  \"batch_size\": 100000,");
+    let _ = writeln!(out, "  \"cuts\": {cuts:?},");
+    out.push_str("  \"shard_counts\": [\n");
+    for (i, r) in rates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"shards\": {}, \"updates\": {}, \"seconds\": {:.6}, \"aggregate_rate\": {:.1}, \"speedup_vs_1\": {:.3}}}",
+            r.shards,
+            r.updates,
+            r.seconds,
+            r.aggregate_rate(),
+            r.aggregate_rate() / base_rate,
+        );
+        out.push_str(if i + 1 < rates.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_shards = arg_value("--max-shards")
+        .map(|v| (v as usize).max(1))
+        .unwrap_or_else(|| cores.max(4));
+    let batches = arg_value("--batches")
+        .map(|v| v as usize)
+        .unwrap_or(if quick { 10 } else { 60 });
+
+    println!("=== E8: sharded parallel ingest rate ===");
+    println!(
+        "workload: power-law stream, {} batches x 100,000 edges ({} total updates), cuts {:?}{}",
+        batches,
+        batches * 100_000,
+        sweep_cuts().cuts(),
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!("machine: {cores} hardware thread(s); sweeping 1..={max_shards} shards");
+    println!();
+    println!(
+        "{:<10} {:>14} {:>12} {:>18} {:>12}",
+        "shards", "updates", "seconds", "aggregate rate", "speedup"
+    );
+    println!("{}", "-".repeat(72));
+
+    let stream = sweep_batches(batches, 2020);
+    let runs = if quick { 1 } else { 2 };
+    // Warm the allocator/page cache so the first measured configuration is
+    // not penalised relative to later ones.
+    let _ = measure_shards(1, &stream[..stream.len().min(2)], 1);
+    let mut rates: Vec<ShardRate> = Vec::new();
+    for shards in 1..=max_shards {
+        let r = measure_shards(shards, &stream, runs);
+        let speedup = r.aggregate_rate()
+            / rates
+                .first()
+                .map(|b: &ShardRate| b.aggregate_rate())
+                .unwrap_or(r.aggregate_rate());
+        println!(
+            "{:<10} {:>14} {:>12.3} {:>18} {:>11.2}x",
+            r.shards,
+            r.updates,
+            r.seconds,
+            fmt_rate(r.aggregate_rate()),
+            speedup
+        );
+        rates.push(r);
+    }
+
+    let json_path = "BENCH_parallel_rate.json";
+    match write_json(json_path, quick, batches, sweep_cuts().cuts(), &rates) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
+
+    if let (Some(one), Some(four)) = (
+        rates.iter().find(|r| r.shards == 1),
+        rates.iter().find(|r| r.shards == 4),
+    ) {
+        let speedup = four.aggregate_rate() / one.aggregate_rate();
+        println!(
+            "\n4-shard speedup vs 1 shard: {speedup:.2}x  [{}]",
+            if speedup >= 2.5 {
+                "PASS (>= 2.5x)"
+            } else {
+                "below 2.5x on this machine"
+            }
+        );
+    }
+}

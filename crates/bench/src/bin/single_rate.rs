@@ -12,7 +12,7 @@
 //! inserts/sec per hierarchy depth) so successive commits can be compared
 //! automatically.  Run with `--quick` for a reduced batch count.
 
-use hyperstream_bench::{fmt_rate, paper_batches, quick_mode, timed_drive};
+use hyperstream_bench::{bench_meta, fmt_rate, paper_batches, quick_mode, timed_drive};
 use hyperstream_cluster::{measure_system, SystemKind};
 use hyperstream_hier::{HierConfig, HierMatrix};
 use hyperstream_workload::Edge;
@@ -74,6 +74,7 @@ fn write_json(
     let _ = writeln!(out, "  \"experiment\": \"single_rate\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"dim\": {DIM},");
+    out.push_str(&bench_meta().json_fields());
     out.push_str("  \"systems\": [\n");
     for (i, (sys, updates, seconds)) in systems.iter().enumerate() {
         let _ = write!(
@@ -129,7 +130,9 @@ fn main() {
         // The slowest analogues get a shorter stream so the harness finishes
         // in minutes; rates are still per-update and comparable.
         let sys_stream: Vec<_> = match sys {
-            SystemKind::HierGraphBlas | SystemKind::FlatGraphBlas => stream.clone(),
+            SystemKind::HierGraphBlas
+            | SystemKind::ShardedHierGraphBlas
+            | SystemKind::FlatGraphBlas => stream.clone(),
             _ => stream.iter().take(stream.len().min(5)).cloned().collect(),
         };
         let r = measure_system(sys, &sys_stream, DIM);

@@ -58,6 +58,64 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Shared helper: parse a `--flag value` integer argument.
+pub fn arg_value(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Run metadata recorded in every machine-readable benchmark artifact so
+/// successive commits and machines can be compared.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Available hardware threads on the measuring machine.
+    pub threads: usize,
+    /// `git rev-parse HEAD` of the measured tree ("unknown" outside a
+    /// checkout).
+    pub git_commit: String,
+    /// Wall-clock time of the run (seconds since the Unix epoch).
+    pub unix_time: u64,
+}
+
+/// Collect the run metadata for a benchmark artifact.
+pub fn bench_meta() -> BenchMeta {
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    BenchMeta {
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        git_commit,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    }
+}
+
+impl BenchMeta {
+    /// The metadata rendered as JSON object fields (no surrounding braces),
+    /// ready to splice into a benchmark artifact.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"threads\": {},\n  \"git_commit\": \"{}\",\n  \"unix_time\": {},\n",
+            self.threads,
+            self.git_commit.replace(['"', '\\'], "?"),
+            self.unix_time
+        )
+    }
+}
+
 /// Format a rate with engineering-notation style used in the reports.
 pub fn fmt_rate(rate: f64) -> String {
     format!("{rate:.3e}")

@@ -37,7 +37,9 @@ pub mod scaling;
 
 pub use extrapolate::ExtrapolationModel;
 pub use fig2::{build_fig2, Fig2Options, Fig2Point, Fig2Series};
-pub use measure::{drive_sink, make_sink, measure_system, MeasuredRate, SystemKind};
+pub use measure::{
+    drive_sink, make_sink, measure_system, MeasuredRate, SystemKind, DEFAULT_SINK_SHARDS,
+};
 pub use node::{ClusterSpec, NodeSpec};
 pub use report::{render_csv, render_table};
 pub use scaling::{measure_scaling, ScalingPoint};

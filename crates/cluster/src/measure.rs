@@ -8,15 +8,23 @@
 use hyperstream_baselines::{ArrayStore, DocStore, RowStore, TabletStore};
 use hyperstream_d4m::{HierAssoc, HierAssocConfig};
 use hyperstream_graphblas::{Matrix, StreamingSink};
-use hyperstream_hier::{HierConfig, HierMatrix};
+use hyperstream_hier::{HierConfig, HierMatrix, ShardedHierMatrix};
 use hyperstream_workload::{edges_to_tuples, Edge};
 use std::time::Instant;
+
+/// Shard count used when the sharded engine is constructed through
+/// [`make_sink`] (a fixed, machine-independent default so measurements are
+/// comparable; the `parallel_rate` benchmark sweeps the count instead).
+pub const DEFAULT_SINK_SHARDS: usize = 4;
 
 /// The systems compared in the single-instance and Fig. 2 experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Hierarchical hypersparse GraphBLAS matrix (the paper's contribution).
     HierGraphBlas,
+    /// The sharded parallel ingest engine over hierarchical shards
+    /// ([`DEFAULT_SINK_SHARDS`] worker threads).
+    ShardedHierGraphBlas,
     /// A single flat GraphBLAS matrix with pending tuples (no hierarchy).
     FlatGraphBlas,
     /// Hierarchical D4M associative arrays (string keys).
@@ -36,6 +44,7 @@ impl SystemKind {
     pub fn label(&self) -> &'static str {
         match self {
             SystemKind::HierGraphBlas => "Hierarchical GraphBLAS",
+            SystemKind::ShardedHierGraphBlas => "Sharded Hierarchical GraphBLAS",
             SystemKind::FlatGraphBlas => "Flat GraphBLAS",
             SystemKind::HierD4m => "Hierarchical D4M",
             SystemKind::AccumuloLike => "Accumulo (analogue)",
@@ -49,6 +58,7 @@ impl SystemKind {
     pub fn all() -> &'static [SystemKind] {
         &[
             SystemKind::HierGraphBlas,
+            SystemKind::ShardedHierGraphBlas,
             SystemKind::FlatGraphBlas,
             SystemKind::HierD4m,
             SystemKind::AccumuloLike,
@@ -88,6 +98,10 @@ pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSink<u64>> {
     match system {
         SystemKind::HierGraphBlas => Box::new(
             HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default()).expect("valid dims"),
+        ),
+        SystemKind::ShardedHierGraphBlas => Box::new(
+            ShardedHierMatrix::<u64>::with_shards(dim, dim, DEFAULT_SINK_SHARDS)
+                .expect("valid dims"),
         ),
         SystemKind::FlatGraphBlas => {
             Box::new(Matrix::<u64>::new(dim, dim).with_pending_limit(1 << 17))
@@ -197,6 +211,7 @@ mod tests {
         let batches = small_batches();
         let nvals: Vec<usize> = [
             SystemKind::HierGraphBlas,
+            SystemKind::ShardedHierGraphBlas,
             SystemKind::FlatGraphBlas,
             SystemKind::HierD4m,
         ]
@@ -209,6 +224,7 @@ mod tests {
         .collect();
         assert_eq!(nvals[0], nvals[1]);
         assert_eq!(nvals[0], nvals[2]);
+        assert_eq!(nvals[0], nvals[3]);
     }
 
     #[test]

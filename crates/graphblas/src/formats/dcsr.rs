@@ -34,6 +34,155 @@ pub struct Dcsr<T> {
     vals: Vec<T>,
 }
 
+/// Reusable scratch buffers for [`Dcsr::merge_into`],
+/// [`Dcsr::merge_sorted_coo_into`] and the pending-tuple sort
+/// ([`Coo::sort_dedup_with`]).
+///
+/// An in-place merge writes into these staging vectors and then swaps them
+/// with the destination's, so the destination's previous buffers become the
+/// next merge's staging space.  After warm-up the streaming hot path —
+/// settle pending tuples, cascade a level — performs no heap allocation at
+/// all, which is what the hierarchical matrix needs to sustain its insert
+/// rate (every cascade used to rebuild the destination level from scratch).
+#[derive(Debug, Clone)]
+pub struct MergeScratch<T> {
+    /// Staging row ids for the merged structure.
+    pub(crate) row_ids: Vec<Index>,
+    /// Staging row pointers for the merged structure.
+    pub(crate) row_ptr: Vec<usize>,
+    /// Staging column indices for the merged structure.
+    pub(crate) col_idx: Vec<Index>,
+    /// Staging values for the merged structure.
+    pub(crate) vals: Vec<T>,
+    /// Permutation buffer for sorting pending tuples.
+    pub(crate) perm: Vec<usize>,
+    /// Staging rows for the pending-tuple sort.
+    pub(crate) sort_rows: Vec<Index>,
+    /// Staging cols for the pending-tuple sort.
+    pub(crate) sort_cols: Vec<Index>,
+    /// Staging vals for the pending-tuple sort.
+    pub(crate) sort_vals: Vec<T>,
+}
+
+/// Manual impl: empty vectors need no bound on `T` (the derive would
+/// spuriously require `T: Default`).
+impl<T> Default for MergeScratch<T> {
+    fn default() -> Self {
+        Self {
+            row_ids: Vec::new(),
+            row_ptr: Vec::new(),
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+            perm: Vec::new(),
+            sort_rows: Vec::new(),
+            sort_cols: Vec::new(),
+            sort_vals: Vec::new(),
+        }
+    }
+}
+
+impl<T: ScalarType> MergeScratch<T> {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently held by the scratch buffers, split like every other
+    /// structure's footprint.  After a merge the buffers hold the
+    /// destination's previous structure (the ping-pong), so this is a real,
+    /// resident cost that [`Matrix::memory`](crate::matrix::Matrix::memory)
+    /// includes.
+    pub fn footprint(&self) -> crate::formats::MemoryFootprint {
+        crate::formats::MemoryFootprint {
+            index_bytes: (self.row_ids.capacity()
+                + self.col_idx.capacity()
+                + self.sort_rows.capacity()
+                + self.sort_cols.capacity())
+                * std::mem::size_of::<Index>()
+                + (self.row_ptr.capacity() + self.perm.capacity()) * std::mem::size_of::<usize>(),
+            value_bytes: (self.vals.capacity() + self.sort_vals.capacity())
+                * std::mem::size_of::<T>(),
+        }
+    }
+
+    /// Bytes currently held by the scratch buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.footprint().total()
+    }
+
+    /// Clear the DCSR staging buffers and reserve for a merge of `nnz`
+    /// entries over at most `nrows` non-empty rows.
+    fn begin_merge(&mut self, nrows_hint: usize, nnz_hint: usize) {
+        self.row_ids.clear();
+        self.row_ptr.clear();
+        self.col_idx.clear();
+        self.vals.clear();
+        self.row_ids.reserve(nrows_hint);
+        self.row_ptr.reserve(nrows_hint + 1);
+        self.col_idx.reserve(nnz_hint);
+        self.vals.reserve(nnz_hint);
+        self.row_ptr.push(0);
+    }
+
+    /// Append a complete row to the staging buffers.
+    fn push_row(&mut self, row: Index, cols: &[Index], vs: &[T]) {
+        debug_assert_eq!(cols.len(), vs.len());
+        if cols.is_empty() {
+            return;
+        }
+        self.row_ids.push(row);
+        self.col_idx.extend_from_slice(cols);
+        self.vals.extend_from_slice(vs);
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Two-pointer column merge of one row into the staging buffers.
+    fn push_merged_row<Op: BinaryOp<T>>(
+        &mut self,
+        row: Index,
+        ca: &[Index],
+        va: &[T],
+        cb: &[Index],
+        vb: &[T],
+        op: Op,
+    ) {
+        self.row_ids.push(row);
+        let (mut ja, mut jb) = (0usize, 0usize);
+        while ja < ca.len() || jb < cb.len() {
+            match (ca.get(ja), cb.get(jb)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    self.col_idx.push(a);
+                    self.vals.push(op.apply(va[ja], vb[jb]));
+                    ja += 1;
+                    jb += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    self.col_idx.push(a);
+                    self.vals.push(va[ja]);
+                    ja += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    self.col_idx.push(b);
+                    self.vals.push(vb[jb]);
+                    jb += 1;
+                }
+                (Some(&a), None) => {
+                    self.col_idx.push(a);
+                    self.vals.push(va[ja]);
+                    ja += 1;
+                }
+                (None, Some(&b)) => {
+                    self.col_idx.push(b);
+                    self.vals.push(vb[jb]);
+                    jb += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+}
+
 impl<T: ScalarType> Dcsr<T> {
     /// An empty hypersparse matrix.
     pub fn new(nrows: Index, ncols: Index) -> Self {
@@ -188,6 +337,153 @@ impl<T: ScalarType> Dcsr<T> {
     /// `O(nnz(self) + nnz(other))`, i.e. it reads and rewrites the larger
     /// matrix once per cascade rather than once per streaming update.
     pub fn merge<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op) -> GrbResult<Dcsr<T>> {
+        self.check_same_dims(other)?;
+        let mut scratch = MergeScratch::new();
+        scratch.begin_merge(
+            self.row_ids.len().max(other.row_ids.len()),
+            self.nvals() + other.nvals(),
+        );
+        self.merge_core(other, op, &mut scratch);
+        Ok(Dcsr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ids: std::mem::take(&mut scratch.row_ids),
+            row_ptr: std::mem::take(&mut scratch.row_ptr),
+            col_idx: std::mem::take(&mut scratch.col_idx),
+            vals: std::mem::take(&mut scratch.vals),
+        })
+    }
+
+    /// In-place variant of [`Dcsr::merge`]: `self = self ⊕ other`, building
+    /// the merged structure in `scratch` and swapping it in.  After the call
+    /// `scratch` holds `self`'s previous buffers, so repeated cascades
+    /// ping-pong between two allocations and the hot path is allocation-free
+    /// once both have grown to the working-set size.
+    pub fn merge_into<Op: BinaryOp<T>>(
+        &mut self,
+        other: &Dcsr<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+    ) -> GrbResult<()> {
+        self.check_same_dims(other)?;
+        if other.is_empty() {
+            return Ok(());
+        }
+        if self.is_empty() {
+            // Copy `other` straight into our (possibly pre-grown) buffers.
+            self.row_ids.clear();
+            self.row_ids.extend_from_slice(&other.row_ids);
+            self.row_ptr.clear();
+            self.row_ptr.extend_from_slice(&other.row_ptr);
+            self.col_idx.clear();
+            self.col_idx.extend_from_slice(&other.col_idx);
+            self.vals.clear();
+            self.vals.extend_from_slice(&other.vals);
+            return Ok(());
+        }
+        scratch.begin_merge(
+            self.row_ids.len().max(other.row_ids.len()),
+            self.nvals() + other.nvals(),
+        );
+        self.merge_core(other, op, scratch);
+        std::mem::swap(&mut self.row_ids, &mut scratch.row_ids);
+        std::mem::swap(&mut self.row_ptr, &mut scratch.row_ptr);
+        std::mem::swap(&mut self.col_idx, &mut scratch.col_idx);
+        std::mem::swap(&mut self.vals, &mut scratch.vals);
+        Ok(())
+    }
+
+    /// Merge a sorted, deduplicated [`Coo`] into `self` in place — the
+    /// settle step `settled = settled ⊕ pending` without materialising the
+    /// pending tuples as an intermediate `Dcsr` first.  Uses `scratch` like
+    /// [`Dcsr::merge_into`].
+    pub fn merge_sorted_coo_into<Op: BinaryOp<T>>(
+        &mut self,
+        coo: &Coo<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+    ) -> GrbResult<()> {
+        if self.nrows != coo.nrows() || self.ncols != coo.ncols() {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "{}x{} vs {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    coo.nrows(),
+                    coo.ncols()
+                ),
+            });
+        }
+        if !coo.is_sorted_dedup() {
+            return Err(GrbError::InvalidValue(
+                "COO must be sorted and deduplicated before merging".into(),
+            ));
+        }
+        if coo.is_empty() {
+            return Ok(());
+        }
+        let (b_rows, b_cols, b_vals) = coo.parts();
+        scratch.begin_merge(
+            self.row_ids.len() + b_rows.len(),
+            self.nvals() + b_rows.len(),
+        );
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < self.row_ids.len() || ib < b_rows.len() {
+            // The COO side groups naturally into runs of equal row id.
+            let rb = b_rows.get(ib).copied();
+            let ra = self.row_ids.get(ia).copied();
+            match (ra, rb) {
+                (Some(r), Some(rr)) if r == rr => {
+                    let run = b_rows[ib..].iter().take_while(|&&x| x == rr).count();
+                    let (ca, va) = self.row_slot(ia);
+                    scratch.push_merged_row(
+                        r,
+                        ca,
+                        va,
+                        &b_cols[ib..ib + run],
+                        &b_vals[ib..ib + run],
+                        op,
+                    );
+                    ia += 1;
+                    ib += run;
+                }
+                (Some(r), Some(rr)) if r < rr => {
+                    let (ca, va) = self.row_slot(ia);
+                    scratch.push_row(r, ca, va);
+                    ia += 1;
+                }
+                (Some(r), None) => {
+                    let (ca, va) = self.row_slot(ia);
+                    scratch.push_row(r, ca, va);
+                    ia += 1;
+                }
+                (_, Some(rr)) => {
+                    let run = b_rows[ib..].iter().take_while(|&&x| x == rr).count();
+                    scratch.push_row(rr, &b_cols[ib..ib + run], &b_vals[ib..ib + run]);
+                    ib += run;
+                }
+                (None, None) => break,
+            }
+        }
+        std::mem::swap(&mut self.row_ids, &mut scratch.row_ids);
+        std::mem::swap(&mut self.row_ptr, &mut scratch.row_ptr);
+        std::mem::swap(&mut self.col_idx, &mut scratch.col_idx);
+        std::mem::swap(&mut self.vals, &mut scratch.vals);
+        Ok(())
+    }
+
+    /// Remove every entry, keeping the buffer capacity for reuse (the
+    /// cascade clears its source level this way so steady-state streaming
+    /// does not churn the allocator).
+    pub fn clear_retaining(&mut self) {
+        self.row_ids.clear();
+        self.row_ptr.clear();
+        self.row_ptr.push(0);
+        self.col_idx.clear();
+        self.vals.clear();
+    }
+
+    fn check_same_dims(&self, other: &Dcsr<T>) -> GrbResult<()> {
         if self.nrows != other.nrows || self.ncols != other.ncols {
             return Err(GrbError::DimensionMismatch {
                 detail: format!(
@@ -196,12 +492,13 @@ impl<T: ScalarType> Dcsr<T> {
                 ),
             });
         }
-        let mut out = Dcsr::new(self.nrows, self.ncols);
-        out.row_ids
-            .reserve(self.row_ids.len().max(other.row_ids.len()));
-        out.col_idx.reserve(self.nvals() + other.nvals());
-        out.vals.reserve(self.nvals() + other.nvals());
+        Ok(())
+    }
 
+    /// Row-wise two-pointer merge of `self` and `other` into the staging
+    /// buffers of `scratch` (which must have been prepared with
+    /// [`MergeScratch::begin_merge`]).
+    fn merge_core<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op, scratch: &mut MergeScratch<T>) {
         let (mut ia, mut ib) = (0usize, 0usize);
         while ia < self.row_ids.len() || ib < other.row_ids.len() {
             let ra = self.row_ids.get(ia).copied();
@@ -210,92 +507,28 @@ impl<T: ScalarType> Dcsr<T> {
                 (Some(r), Some(rr)) if r == rr => {
                     let (ca, va) = self.row_slot(ia);
                     let (cb, vb) = other.row_slot(ib);
-                    out.push_merged_row(r, ca, va, cb, vb, op);
+                    scratch.push_merged_row(r, ca, va, cb, vb, op);
                     ia += 1;
                     ib += 1;
                 }
                 (Some(r), Some(rr)) if r < rr => {
                     let (ca, va) = self.row_slot(ia);
-                    out.push_row(r, ca, va);
+                    scratch.push_row(r, ca, va);
                     ia += 1;
-                }
-                (Some(_), Some(rr)) => {
-                    let (cb, vb) = other.row_slot(ib);
-                    out.push_row(rr, cb, vb);
-                    ib += 1;
                 }
                 (Some(r), None) => {
                     let (ca, va) = self.row_slot(ia);
-                    out.push_row(r, ca, va);
+                    scratch.push_row(r, ca, va);
                     ia += 1;
                 }
-                (None, Some(rr)) => {
+                (_, Some(rr)) => {
                     let (cb, vb) = other.row_slot(ib);
-                    out.push_row(rr, cb, vb);
+                    scratch.push_row(rr, cb, vb);
                     ib += 1;
                 }
                 (None, None) => break,
             }
         }
-        Ok(out)
-    }
-
-    /// Append a complete row (used by merge and by kernel implementations).
-    pub(crate) fn push_row(&mut self, row: Index, cols: &[Index], vals: &[T]) {
-        debug_assert_eq!(cols.len(), vals.len());
-        if cols.is_empty() {
-            return;
-        }
-        debug_assert!(self.row_ids.last().map_or(true, |&last| last < row));
-        self.row_ids.push(row);
-        self.col_idx.extend_from_slice(cols);
-        self.vals.extend_from_slice(vals);
-        self.row_ptr.push(self.col_idx.len());
-    }
-
-    fn push_merged_row<Op: BinaryOp<T>>(
-        &mut self,
-        row: Index,
-        ca: &[Index],
-        va: &[T],
-        cb: &[Index],
-        vb: &[T],
-        op: Op,
-    ) {
-        self.row_ids.push(row);
-        let (mut ja, mut jb) = (0usize, 0usize);
-        while ja < ca.len() || jb < cb.len() {
-            match (ca.get(ja), cb.get(jb)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    self.col_idx.push(a);
-                    self.vals.push(op.apply(va[ja], vb[jb]));
-                    ja += 1;
-                    jb += 1;
-                }
-                (Some(&a), Some(&b)) if a < b => {
-                    self.col_idx.push(a);
-                    self.vals.push(va[ja]);
-                    ja += 1;
-                }
-                (Some(_), Some(&b)) => {
-                    self.col_idx.push(b);
-                    self.vals.push(vb[jb]);
-                    jb += 1;
-                }
-                (Some(&a), None) => {
-                    self.col_idx.push(a);
-                    self.vals.push(va[ja]);
-                    ja += 1;
-                }
-                (None, Some(&b)) => {
-                    self.col_idx.push(b);
-                    self.vals.push(vb[jb]);
-                    jb += 1;
-                }
-                (None, None) => break,
-            }
-        }
-        self.row_ptr.push(self.col_idx.len());
     }
 
     /// Bytes of memory used by the compressed arrays.
@@ -533,6 +766,93 @@ mod tests {
         )
         .unwrap();
         assert!(big.memory().total() > small.memory().total());
+    }
+
+    #[test]
+    fn merge_into_matches_merge() {
+        let mut scratch = MergeScratch::new();
+        let a0 =
+            Dcsr::from_tuples(100, 100, &[1, 2, 4], &[1, 2, 4], &[10u64, 20, 40], Plus).unwrap();
+        let b = Dcsr::from_tuples(100, 100, &[2, 3, 4], &[2, 3, 9], &[5u64, 7, 9], Plus).unwrap();
+        let expect = a0.merge(&b, Plus).unwrap();
+        let mut a = a0.clone();
+        a.merge_into(&b, Plus, &mut scratch).unwrap();
+        a.check_invariants().unwrap();
+        assert_eq!(a, expect);
+        // Merging again reuses the scratch (capacity ping-pong) and stays
+        // correct.
+        let expect2 = a.merge(&b, Plus).unwrap();
+        a.merge_into(&b, Plus, &mut scratch).unwrap();
+        assert_eq!(a, expect2);
+        assert!(scratch.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn merge_into_empty_cases() {
+        let mut scratch = MergeScratch::new();
+        let sample = sample();
+        let mut empty = Dcsr::<u64>::new(sample.nrows(), sample.ncols());
+        empty.merge_into(&sample, Plus, &mut scratch).unwrap();
+        assert_eq!(empty, sample);
+        let mut a = sample.clone();
+        let none = Dcsr::<u64>::new(sample.nrows(), sample.ncols());
+        a.merge_into(&none, Plus, &mut scratch).unwrap();
+        assert_eq!(a, sample);
+        let mut wrong = Dcsr::<u64>::new(10, 10);
+        assert!(wrong.merge_into(&sample, Plus, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn merge_sorted_coo_into_matches_two_step() {
+        let mut scratch = MergeScratch::new();
+        let mut a =
+            Dcsr::from_tuples(100, 100, &[4, 4, 7], &[1, 5, 3], &[1u64, 5, 3], Plus).unwrap();
+        let mut coo = Coo::<u64>::new(100, 100);
+        coo.push(2, 9, 2);
+        coo.push(4, 5, 50);
+        coo.push(4, 6, 6);
+        coo.push(9, 0, 9);
+        assert!(coo.is_sorted_dedup());
+        let delta = Dcsr::from_sorted_coo(&coo).unwrap();
+        let expect = a.merge(&delta, Plus).unwrap();
+        a.merge_sorted_coo_into(&coo, Plus, &mut scratch).unwrap();
+        a.check_invariants().unwrap();
+        assert_eq!(a, expect);
+
+        // Unsorted COO rejected; empty COO is a no-op.
+        let mut unsorted = Coo::<u64>::new(100, 100);
+        unsorted.push(5, 5, 1);
+        unsorted.push(1, 1, 1);
+        assert!(a
+            .merge_sorted_coo_into(&unsorted, Plus, &mut scratch)
+            .is_err());
+        let before = a.clone();
+        a.merge_sorted_coo_into(&Coo::new(100, 100), Plus, &mut scratch)
+            .unwrap();
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_sorted_coo_into_empty_dest() {
+        let mut scratch = MergeScratch::new();
+        let mut a = Dcsr::<u64>::new(50, 50);
+        let mut coo = Coo::<u64>::new(50, 50);
+        coo.push(3, 3, 7);
+        coo.push(3, 4, 8);
+        a.merge_sorted_coo_into(&coo, Plus, &mut scratch).unwrap();
+        a.check_invariants().unwrap();
+        assert_eq!(a.nvals(), 2);
+        assert_eq!(a.get(3, 4), Some(8));
+    }
+
+    #[test]
+    fn clear_retaining_keeps_capacity() {
+        let mut a = sample();
+        let cap_before = a.memory().total();
+        a.clear_retaining();
+        assert!(a.is_empty());
+        a.check_invariants().unwrap();
+        assert_eq!(a.memory().total(), cap_before);
     }
 
     #[test]

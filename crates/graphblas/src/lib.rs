@@ -63,6 +63,7 @@ pub mod mask;
 pub mod algo;
 
 pub use error::{GrbError, GrbResult};
+pub use formats::dcsr::MergeScratch;
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
 pub use sink::StreamingSink;
@@ -83,7 +84,7 @@ pub mod prelude {
     pub use crate::ops::binary::{
         Div, First, Land, Lor, Lxor, Max, Min, Minus, Plus, Second, Times,
     };
-    pub use crate::ops::ewise_add::{ewise_add, ewise_add_monoid};
+    pub use crate::ops::ewise_add::{ewise_add, ewise_add_into, ewise_add_monoid};
     pub use crate::ops::ewise_mult::ewise_mult;
     pub use crate::ops::extract::{extract, extract_col, extract_row};
     pub use crate::ops::kron::kron;

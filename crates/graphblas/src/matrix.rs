@@ -9,9 +9,9 @@
 //! "defer and batch" idea the hierarchical matrix generalises to multiple
 //! levels.
 
-use crate::error::GrbResult;
+use crate::error::{GrbError, GrbResult};
 use crate::formats::coo::Coo;
-use crate::formats::dcsr::Dcsr;
+use crate::formats::dcsr::{Dcsr, MergeScratch};
 use crate::formats::{Entry, MemoryFootprint};
 use crate::index::{validate_dims, validate_index, Index};
 use crate::ops::binary::{Plus, Second};
@@ -21,7 +21,7 @@ use crate::types::ScalarType;
 /// A hypersparse matrix over scalar type `T`.
 ///
 /// See the [crate-level documentation](crate) for an overview and examples.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Matrix<T> {
     nrows: Index,
     ncols: Index,
@@ -29,6 +29,39 @@ pub struct Matrix<T> {
     pending: Coo<T>,
     /// Number of pending tuples at which `wait()` is triggered automatically.
     pending_limit: usize,
+    /// Reusable sort/merge buffers: every settle and every in-place
+    /// accumulate goes through these instead of allocating fresh vectors.
+    /// Not part of the matrix *value* (excluded from `PartialEq`).
+    scratch: MergeScratch<T>,
+}
+
+/// Clones copy the represented content but start with *empty* scratch
+/// buffers: the scratch is a cache, and the clone-and-settle query paths
+/// (`nvals`, `to_settled`) would otherwise deep-copy up to a settled
+/// structure's worth of staging space just to drop it.
+impl<T: Clone> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            settled: self.settled.clone(),
+            pending: self.pending.clone(),
+            pending_limit: self.pending_limit,
+            scratch: MergeScratch::default(),
+        }
+    }
+}
+
+/// Equality is over the represented content (dimensions, settled structure,
+/// pending tuples) — the scratch buffers are a cache and excluded.
+impl<T: ScalarType> PartialEq for Matrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.pending_limit == other.pending_limit
+            && self.settled == other.settled
+            && self.pending == other.pending
+    }
 }
 
 /// Default number of pending tuples before an automatic `wait()`.
@@ -57,6 +90,7 @@ impl<T: ScalarType> Matrix<T> {
             settled: Dcsr::try_new(nrows, ncols)?,
             pending: Coo::try_new(nrows, ncols)?,
             pending_limit: DEFAULT_PENDING_LIMIT,
+            scratch: MergeScratch::new(),
         })
     }
 
@@ -77,6 +111,7 @@ impl<T: ScalarType> Matrix<T> {
             settled,
             pending: Coo::try_new(nrows, ncols)?,
             pending_limit: DEFAULT_PENDING_LIMIT,
+            scratch: MergeScratch::new(),
         })
     }
 
@@ -88,6 +123,7 @@ impl<T: ScalarType> Matrix<T> {
             pending: Coo::new(d.nrows(), d.ncols()),
             pending_limit: DEFAULT_PENDING_LIMIT,
             settled: d,
+            scratch: MergeScratch::new(),
         }
     }
 
@@ -169,11 +205,17 @@ impl<T: ScalarType> Matrix<T> {
         Ok(())
     }
 
-    /// Accumulate a batch of tuples under `+`.
+    /// Accumulate a batch of tuples under `+` — the bulk insert path.
+    ///
+    /// The whole batch is validated in one pass and appended with three bulk
+    /// extends; the automatic-settle check runs once per batch instead of
+    /// once per tuple.  The batch applies atomically: on any invalid index
+    /// nothing is inserted.
     pub fn accum_tuples(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
         crate::sink::check_tuple_lengths(rows, cols, vals)?;
-        for i in 0..rows.len() {
-            self.accum_element(rows[i], cols[i], vals[i])?;
+        self.pending.extend_from_slices(rows, cols, vals)?;
+        if self.pending.len() >= self.pending_limit {
+            self.wait();
         }
         Ok(())
     }
@@ -186,16 +228,54 @@ impl<T: ScalarType> Matrix<T> {
 
     /// Force all pending tuples into the settled structure using an explicit
     /// duplicate-combination operator.
+    ///
+    /// The settle reuses the matrix's internal sort/merge scratch buffers
+    /// across calls, so steady-state streaming (append — settle — append …)
+    /// performs no allocation once the buffers have grown to the working-set
+    /// size.
     pub fn wait_with<Op: BinaryOp<T>>(&mut self, dup: Op) {
         if self.pending.is_empty() {
             return;
         }
-        let pending = std::mem::replace(&mut self.pending, Coo::new(self.nrows, self.ncols));
-        let delta = Dcsr::from_coo(pending, dup).expect("pending tuples are within bounds");
-        self.settled = self
-            .settled
-            .merge(&delta, dup)
-            .expect("dimensions match by construction");
+        self.pending.sort_dedup_with(dup, &mut self.scratch);
+        self.settled
+            .merge_sorted_coo_into(&self.pending, dup, &mut self.scratch)
+            .expect("pending tuples are within bounds");
+        self.pending.clear();
+    }
+
+    /// Accumulate a whole matrix in place: `self = self ⊕ other` under `+`.
+    ///
+    /// This is the cascade primitive of the hierarchical matrix in its
+    /// allocation-free form: both operands are settled, then merged through
+    /// the internal scratch buffers ([`Dcsr::merge_into`]) — `self`'s old
+    /// structure becomes the next merge's staging space instead of being
+    /// freed and reallocated.
+    pub fn accum_matrix(&mut self, other: &Matrix<T>) -> GrbResult<()> {
+        self.accum_matrix_op(other, Plus)
+    }
+
+    /// [`Matrix::accum_matrix`] under an explicit combination operator.
+    pub fn accum_matrix_op<Op: BinaryOp<T>>(&mut self, other: &Matrix<T>, op: Op) -> GrbResult<()> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "{}x{} vs {}x{}",
+                    self.nrows, self.ncols, other.nrows, other.ncols
+                ),
+            });
+        }
+        // Pending duplicates settle under `+` (exactly as the functional
+        // `ewise_add` settles its operands); `op` applies only across the
+        // two operands.
+        self.wait();
+        if other.npending() == 0 {
+            self.settled.merge_into(other.dcsr(), op, &mut self.scratch)
+        } else {
+            let settled_other = other.to_settled();
+            self.settled
+                .merge_into(settled_other.dcsr(), op, &mut self.scratch)
+        }
     }
 
     /// Value at `(row, col)` taking pending tuples into account
@@ -213,9 +293,19 @@ impl<T: ScalarType> Matrix<T> {
         acc
     }
 
-    /// Remove every stored entry, keeping dimensions.
+    /// Remove every stored entry, keeping dimensions.  Frees the settled
+    /// structure's buffers; see [`Matrix::clear_retaining_capacity`] for the
+    /// streaming variant.
     pub fn clear(&mut self) {
         self.settled = Dcsr::new(self.nrows, self.ncols);
+        self.pending.clear();
+    }
+
+    /// Remove every stored entry but keep every buffer's capacity, so the
+    /// matrix can be refilled without touching the allocator.  Used by the
+    /// hierarchical cascade to clear a level after moving it up.
+    pub fn clear_retaining_capacity(&mut self) {
+        self.settled.clear_retaining();
         self.pending.clear();
     }
 
@@ -255,13 +345,19 @@ impl<T: ScalarType> Matrix<T> {
         }
     }
 
-    /// Total bytes of memory used (settled + pending structures).
+    /// Total bytes of memory used (settled + pending + scratch structures).
+    ///
+    /// The scratch buffers are included because the merge ping-pong keeps
+    /// them at roughly the settled structure's size once the matrix has
+    /// cascaded/settled — omitting them would under-report the resident
+    /// footprint by up to 2x.
     pub fn memory(&self) -> MemoryFootprint {
         let s = self.settled.memory();
         let p = self.pending.memory();
+        let sc = self.scratch.footprint();
         MemoryFootprint {
-            index_bytes: s.index_bytes + p.index_bytes,
-            value_bytes: s.value_bytes + p.value_bytes,
+            index_bytes: s.index_bytes + p.index_bytes + sc.index_bytes,
+            value_bytes: s.value_bytes + p.value_bytes + sc.value_bytes,
         }
     }
 
@@ -412,6 +508,65 @@ mod tests {
         let mut m = Matrix::<u64>::new(10, 10);
         m.accum_element(1, 2, 3).unwrap();
         assert!(m.memory().total() > 0);
+    }
+
+    #[test]
+    fn accum_matrix_in_place_equals_ewise_add() {
+        let mut a = Matrix::<u64>::new(1 << 20, 1 << 20);
+        a.accum_tuples(&[1, 2, 3], &[1, 2, 3], &[10, 20, 30])
+            .unwrap();
+        let mut b = Matrix::<u64>::new(1 << 20, 1 << 20);
+        b.accum_tuples(&[2, 3, 4], &[2, 3, 4], &[5, 6, 7]).unwrap();
+        let expect = crate::ops::ewise_add::ewise_add(&a, &b, Plus);
+        a.accum_matrix(&b).unwrap();
+        assert_eq!(a.extract_tuples(), expect.extract_tuples());
+        // b untouched (still has its pending tuples).
+        assert_eq!(b.npending(), 3);
+        // Repeated accumulation reuses scratch and stays correct.
+        let expect2 = crate::ops::ewise_add::ewise_add(&a, &b, Plus);
+        a.accum_matrix(&b).unwrap();
+        assert_eq!(a.extract_tuples(), expect2.extract_tuples());
+
+        let wrong = Matrix::<u64>::new(4, 4);
+        assert!(a.accum_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn clear_retaining_capacity_resets_content() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.accum_tuples(&[1, 2], &[1, 2], &[1, 2]).unwrap();
+        m.wait();
+        m.accum_element(3, 3, 3).unwrap();
+        let bytes = m.memory().total();
+        m.clear_retaining_capacity();
+        assert!(m.is_empty());
+        assert_eq!(m.nvals(), 0);
+        assert_eq!(m.memory().total(), bytes);
+        // Refill after clearing works.
+        m.accum_element(5, 5, 5).unwrap();
+        m.wait();
+        assert_eq!(m.get(5, 5), Some(5));
+    }
+
+    #[test]
+    fn accum_tuples_batch_is_atomic_on_error() {
+        let mut m = Matrix::<u64>::new(10, 10);
+        assert!(m.accum_tuples(&[1, 99], &[1, 1], &[1, 1]).is_err());
+        assert_eq!(m.npending(), 0);
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn accum_tuples_triggers_single_settle_per_batch() {
+        let mut m = Matrix::<u64>::new(1000, 1000).with_pending_limit(64);
+        let rows: Vec<u64> = (0..256).map(|i| i % 100).collect();
+        let cols = rows.clone();
+        let vals = vec![1u64; 256];
+        m.accum_tuples(&rows, &cols, &vals).unwrap();
+        // The settle check runs after the bulk extend: everything settled.
+        assert_eq!(m.npending(), 0);
+        let total: u64 = m.extract_tuples().2.iter().sum();
+        assert_eq!(total, 256);
     }
 
     #[test]

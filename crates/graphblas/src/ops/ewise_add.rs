@@ -50,6 +50,18 @@ where
     Ok(Matrix::from_dcsr(merged))
 }
 
+/// In-place element-wise add: `acc = acc ⊕ b` without rebuilding `acc` from
+/// scratch.  Delegates to [`Matrix::accum_matrix_op`], which merges through
+/// `acc`'s reusable scratch buffers — the allocation-free form of the
+/// cascade step and of the query-side sum `A = Σ_i A_i`.
+pub fn ewise_add_into<T, Op>(acc: &mut Matrix<T>, b: &Matrix<T>, op: Op) -> GrbResult<()>
+where
+    T: ScalarType,
+    Op: BinaryOp<T>,
+{
+    acc.accum_matrix_op(b, op)
+}
+
 /// `C = A ⊕ B` under a monoid (alias of [`ewise_add`]; the monoid identity is
 /// not needed because absent entries are simply copied, but requiring a
 /// monoid documents that the caller relies on associativity/commutativity —
@@ -79,7 +91,7 @@ where
     order.sort_by_key(|&i| mats[i].nvals_settled() + mats[i].npending());
     let mut acc = mats[order[0]].to_settled();
     for &i in &order[1..] {
-        acc = ewise_add(&acc, mats[i], monoid);
+        ewise_add_into(&mut acc, mats[i], monoid).expect("dimensions match by construction");
     }
     Some(acc)
 }
@@ -163,6 +175,33 @@ mod tests {
         assert_eq!(total.get(3, 3), Some(3));
         assert_eq!(total.nvals(), 3);
         assert!(sum_all::<u64, _>(&[], PlusMonoid).is_none());
+    }
+
+    #[test]
+    fn ewise_add_into_matches_functional_form() {
+        let a = m(&[(1, 1, 10), (2, 2, 20)]);
+        let b = m(&[(2, 2, 5), (3, 3, 30)]);
+        let expect = ewise_add(&a, &b, Plus);
+        let mut acc = a.clone();
+        ewise_add_into(&mut acc, &b, Plus).unwrap();
+        assert_eq!(acc.extract_tuples(), expect.extract_tuples());
+        let wrong = Matrix::<u64>::new(4, 4);
+        assert!(ewise_add_into(&mut acc, &wrong, Plus).is_err());
+    }
+
+    #[test]
+    fn ewise_add_into_matches_functional_form_for_non_plus_ops() {
+        // Pending duplicates must settle under `+` in both forms; the
+        // operand-combining operator applies only across the two matrices.
+        let mut a = Matrix::<u64>::new(100, 100);
+        a.accum_element(1, 1, 5).unwrap();
+        a.accum_element(1, 1, 7).unwrap(); // pending duplicates
+        let b = Matrix::from_tuples(100, 100, &[1], &[1], &[3u64], Plus).unwrap();
+        let expect = ewise_add(&a, &b, Max);
+        let mut acc = a.clone();
+        ewise_add_into(&mut acc, &b, Max).unwrap();
+        assert_eq!(acc.extract_tuples(), expect.extract_tuples());
+        assert_eq!(acc.get(1, 1), Some(12)); // max(5 + 7, 3)
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod config;
 pub mod matrix;
 pub mod memtrace;
 pub mod pool;
+pub mod sharded;
 pub mod stats;
 pub mod tuning;
 pub mod windowed;
@@ -54,7 +55,8 @@ pub mod windowed;
 pub use config::HierConfig;
 pub use matrix::HierMatrix;
 pub use memtrace::{simulate_flat_trace, simulate_hier_trace, TraceComparison};
-pub use pool::InstancePool;
+pub use pool::{InstancePool, PartitionBuffers};
+pub use sharded::{ShardPartitioner, ShardedConfig, ShardedHierMatrix};
 pub use stats::HierStats;
 pub use tuning::{recommend_cuts, sweep_cut_schedules, CutRecommendation};
 pub use windowed::WindowedHierMatrix;

@@ -4,7 +4,7 @@ use crate::config::HierConfig;
 use crate::stats::HierStats;
 use hyperstream_graphblas::formats::MemoryFootprint;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::ops::ewise_add::ewise_add;
+use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
 use hyperstream_graphblas::ops::reduce::reduce_scalar;
 use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, ScalarType, StreamingSink};
@@ -89,13 +89,13 @@ impl<T: ScalarType> HierMatrix<T> {
 
     /// Apply a batch of updates given as parallel slices.
     ///
-    /// The cascade check runs once per batch (not per tuple), which mirrors
-    /// how the paper's benchmark feeds 100,000-edge sets into `A_1`.
+    /// The whole batch takes the bulk path: one validation pass, one bulk
+    /// extend of the level-0 pending buffer, and one cascade check — which
+    /// mirrors how the paper's benchmark feeds 100,000-edge sets into `A_1`.
+    /// The batch applies atomically: on any invalid index nothing is
+    /// inserted.
     pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
-        hyperstream_graphblas::sink::check_tuple_lengths(rows, cols, vals)?;
-        for i in 0..rows.len() {
-            self.levels[0].accum_element(rows[i], cols[i], vals[i])?;
-        }
+        self.levels[0].accum_tuples(rows, cols, vals)?;
         self.stats.updates += rows.len() as u64;
         self.maybe_cascade();
         Ok(())
@@ -115,7 +115,7 @@ impl<T: ScalarType> HierMatrix<T> {
             });
         }
         let nupd = a.nvals_settled() + a.npending();
-        self.levels[0] = ewise_add(&self.levels[0], a, Plus);
+        self.levels[0].accum_matrix(a)?;
         self.stats.updates += nupd as u64;
         self.maybe_cascade();
         Ok(())
@@ -180,7 +180,7 @@ impl<T: ScalarType> HierMatrix<T> {
     pub fn materialize_ref(&self) -> Matrix<T> {
         let mut acc = Matrix::new(self.nrows, self.ncols);
         for level in &self.levels {
-            acc = ewise_add(&acc, level, Plus);
+            ewise_add_into(&mut acc, level, Plus).expect("levels share dimensions");
         }
         acc
     }
@@ -260,6 +260,13 @@ impl<T: ScalarType> HierMatrix<T> {
     }
 
     /// Unconditionally cascade level `i` into level `i + 1` and clear it.
+    ///
+    /// The merge is in place ([`Matrix::accum_matrix`]): the destination
+    /// level's old structure becomes its scratch space for the next cascade
+    /// and the source level keeps its buffer capacity, so steady-state
+    /// cascading allocates nothing — previously every cascade rebuilt the
+    /// entire destination level on the heap, the single biggest cost on the
+    /// streaming hot path.
     fn cascade_level(&mut self, i: usize) {
         debug_assert!(i + 1 < self.levels.len());
         // Settle level i first so the merge sees compressed data.
@@ -268,9 +275,11 @@ impl<T: ScalarType> HierMatrix<T> {
         if moved == 0 {
             return;
         }
-        let merged = ewise_add(&self.levels[i + 1], &self.levels[i], Plus);
-        self.levels[i + 1] = merged.with_pending_limit(usize::MAX);
-        self.levels[i].clear();
+        let (src_levels, dst_levels) = self.levels.split_at_mut(i + 1);
+        dst_levels[0]
+            .accum_matrix(&src_levels[i])
+            .expect("levels share dimensions by construction");
+        self.levels[i].clear_retaining_capacity();
         self.stats.cascades[i] += 1;
         self.stats.entries_moved[i] += moved;
     }

@@ -12,10 +12,84 @@ use crate::matrix::HierMatrix;
 use crate::stats::HierStats;
 use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
 
+/// The multiplicative row hash shared by every row-based sharder in the
+/// workspace ([`InstancePool::route`], the sharded engine's row-hash
+/// partitioner, and the workload-side stream partitioning).
+pub fn row_hash(row: Index) -> u64 {
+    row.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Reusable per-shard staging buffers for partitioning a tuple stream.
+///
+/// Partitioning a 100,000-tuple batch across N shards must not allocate
+/// 3·N vectors per batch; a `PartitionBuffers` is filled, drained
+/// shard-by-shard, and reset (retaining capacity) for the next batch.  Both
+/// [`InstancePool::update_batch`] and the sharded parallel engine
+/// (`crate::sharded::ShardedHierMatrix`) stage through this type.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionBuffers<T> {
+    rows: Vec<Vec<Index>>,
+    cols: Vec<Vec<Index>>,
+    vals: Vec<Vec<T>>,
+    total: usize,
+}
+
+impl<T: ScalarType> PartitionBuffers<T> {
+    /// Empty buffers for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            rows: (0..shards).map(|_| Vec::new()).collect(),
+            cols: (0..shards).map(|_| Vec::new()).collect(),
+            vals: (0..shards).map(|_| Vec::new()).collect(),
+            total: 0,
+        }
+    }
+
+    /// Number of shards the buffers stage for.
+    pub fn shards(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total tuples currently staged across all shards.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Tuples currently staged for `shard`.
+    pub fn staged(&self, shard: usize) -> usize {
+        self.rows[shard].len()
+    }
+
+    /// Stage one tuple for `shard`.
+    pub fn push(&mut self, shard: usize, row: Index, col: Index, val: T) {
+        self.rows[shard].push(row);
+        self.cols[shard].push(col);
+        self.vals[shard].push(val);
+        self.total += 1;
+    }
+
+    /// The staged tuple slices of `shard`.
+    pub fn shard_slices(&self, shard: usize) -> (&[Index], &[Index], &[T]) {
+        (&self.rows[shard], &self.cols[shard], &self.vals[shard])
+    }
+
+    /// Clear every shard's staging, retaining all capacity.
+    pub fn reset(&mut self) {
+        for s in 0..self.rows.len() {
+            self.rows[s].clear();
+            self.cols[s].clear();
+            self.vals[s].clear();
+        }
+        self.total = 0;
+    }
+}
+
 /// A set of independent [`HierMatrix`] instances sharded by source index.
 #[derive(Debug, Clone)]
 pub struct InstancePool<T> {
     instances: Vec<HierMatrix<T>>,
+    staging: PartitionBuffers<T>,
 }
 
 impl<T: ScalarType> InstancePool<T> {
@@ -26,7 +100,10 @@ impl<T: ScalarType> InstancePool<T> {
         for _ in 0..count.max(1) {
             instances.push(HierMatrix::new(nrows, ncols, config.clone())?);
         }
-        Ok(Self { instances })
+        Ok(Self {
+            staging: PartitionBuffers::new(count.max(1)),
+            instances,
+        })
     }
 
     /// Number of instances.
@@ -43,14 +120,41 @@ impl<T: ScalarType> InstancePool<T> {
     /// The instance an update with this source index is routed to.
     pub fn route(&self, src: Index) -> usize {
         // Multiplicative hash so nearby sources spread across instances.
-        let h = src.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
-        (h % self.instances.len() as u64) as usize
+        (row_hash(src) % self.instances.len() as u64) as usize
     }
 
     /// Apply an update, routing it to the owning instance.
     pub fn update(&mut self, src: Index, dst: Index, val: T) -> GrbResult<()> {
         let i = self.route(src);
         self.instances[i].update(src, dst, val)
+    }
+
+    /// Apply a batch of updates, routing each tuple to its owning instance
+    /// and feeding every instance through the bulk
+    /// [`HierMatrix::update_batch`] path.  The partition staging buffers are
+    /// reused across calls.
+    pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        hyperstream_graphblas::sink::check_tuple_lengths(rows, cols, vals)?;
+        let (nr, nc) = {
+            let first = &self.instances[0];
+            (first.nrows(), first.ncols())
+        };
+        // The leading reset establishes a clean slate (it also heals state
+        // left by a mid-loop validation error in an earlier call).
+        self.staging.reset();
+        for i in 0..rows.len() {
+            hyperstream_graphblas::validate_index(rows[i], nr)?;
+            hyperstream_graphblas::validate_index(cols[i], nc)?;
+            let shard = self.route(rows[i]);
+            self.staging.push(shard, rows[i], cols[i], vals[i]);
+        }
+        for (shard, instance) in self.instances.iter_mut().enumerate() {
+            let (r, c, v) = self.staging.shard_slices(shard);
+            if !r.is_empty() {
+                instance.update_batch(r, c, v)?;
+            }
+        }
+        Ok(())
     }
 
     /// Direct access to an instance.
@@ -170,6 +274,58 @@ mod tests {
         let union = p.materialize_union().unwrap();
         let total: u64 = union.extract_tuples().2.iter().sum();
         assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn update_batch_routes_like_singles() {
+        let rows: Vec<u64> = (0..500).map(|i| i * 7 % 300).collect();
+        let cols: Vec<u64> = (0..500).map(|i| i * 13 % 400).collect();
+        let vals: Vec<u64> = vec![2; 500];
+        let mut batched = pool(4);
+        batched.update_batch(&rows, &cols, &vals).unwrap();
+        let mut singles = pool(4);
+        for i in 0..rows.len() {
+            singles.update(rows[i], cols[i], vals[i]).unwrap();
+        }
+        assert_eq!(batched.total_updates(), singles.total_updates());
+        let bu = batched.materialize_union().unwrap();
+        let su = singles.materialize_union().unwrap();
+        assert_eq!(bu.extract_tuples(), su.extract_tuples());
+    }
+
+    #[test]
+    fn update_batch_validates_before_applying() {
+        let mut p = pool(2);
+        let bad = (1u64 << 20) + 1; // out of the 2^20 bounds
+        assert!(p.update_batch(&[1, bad], &[1, 1], &[1, 1]).is_err());
+        assert_eq!(p.total_updates(), 0);
+        assert!(p.update_batch(&[1], &[1, 2], &[1]).is_err());
+    }
+
+    #[test]
+    fn partition_buffers_reuse() {
+        let mut b = PartitionBuffers::<u64>::new(3);
+        assert_eq!(b.shards(), 3);
+        b.push(0, 1, 1, 1);
+        b.push(2, 2, 2, 2);
+        assert_eq!(b.total(), 2);
+        assert_eq!(b.staged(0), 1);
+        assert_eq!(b.staged(1), 0);
+        assert_eq!(b.shard_slices(2), (&[2u64][..], &[2u64][..], &[2u64][..]));
+        b.reset();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.staged(2), 0);
+        // Zero shards clamps to one.
+        assert_eq!(PartitionBuffers::<u64>::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn row_hash_spreads() {
+        let mut counts = [0usize; 4];
+        for r in 0..4000u64 {
+            counts[(row_hash(r) % 4) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "skewed: {counts:?}");
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! The sharded parallel ingest engine: N worker threads, each owning a
+//! private [`HierMatrix`] shard, fed through bounded SPSC tuple-batch
+//! channels.
+//!
+//! The paper's 75 G-updates/s headline is the *sum* of many independent
+//! hierarchical hypersparse matrices, one per process.  Within one process
+//! the same structure is a [`ShardedHierMatrix`]: a row partitioner routes
+//! every update to the shard that owns its row, each shard is an ordinary
+//! [`HierMatrix`] maintained by its own worker thread, and a query
+//! materialises `Σ_shards Σ_levels` — valid because the shards hold disjoint
+//! row sets and ⊕ is associative and commutative.
+//!
+//! Two effects make sharding pay:
+//!
+//! * **parallelism** — shards never communicate, so N cores stream N times
+//!   as fast (the paper's process-level scaling, here at thread level); and
+//! * **working-set reduction** — each shard's levels hold ~1/N of the
+//!   entries, so every cascade merge rewrites ~1/N of the data.  This is
+//!   measurable even on a single core once a stream outgrows one
+//!   hierarchy's cut schedule (see the `parallel_rate` benchmark).
+//!
+//! Threading model: workers are *scoped* threads
+//! ([`std::thread::scope`]) spawned per ingest round, so the engine owns no
+//! long-lived threads, needs no `unsafe`, and the borrow checker proves the
+//! shards outlive their workers.  Inserts are staged into per-shard
+//! partition buffers ([`PartitionBuffers`]); when
+//! [`ShardedConfig::round_tuples`] are staged (or on flush/query) a round
+//! runs: one bounded SPSC channel per shard carries zero-copy tuple-slice
+//! chunks from the caller's thread to the workers.
+
+use crate::config::HierConfig;
+use crate::matrix::HierMatrix;
+use crate::pool::{row_hash, PartitionBuffers};
+use crate::stats::HierStats;
+use hyperstream_graphblas::ops::binary::Plus;
+use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
+use hyperstream_graphblas::sink::check_tuple_lengths;
+use hyperstream_graphblas::{validate_index, GrbResult, Index, Matrix, ScalarType, StreamingSink};
+use std::sync::mpsc::{sync_channel, SyncSender};
+
+/// How updates are routed to shards.  Both strategies depend only on the
+/// row, so every `(row, col)` cell lives in exactly one shard and per-shard
+/// results sum without overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPartitioner {
+    /// Multiplicative row hash (default): spreads adjacent rows across
+    /// shards, robust to skewed row spaces.
+    RowHash,
+    /// Contiguous row bands: shard `k` owns rows
+    /// `[k·ceil(nrows/N), (k+1)·ceil(nrows/N))`.  Preserves row locality
+    /// within a shard (useful when queries are row-range scans).
+    RowRange,
+}
+
+impl ShardPartitioner {
+    /// The shard that owns `row` in an `nshards`-way partition of `nrows`.
+    pub fn shard(&self, row: Index, nrows: Index, nshards: usize) -> usize {
+        match self {
+            ShardPartitioner::RowHash => (row_hash(row) % nshards.max(1) as u64) as usize,
+            ShardPartitioner::RowRange => {
+                let band = nrows.div_ceil(nshards.max(1) as u64).max(1);
+                ((row / band) as usize).min(nshards.max(1) - 1)
+            }
+        }
+    }
+}
+
+/// Tuning knobs of the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Number of shards (= worker threads per ingest round).  Clamped to at
+    /// least 1.
+    pub shards: usize,
+    /// Row partitioning strategy.
+    pub partitioner: ShardPartitioner,
+    /// Tuples per SPSC channel message.  Larger chunks amortise channel
+    /// synchronisation; smaller chunks smooth load across workers.
+    pub chunk_tuples: usize,
+    /// Bounded channel capacity in chunks — the producer blocks when a
+    /// worker falls this far behind (backpressure).
+    pub channel_depth: usize,
+    /// Staged tuples that trigger an ingest round.  Rounds also run on
+    /// flush and before queries.
+    pub round_tuples: usize,
+}
+
+impl ShardedConfig {
+    /// Default knobs for `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            partitioner: ShardPartitioner::RowHash,
+            chunk_tuples: 8192,
+            channel_depth: 4,
+            round_tuples: 1 << 19,
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    /// One shard per available core.
+    fn default() -> Self {
+        Self::with_shards(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+/// An N-way sharded hierarchical hypersparse matrix with parallel ingest.
+///
+/// See the [module documentation](self) for the design.  The engine
+/// implements [`StreamingSink`], so the existing `make_sink`/`drive_sink`
+/// measurement harness drives it unchanged.
+#[derive(Debug, Clone)]
+pub struct ShardedHierMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    config: ShardedConfig,
+    shards: Vec<HierMatrix<T>>,
+    staging: PartitionBuffers<T>,
+    /// Weight staged but not yet handed to a shard (keeps
+    /// [`StreamingSink::total_weight`] exact at any moment).
+    staged_weight: f64,
+    rounds: u64,
+    chunks_sent: u64,
+}
+
+impl<T: ScalarType> ShardedHierMatrix<T> {
+    /// Create an engine whose shards are `nrows x ncols` hierarchies with
+    /// the cut schedule `hier_config`.
+    pub fn new(
+        nrows: Index,
+        ncols: Index,
+        hier_config: HierConfig,
+        config: ShardedConfig,
+    ) -> GrbResult<Self> {
+        let nshards = config.shards.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            shards.push(HierMatrix::new(nrows, ncols, hier_config.clone())?);
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            config: ShardedConfig {
+                shards: nshards,
+                ..config
+            },
+            staging: PartitionBuffers::new(nshards),
+            shards,
+            staged_weight: 0.0,
+            rounds: 0,
+            chunks_sent: 0,
+        })
+    }
+
+    /// Convenience constructor: `shards` shards with the paper-default cut
+    /// schedule and default engine knobs.
+    pub fn with_shards(nrows: Index, ncols: Index, shards: usize) -> GrbResult<Self> {
+        Self::new(
+            nrows,
+            ncols,
+            HierConfig::paper_default(),
+            ShardedConfig::with_shards(shards),
+        )
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Direct access to a shard's hierarchy.
+    pub fn shard(&self, i: usize) -> &HierMatrix<T> {
+        &self.shards[i]
+    }
+
+    /// Ingest rounds executed so far (each spawns one scoped worker set).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// SPSC chunks sent to workers so far.
+    pub fn chunks_sent(&self) -> u64 {
+        self.chunks_sent
+    }
+
+    /// Total updates applied across all shards (excluding staged tuples).
+    pub fn total_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().updates).sum()
+    }
+
+    /// Aggregate hierarchy statistics (sums over shards).
+    pub fn aggregate_stats(&self) -> HierStats {
+        let levels = self.shards.first().map(|m| m.levels()).unwrap_or(1);
+        let mut agg = HierStats::new(levels);
+        for m in &self.shards {
+            let s = m.stats();
+            agg.updates += s.updates;
+            agg.materializations += s.materializations;
+            for l in 0..levels {
+                agg.cascades[l] += s.cascades_from_level(l);
+                agg.entries_moved[l] += s.entries_moved_from_level(l);
+            }
+        }
+        agg
+    }
+
+    /// Apply one streaming update `A(row, col) += val`.
+    pub fn update(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        validate_index(row, self.nrows)?;
+        validate_index(col, self.ncols)?;
+        let shard = self
+            .config
+            .partitioner
+            .shard(row, self.nrows, self.shards.len());
+        self.staging.push(shard, row, col, val);
+        self.staged_weight += val.to_f64();
+        if self.staging.total() >= self.config.round_tuples {
+            self.process_round()?;
+        }
+        Ok(())
+    }
+
+    /// Apply a batch of updates given as parallel slices.  The batch is
+    /// validated up front and applies atomically.
+    pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        check_tuple_lengths(rows, cols, vals)?;
+        for i in 0..rows.len() {
+            validate_index(rows[i], self.nrows)?;
+            validate_index(cols[i], self.ncols)?;
+        }
+        let nshards = self.shards.len();
+        for i in 0..rows.len() {
+            let shard = self.config.partitioner.shard(rows[i], self.nrows, nshards);
+            self.staging.push(shard, rows[i], cols[i], vals[i]);
+            self.staged_weight += vals[i].to_f64();
+        }
+        if self.staging.total() >= self.config.round_tuples {
+            self.process_round()?;
+        }
+        Ok(())
+    }
+
+    /// Hand every staged tuple to its shard's worker and wait for the
+    /// workers to apply them.  One bounded SPSC channel per shard carries
+    /// zero-copy slice chunks; the scope joins all workers before
+    /// returning, so the borrows are safe without `unsafe`.
+    fn process_round(&mut self) -> GrbResult<()> {
+        if self.staging.total() == 0 {
+            return Ok(());
+        }
+        let chunk = self.config.chunk_tuples.max(1);
+        let depth = self.config.channel_depth.max(1);
+        let nshards = self.shards.len();
+        let staging = &self.staging;
+        let shards = &mut self.shards;
+        let mut chunks_sent = 0u64;
+
+        type Msg<'a, T> = (&'a [Index], &'a [Index], &'a [T]);
+        let result: GrbResult<()> = std::thread::scope(|scope| {
+            let mut senders: Vec<SyncSender<Msg<'_, T>>> = Vec::with_capacity(nshards);
+            let mut handles = Vec::with_capacity(nshards);
+            for shard in shards.iter_mut() {
+                let (tx, rx) = sync_channel::<Msg<'_, T>>(depth);
+                senders.push(tx);
+                handles.push(scope.spawn(move || -> GrbResult<()> {
+                    while let Ok((r, c, v)) = rx.recv() {
+                        shard.update_batch(r, c, v)?;
+                    }
+                    Ok(())
+                }));
+            }
+            // Producer: round-robin chunks across shards so every worker
+            // stays busy; `send` blocks when a bounded channel is full.
+            let mut offsets = vec![0usize; nshards];
+            loop {
+                let mut progressed = false;
+                for (s, sender) in senders.iter().enumerate() {
+                    let (r, c, v) = staging.shard_slices(s);
+                    let off = offsets[s];
+                    if off >= r.len() {
+                        continue;
+                    }
+                    let end = (off + chunk).min(r.len());
+                    // A send error means the worker exited early; its error
+                    // surfaces at join.
+                    if sender
+                        .send((&r[off..end], &c[off..end], &v[off..end]))
+                        .is_ok()
+                    {
+                        chunks_sent += 1;
+                    }
+                    offsets[s] = end;
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            drop(senders);
+            let mut res = Ok(());
+            for h in handles {
+                let joined = h.join().expect("shard worker panicked");
+                if res.is_ok() {
+                    res = joined;
+                }
+            }
+            res
+        });
+        // Reset the staging even when a worker reported an error (today
+        // unreachable: every tuple is bounds-validated before staging).
+        // Keeping the staged tuples would re-send chunks that other workers
+        // already applied on the next round — double-application is worse
+        // than dropping the failed round's remainder.
+        self.staging.reset();
+        self.staged_weight = 0.0;
+        result?;
+        self.rounds += 1;
+        self.chunks_sent += chunks_sent;
+        Ok(())
+    }
+
+    /// Complete all deferred work: apply staged tuples and finish every
+    /// shard's outstanding cascades.
+    pub fn flush(&mut self) -> GrbResult<()> {
+        self.process_round()?;
+        for shard in &mut self.shards {
+            shard.flush();
+        }
+        Ok(())
+    }
+
+    /// Materialise the full matrix `A = Σ_shards Σ_levels` (staged tuples
+    /// are applied first; streaming can continue afterwards).
+    pub fn materialize(&mut self) -> GrbResult<Matrix<T>> {
+        self.process_round()?;
+        Ok(self.shard_sum())
+    }
+
+    /// `Σ_shards Σ_levels` of the *processed* entries (staged tuples
+    /// excluded — callers that need them fold `staging` in themselves).
+    fn shard_sum(&self) -> Matrix<T> {
+        let mut acc = Matrix::new(self.nrows, self.ncols);
+        for shard in &self.shards {
+            let level_sum = shard.materialize_ref();
+            ewise_add_into(&mut acc, &level_sum, Plus).expect("shards share dimensions");
+        }
+        acc
+    }
+
+    /// Value of the represented matrix at `(row, col)` — answered by the
+    /// single shard that owns the row, plus any staged tuples.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        let shard = self
+            .config
+            .partitioner
+            .shard(row, self.nrows, self.shards.len());
+        let mut acc = self.shards[shard].get(row, col);
+        let (r, c, v) = self.staging.shard_slices(shard);
+        for i in 0..r.len() {
+            if r[i] == row && c[i] == col {
+                acc = Some(match acc {
+                    Some(a) => a.add(v[i]),
+                    None => v[i],
+                });
+            }
+        }
+        acc
+    }
+
+    /// Sum of all weight currently represented, staged tuples included.
+    pub fn total_weight_f64(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.total_weight_f64())
+            .sum::<f64>()
+            + self.staged_weight
+    }
+}
+
+/// The harness-facing interface: identical contract to every other sink in
+/// the workspace, so `make_sink`/`drive_sink` measure the parallel engine
+/// with the same loop that measures the single-instance systems.
+impl<T: ScalarType> StreamingSink<T> for ShardedHierMatrix<T> {
+    fn sink_name(&self) -> &str {
+        "sharded-hier-graphblas"
+    }
+
+    fn insert(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        self.update(row, col, val)
+    }
+
+    fn insert_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        self.update_batch(rows, cols, vals)
+    }
+
+    fn flush(&mut self) -> GrbResult<()> {
+        ShardedHierMatrix::flush(self)
+    }
+
+    fn nvals(&self) -> usize {
+        if self.staging.total() == 0 {
+            // Shards own disjoint row sets: distinct cells simply add up.
+            self.shards.iter().map(|s| s.nvals_exact()).sum()
+        } else {
+            // Staged tuples may collide with stored cells; settle a snapshot.
+            let mut acc = self.shard_sum();
+            for s in 0..self.staging.shards() {
+                let (r, c, v) = self.staging.shard_slices(s);
+                acc.accum_tuples(r, c, v).expect("staged tuples validated");
+            }
+            acc.nvals()
+        }
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIM: u64 = 1 << 32;
+
+    fn small_cfg() -> HierConfig {
+        HierConfig::from_cuts(vec![16, 128, 1024]).unwrap()
+    }
+
+    fn tiny_engine(shards: usize, partitioner: ShardPartitioner) -> ShardedHierMatrix<u64> {
+        ShardedHierMatrix::new(
+            DIM,
+            DIM,
+            small_cfg(),
+            ShardedConfig {
+                shards,
+                partitioner,
+                chunk_tuples: 64,
+                channel_depth: 2,
+                round_tuples: 256,
+            },
+        )
+        .unwrap()
+    }
+
+    fn stream(n: u64) -> Vec<(u64, u64, u64)> {
+        (0..n)
+            .map(|i| ((i * 7919) % 5000 * 797_003, (i * 104_729) % 3000, i % 4 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn matches_flat_accumulation_for_both_partitioners() {
+        for partitioner in [ShardPartitioner::RowHash, ShardPartitioner::RowRange] {
+            let mut engine = tiny_engine(4, partitioner);
+            let mut flat = Matrix::<u64>::new(DIM, DIM);
+            for &(r, c, v) in &stream(3000) {
+                engine.update(r, c, v).unwrap();
+                flat.accum_element(r, c, v).unwrap();
+            }
+            flat.wait();
+            let snap = engine.materialize().unwrap();
+            assert_eq!(
+                snap.extract_tuples(),
+                flat.extract_tuples(),
+                "{partitioner:?}"
+            );
+            assert!(engine.rounds() > 1, "expected multiple ingest rounds");
+            assert!(engine.chunks_sent() > engine.rounds());
+        }
+    }
+
+    #[test]
+    fn batch_and_single_update_agree() {
+        let updates = stream(2000);
+        let rows: Vec<u64> = updates.iter().map(|u| u.0).collect();
+        let cols: Vec<u64> = updates.iter().map(|u| u.1).collect();
+        let vals: Vec<u64> = updates.iter().map(|u| u.2).collect();
+
+        let mut singles = tiny_engine(3, ShardPartitioner::RowHash);
+        for &(r, c, v) in &updates {
+            singles.update(r, c, v).unwrap();
+        }
+        let mut batched = tiny_engine(3, ShardPartitioner::RowHash);
+        batched.update_batch(&rows, &cols, &vals).unwrap();
+        assert_eq!(
+            singles.materialize().unwrap().extract_tuples(),
+            batched.materialize().unwrap().extract_tuples()
+        );
+    }
+
+    #[test]
+    fn mid_stream_query_and_flush_do_not_disturb() {
+        let mut engine = tiny_engine(2, ShardPartitioner::RowHash);
+        let updates = stream(1500);
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            engine.update(r, c, v).unwrap();
+            if i == 700 {
+                let _ = engine.materialize().unwrap();
+                engine.flush().unwrap();
+            }
+        }
+        let mut flat = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in &updates {
+            flat.accum_element(r, c, v).unwrap();
+        }
+        flat.wait();
+        assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            flat.extract_tuples()
+        );
+    }
+
+    #[test]
+    fn weight_exact_with_staged_tuples() {
+        let mut engine = tiny_engine(4, ShardPartitioner::RowHash);
+        engine.update(1, 1, 10).unwrap();
+        engine.update(2, 2, 5).unwrap();
+        // Nothing processed yet (round_tuples = 256), weight still exact.
+        assert_eq!(engine.rounds(), 0);
+        assert_eq!(engine.total_weight_f64(), 15.0);
+        assert_eq!(engine.get(1, 1), Some(10));
+        assert_eq!(StreamingSink::nvals(&engine), 2);
+        engine.flush().unwrap();
+        assert_eq!(engine.total_weight_f64(), 15.0);
+        assert_eq!(engine.get(1, 1), Some(10));
+        assert_eq!(engine.total_updates(), 2);
+    }
+
+    #[test]
+    fn bounds_rejected_and_batches_atomic() {
+        let mut engine = tiny_engine(2, ShardPartitioner::RowHash);
+        assert!(engine.update(DIM, 0, 1).is_err());
+        assert!(engine.update(0, DIM, 1).is_err());
+        assert!(engine.update_batch(&[1, DIM], &[1, 1], &[1, 1]).is_err());
+        assert!(engine.update_batch(&[1], &[1, 2], &[1]).is_err());
+        assert_eq!(engine.total_weight_f64(), 0.0);
+        assert_eq!(StreamingSink::nvals(&engine), 0);
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let mut engine = tiny_engine(1, ShardPartitioner::RowRange);
+        for &(r, c, v) in &stream(500) {
+            engine.update(r, c, v).unwrap();
+        }
+        engine.flush().unwrap();
+        assert_eq!(engine.num_shards(), 1);
+        assert!(engine.total_updates() == 500);
+        // Zero shards clamps to one.
+        let clamped = ShardedHierMatrix::<u64>::with_shards(100, 100, 0).unwrap();
+        assert_eq!(clamped.num_shards(), 1);
+    }
+
+    #[test]
+    fn sink_interface_round_trip() {
+        let mut sink: Box<dyn StreamingSink<u64>> =
+            Box::new(tiny_engine(3, ShardPartitioner::RowHash));
+        for &(r, c, v) in &stream(800) {
+            sink.insert(r, c, v).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.sink_name(), "sharded-hier-graphblas");
+        let expected: u64 = stream(800).iter().map(|u| u.2).sum();
+        assert_eq!(sink.total_weight(), expected as f64);
+        assert!(sink.nvals() > 0);
+    }
+
+    #[test]
+    fn partitioners_cover_all_shards() {
+        for partitioner in [ShardPartitioner::RowHash, ShardPartitioner::RowRange] {
+            let mut seen = [false; 8];
+            for r in 0..10_000u64 {
+                // Spread rows over the whole index space for RowRange.
+                let row = r * (DIM / 10_000);
+                seen[partitioner.shard(row, DIM, 8)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{partitioner:?} starves shards");
+        }
+        // Rows at the very top of the space stay in range.
+        assert!(ShardPartitioner::RowRange.shard(DIM - 1, DIM, 7) < 7);
+        assert!(ShardPartitioner::RowHash.shard(DIM - 1, DIM, 7) < 7);
+    }
+
+    #[test]
+    fn shard_stats_aggregate() {
+        let mut engine = tiny_engine(4, ShardPartitioner::RowHash);
+        for &(r, c, v) in &stream(2000) {
+            engine.update(r, c, v).unwrap();
+        }
+        engine.flush().unwrap();
+        let agg = engine.aggregate_stats();
+        assert_eq!(agg.updates, 2000);
+        assert!(agg.total_cascades() > 0, "small cuts must cascade");
+        assert!((0..engine.num_shards()).all(|i| engine.shard(i).stats().updates > 0));
+    }
+}

@@ -19,6 +19,7 @@
 pub mod edge;
 pub mod ip_traffic;
 pub mod kronecker;
+pub mod partition;
 pub mod powerlaw;
 pub mod stream;
 pub mod zipf;
@@ -26,6 +27,7 @@ pub mod zipf;
 pub use edge::{edges_to_tuples, Edge};
 pub use ip_traffic::{IpTrafficConfig, IpTrafficGenerator, IpVersion};
 pub use kronecker::{KroneckerConfig, KroneckerGenerator};
+pub use partition::{partition_batch, shard_streams};
 pub use powerlaw::{PowerLawConfig, PowerLawGenerator};
 pub use stream::{BatchIter, StreamConfig, StreamPartitioner};
 pub use zipf::Zipf;

@@ -57,7 +57,8 @@ pub mod prelude {
     pub use hyperstream_graphblas::prelude::*;
 
     pub use hyperstream_hier::{
-        HierConfig, HierMatrix, HierStats, InstancePool, WindowedHierMatrix,
+        HierConfig, HierMatrix, HierStats, InstancePool, PartitionBuffers, ShardPartitioner,
+        ShardedConfig, ShardedHierMatrix, WindowedHierMatrix,
     };
 
     pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};
@@ -67,9 +68,9 @@ pub mod prelude {
     };
 
     pub use hyperstream_workload::{
-        edges_to_tuples, Edge, IpTrafficConfig, IpTrafficGenerator, IpVersion, KroneckerConfig,
-        KroneckerGenerator, PowerLawConfig, PowerLawGenerator, StreamConfig, StreamPartitioner,
-        Zipf,
+        edges_to_tuples, partition_batch, shard_streams, Edge, IpTrafficConfig, IpTrafficGenerator,
+        IpVersion, KroneckerConfig, KroneckerGenerator, PowerLawConfig, PowerLawGenerator,
+        StreamConfig, StreamPartitioner, Zipf,
     };
 
     pub use hyperstream_memsim::{

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) of the sharded parallel ingest engine:
+//! a `ShardedHierMatrix` with *any* shard count, *any* row partitioner and
+//! *any* cut schedule — interrupted mid-stream by a query and a full flush —
+//! must represent exactly the matrix a flat single-threaded accumulation
+//! produces.  This is the paper's linearity argument one level up: sharding
+//! by row is just another way of splitting the sum `A = Σ_i A_i`.
+
+use hyperstream::prelude::*;
+use proptest::prelude::*;
+
+const DIM: u64 = 1 << 32;
+
+/// A stream of updates drawn from a small id pool (to force duplicates)
+/// scattered over the hypersparse index space.
+fn update_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..200, 0u64..200, 1u64..5), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(r, c, w)| ((r * 20_000_019) % DIM, (c * 40_000_003) % DIM, w))
+            .collect()
+    })
+}
+
+/// An arbitrary valid cut schedule (strictly increasing, non-zero).
+fn cut_schedule() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..64, 1usize..5).prop_map(|deltas| {
+        let mut acc = 0u64;
+        deltas
+            .into_iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn build_flat(updates: &[(u64, u64, u64)]) -> Matrix<u64> {
+    let mut m = Matrix::<u64>::new(DIM, DIM);
+    for &(r, c, v) in updates {
+        m.accum_element(r, c, v).unwrap();
+    }
+    m.wait();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_engine_matches_flat_accumulation(
+        updates in update_stream(400),
+        shards in 1usize..=8,
+        row_range in 0u64..2,
+        cuts in cut_schedule(),
+        chunk in 1usize..128,
+        round in 1usize..300,
+        query_at in 0usize..400,
+    ) {
+        let partitioner = if row_range == 1 {
+            ShardPartitioner::RowRange
+        } else {
+            ShardPartitioner::RowHash
+        };
+        let config = ShardedConfig {
+            shards,
+            partitioner,
+            chunk_tuples: chunk,
+            channel_depth: 2,
+            round_tuples: round,
+        };
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(cuts).unwrap(),
+            config,
+        )
+        .unwrap();
+
+        let expected_weight: u64 = updates.iter().map(|u| u.2).sum();
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            StreamingSink::insert(&mut engine, r, c, v).unwrap();
+            if i == query_at {
+                // Mid-stream query and cascade/round completion must not
+                // disturb the represented matrix...
+                let partial = engine.materialize().unwrap();
+                prop_assert!(partial.nvals() <= i + 1);
+                StreamingSink::flush(&mut engine).unwrap();
+            }
+            // ...and the total weight stays exact at any moment (staged,
+            // in-flight, or settled).
+            if i % 97 == 0 {
+                let seen: u64 = updates[..=i].iter().map(|u| u.2).sum();
+                prop_assert_eq!(StreamingSink::total_weight(&engine), seen as f64);
+            }
+        }
+
+        let flat = build_flat(&updates);
+        prop_assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            flat.extract_tuples()
+        );
+        prop_assert_eq!(StreamingSink::total_weight(&engine), expected_weight as f64);
+        StreamingSink::flush(&mut engine).unwrap();
+        prop_assert_eq!(StreamingSink::nvals(&engine), flat.nvals());
+    }
+
+    #[test]
+    fn sharded_batch_ingest_matches_flat(
+        updates in update_stream(300),
+        shards in 1usize..=8,
+        batch_len in 1usize..80,
+    ) {
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![16, 64]).unwrap(),
+            ShardedConfig {
+                chunk_tuples: 32,
+                round_tuples: 128,
+                ..ShardedConfig::with_shards(shards)
+            },
+        )
+        .unwrap();
+        for chunk in updates.chunks(batch_len) {
+            let rows: Vec<u64> = chunk.iter().map(|u| u.0).collect();
+            let cols: Vec<u64> = chunk.iter().map(|u| u.1).collect();
+            let vals: Vec<u64> = chunk.iter().map(|u| u.2).collect();
+            StreamingSink::insert_batch(&mut engine, &rows, &cols, &vals).unwrap();
+        }
+        let flat = build_flat(&updates);
+        prop_assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            flat.extract_tuples()
+        );
+    }
+}
