@@ -2,6 +2,7 @@
 //! (the cascade primitive), mxm and reduce on hypersparse operands.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperstream_graphblas::formats::coo::Coo;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
@@ -9,6 +10,7 @@ use hyperstream_graphblas::ops::mxm::mxm;
 use hyperstream_graphblas::ops::reduce::reduce_rows;
 use hyperstream_graphblas::ops::semiring::PlusTimes;
 use hyperstream_graphblas::Matrix;
+use hyperstream_graphblas::MergeScratch;
 use hyperstream_workload::{PowerLawConfig, PowerLawGenerator};
 
 const DIM: u64 = 1 << 32;
@@ -95,6 +97,96 @@ fn bench_accum_tuples(c: &mut Criterion) {
     group.finish();
 }
 
+/// Input shapes for the settle-sort micro-benchmark.  `sorted` and
+/// `reverse` are the best/worst cases for a comparison sort; `random`
+/// scatters uniformly over a 2^20 id pool; `power_law` is the paper's
+/// skewed traffic shape (duplicate-heavy).
+fn sort_input(pattern: &str, n: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    match pattern {
+        "sorted" => {
+            // Ascending except the first tuple moved to the end, so the
+            // is-sorted fast path does not short-circuit the sort itself.
+            let mut rows: Vec<u64> = (1..n as u64 + 1).map(|i| i / 1000).collect();
+            let mut cols: Vec<u64> = (1..n as u64 + 1).map(|i| i % 1000).collect();
+            rows.rotate_left(1);
+            cols.rotate_left(1);
+            let vals = vec![1u64; n];
+            (rows, cols, vals)
+        }
+        "reverse" => {
+            let rows: Vec<u64> = (0..n as u64).rev().map(|i| i / 1000).collect();
+            let cols: Vec<u64> = (0..n as u64).rev().map(|i| i % 1000).collect();
+            (rows, cols, vec![1u64; n])
+        }
+        "random" => {
+            let rows: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 44)
+                .collect();
+            let cols: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 44)
+                .collect();
+            (rows, cols, vec![1u64; n])
+        }
+        "power_law" => {
+            let mut gen = PowerLawGenerator::new(PowerLawConfig::paper());
+            let edges = gen.batch(n);
+            (
+                edges.iter().map(|e| e.src).collect(),
+                edges.iter().map(|e| e.dst).collect(),
+                edges.iter().map(|e| e.weight).collect(),
+            )
+        }
+        other => panic!("unknown input pattern {other}"),
+    }
+}
+
+/// The settle kernel head-to-head: packed-key LSD radix sort versus the
+/// permutation comparison sort it replaced, across input sizes and shapes.
+/// Both variants clone the same unsorted COO per iteration (identical
+/// overhead) and sort through a persistent `MergeScratch`, exactly like the
+/// streaming settle path.
+fn bench_sort_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_dedup");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        for pattern in ["sorted", "reverse", "random", "power_law"] {
+            let (rows, cols, vals) = sort_input(pattern, n);
+            let mut base = Coo::<u64>::new(DIM, DIM);
+            base.extend_from_slices(&rows, &cols, &vals).unwrap();
+            assert!(
+                !base.is_sorted_dedup(),
+                "{pattern}/{n} must exercise the sort"
+            );
+            group.throughput(Throughput::Elements(n as u64));
+            let mut scratch = MergeScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("radix_{pattern}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut coo = base.clone();
+                        coo.sort_dedup_with(Plus, &mut scratch);
+                        coo.len()
+                    })
+                },
+            );
+            let mut scratch = MergeScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("comparison_{pattern}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut coo = base.clone();
+                        coo.sort_dedup_comparison_with(Plus, &mut scratch);
+                        coo.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_mxm_and_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("mxm_reduce");
     group.sample_size(10);
@@ -114,6 +206,7 @@ criterion_group!(
     bench_build,
     bench_ewise_add,
     bench_accum_tuples,
+    bench_sort_dedup,
     bench_mxm_and_reduce
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@ use hyperstream_baselines::{ArrayStore, DocStore, RowStore, TabletStore};
 use hyperstream_d4m::{HierAssoc, HierAssocConfig};
 use hyperstream_graphblas::{Matrix, StreamingSink};
 use hyperstream_hier::{HierConfig, HierMatrix, ShardedHierMatrix};
-use hyperstream_workload::{edges_to_tuples, Edge};
+use hyperstream_workload::{edges_to_tuples_into, Edge};
 use std::time::Instant;
 
 /// Shard count used when the sharded engine is constructed through
@@ -118,8 +118,12 @@ pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSink<u64>> {
 /// read back the total weight (defeating dead-code elimination and checking
 /// that no updates were dropped).  Returns the total weight ingested.
 pub fn drive_sink<S: StreamingSink<u64> + ?Sized>(sink: &mut S, batches: &[Vec<Edge>]) -> f64 {
+    // The tuple-slice buffers are reused across batches (allocating three
+    // fresh vectors per batch is measurable harness overhead; see
+    // `edges_to_tuples_into`).
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
     for batch in batches {
-        let (rows, cols, vals) = edges_to_tuples(batch);
+        edges_to_tuples_into(batch, &mut rows, &mut cols, &mut vals);
         sink.insert_batch(&rows, &cols, &vals)
             .expect("in-bounds updates");
     }

@@ -100,10 +100,11 @@ fn run_one_instance(system: SystemKind, instance_id: u64, updates: u64, dim: u64
     const BATCH: usize = 10_000;
     let mut sink = crate::measure::make_sink(system, dim);
     let mut remaining = updates;
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
     while remaining > 0 {
         let take = remaining.min(BATCH as u64) as usize;
         let batch = gen.batch(take);
-        let (rows, cols, vals) = hyperstream_workload::edges_to_tuples(&batch);
+        hyperstream_workload::edges_to_tuples_into(&batch, &mut rows, &mut cols, &mut vals);
         sink.insert_batch(&rows, &cols, &vals).expect("in bounds");
         remaining -= take as u64;
     }

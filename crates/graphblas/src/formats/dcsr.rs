@@ -54,7 +54,7 @@ pub struct MergeScratch<T> {
     pub(crate) col_idx: Vec<Index>,
     /// Staging values for the merged structure.
     pub(crate) vals: Vec<T>,
-    /// Permutation buffer for sorting pending tuples.
+    /// Permutation buffer for sorting pending tuples (comparison fallback).
     pub(crate) perm: Vec<usize>,
     /// Staging rows for the pending-tuple sort.
     pub(crate) sort_rows: Vec<Index>,
@@ -62,6 +62,14 @@ pub struct MergeScratch<T> {
     pub(crate) sort_cols: Vec<Index>,
     /// Staging vals for the pending-tuple sort.
     pub(crate) sort_vals: Vec<T>,
+    /// Interleaved `((row << 32) | col, value)` pairs for the radix settle
+    /// kernel — one contiguous slot per tuple so each scatter pass moves a
+    /// single cache object.
+    pub(crate) radix_pairs: Vec<(u64, T)>,
+    /// Scatter destination pairs (ping-pongs with `radix_pairs` per pass).
+    pub(crate) radix_pairs_alt: Vec<(u64, T)>,
+    /// Digit histogram / offset table for the radix passes.
+    pub(crate) radix_hist: Vec<usize>,
 }
 
 /// Manual impl: empty vectors need no bound on `T` (the derive would
@@ -77,6 +85,9 @@ impl<T> Default for MergeScratch<T> {
             sort_rows: Vec::new(),
             sort_cols: Vec::new(),
             sort_vals: Vec::new(),
+            radix_pairs: Vec::new(),
+            radix_pairs_alt: Vec::new(),
+            radix_hist: Vec::new(),
         }
     }
 }
@@ -99,9 +110,14 @@ impl<T: ScalarType> MergeScratch<T> {
                 + self.sort_rows.capacity()
                 + self.sort_cols.capacity())
                 * std::mem::size_of::<Index>()
-                + (self.row_ptr.capacity() + self.perm.capacity()) * std::mem::size_of::<usize>(),
+                + (self.row_ptr.capacity() + self.perm.capacity() + self.radix_hist.capacity())
+                    * std::mem::size_of::<usize>()
+                + (self.radix_pairs.capacity() + self.radix_pairs_alt.capacity())
+                    * (std::mem::size_of::<(u64, T)>() - std::mem::size_of::<T>()),
             value_bytes: (self.vals.capacity() + self.sort_vals.capacity())
-                * std::mem::size_of::<T>(),
+                * std::mem::size_of::<T>()
+                + (self.radix_pairs.capacity() + self.radix_pairs_alt.capacity())
+                    * std::mem::size_of::<T>(),
         }
     }
 
@@ -124,16 +140,44 @@ impl<T: ScalarType> MergeScratch<T> {
         self.row_ptr.push(0);
     }
 
-    /// Append a complete row to the staging buffers.
-    fn push_row(&mut self, row: Index, cols: &[Index], vs: &[T]) {
-        debug_assert_eq!(cols.len(), vs.len());
-        if cols.is_empty() {
+    /// Bulk-append the row slots `lo..hi` of `d`: three slice copies plus
+    /// an arithmetic rebase of the row pointers, instead of a push per
+    /// row.  Runs of rows unique to one merge operand take this path,
+    /// which is most of a hypersparse merge (row collisions are rare).
+    fn push_rows_bulk(&mut self, d: &Dcsr<T>, lo: usize, hi: usize) {
+        if lo >= hi {
             return;
         }
-        self.row_ids.push(row);
+        let base = self.col_idx.len();
+        let (plo, phi) = (d.row_ptr[lo], d.row_ptr[hi]);
+        self.row_ids.extend_from_slice(&d.row_ids[lo..hi]);
+        self.col_idx.extend_from_slice(&d.col_idx[plo..phi]);
+        self.vals.extend_from_slice(&d.vals[plo..phi]);
+        self.row_ptr
+            .extend(d.row_ptr[lo + 1..=hi].iter().map(|&p| base + p - plo));
+    }
+
+    /// Bulk-append a run of sorted COO tuples spanning one or more whole
+    /// rows: the column/value slices copy in bulk and only the row
+    /// boundaries are scanned.
+    fn push_coo_rows_bulk(&mut self, rows: &[Index], cols: &[Index], vs: &[T]) {
+        if rows.is_empty() {
+            return;
+        }
+        let base = self.col_idx.len();
         self.col_idx.extend_from_slice(cols);
         self.vals.extend_from_slice(vs);
-        self.row_ptr.push(self.col_idx.len());
+        let mut start = 0;
+        while start < rows.len() {
+            let r = rows[start];
+            let mut end = start + 1;
+            while end < rows.len() && rows[end] == r {
+                end += 1;
+            }
+            self.row_ids.push(r);
+            self.row_ptr.push(base + end);
+            start = end;
+        }
     }
 
     /// Two-pointer column merge of one row into the staging buffers.
@@ -429,7 +473,8 @@ impl<T: ScalarType> Dcsr<T> {
         );
         let (mut ia, mut ib) = (0usize, 0usize);
         while ia < self.row_ids.len() || ib < b_rows.len() {
-            // The COO side groups naturally into runs of equal row id.
+            // The COO side groups naturally into runs of equal row id; rows
+            // unique to either side are detected as runs and copied in bulk.
             let rb = b_rows.get(ib).copied();
             let ra = self.row_ids.get(ia).copied();
             match (ra, rb) {
@@ -448,19 +493,27 @@ impl<T: ScalarType> Dcsr<T> {
                     ib += run;
                 }
                 (Some(r), Some(rr)) if r < rr => {
-                    let (ca, va) = self.row_slot(ia);
-                    scratch.push_row(r, ca, va);
-                    ia += 1;
+                    let mut end = ia + 1;
+                    while end < self.row_ids.len() && self.row_ids[end] < rr {
+                        end += 1;
+                    }
+                    scratch.push_rows_bulk(self, ia, end);
+                    ia = end;
                 }
-                (Some(r), None) => {
-                    let (ca, va) = self.row_slot(ia);
-                    scratch.push_row(r, ca, va);
-                    ia += 1;
+                (Some(_), None) => {
+                    scratch.push_rows_bulk(self, ia, self.row_ids.len());
+                    ia = self.row_ids.len();
                 }
-                (_, Some(rr)) => {
-                    let run = b_rows[ib..].iter().take_while(|&&x| x == rr).count();
-                    scratch.push_row(rr, &b_cols[ib..ib + run], &b_vals[ib..ib + run]);
-                    ib += run;
+                (_, Some(_)) => {
+                    let limit = ra.map_or(b_rows.len(), |r| {
+                        ib + b_rows[ib..].iter().take_while(|&&x| x < r).count()
+                    });
+                    scratch.push_coo_rows_bulk(
+                        &b_rows[ib..limit],
+                        &b_cols[ib..limit],
+                        &b_vals[ib..limit],
+                    );
+                    ib = limit;
                 }
                 (None, None) => break,
             }
@@ -512,19 +565,31 @@ impl<T: ScalarType> Dcsr<T> {
                     ib += 1;
                 }
                 (Some(r), Some(rr)) if r < rr => {
-                    let (ca, va) = self.row_slot(ia);
-                    scratch.push_row(r, ca, va);
-                    ia += 1;
+                    // Run of rows unique to `self`: bulk copy.
+                    let mut end = ia + 1;
+                    while end < self.row_ids.len() && self.row_ids[end] < rr {
+                        end += 1;
+                    }
+                    scratch.push_rows_bulk(self, ia, end);
+                    ia = end;
                 }
-                (Some(r), None) => {
-                    let (ca, va) = self.row_slot(ia);
-                    scratch.push_row(r, ca, va);
-                    ia += 1;
+                (Some(_), None) => {
+                    scratch.push_rows_bulk(self, ia, self.row_ids.len());
+                    ia = self.row_ids.len();
                 }
-                (_, Some(rr)) => {
-                    let (cb, vb) = other.row_slot(ib);
-                    scratch.push_row(rr, cb, vb);
-                    ib += 1;
+                (_, Some(_)) => {
+                    // Run of rows unique to `other` (rb < ra, or `self`
+                    // exhausted): bulk copy.
+                    let mut end = ib + 1;
+                    if let Some(r) = ra {
+                        while end < other.row_ids.len() && other.row_ids[end] < r {
+                            end += 1;
+                        }
+                    } else {
+                        end = other.row_ids.len();
+                    }
+                    scratch.push_rows_bulk(other, ib, end);
+                    ib = end;
                 }
                 (None, None) => break,
             }

@@ -74,6 +74,28 @@ impl<T: ScalarType> PartitionBuffers<T> {
         (&self.rows[shard], &self.cols[shard], &self.vals[shard])
     }
 
+    /// Take ownership of `shard`'s staged tuple vectors, installing
+    /// `replacement` (cleared first) as the shard's fresh staging space.
+    /// This is the zero-copy handoff of the persistent-pool engine: the
+    /// staged buffers travel to the worker whole, and recycled buffers
+    /// come back as the replacement, so steady-state dispatch allocates
+    /// nothing.
+    pub fn take_shard(
+        &mut self,
+        shard: usize,
+        replacement: (Vec<Index>, Vec<Index>, Vec<T>),
+    ) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        let (mut r, mut c, mut v) = replacement;
+        r.clear();
+        c.clear();
+        v.clear();
+        std::mem::swap(&mut self.rows[shard], &mut r);
+        std::mem::swap(&mut self.cols[shard], &mut c);
+        std::mem::swap(&mut self.vals[shard], &mut v);
+        self.total -= r.len();
+        (r, c, v)
+    }
+
     /// Clear every shard's staging, retaining all capacity.
     pub fn reset(&mut self) {
         for s in 0..self.rows.len() {

@@ -1,6 +1,6 @@
-//! The sharded parallel ingest engine: N worker threads, each owning a
-//! private [`HierMatrix`] shard, fed through bounded SPSC tuple-batch
-//! channels.
+//! The sharded parallel ingest engine: a **persistent pool** of N worker
+//! threads, each owning a private [`HierMatrix`] shard, fed through
+//! long-lived bounded SPSC tuple-batch channels.
 //!
 //! The paper's 75 G-updates/s headline is the *sum* of many independent
 //! hierarchical hypersparse matrices, one per process.  Within one process
@@ -19,14 +19,30 @@
 //!   measurable even on a single core once a stream outgrows one
 //!   hierarchy's cut schedule (see the `parallel_rate` benchmark).
 //!
-//! Threading model: workers are *scoped* threads
-//! ([`std::thread::scope`]) spawned per ingest round, so the engine owns no
-//! long-lived threads, needs no `unsafe`, and the borrow checker proves the
-//! shards outlive their workers.  Inserts are staged into per-shard
-//! partition buffers ([`PartitionBuffers`]); when
-//! [`ShardedConfig::round_tuples`] are staged (or on flush/query) a round
-//! runs: one bounded SPSC channel per shard carries zero-copy tuple-slice
-//! chunks from the caller's thread to the workers.
+//! # Threading model
+//!
+//! Workers are **persistent threads** spawned once at construction.  Each
+//! worker owns its shard (behind an uncontended mutex that queries take
+//! after a drain barrier), parks on its SPSC command channel when idle, and
+//! lives until the engine is dropped — there are no per-round spawns or
+//! joins.  The long-lived threads are also the parking spot the roadmap's
+//! NUMA/affinity follow-on needs: a worker is a stable OS thread that can
+//! be pinned once, not a scoped thread that vanishes every round.
+//!
+//! Inserts are staged into per-shard partition buffers
+//! ([`PartitionBuffers`]); a shard's staging is handed to its worker
+//! *whole* (a zero-copy `Vec` handoff, with emptied buffers recycled back
+//! through a return channel) as soon as [`ShardedConfig::chunk_tuples`]
+//! accumulate, so partitioning overlaps worker application continuously.
+//! Every [`ShardedConfig::round_tuples`] staged updates the engine counts
+//! one ingest *round* and force-dispatches all remainders.  The bounded
+//! command channels provide backpressure: the producer blocks when a shard
+//! falls [`ShardedConfig::channel_depth`] batches behind.
+//!
+//! Queries and [`ShardedHierMatrix::flush`] use a **drain barrier**: a
+//! barrier message per worker, acknowledged only after every previously
+//! queued batch has been applied (workers also report their thread id,
+//! which the thread-reuse tests round-trip).
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
@@ -36,7 +52,10 @@ use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::sink::check_tuple_lengths;
 use hyperstream_graphblas::{validate_index, GrbResult, Index, Matrix, ScalarType, StreamingSink};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use parking_lot::Mutex;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
 
 /// How updates are routed to shards.  Both strategies depend only on the
 /// row, so every `(row, col)` cell lives in exactly one shard and per-shard
@@ -68,19 +87,20 @@ impl ShardPartitioner {
 /// Tuning knobs of the sharded engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardedConfig {
-    /// Number of shards (= worker threads per ingest round).  Clamped to at
+    /// Number of shards (= persistent worker threads).  Clamped to at
     /// least 1.
     pub shards: usize,
     /// Row partitioning strategy.
     pub partitioner: ShardPartitioner,
-    /// Tuples per SPSC channel message.  Larger chunks amortise channel
-    /// synchronisation; smaller chunks smooth load across workers.
+    /// Staged tuples at which a shard's buffer is handed to its worker.
+    /// Larger batches amortise channel synchronisation; smaller batches
+    /// start workers sooner.
     pub chunk_tuples: usize,
-    /// Bounded channel capacity in chunks — the producer blocks when a
+    /// Bounded channel capacity in batches — the producer blocks when a
     /// worker falls this far behind (backpressure).
     pub channel_depth: usize,
-    /// Staged tuples that trigger an ingest round.  Rounds also run on
-    /// flush and before queries.
+    /// Staged tuples that count one ingest round (all remainders are
+    /// force-dispatched).  Rounds also complete on flush and queries.
     pub round_tuples: usize,
 }
 
@@ -108,28 +128,110 @@ impl Default for ShardedConfig {
     }
 }
 
-/// An N-way sharded hierarchical hypersparse matrix with parallel ingest.
+/// A tuple batch travelling to a worker (and, emptied, back).
+type TupleBuf<T> = (Vec<Index>, Vec<Index>, Vec<T>);
+
+/// Commands a worker consumes from its SPSC channel.
+enum WorkerMsg<T> {
+    /// Apply a batch of pre-validated tuples to the shard.  The buffers
+    /// return through the recycle channel.
+    Apply(TupleBuf<T>),
+    /// Complete the shard's outstanding cascades.
+    Flush,
+    /// Acknowledge once every prior message has been applied.
+    Barrier(SyncSender<BarrierAck>),
+}
+
+/// A worker's answer to a drain barrier.
+struct BarrierAck {
+    /// Index of the acknowledging shard.
+    shard: usize,
+    /// OS thread identity — round-tripped by the thread-reuse tests to
+    /// prove the pool is persistent.
+    worker: ThreadId,
+    /// First error since the previous barrier, if any (unreachable today:
+    /// every tuple is bounds-validated before staging).
+    result: GrbResult<()>,
+}
+
+/// The producer-side handle of one persistent worker.
+#[derive(Debug)]
+struct ShardWorker<T> {
+    /// Command channel (bounded: provides ingest backpressure).
+    tx: SyncSender<WorkerMsg<T>>,
+    /// Emptied tuple buffers coming back from the worker.
+    recycled: Receiver<TupleBuf<T>>,
+    /// The worker thread, joined on drop.
+    handle: JoinHandle<()>,
+}
+
+/// The worker thread body: park on the channel, apply batches to the owned
+/// shard, answer barriers.  Exits when the engine drops its sender.
+fn worker_loop<T: ScalarType>(
+    shard_idx: usize,
+    shard: Arc<Mutex<HierMatrix<T>>>,
+    rx: Receiver<WorkerMsg<T>>,
+    recycle: Sender<TupleBuf<T>>,
+) {
+    let mut error: GrbResult<()> = Ok(());
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Apply((mut rows, mut cols, mut vals)) => {
+                if error.is_ok() {
+                    error = shard.lock().update_batch(&rows, &cols, &vals);
+                }
+                rows.clear();
+                cols.clear();
+                vals.clear();
+                // The engine may already be shutting down; dropping the
+                // buffers then is fine.
+                let _ = recycle.send((rows, cols, vals));
+            }
+            WorkerMsg::Flush => {
+                shard.lock().flush();
+            }
+            WorkerMsg::Barrier(ack) => {
+                let _ = ack.send(BarrierAck {
+                    shard: shard_idx,
+                    worker: std::thread::current().id(),
+                    result: std::mem::replace(&mut error, Ok(())),
+                });
+            }
+        }
+    }
+}
+
+/// An N-way sharded hierarchical hypersparse matrix with parallel ingest
+/// over a persistent worker pool.
 ///
 /// See the [module documentation](self) for the design.  The engine
 /// implements [`StreamingSink`], so the existing `make_sink`/`drive_sink`
 /// measurement harness drives it unchanged.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedHierMatrix<T> {
     nrows: Index,
     ncols: Index,
     config: ShardedConfig,
-    shards: Vec<HierMatrix<T>>,
+    /// The shard hierarchies.  A worker locks its own shard only while
+    /// applying a batch; the engine locks a shard only after a drain
+    /// barrier, so the mutexes are uncontended by construction.
+    shards: Vec<Arc<Mutex<HierMatrix<T>>>>,
+    workers: Vec<ShardWorker<T>>,
     staging: PartitionBuffers<T>,
-    /// Weight staged but not yet handed to a shard (keeps
-    /// [`StreamingSink::total_weight`] exact at any moment).
-    staged_weight: f64,
+    /// Exact sum of all successfully ingested weight (staged, in flight,
+    /// or applied) — kept producer-side so [`StreamingSink::total_weight`]
+    /// needs no barrier.
+    ingested_weight: f64,
+    /// Staged tuples since the last completed round.
+    since_round: usize,
     rounds: u64,
     chunks_sent: u64,
 }
 
 impl<T: ScalarType> ShardedHierMatrix<T> {
     /// Create an engine whose shards are `nrows x ncols` hierarchies with
-    /// the cut schedule `hier_config`.
+    /// the cut schedule `hier_config`, spawning one persistent worker
+    /// thread per shard.
     pub fn new(
         nrows: Index,
         ncols: Index,
@@ -137,9 +239,28 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         config: ShardedConfig,
     ) -> GrbResult<Self> {
         let nshards = config.shards.max(1);
+        let depth = config.channel_depth.max(1);
         let mut shards = Vec::with_capacity(nshards);
-        for _ in 0..nshards {
-            shards.push(HierMatrix::new(nrows, ncols, hier_config.clone())?);
+        let mut workers = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let shard = Arc::new(Mutex::new(HierMatrix::new(
+                nrows,
+                ncols,
+                hier_config.clone(),
+            )?));
+            let (tx, rx) = sync_channel::<WorkerMsg<T>>(depth);
+            let (recycle_tx, recycle_rx) = channel::<TupleBuf<T>>();
+            let worker_shard = Arc::clone(&shard);
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-worker-{i}"))
+                .spawn(move || worker_loop(i, worker_shard, rx, recycle_tx))
+                .expect("spawn shard worker");
+            shards.push(shard);
+            workers.push(ShardWorker {
+                tx,
+                recycled: recycle_rx,
+                handle,
+            });
         }
         Ok(Self {
             nrows,
@@ -150,7 +271,9 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             },
             staging: PartitionBuffers::new(nshards),
             shards,
-            staged_weight: 0.0,
+            workers,
+            ingested_weight: 0.0,
+            since_round: 0,
             rounds: 0,
             chunks_sent: 0,
         })
@@ -177,7 +300,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         self.ncols
     }
 
-    /// Number of shards.
+    /// Number of shards (= persistent workers).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
@@ -187,31 +310,54 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         &self.config
     }
 
-    /// Direct access to a shard's hierarchy.
-    pub fn shard(&self, i: usize) -> &HierMatrix<T> {
-        &self.shards[i]
+    /// A snapshot of one shard's hierarchy statistics (drains that shard's
+    /// worker first so in-flight batches are counted).
+    pub fn shard_stats(&self, i: usize) -> HierStats {
+        self.barrier_shard(i)
+            .expect("shard worker reported an error");
+        self.shards[i].lock().stats().clone()
     }
 
-    /// Ingest rounds executed so far (each spawns one scoped worker set).
+    /// Ingest rounds completed so far.  Rounds meter the stream into
+    /// [`ShardedConfig::round_tuples`] slices; since the worker pool is
+    /// persistent they no longer imply any thread spawns.
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
 
-    /// SPSC chunks sent to workers so far.
+    /// Tuple batches handed to workers so far.
     pub fn chunks_sent(&self) -> u64 {
         self.chunks_sent
     }
 
-    /// Total updates applied across all shards (excluding staged tuples).
-    pub fn total_updates(&self) -> u64 {
-        self.shards.iter().map(|s| s.stats().updates).sum()
+    /// The OS thread ids of the worker pool, obtained through a drain
+    /// barrier.  Repeated calls on a live engine return the same ids —
+    /// the property the thread-reuse tests assert.
+    pub fn worker_ids(&self) -> Vec<ThreadId> {
+        let mut acks = self.collect_barrier_acks();
+        acks.sort_by_key(|a| a.shard);
+        acks.into_iter()
+            .map(|a| {
+                a.result.expect("shard worker reported an error");
+                a.worker
+            })
+            .collect()
     }
 
-    /// Aggregate hierarchy statistics (sums over shards).
+    /// Total updates applied across all shards (drains in-flight batches
+    /// first; staged tuples are excluded).
+    pub fn total_updates(&self) -> u64 {
+        self.barrier_all().expect("worker pool alive");
+        self.shards.iter().map(|s| s.lock().stats().updates).sum()
+    }
+
+    /// Aggregate hierarchy statistics (sums over shards, after a drain).
     pub fn aggregate_stats(&self) -> HierStats {
-        let levels = self.shards.first().map(|m| m.levels()).unwrap_or(1);
+        self.barrier_all().expect("worker pool alive");
+        let levels = self.shards.first().map(|m| m.lock().levels()).unwrap_or(1);
         let mut agg = HierStats::new(levels);
         for m in &self.shards {
+            let m = m.lock();
             let s = m.stats();
             agg.updates += s.updates;
             agg.materializations += s.materializations;
@@ -232,10 +378,12 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             .partitioner
             .shard(row, self.nrows, self.shards.len());
         self.staging.push(shard, row, col, val);
-        self.staged_weight += val.to_f64();
-        if self.staging.total() >= self.config.round_tuples {
-            self.process_round()?;
+        self.ingested_weight += val.to_f64();
+        self.since_round += 1;
+        if self.staging.staged(shard) >= self.config.chunk_tuples.max(1) {
+            self.dispatch_shard(shard);
         }
+        self.maybe_complete_round();
         Ok(())
     }
 
@@ -251,129 +399,142 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         for i in 0..rows.len() {
             let shard = self.config.partitioner.shard(rows[i], self.nrows, nshards);
             self.staging.push(shard, rows[i], cols[i], vals[i]);
-            self.staged_weight += vals[i].to_f64();
+            self.ingested_weight += vals[i].to_f64();
         }
-        if self.staging.total() >= self.config.round_tuples {
-            self.process_round()?;
-        }
-        Ok(())
-    }
-
-    /// Hand every staged tuple to its shard's worker and wait for the
-    /// workers to apply them.  One bounded SPSC channel per shard carries
-    /// zero-copy slice chunks; the scope joins all workers before
-    /// returning, so the borrows are safe without `unsafe`.
-    fn process_round(&mut self) -> GrbResult<()> {
-        if self.staging.total() == 0 {
-            return Ok(());
-        }
+        self.since_round += rows.len();
         let chunk = self.config.chunk_tuples.max(1);
-        let depth = self.config.channel_depth.max(1);
-        let nshards = self.shards.len();
-        let staging = &self.staging;
-        let shards = &mut self.shards;
-        let mut chunks_sent = 0u64;
-
-        type Msg<'a, T> = (&'a [Index], &'a [Index], &'a [T]);
-        let result: GrbResult<()> = std::thread::scope(|scope| {
-            let mut senders: Vec<SyncSender<Msg<'_, T>>> = Vec::with_capacity(nshards);
-            let mut handles = Vec::with_capacity(nshards);
-            for shard in shards.iter_mut() {
-                let (tx, rx) = sync_channel::<Msg<'_, T>>(depth);
-                senders.push(tx);
-                handles.push(scope.spawn(move || -> GrbResult<()> {
-                    while let Ok((r, c, v)) = rx.recv() {
-                        shard.update_batch(r, c, v)?;
-                    }
-                    Ok(())
-                }));
+        for shard in 0..nshards {
+            if self.staging.staged(shard) >= chunk {
+                self.dispatch_shard(shard);
             }
-            // Producer: round-robin chunks across shards so every worker
-            // stays busy; `send` blocks when a bounded channel is full.
-            let mut offsets = vec![0usize; nshards];
-            loop {
-                let mut progressed = false;
-                for (s, sender) in senders.iter().enumerate() {
-                    let (r, c, v) = staging.shard_slices(s);
-                    let off = offsets[s];
-                    if off >= r.len() {
-                        continue;
-                    }
-                    let end = (off + chunk).min(r.len());
-                    // A send error means the worker exited early; its error
-                    // surfaces at join.
-                    if sender
-                        .send((&r[off..end], &c[off..end], &v[off..end]))
-                        .is_ok()
-                    {
-                        chunks_sent += 1;
-                    }
-                    offsets[s] = end;
-                    progressed = true;
-                }
-                if !progressed {
-                    break;
-                }
-            }
-            drop(senders);
-            let mut res = Ok(());
-            for h in handles {
-                let joined = h.join().expect("shard worker panicked");
-                if res.is_ok() {
-                    res = joined;
-                }
-            }
-            res
-        });
-        // Reset the staging even when a worker reported an error (today
-        // unreachable: every tuple is bounds-validated before staging).
-        // Keeping the staged tuples would re-send chunks that other workers
-        // already applied on the next round — double-application is worse
-        // than dropping the failed round's remainder.
-        self.staging.reset();
-        self.staged_weight = 0.0;
-        result?;
-        self.rounds += 1;
-        self.chunks_sent += chunks_sent;
-        Ok(())
-    }
-
-    /// Complete all deferred work: apply staged tuples and finish every
-    /// shard's outstanding cascades.
-    pub fn flush(&mut self) -> GrbResult<()> {
-        self.process_round()?;
-        for shard in &mut self.shards {
-            shard.flush();
         }
+        self.maybe_complete_round();
         Ok(())
     }
 
-    /// Materialise the full matrix `A = Σ_shards Σ_levels` (staged tuples
-    /// are applied first; streaming can continue afterwards).
+    /// Hand `shard`'s staged tuples to its worker: swap the staging vectors
+    /// out (replaced by recycled buffers when the worker has returned any),
+    /// and send them whole over the bounded channel.  Blocks when the
+    /// worker is `channel_depth` batches behind — the engine's
+    /// backpressure.
+    fn dispatch_shard(&mut self, shard: usize) {
+        if self.staging.staged(shard) == 0 {
+            return;
+        }
+        let replacement = self.workers[shard].recycled.try_recv().unwrap_or_default();
+        let buf = self.staging.take_shard(shard, replacement);
+        self.workers[shard]
+            .tx
+            .send(WorkerMsg::Apply(buf))
+            .expect("shard worker exited");
+        self.chunks_sent += 1;
+    }
+
+    /// Dispatch every shard's staged remainder.
+    fn dispatch_all(&mut self) {
+        for shard in 0..self.shards.len() {
+            self.dispatch_shard(shard);
+        }
+    }
+
+    /// Count a round once `round_tuples` have been staged since the last
+    /// one, force-dispatching all remainders so the round is fully in
+    /// flight.
+    fn maybe_complete_round(&mut self) {
+        if self.since_round >= self.config.round_tuples.max(1) {
+            self.dispatch_all();
+            self.since_round = 0;
+            self.rounds += 1;
+        }
+    }
+
+    /// Block until `shard`'s worker has applied everything queued so far,
+    /// surfacing any worker error (unreachable today — tuples validate
+    /// before staging — but never swallowed).
+    fn barrier_shard(&self, shard: usize) -> GrbResult<()> {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        self.workers[shard]
+            .tx
+            .send(WorkerMsg::Barrier(ack_tx))
+            .expect("shard worker exited");
+        let ack = ack_rx.recv().expect("shard worker exited");
+        debug_assert_eq!(ack.shard, shard);
+        ack.result
+    }
+
+    /// Send a drain barrier to every worker and collect the raw
+    /// acknowledgements (one per worker, arrival order).
+    fn collect_barrier_acks(&self) -> Vec<BarrierAck> {
+        let (ack_tx, ack_rx) = sync_channel(self.workers.len());
+        for w in &self.workers {
+            w.tx.send(WorkerMsg::Barrier(ack_tx.clone()))
+                .expect("shard worker exited");
+        }
+        drop(ack_tx);
+        (0..self.workers.len())
+            .map(|_| ack_rx.recv().expect("shard worker exited"))
+            .collect()
+    }
+
+    /// Block until every worker has applied everything queued so far,
+    /// surfacing the first worker error.
+    fn barrier_all(&self) -> GrbResult<()> {
+        let mut result = Ok(());
+        for ack in self.collect_barrier_acks() {
+            if result.is_ok() {
+                result = ack.result;
+            }
+        }
+        result
+    }
+
+    /// Complete all deferred work: dispatch staged tuples, wait for the
+    /// workers to apply them, and finish every shard's outstanding
+    /// cascades.  The workers stay parked on their channels afterwards.
+    pub fn flush(&mut self) -> GrbResult<()> {
+        if self.since_round > 0 || self.staging.total() > 0 {
+            self.dispatch_all();
+            self.since_round = 0;
+            self.rounds += 1;
+        }
+        for w in &self.workers {
+            w.tx.send(WorkerMsg::Flush).expect("shard worker exited");
+        }
+        self.barrier_all()
+    }
+
+    /// Materialise the full matrix `A = Σ_shards Σ_levels` (staged and
+    /// in-flight tuples are applied first; streaming can continue
+    /// afterwards).
     pub fn materialize(&mut self) -> GrbResult<Matrix<T>> {
-        self.process_round()?;
+        self.dispatch_all();
+        self.barrier_all()?;
         Ok(self.shard_sum())
     }
 
-    /// `Σ_shards Σ_levels` of the *processed* entries (staged tuples
-    /// excluded — callers that need them fold `staging` in themselves).
+    /// `Σ_shards Σ_levels` of the shards' contents.  Callers must have
+    /// drained the workers; tuples still staged producer-side are folded
+    /// in by the caller where required.
     fn shard_sum(&self) -> Matrix<T> {
         let mut acc = Matrix::new(self.nrows, self.ncols);
         for shard in &self.shards {
-            let level_sum = shard.materialize_ref();
+            let level_sum = shard.lock().materialize_ref();
             ewise_add_into(&mut acc, &level_sum, Plus).expect("shards share dimensions");
         }
         acc
     }
 
     /// Value of the represented matrix at `(row, col)` — answered by the
-    /// single shard that owns the row, plus any staged tuples.
+    /// single shard that owns the row (drained first), plus any tuples
+    /// still staged producer-side.
     pub fn get(&self, row: Index, col: Index) -> Option<T> {
         let shard = self
             .config
             .partitioner
             .shard(row, self.nrows, self.shards.len());
-        let mut acc = self.shards[shard].get(row, col);
+        self.barrier_shard(shard)
+            .expect("shard worker reported an error");
+        let mut acc = self.shards[shard].lock().get(row, col);
         let (r, c, v) = self.staging.shard_slices(shard);
         for i in 0..r.len() {
             if r[i] == row && c[i] == col {
@@ -386,13 +547,25 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         acc
     }
 
-    /// Sum of all weight currently represented, staged tuples included.
+    /// Sum of all weight currently represented — staged, in flight, or
+    /// applied.  Maintained producer-side, so this is exact at any moment
+    /// and never blocks on the workers.
     pub fn total_weight_f64(&self) -> f64 {
-        self.shards
-            .iter()
-            .map(|s| s.total_weight_f64())
-            .sum::<f64>()
-            + self.staged_weight
+        self.ingested_weight
+    }
+}
+
+/// Join the pool on drop: closing the command channels unparks every
+/// worker, which then exits its loop.
+impl<T> Drop for ShardedHierMatrix<T> {
+    fn drop(&mut self) {
+        for w in self.workers.drain(..) {
+            drop(w.tx);
+            drop(w.recycled);
+            // A worker that panicked already delivered its panic message;
+            // propagating out of drop would abort instead.
+            let _ = w.handle.join();
+        }
     }
 }
 
@@ -417,9 +590,10 @@ impl<T: ScalarType> StreamingSink<T> for ShardedHierMatrix<T> {
     }
 
     fn nvals(&self) -> usize {
+        self.barrier_all().expect("worker pool alive");
         if self.staging.total() == 0 {
             // Shards own disjoint row sets: distinct cells simply add up.
-            self.shards.iter().map(|s| s.nvals_exact()).sum()
+            self.shards.iter().map(|s| s.lock().nvals_exact()).sum()
         } else {
             // Staged tuples may collide with stored cells; settle a snapshot.
             let mut acc = self.shard_sum();
@@ -535,7 +709,7 @@ mod tests {
         let mut engine = tiny_engine(4, ShardPartitioner::RowHash);
         engine.update(1, 1, 10).unwrap();
         engine.update(2, 2, 5).unwrap();
-        // Nothing processed yet (round_tuples = 256), weight still exact.
+        // Nothing dispatched yet (chunk_tuples = 64), weight still exact.
         assert_eq!(engine.rounds(), 0);
         assert_eq!(engine.total_weight_f64(), 15.0);
         assert_eq!(engine.get(1, 1), Some(10));
@@ -611,6 +785,44 @@ mod tests {
         let agg = engine.aggregate_stats();
         assert_eq!(agg.updates, 2000);
         assert!(agg.total_cascades() > 0, "small cuts must cascade");
-        assert!((0..engine.num_shards()).all(|i| engine.shard(i).stats().updates > 0));
+        assert!((0..engine.num_shards()).all(|i| engine.shard_stats(i).updates > 0));
+    }
+
+    #[test]
+    fn workers_persist_across_rounds_and_flushes() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        let ids_start = engine.worker_ids();
+        assert_eq!(ids_start.len(), 3);
+        // All workers are distinct threads, none of them this one.
+        let me = std::thread::current().id();
+        assert!(ids_start.iter().all(|&id| id != me));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(i == j || ids_start[i] != ids_start[j]);
+            }
+        }
+        for round in 0..5 {
+            for &(r, c, v) in &stream(700) {
+                engine.update(r, c, v).unwrap();
+            }
+            engine.flush().unwrap();
+            let _ = engine.materialize().unwrap();
+            assert_eq!(
+                engine.worker_ids(),
+                ids_start,
+                "worker set changed in round {round}"
+            );
+        }
+        assert!(engine.rounds() >= 5);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let mut engine = tiny_engine(2, ShardPartitioner::RowHash);
+        for &(r, c, v) in &stream(300) {
+            engine.update(r, c, v).unwrap();
+        }
+        // Dropping with staged + in-flight tuples must not hang or panic.
+        drop(engine);
     }
 }

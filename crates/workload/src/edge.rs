@@ -31,15 +31,28 @@ impl Edge {
 /// Split a slice of edges into its three parallel coordinate/value vectors,
 /// the form the GraphBLAS build/update APIs take.
 pub fn edges_to_tuples(edges: &[Edge]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
-    let mut rows = Vec::with_capacity(edges.len());
-    let mut cols = Vec::with_capacity(edges.len());
-    let mut vals = Vec::with_capacity(edges.len());
-    for e in edges {
-        rows.push(e.src);
-        cols.push(e.dst);
-        vals.push(e.weight);
-    }
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    edges_to_tuples_into(edges, &mut rows, &mut cols, &mut vals);
     (rows, cols, vals)
+}
+
+/// Like [`edges_to_tuples`], but refilling caller-owned buffers so a
+/// batch-driving loop allocates nothing after the first batch.  The
+/// measurement harnesses use this: three fresh vectors per 100,000-edge
+/// batch cost ~13% of the fastest sinks' wall time, which belongs to the
+/// measured system, not the harness.
+pub fn edges_to_tuples_into(
+    edges: &[Edge],
+    rows: &mut Vec<u64>,
+    cols: &mut Vec<u64>,
+    vals: &mut Vec<u64>,
+) {
+    rows.clear();
+    cols.clear();
+    vals.clear();
+    rows.extend(edges.iter().map(|e| e.src));
+    cols.extend(edges.iter().map(|e| e.dst));
+    vals.extend(edges.iter().map(|e| e.weight));
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub mod powerlaw;
 pub mod stream;
 pub mod zipf;
 
-pub use edge::{edges_to_tuples, Edge};
+pub use edge::{edges_to_tuples, edges_to_tuples_into, Edge};
 pub use ip_traffic::{IpTrafficConfig, IpTrafficGenerator, IpVersion};
 pub use kronecker::{KroneckerConfig, KroneckerGenerator};
 pub use partition::{partition_batch, shard_streams};

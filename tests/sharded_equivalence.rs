@@ -1,3 +1,5 @@
+#![recursion_limit = "256"] // the proptest macro expansion is token-heavy
+
 //! Property-based tests (proptest) of the sharded parallel ingest engine:
 //! a `ShardedHierMatrix` with *any* shard count, *any* row partitioner and
 //! *any* cut schedule — interrupted mid-stream by a query and a full flush —
@@ -132,5 +134,57 @@ proptest! {
             engine.materialize().unwrap().extract_tuples(),
             flat.extract_tuples()
         );
+    }
+
+    // Persistent-pool property: ONE engine (one worker set) serves many
+    // ingest rounds with flushes and queries interleaved between them.
+    // The worker thread ids must be identical before, throughout, and
+    // after — the pool never respawns — and the final contents must match
+    // a flat accumulation of everything ever inserted.
+    #[test]
+    fn one_worker_pool_serves_many_rounds(
+        updates in update_stream(600),
+        shards in 1usize..=6,
+        rounds in 2usize..8,
+        chunk in 1usize..96,
+    ) {
+        let config = ShardedConfig {
+            shards,
+            partitioner: ShardPartitioner::RowHash,
+            chunk_tuples: chunk,
+            channel_depth: 2,
+            round_tuples: 64,
+        };
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![16, 128]).unwrap(),
+            config,
+        )
+        .unwrap();
+        let ids = engine.worker_ids();
+        prop_assert_eq!(ids.len(), shards);
+
+        let per_round = updates.len().div_ceil(rounds);
+        for (round, slice) in updates.chunks(per_round.max(1)).enumerate() {
+            for &(r, c, v) in slice {
+                engine.update(r, c, v).unwrap();
+            }
+            // Interleave every kind of barrier-taking operation.
+            match round % 3 {
+                0 => { StreamingSink::flush(&mut engine).unwrap(); }
+                1 => { let _ = engine.materialize().unwrap(); }
+                _ => { let _ = StreamingSink::nvals(&engine); }
+            }
+            prop_assert_eq!(&engine.worker_ids(), &ids, "worker set changed in round {}", round);
+        }
+
+        let flat = build_flat(&updates);
+        prop_assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            flat.extract_tuples()
+        );
+        prop_assert_eq!(StreamingSink::total_weight(&engine),
+            updates.iter().map(|u| u.2).sum::<u64>() as f64);
     }
 }
