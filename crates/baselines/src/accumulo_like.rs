@@ -11,6 +11,8 @@
 //! magnitude below in-memory GraphBLAS updates.
 
 use crate::store::{InsertRecord, StreamingStore};
+use hyperstream_graphblas::index::MAX_DIM;
+use hyperstream_graphblas::{Index, MatrixReader};
 use std::collections::BTreeMap;
 
 /// Default memtable size (entries) before a minor compaction.
@@ -93,6 +95,21 @@ impl TabletStore {
         merged
     }
 
+    /// Decode a `row\x00col` cell key back to numeric coordinates.
+    fn decode_key(key: &[u8]) -> Option<(u64, u64)> {
+        let sep = key.iter().position(|&b| b == 0)?;
+        let row = std::str::from_utf8(&key[..sep]).ok()?.parse().ok()?;
+        let col = std::str::from_utf8(&key[sep + 1..]).ok()?.parse().ok()?;
+        Some((row, col))
+    }
+
+    /// The `row\x00` key prefix owning every cell of `row`.
+    fn row_prefix(row: u64) -> Vec<u8> {
+        let mut p = row.to_string().into_bytes();
+        p.push(0);
+        p
+    }
+
     /// Value accumulated for a cell, if present.
     pub fn get(&self, row: u64, col: u64) -> Option<u64> {
         let key = Self::encode_key(row, col);
@@ -142,6 +159,68 @@ impl StreamingStore for TabletStore {
 
     fn total_weight(&self) -> u64 {
         self.merged().values().sum()
+    }
+}
+
+/// The tablet-store read path: a row extract is a prefix range scan over
+/// every sorted run plus the memtable (exactly an LSM read), a full sweep
+/// is a major compaction's merge with the string keys decoded back to
+/// numeric coordinates and re-sorted numerically (decimal order is not
+/// numeric order — the decode cost stays on the measured path, as the D4M
+/// string-key comparison intends).
+impl MatrixReader<u64> for TabletStore {
+    fn reader_name(&self) -> &str {
+        "accumulo-like"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (MAX_DIM, MAX_DIM)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        self.ncells()
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<u64> {
+        TabletStore::get(self, row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, u64)>) {
+        let prefix = Self::row_prefix(row);
+        let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+        for run in &self.runs {
+            let start = run.partition_point(|(k, _)| k.as_slice() < prefix.as_slice());
+            for (k, v) in &run[start..] {
+                if !k.starts_with(&prefix) {
+                    break;
+                }
+                if let Some((_, c)) = Self::decode_key(k) {
+                    *acc.entry(c).or_insert(0) += v;
+                }
+            }
+        }
+        for (k, v) in self.memtable.range(prefix.clone()..) {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            if let Some((_, c)) = Self::decode_key(k) {
+                *acc.entry(c).or_insert(0) += v;
+            }
+        }
+        out.clear();
+        out.extend(acc);
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, u64)) {
+        let mut cells: Vec<(u64, u64, u64)> = self
+            .merged()
+            .into_iter()
+            .filter_map(|(k, v)| Self::decode_key(&k).map(|(r, c)| (r, c, v)))
+            .collect();
+        cells.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        for (r, c, v) in cells {
+            f(r, c, v);
+        }
     }
 }
 
@@ -213,5 +292,32 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(TabletStore::new().name(), "accumulo-like");
+    }
+
+    #[test]
+    fn reader_scans_runs_and_memtable() {
+        // Tiny memtable: the row's cells spread across several runs plus
+        // the live memtable, and keys whose decimal order differs from
+        // numeric order ((9, ...) sorts after (12, ...) numerically).
+        let mut t = TabletStore::with_memtable_limit(2);
+        t.insert_batch(&[
+            InsertRecord::new(12, 3, 1),
+            InsertRecord::new(12, 40, 2),
+            InsertRecord::new(9, 1, 5),
+            InsertRecord::new(12, 3, 7),
+        ]);
+        let mut row = Vec::new();
+        t.read_row(12, &mut row);
+        assert_eq!(row, vec![(3, 8), (40, 2)]);
+        t.read_row(1, &mut row);
+        assert!(row.is_empty());
+        assert_eq!(t.read_get(12, 3), Some(8));
+        assert_eq!(t.read_nnz(), 3);
+        assert_eq!(t.read_row_degree(12), 2);
+        assert_eq!(t.read_row_reduce(12), Some(10));
+        let mut entries = Vec::new();
+        t.read_entries(&mut |r, c, v| entries.push((r, c, v)));
+        assert_eq!(entries, vec![(9, 1, 5), (12, 3, 8), (12, 40, 2)]);
+        assert_eq!(t.read_top_k(1), vec![(12, 2)]);
     }
 }

@@ -7,7 +7,9 @@
 //! segments, two posting-list indexes, and refresh.
 
 use crate::store::{InsertRecord, StreamingStore};
-use std::collections::HashMap;
+use hyperstream_graphblas::index::MAX_DIM;
+use hyperstream_graphblas::{Index, MatrixReader};
+use std::collections::{BTreeMap, HashMap};
 
 /// Default number of shards (CrateDB's ingest benchmark used a handful of
 /// shards per node).
@@ -153,6 +155,58 @@ impl StreamingStore for DocStore {
     }
 }
 
+/// The document-store read path: every query refreshes first (seals the
+/// in-flight segments — searches only see refreshed documents, as in the
+/// real system), then answers from the posting lists.  A row extract walks
+/// the owning shard's row posting list; a full sweep merges every shard's
+/// documents.
+impl MatrixReader<u64> for DocStore {
+    fn reader_name(&self) -> &str {
+        "cratedb-like"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (MAX_DIM, MAX_DIM)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        self.ncells()
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<u64> {
+        StreamingStore::flush(self);
+        self.get_visible(row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, u64)>) {
+        StreamingStore::flush(self);
+        out.clear();
+        let shard = &self.shards[self.shard_for(row)];
+        let Some(doc_ids) = shard.row_index.get(&row) else {
+            return;
+        };
+        let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+        for &doc_id in doc_ids {
+            let doc = &shard.sealed[doc_id];
+            *acc.entry(doc.col).or_insert(0) += doc.value;
+        }
+        out.extend(acc);
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, u64)) {
+        StreamingStore::flush(self);
+        let mut acc: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for shard in &self.shards {
+            for doc in &shard.sealed {
+                *acc.entry((doc.row, doc.col)).or_insert(0) += doc.value;
+            }
+        }
+        for ((r, c), v) in acc {
+            f(r, c, v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +262,29 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(DocStore::new().name(), "cratedb-like");
+    }
+
+    #[test]
+    fn reader_refreshes_then_searches_postings() {
+        let mut s = DocStore::with_shards(2);
+        s.insert_batch(&[
+            InsertRecord::new(7, 1, 2),
+            InsertRecord::new(7, 1, 3),
+            InsertRecord::new(7, 9, 1),
+            InsertRecord::new(8, 1, 4),
+        ]);
+        // No explicit flush: the reader must refresh before searching.
+        let mut row = Vec::new();
+        s.read_row(7, &mut row);
+        assert_eq!(row, vec![(1, 5), (9, 1)]);
+        assert_eq!(s.read_get(7, 1), Some(5));
+        assert_eq!(s.read_get(0, 0), None);
+        assert_eq!(s.read_nnz(), 3);
+        assert_eq!(s.read_row_degree(7), 2);
+        assert_eq!(s.read_row_reduce(7), Some(6));
+        let mut entries = Vec::new();
+        s.read_entries(&mut |r, c, v| entries.push((r, c, v)));
+        assert_eq!(entries, vec![(7, 1, 5), (7, 9, 1), (8, 1, 4)]);
+        assert_eq!(s.read_top_k(1), vec![(7, 2)]);
     }
 }

@@ -8,7 +8,9 @@
 //! pending-tuple append — which is where the SciDB-D4M curve of Fig. 2 sits.
 
 use crate::store::{InsertRecord, StreamingStore};
-use std::collections::HashMap;
+use hyperstream_graphblas::index::MAX_DIM;
+use hyperstream_graphblas::{Index, MatrixReader};
+use std::collections::{BTreeMap, HashMap};
 
 /// Default chunk edge length (cells per dimension).
 pub const DEFAULT_CHUNK_DIM: u64 = 4096;
@@ -151,6 +153,71 @@ impl StreamingStore for ArrayStore {
     }
 }
 
+/// The array-store read path: a row extract visits every chunk in the
+/// row's chunk band (binary range into each chunk's sorted cells plus a
+/// scan of its unsorted tail), a full sweep redimensions first — the
+/// chunk-wise organisation SciDB pays for good scans with.
+impl MatrixReader<u64> for ArrayStore {
+    fn reader_name(&self) -> &str {
+        "scidb-like"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (MAX_DIM, MAX_DIM)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        // Unlike `ncells()` (which must clone-and-flush behind `&self`),
+        // the reader may redimension in place and count the sorted cells
+        // directly.
+        self.flush();
+        self.chunks.values().map(|c| c.sorted.len()).sum()
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<u64> {
+        ArrayStore::get(self, row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, u64)>) {
+        let band = row / self.chunk_dim;
+        let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+        for ((chunk_row, _), chunk) in &self.chunks {
+            if *chunk_row != band {
+                continue;
+            }
+            let start = chunk.sorted.partition_point(|&(r, _, _)| r < row);
+            for &(r, c, v) in &chunk.sorted[start..] {
+                if r != row {
+                    break;
+                }
+                *acc.entry(c).or_insert(0) += v;
+            }
+            for &(r, c, v) in &chunk.unsorted {
+                if r == row {
+                    *acc.entry(c).or_insert(0) += v;
+                }
+            }
+        }
+        out.clear();
+        out.extend(acc);
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, u64)) {
+        // A full scan redimensions in-flight appends first (the real
+        // system's "consistent view" step), then merges the chunk scans.
+        self.flush();
+        let mut cells: Vec<(u64, u64, u64)> = self
+            .chunks
+            .values()
+            .flat_map(|c| c.sorted.iter().copied())
+            .collect();
+        cells.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        for (r, c, v) in cells {
+            f(r, c, v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +283,27 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(ArrayStore::new().name(), "scidb-like");
+    }
+
+    #[test]
+    fn reader_visits_chunk_band() {
+        // Chunk dim 100: row 50's cells land in chunk columns 0 and 1;
+        // leave some appends unflushed to exercise the unsorted-tail scan.
+        let mut s = ArrayStore::with_chunk_dim(100);
+        s.insert_batch(&[
+            InsertRecord::new(50, 10, 1),
+            InsertRecord::new(50, 150, 2),
+            InsertRecord::new(51, 10, 9),
+        ]);
+        let mut row = Vec::new();
+        s.read_row(50, &mut row);
+        assert_eq!(row, vec![(10, 1), (150, 2)]);
+        assert_eq!(s.read_get(50, 150), Some(2));
+        assert_eq!(s.read_nnz(), 3);
+        assert_eq!(s.read_row_degree(50), 2);
+        let mut entries = Vec::new();
+        s.read_entries(&mut |r, c, v| entries.push((r, c, v)));
+        assert_eq!(entries, vec![(50, 10, 1), (50, 150, 2), (51, 10, 9)]);
+        assert_eq!(s.read_top_k(2), vec![(50, 2), (51, 1)]);
     }
 }

@@ -100,6 +100,42 @@ impl_streaming_sink_via_store!(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hyperstream_graphblas::StreamingSystem;
+
+    #[test]
+    fn every_store_implements_matrix_reader() {
+        use crate::{ArrayStore, DocStore, RowStore, TabletStore};
+
+        let mut systems: Vec<Box<dyn StreamingSystem<u64>>> = vec![
+            Box::new(TabletStore::new()),
+            Box::new(ArrayStore::new()),
+            Box::new(RowStore::new()),
+            Box::new(DocStore::new()),
+        ];
+        for sys in &mut systems {
+            sys.insert(1, 2, 10).unwrap();
+            sys.insert(1, 2, 5).unwrap();
+            sys.insert_batch(&[1, 500], &[9, 600], &[7, 8]).unwrap();
+            // No flush: readers answer mid-ingest.
+            let name = sys.reader_name().to_string();
+            assert_eq!(name, sys.sink_name());
+            assert_eq!(sys.read_get(1, 2), Some(15), "{name}");
+            assert_eq!(sys.read_nnz(), 3, "{name}");
+            let mut row = Vec::new();
+            sys.read_row(1, &mut row);
+            assert_eq!(row, vec![(2, 15), (9, 7)], "{name}");
+            assert_eq!(sys.read_row_degree(1), 2, "{name}");
+            assert_eq!(sys.read_row_reduce(1), Some(22), "{name}");
+            assert_eq!(sys.read_top_k(1), vec![(1, 2)], "{name}");
+            let mut entries = Vec::new();
+            sys.read_entries(&mut |r, c, v| entries.push((r, c, v)));
+            assert_eq!(
+                entries,
+                vec![(1, 2, 15), (1, 9, 7), (500, 600, 8)],
+                "{name}"
+            );
+        }
+    }
 
     #[test]
     fn record_constructor() {

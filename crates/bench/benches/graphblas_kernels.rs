@@ -2,7 +2,9 @@
 //! (the cascade primitive), mxm and reduce on hypersparse operands.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperstream_graphblas::cursor::{merge_levels, merged_nnz, merged_row_into, merged_top_k};
 use hyperstream_graphblas::formats::coo::Coo;
+use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
@@ -187,6 +189,64 @@ fn bench_sort_dedup(c: &mut Criterion) {
     group.finish();
 }
 
+/// The read-path kernel head-to-head: one k-way cursor pass over a
+/// hierarchy-shaped level set versus the pairwise `merge` chain it
+/// replaced, plus the materialisation-free queries (nnz, top-k, row
+/// extract) against their materialise-then-answer equivalents.
+fn bench_merged_cursor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merged_cursor");
+    group.sample_size(20);
+    // Geometric level sizes shaped like a settled 4-level hierarchy.
+    let sizes = [1usize << 10, 1 << 13, 1 << 16, 1 << 19];
+    let levels: Vec<Dcsr<u64>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &nnz)| {
+            let mut gen = PowerLawGenerator::new(PowerLawConfig {
+                seed: 11 + i as u64,
+                ..PowerLawConfig::paper()
+            });
+            let edges = gen.batch(nnz);
+            let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+            let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+            let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+            Dcsr::from_tuples(DIM, DIM, &rows, &cols, &vals, Plus).unwrap()
+        })
+        .collect();
+    let refs: Vec<&Dcsr<u64>> = levels.iter().collect();
+    let total: u64 = levels.iter().map(|d| d.nvals() as u64).sum();
+
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("merge_levels_scratch_4", |b| {
+        b.iter(|| merge_levels(DIM, DIM, &refs, Plus).unwrap().nvals())
+    });
+    group.bench_function("merge_fresh_alloc_4", |b| {
+        b.iter(|| {
+            let mut acc = Dcsr::<u64>::new(DIM, DIM);
+            for d in &refs {
+                acc = acc.merge(d, Plus).unwrap();
+            }
+            acc.nvals()
+        })
+    });
+    group.bench_function("merged_nnz_cursor", |b| b.iter(|| merged_nnz(&refs)));
+    group.bench_function("merged_top_k_8", |b| b.iter(|| merged_top_k(&refs, 8)));
+    let probe_rows: Vec<u64> = levels[3].row_ids().iter().step_by(64).copied().collect();
+    group.throughput(Throughput::Elements(probe_rows.len() as u64));
+    group.bench_function("merged_row_queries", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for &r in &probe_rows {
+                merged_row_into(&refs, r, Plus, &mut out);
+                n += out.len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
 fn bench_mxm_and_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("mxm_reduce");
     group.sample_size(10);
@@ -207,6 +267,7 @@ criterion_group!(
     bench_ewise_add,
     bench_accum_tuples,
     bench_sort_dedup,
+    bench_merged_cursor,
     bench_mxm_and_reduce
 );
 criterion_main!(benches);

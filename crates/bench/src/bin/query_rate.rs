@@ -1,0 +1,164 @@
+//! Experiment E9 — mixed ingest + query rates through the `MatrixReader`
+//! layer: the repo's first measured read/mixed workload.
+//!
+//! The paper's point in sustaining extreme insert rates is to *analyse*
+//! traffic while it arrives.  This harness drives every system through the
+//! combined `StreamingSystem` interface: a sustained power-law ingest
+//! stream with `Q` queries interleaved after every 100,000-edge batch,
+//! rotating through row extract / row degree / point get / top-k — the
+//! dynamic-network-analytics pattern (per-source fan-out, heavy-talker
+//! scans) running against live data, no materialised snapshots.
+//!
+//! Swept read:write mixes: `Q = 0` (pure ingest baseline) plus at least
+//! two non-zero mixes.  The run writes `BENCH_query_rate.json`
+//! (per-system, per-mix insert and query rates plus run metadata) next to
+//! the other benchmark artifacts.  Flags: `--quick` (reduced stream),
+//! `--batches N`.
+
+use hyperstream_bench::{arg_value, bench_meta, fmt_rate, quick_mode};
+use hyperstream_cluster::{measure_mixed, MixedRate, SystemKind};
+
+const DIM: u64 = 1 << 32;
+const BATCH_SIZE: usize = 100_000;
+
+fn json_label(s: &str) -> &str {
+    assert!(
+        !s.contains(['"', '\\']) && s.is_ascii(),
+        "label needs JSON escaping: {s}"
+    );
+    s
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    batches: usize,
+    mixes: &[usize],
+    results: &[(SystemKind, Vec<MixedRate>)],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"query_rate\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"dim\": {DIM},");
+    out.push_str(&bench_meta().json_fields());
+    let _ = writeln!(out, "  \"batch_size\": {BATCH_SIZE},");
+    let _ = writeln!(out, "  \"batches\": {batches},");
+    let _ = writeln!(out, "  \"queries_per_batch_mixes\": {mixes:?},");
+    out.push_str("  \"systems\": [\n");
+    for (i, (sys, rates)) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"system\": \"{}\", \"label\": \"{}\", \"mixes\": [",
+            json_label(&format!("{sys:?}")),
+            json_label(sys.label()),
+        );
+        for (j, r) in rates.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"queries_per_batch\": {}, \"read_write_ratio\": {:.6}, \"inserts\": {}, \"queries\": {}, \"seconds\": {:.6}, \"insert_rate\": {:.1}, \"query_rate\": {:.1}}}",
+                if j == 0 { "" } else { ", " },
+                r.queries_per_batch,
+                r.queries as f64 / r.inserts.max(1) as f64,
+                r.inserts,
+                r.queries,
+                r.seconds,
+                r.insert_rate(),
+                r.query_rate(),
+            );
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let batches = arg_value("--batches")
+        .map(|v| v as usize)
+        .unwrap_or(if quick { 3 } else { 10 });
+    // Pure-ingest baseline plus two read:write mixes (queries per
+    // 100,000-edge batch).
+    let mixes: &[usize] = if quick { &[0, 4, 32] } else { &[0, 16, 128] };
+
+    println!("=== E9: mixed ingest + query rate (MatrixReader layer) ===");
+    println!(
+        "workload: power-law stream, {} batches x {} edges; query mix rotates row/degree/get/top-k{}",
+        batches,
+        BATCH_SIZE,
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!();
+    println!(
+        "{:<28} {:>8} {:>12} {:>10} {:>16} {:>16}",
+        "system", "q/batch", "seconds", "queries", "inserts/sec", "queries/sec"
+    );
+    println!("{}", "-".repeat(96));
+
+    let stream = hyperstream_bench::paper_batches(batches, 2020);
+    let mut results: Vec<(SystemKind, Vec<MixedRate>)> = Vec::new();
+    for &sys in SystemKind::all() {
+        // The slow database analogues get a shorter stream (rates stay
+        // per-operation and comparable), exactly like `single_rate`.
+        let sys_stream: Vec<_> = match sys {
+            SystemKind::HierGraphBlas
+            | SystemKind::ShardedHierGraphBlas
+            | SystemKind::FlatGraphBlas => stream.clone(),
+            _ => stream.iter().take(stream.len().min(3)).cloned().collect(),
+        };
+        let mut rates = Vec::new();
+        for &q in mixes {
+            // Best-of-N (min wall time) against scheduler noise on shared
+            // machines, like the other experiment binaries.
+            let runs = if quick { 1 } else { 2 };
+            let r = (0..runs)
+                .map(|_| measure_mixed(sys, &sys_stream, q, DIM))
+                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                .expect("at least one run");
+            println!(
+                "{:<28} {:>8} {:>12.3} {:>10} {:>16} {:>16}",
+                sys.label(),
+                q,
+                r.seconds,
+                r.queries,
+                fmt_rate(r.insert_rate()),
+                if q == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_rate(r.query_rate())
+                },
+            );
+            rates.push(r);
+        }
+        results.push((sys, rates));
+    }
+
+    let json_path = "BENCH_query_rate.json";
+    match write_json(json_path, quick, batches, mixes, &results) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
+
+    // Headline: how much ingest rate the hierarchical system keeps while
+    // answering the heaviest query mix.
+    if let Some((_, rates)) = results
+        .iter()
+        .find(|(s, _)| *s == SystemKind::HierGraphBlas)
+    {
+        if let (Some(pure), Some(heavy)) = (rates.first(), rates.last()) {
+            println!(
+                "\nhier-graphblas ingest under heaviest mix: {} of pure-ingest rate ({} vs {})",
+                format_args!(
+                    "{:.1}%",
+                    100.0 * heavy.insert_rate() / pure.insert_rate().max(1e-9)
+                ),
+                fmt_rate(heavy.insert_rate()),
+                fmt_rate(pure.insert_rate()),
+            );
+        }
+    }
+}

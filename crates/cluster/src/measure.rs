@@ -7,7 +7,7 @@
 
 use hyperstream_baselines::{ArrayStore, DocStore, RowStore, TabletStore};
 use hyperstream_d4m::{HierAssoc, HierAssocConfig};
-use hyperstream_graphblas::{Matrix, StreamingSink};
+use hyperstream_graphblas::{Matrix, StreamingSink, StreamingSystem};
 use hyperstream_hier::{HierConfig, HierMatrix, ShardedHierMatrix};
 use hyperstream_workload::{edges_to_tuples_into, Edge};
 use std::time::Instant;
@@ -91,10 +91,13 @@ impl MeasuredRate {
     }
 }
 
-/// Construct one fresh instance of `system` behind the workspace-wide
-/// [`StreamingSink`] interface.  `dim` bounds the index space of the
-/// GraphBLAS-backed sinks (the key-value analogues are unbounded).
-pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSink<u64>> {
+/// Construct one fresh instance of `system` behind the combined
+/// ingest + query interface ([`StreamingSystem`]).  `dim` bounds the index
+/// space of the GraphBLAS-backed systems (the key-value analogues are
+/// unbounded).  This is the *only* construction site, so the ingest-only
+/// and mixed-workload harnesses always measure identically configured
+/// instances.
+pub fn make_system(system: SystemKind, dim: u64) -> Box<dyn StreamingSystem<u64>> {
     match system {
         SystemKind::HierGraphBlas => Box::new(
             HierMatrix::<u64>::new(dim, dim, HierConfig::paper_default()).expect("valid dims"),
@@ -112,6 +115,12 @@ pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSink<u64>> {
         SystemKind::TpcCLike => Box::new(RowStore::new()),
         SystemKind::CrateDbLike => Box::new(DocStore::new()),
     }
+}
+
+/// Alias of [`make_system`] retained for the ingest-only call sites; the
+/// combined trait object is also a [`StreamingSink`].
+pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSystem<u64>> {
+    make_system(system, dim)
 }
 
 /// The one generic ingest loop: stream every batch into `sink`, flush, and
@@ -152,6 +161,105 @@ pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> Me
     MeasuredRate {
         system,
         updates: total,
+        seconds,
+    }
+}
+
+/// A measured mixed ingest + query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedRate {
+    /// Which system was measured.
+    pub system: SystemKind,
+    /// Queries issued after each ingest batch.
+    pub queries_per_batch: usize,
+    /// Total updates applied.
+    pub inserts: u64,
+    /// Total queries answered.
+    pub queries: u64,
+    /// Wall-clock seconds for the whole mixed run.
+    pub seconds: f64,
+}
+
+impl MixedRate {
+    /// Updates ingested per second of the mixed run.
+    pub fn insert_rate(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.inserts as f64 / self.seconds
+        }
+    }
+
+    /// Queries answered per second of the mixed run.
+    pub fn query_rate(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.seconds
+        }
+    }
+}
+
+/// The one generic *mixed* loop: after every ingested batch, issue
+/// `queries_per_batch` queries rotating through row extract, row degree,
+/// point get and top-k — targets drawn from the batch just ingested, so
+/// queries hit live data (the analytics-while-ingest pattern of the
+/// paper's motivating applications).  Returns `(inserts, queries)`; query
+/// answers feed a black-boxed checksum so nothing is optimised away.
+pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
+    sys: &mut S,
+    batches: &[Vec<Edge>],
+    queries_per_batch: usize,
+) -> (u64, u64) {
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    let mut row_buf: Vec<(u64, u64)> = Vec::new();
+    let mut inserts = 0u64;
+    let mut queries = 0u64;
+    let mut checksum = 0u64;
+    for batch in batches {
+        edges_to_tuples_into(batch, &mut rows, &mut cols, &mut vals);
+        sys.insert_batch(&rows, &cols, &vals)
+            .expect("in-bounds updates");
+        inserts += rows.len() as u64;
+        for q in 0..queries_per_batch {
+            let e = &batch[(q * 7919 + 13) % batch.len()];
+            match q % 4 {
+                0 => {
+                    sys.read_row(e.src, &mut row_buf);
+                    checksum ^= row_buf.len() as u64;
+                }
+                1 => checksum ^= sys.read_row_degree(e.src) as u64,
+                2 => checksum ^= sys.read_get(e.src, e.dst).unwrap_or(0),
+                _ => {
+                    let top = sys.read_top_k(8);
+                    checksum ^= top.first().map(|t| t.0).unwrap_or(0);
+                }
+            }
+            queries += 1;
+        }
+    }
+    sys.flush().expect("flush completes");
+    std::hint::black_box(checksum);
+    (inserts, queries)
+}
+
+/// Stream `batches` into one instance of `system` with
+/// `queries_per_batch` interleaved queries and measure the mixed rates.
+pub fn measure_mixed(
+    system: SystemKind,
+    batches: &[Vec<Edge>],
+    queries_per_batch: usize,
+    dim: u64,
+) -> MixedRate {
+    let mut sys = make_system(system, dim);
+    let start = Instant::now();
+    let (inserts, queries) = drive_mixed(sys.as_mut(), batches, queries_per_batch);
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    MixedRate {
+        system,
+        queries_per_batch,
+        inserts,
+        queries,
         seconds,
     }
 }
@@ -229,6 +337,46 @@ mod tests {
         assert_eq!(nvals[0], nvals[1]);
         assert_eq!(nvals[0], nvals[2]);
         assert_eq!(nvals[0], nvals[3]);
+    }
+
+    #[test]
+    fn all_systems_answer_mixed_workloads() {
+        let batches = small_batches();
+        for &sys in SystemKind::all() {
+            let r = measure_mixed(sys, &batches, 3, 1 << 32);
+            assert_eq!(r.inserts, 8_000, "{sys:?}");
+            assert_eq!(r.queries, 12, "{sys:?}");
+            assert!(r.insert_rate() > 0.0 && r.query_rate() > 0.0, "{sys:?}");
+        }
+    }
+
+    #[test]
+    fn all_systems_agree_on_reader_answers() {
+        // Every system ingests the same stream; reader answers must be
+        // byte-identical across systems (the cross-system comparison the
+        // MatrixReader contract exists for).
+        type ReaderAnswers = (usize, Vec<(u64, u64)>, usize, Vec<(u64, usize)>);
+        let batches = small_batches();
+        let probe = batches[0][0];
+        let mut references: Option<ReaderAnswers> = None;
+        for &kind in SystemKind::all() {
+            let mut sys = make_system(kind, 1 << 32);
+            drive_sink(sys.as_mut(), &batches);
+            let nnz = sys.read_nnz();
+            let mut row = Vec::new();
+            sys.read_row(probe.src, &mut row);
+            let degree = sys.read_row_degree(probe.src);
+            let top = sys.read_top_k(5);
+            match &references {
+                None => references = Some((nnz, row, degree, top)),
+                Some((e_nnz, e_row, e_deg, e_top)) => {
+                    assert_eq!(nnz, *e_nnz, "{kind:?}");
+                    assert_eq!(&row, e_row, "{kind:?}");
+                    assert_eq!(degree, *e_deg, "{kind:?}");
+                    assert_eq!(&top, e_top, "{kind:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -122,6 +122,26 @@ impl Assoc {
         self.row_keys.keys().map(|s| s.as_str()).collect()
     }
 
+    /// The dense backing-matrix row index of `key`, if seen.
+    pub fn row_index_of(&self, key: &str) -> Option<u64> {
+        self.row_keys.get(key).copied()
+    }
+
+    /// The dense backing-matrix column index of `key`, if seen.
+    pub fn col_index_of(&self, key: &str) -> Option<u64> {
+        self.col_keys.get(key).copied()
+    }
+
+    /// The row key behind dense index `idx` (insertion order).
+    pub fn row_name(&self, idx: u64) -> Option<&str> {
+        self.row_names.get(idx as usize).map(|s| s.as_str())
+    }
+
+    /// The column key behind dense index `idx` (insertion order).
+    pub fn col_name(&self, idx: u64) -> Option<&str> {
+        self.col_names.get(idx as usize).map(|s| s.as_str())
+    }
+
     /// The sorted column keys.
     pub fn col_keys(&self) -> Vec<&str> {
         self.col_keys.keys().map(|s| s.as_str()).collect()

@@ -3,14 +3,14 @@
 //!
 //! These round out the "various network statistics" computed on streaming
 //! traffic matrices (paper §III) and exercise `mxv`/`vxm` and `ewise` paths
-//! on hypersparse operands.
+//! on hypersparse operands.  Both run over any [`MatrixReader`], pulling
+//! the adjacency pattern through the reader's entry cursor.
 
 use crate::index::Index;
 use crate::matrix::Matrix;
-use crate::ops::monoid::PlusMonoid;
 use crate::ops::mxv::vxm;
-use crate::ops::reduce::reduce_rows;
 use crate::ops::semiring::{MinFirst, PlusTimes};
+use crate::reader::{read_tuples, MatrixReader};
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 
@@ -20,48 +20,40 @@ use crate::vector::SparseVector;
 /// Returns the rank of every vertex that has at least one in- or out-edge.
 /// `damping` is the usual 0.85; iteration stops after `max_iters` or when
 /// the L1 change drops below `tol`.
-pub fn pagerank<T: ScalarType>(
-    a: &Matrix<T>,
-    damping: f64,
-    max_iters: usize,
-    tol: f64,
-) -> SparseVector<f64> {
-    // Collect the active vertex set (sources and destinations).
-    let (rows, cols, _) = a.extract_tuples();
+pub fn pagerank<V, R>(a: &mut R, damping: f64, max_iters: usize, tol: f64) -> SparseVector<f64>
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
+    // Collect the pattern and the active vertex set (sources and
+    // destinations) through the reader cursor.
+    let (rows, cols, _) = read_tuples(a);
+    let (nrows, ncols) = a.read_dims();
     let mut active: Vec<Index> = rows.iter().chain(cols.iter()).copied().collect();
     active.sort_unstable();
     active.dedup();
     let n = active.len();
     if n == 0 {
-        return SparseVector::new(a.nrows());
+        return SparseVector::new(nrows);
+    }
+
+    // Out-degrees from the sorted entry stream (rows arrive grouped).
+    let mut out_deg: std::collections::BTreeMap<Index, f64> = std::collections::BTreeMap::new();
+    for &r in &rows {
+        *out_deg.entry(r).or_insert(0.0) += 1.0;
     }
 
     // Column-stochastic transition: P(i, j) = 1 / outdeg(i) for each edge.
-    let out_deg = reduce_rows(
-        &crate::ops::apply::apply(a, crate::ops::unary::One),
-        PlusMonoid,
-    );
-    let mut prows = Vec::with_capacity(rows.len());
-    let mut pcols = Vec::with_capacity(rows.len());
     let mut pvals = Vec::with_capacity(rows.len());
-    for k in 0..rows.len() {
-        let d = out_deg.get(rows[k]).map(|v| v.to_f64()).unwrap_or(1.0);
-        prows.push(rows[k]);
-        pcols.push(cols[k]);
+    for &r in &rows {
+        let d = out_deg.get(&r).copied().unwrap_or(1.0);
         pvals.push(1.0 / d.max(1.0));
     }
-    let p = Matrix::from_tuples(
-        a.nrows(),
-        a.ncols(),
-        &prows,
-        &pcols,
-        &pvals,
-        crate::ops::binary::Plus,
-    )
-    .expect("transition matrix coordinates are in bounds");
+    let p = Matrix::from_tuples(nrows, ncols, &rows, &cols, &pvals, crate::ops::binary::Plus)
+        .expect("transition matrix coordinates are in bounds");
 
     // Rank vector initialised uniformly over the active set.
-    let mut rank = SparseVector::<f64>::new(a.nrows());
+    let mut rank = SparseVector::<f64>::new(nrows);
     for &v in &active {
         rank.set(v, 1.0 / n as f64).expect("active vertex in range");
     }
@@ -69,7 +61,7 @@ pub fn pagerank<T: ScalarType>(
 
     for _ in 0..max_iters {
         let spread = vxm(&rank, &p, PlusTimes);
-        let mut next = SparseVector::<f64>::new(a.nrows());
+        let mut next = SparseVector::<f64>::new(nrows);
         let mut delta = 0.0;
         for &v in &active {
             let val = teleport + damping * spread.get(v).unwrap_or(0.0);
@@ -90,8 +82,13 @@ pub fn pagerank<T: ScalarType>(
 ///
 /// Returns, for every vertex with at least one edge, the smallest vertex id
 /// in its component.
-pub fn connected_components<T: ScalarType>(a: &Matrix<T>) -> SparseVector<u64> {
-    let (rows, cols, _) = a.extract_tuples();
+pub fn connected_components<V, R>(a: &mut R) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
+    let (rows, cols, _) = read_tuples(a);
+    let (nrows, ncols) = a.read_dims();
     // Symmetric u64 pattern.
     let mut sr: Vec<Index> = Vec::with_capacity(rows.len() * 2);
     let mut sc: Vec<Index> = Vec::with_capacity(rows.len() * 2);
@@ -103,8 +100,8 @@ pub fn connected_components<T: ScalarType>(a: &Matrix<T>) -> SparseVector<u64> {
     }
     let ones = vec![1u64; sr.len()];
     let sym = Matrix::from_tuples(
-        a.nrows(),
-        a.nrows().max(a.ncols()),
+        nrows,
+        nrows.max(ncols),
         &sr,
         &sc,
         &ones,
@@ -158,8 +155,8 @@ mod tests {
     #[test]
     fn pagerank_ranks_hub_highest() {
         // Star pointing at vertex 0: everyone links to 0.
-        let g = graph(10, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
-        let pr = pagerank(&g, 0.85, 50, 1e-9);
+        let mut g = graph(10, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let pr = pagerank(&mut g, 0.85, 50, 1e-9);
         let r0 = pr.get(0).unwrap();
         for v in 1..=4u64 {
             assert!(r0 > pr.get(v).unwrap(), "hub must out-rank leaf {v}");
@@ -168,22 +165,22 @@ mod tests {
 
     #[test]
     fn pagerank_sums_to_about_one() {
-        let g = graph(8, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
-        let pr = pagerank(&g, 0.85, 100, 1e-10);
+        let mut g = graph(8, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let pr = pagerank(&mut g, 0.85, 100, 1e-10);
         let total: f64 = pr.iter().map(|(_, v)| v).sum();
         assert!((total - 1.0).abs() < 0.05, "total rank {total}");
     }
 
     #[test]
     fn pagerank_empty_graph() {
-        let g = Matrix::<u64>::new(8, 8);
-        assert!(pagerank(&g, 0.85, 10, 1e-6).is_empty());
+        let mut g = Matrix::<u64>::new(8, 8);
+        assert!(pagerank(&mut g, 0.85, 10, 1e-6).is_empty());
     }
 
     #[test]
     fn pagerank_symmetric_cycle_is_uniform() {
-        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let pr = pagerank(&g, 0.85, 100, 1e-12);
+        let mut g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&mut g, 0.85, 100, 1e-12);
         let vals: Vec<f64> = (0..4).map(|v| pr.get(v).unwrap()).collect();
         for w in vals.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-6);
@@ -192,8 +189,8 @@ mod tests {
 
     #[test]
     fn components_two_clusters() {
-        let g = graph(1 << 32, &[(1, 2), (2, 3), (100, 101)]);
-        let cc = connected_components(&g);
+        let mut g = graph(1 << 32, &[(1, 2), (2, 3), (100, 101)]);
+        let cc = connected_components(&mut g);
         assert_eq!(cc.get(1), Some(1));
         assert_eq!(cc.get(2), Some(1));
         assert_eq!(cc.get(3), Some(1));
@@ -204,8 +201,8 @@ mod tests {
 
     #[test]
     fn components_chain_converges_to_smallest_id() {
-        let g = graph(100, &[(9, 8), (8, 7), (7, 6), (6, 5)]);
-        let cc = connected_components(&g);
+        let mut g = graph(100, &[(9, 8), (8, 7), (7, 6), (6, 5)]);
+        let cc = connected_components(&mut g);
         for v in 5..=9u64 {
             assert_eq!(cc.get(v), Some(5));
         }
@@ -214,8 +211,8 @@ mod tests {
     #[test]
     fn components_hypersparse_ids() {
         let a = 1u64 << 33;
-        let g = graph(1 << 40, &[(a, a + 7)]);
-        let cc = connected_components(&g);
+        let mut g = graph(1 << 40, &[(a, a + 7)]);
+        let cc = connected_components(&mut g);
         assert_eq!(cc.get(a), Some(a));
         assert_eq!(cc.get(a + 7), Some(a));
     }

@@ -1,24 +1,54 @@
 //! Degree statistics — out-degree, in-degree, degree distribution.
+//!
+//! All three run over any [`MatrixReader`], so they answer directly from a
+//! hierarchical matrix's merged level cursors (or a sharded engine's worker
+//! pool) — no materialised snapshot required.
 
-use crate::matrix::Matrix;
-use crate::ops::monoid::PlusMonoid;
-use crate::ops::reduce::{reduce_cols, reduce_rows};
-use crate::ops::unary::One;
+use crate::index::Index;
+use crate::reader::MatrixReader;
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 use std::collections::BTreeMap;
 
 /// Out-degree of every non-empty row: the number of stored entries per row
 /// (pattern degree, ignoring weights).
-pub fn row_degree<T: ScalarType>(a: &Matrix<T>) -> SparseVector<T> {
-    let pattern = crate::ops::apply::apply(a, One);
-    reduce_rows(&pattern, PlusMonoid)
+pub fn row_degree<V, R>(a: &mut R) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
+    let mut v = SparseVector::new(a.read_dims().0);
+    // Entries arrive row-major sorted: count run lengths and append each
+    // finished run (appends at the tail, so building the vector is linear).
+    let mut run: Option<(Index, u64)> = None;
+    a.read_entries(&mut |r, _, _| match &mut run {
+        Some((cr, n)) if *cr == r => *n += 1,
+        _ => {
+            if let Some((cr, n)) = run.take() {
+                v.set(cr, n).expect("row id within reader dims");
+            }
+            run = Some((r, 1));
+        }
+    });
+    if let Some((cr, n)) = run {
+        v.set(cr, n).expect("row id within reader dims");
+    }
+    v
 }
 
 /// In-degree of every non-empty column.
-pub fn col_degree<T: ScalarType>(a: &Matrix<T>) -> SparseVector<T> {
-    let pattern = crate::ops::apply::apply(a, One);
-    reduce_cols(&pattern, PlusMonoid)
+pub fn col_degree<V, R>(a: &mut R) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
+    let mut counts: BTreeMap<Index, u64> = BTreeMap::new();
+    a.read_entries(&mut |_, c, _| *counts.entry(c).or_insert(0) += 1);
+    let mut v = SparseVector::new(a.read_dims().1);
+    for (c, n) in counts {
+        v.set(c, n).expect("col id within reader dims");
+    }
+    v
 }
 
 /// Histogram of a degree vector: `count[d]` = number of vertices with degree `d`.
@@ -72,11 +102,14 @@ impl DegreeDistribution {
 }
 
 /// Compute the out-degree distribution of a matrix's pattern.
-pub fn degree_distribution<T: ScalarType>(a: &Matrix<T>) -> DegreeDistribution {
+pub fn degree_distribution<V, R>(a: &mut R) -> DegreeDistribution
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
     let degrees = row_degree(a);
     let mut counts = BTreeMap::new();
     for (_, d) in degrees.iter() {
-        let d = d.to_f64() as u64;
         *counts.entry(d).or_insert(0u64) += 1;
     }
     DegreeDistribution { counts }
@@ -85,6 +118,7 @@ pub fn degree_distribution<T: ScalarType>(a: &Matrix<T>) -> DegreeDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
     use crate::ops::binary::Plus;
 
     fn star_graph(center: u64, leaves: u64) -> Matrix<u64> {
@@ -97,25 +131,33 @@ mod tests {
 
     #[test]
     fn row_and_col_degrees() {
-        let g = star_graph(5, 4);
-        let out = row_degree(&g);
+        let mut g = star_graph(5, 4);
+        let out = row_degree(&mut g);
         assert_eq!(out.get(5), Some(4));
         assert_eq!(out.nvals(), 1);
-        let inn = col_degree(&g);
+        let inn = col_degree(&mut g);
         assert_eq!(inn.nvals(), 4);
         assert_eq!(inn.get(6), Some(1));
     }
 
     #[test]
     fn degree_ignores_weights() {
-        let g = Matrix::from_tuples(10, 10, &[1, 1], &[2, 3], &[100u64, 200], Plus).unwrap();
-        assert_eq!(row_degree(&g).get(1), Some(2));
+        let mut g = Matrix::from_tuples(10, 10, &[1, 1], &[2, 3], &[100u64, 200], Plus).unwrap();
+        assert_eq!(row_degree(&mut g).get(1), Some(2));
+    }
+
+    #[test]
+    fn degrees_include_pending_tuples() {
+        let mut g = Matrix::<u64>::new(100, 100);
+        g.accum_tuples(&[3, 3, 3], &[1, 2, 1], &[1, 1, 1]).unwrap();
+        // Pending only; duplicates on (3, 1) must collapse in the pattern.
+        assert_eq!(row_degree(&mut g).get(3), Some(2));
     }
 
     #[test]
     fn distribution_counts() {
-        let g = star_graph(0, 5);
-        let dist = degree_distribution(&g);
+        let mut g = star_graph(0, 5);
+        let dist = degree_distribution(&mut g);
         assert_eq!(dist.counts.get(&5), Some(&1));
         assert_eq!(dist.total_vertices(), 1);
         assert_eq!(dist.max_degree(), 5);
@@ -146,8 +188,8 @@ mod tests {
 
     #[test]
     fn empty_matrix_distribution() {
-        let g = Matrix::<u64>::new(16, 16);
-        let dist = degree_distribution(&g);
+        let mut g = Matrix::<u64>::new(16, 16);
+        let dist = degree_distribution(&mut g);
         assert_eq!(dist.total_vertices(), 0);
         assert_eq!(dist.max_degree(), 0);
     }

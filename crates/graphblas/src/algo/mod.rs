@@ -3,6 +3,11 @@
 //! These are the "various network statistics" a real streaming-analysis
 //! process would compute on each traffic matrix as it is updated (paper,
 //! §III), and they double as end-to-end exercises of the GraphBLAS kernels.
+//!
+//! Every algorithm runs over any [`MatrixReader`](crate::reader::MatrixReader):
+//! pass `&mut` a flat [`Matrix`](crate::matrix::Matrix), a hierarchical or
+//! sharded matrix, or any other reader — the pattern is pulled through the
+//! reader's sorted entry cursor, so no materialised snapshot is needed.
 
 pub mod centrality;
 pub mod degree;

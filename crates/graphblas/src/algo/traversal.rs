@@ -5,21 +5,31 @@ use crate::index::Index;
 use crate::matrix::Matrix;
 use crate::ops::mxv::vxm;
 use crate::ops::semiring::MinSecond;
+use crate::reader::{read_tuples, MatrixReader};
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 
 /// Level-synchronous BFS from `source` on the directed graph whose adjacency
 /// pattern is `a` (edge `i -> j` when `a(i, j)` is stored).
 ///
+/// Runs over any [`MatrixReader`] — the adjacency pattern is pulled through
+/// the reader's entry cursor, so hierarchical or sharded matrices are
+/// traversed without materialisation.
+///
 /// Returns a sparse vector whose entry `v(j)` is the BFS level of vertex `j`
 /// (source has level 1), containing only the reachable vertices.
-pub fn bfs_levels<T: ScalarType>(a: &Matrix<T>, source: Index) -> SparseVector<u64> {
+pub fn bfs_levels<V, R>(a: &mut R, source: Index) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
     // Work on the pattern as u64 so levels can be carried through the semiring.
-    let (rows, cols, _) = a.extract_tuples();
+    let (rows, cols, _) = read_tuples(a);
+    let (nrows, ncols) = a.read_dims();
     let ones = vec![1u64; rows.len()];
     let pattern = Matrix::from_tuples(
-        a.nrows(),
-        a.ncols(),
+        nrows,
+        ncols,
         &rows,
         &cols,
         &ones,
@@ -27,12 +37,12 @@ pub fn bfs_levels<T: ScalarType>(a: &Matrix<T>, source: Index) -> SparseVector<u
     )
     .expect("pattern rebuild");
 
-    let mut levels = SparseVector::<u64>::new(a.nrows());
-    if source >= a.nrows() {
+    let mut levels = SparseVector::<u64>::new(nrows);
+    if source >= nrows {
         return levels;
     }
     levels.set(source, 1).expect("source in range");
-    let mut frontier = SparseVector::<u64>::new(a.nrows());
+    let mut frontier = SparseVector::<u64>::new(nrows);
     frontier.set(source, 1).expect("source in range");
 
     let mut level = 1u64;
@@ -40,7 +50,7 @@ pub fn bfs_levels<T: ScalarType>(a: &Matrix<T>, source: Index) -> SparseVector<u
         level += 1;
         // next = frontier * pattern (min-second keeps any reaching parent)
         let reached = vxm(&frontier, &pattern, MinSecond);
-        let mut next = SparseVector::<u64>::new(a.nrows());
+        let mut next = SparseVector::<u64>::new(nrows);
         for (j, _) in reached.iter() {
             if levels.get(j).is_none() {
                 levels.set(j, level).expect("in range");
@@ -67,8 +77,8 @@ mod tests {
 
     #[test]
     fn bfs_on_path() {
-        let g = path_graph(5);
-        let levels = bfs_levels(&g, 0);
+        let mut g = path_graph(5);
+        let levels = bfs_levels(&mut g, 0);
         assert_eq!(levels.get(0), Some(1));
         assert_eq!(levels.get(1), Some(2));
         assert_eq!(levels.get(4), Some(5));
@@ -77,8 +87,8 @@ mod tests {
 
     #[test]
     fn bfs_unreachable_vertices_absent() {
-        let g = path_graph(5);
-        let levels = bfs_levels(&g, 3);
+        let mut g = path_graph(5);
+        let levels = bfs_levels(&mut g, 3);
         assert_eq!(levels.get(3), Some(1));
         assert_eq!(levels.get(4), Some(2));
         assert_eq!(levels.get(0), None);
@@ -88,9 +98,9 @@ mod tests {
     #[test]
     fn bfs_on_branching_graph() {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond)
-        let g = Matrix::from_tuples(4, 4, &[0, 0, 1, 2], &[1, 2, 3, 3], &[1u64, 1, 1, 1], Plus)
+        let mut g = Matrix::from_tuples(4, 4, &[0, 0, 1, 2], &[1, 2, 3, 3], &[1u64, 1, 1, 1], Plus)
             .unwrap();
-        let levels = bfs_levels(&g, 0);
+        let levels = bfs_levels(&mut g, 0);
         assert_eq!(levels.get(0), Some(1));
         assert_eq!(levels.get(1), Some(2));
         assert_eq!(levels.get(2), Some(2));
@@ -99,15 +109,15 @@ mod tests {
 
     #[test]
     fn bfs_source_out_of_range() {
-        let g = path_graph(3);
-        let levels = bfs_levels(&g, 99);
+        let mut g = path_graph(3);
+        let levels = bfs_levels(&mut g, 99);
         assert!(levels.is_empty());
     }
 
     #[test]
     fn bfs_isolated_source() {
-        let g = Matrix::<u64>::new(8, 8);
-        let levels = bfs_levels(&g, 2);
+        let mut g = Matrix::<u64>::new(8, 8);
+        let levels = bfs_levels(&mut g, 2);
         assert_eq!(levels.nvals(), 1);
         assert_eq!(levels.get(2), Some(1));
     }

@@ -9,18 +9,26 @@ use crate::ops::mxm::mxm;
 use crate::ops::reduce::reduce_scalar;
 use crate::ops::semiring::PlusTimes;
 use crate::ops::unary::One;
+use crate::reader::{read_tuples, MatrixReader};
 use crate::types::ScalarType;
 
 /// Count triangles in an undirected graph whose *symmetric* adjacency
 /// pattern is stored in `a` (both `(i,j)` and `(j,i)` present, no
-/// self-loops).  Weights are ignored.
-pub fn triangle_count<T: ScalarType>(a: &Matrix<T>) -> u64 {
+/// self-loops).  Weights are ignored.  Runs over any [`MatrixReader`]: the
+/// pattern is pulled through the reader's sorted entry cursor, so a
+/// hierarchical matrix needs no materialised snapshot first.
+pub fn triangle_count<V, R>(a: &mut R) -> u64
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
     // Work on a u64 pattern so path counts cannot overflow small types.
-    let (rows, cols, _) = a.extract_tuples();
+    let (rows, cols, _) = read_tuples(a);
+    let (nrows, ncols) = a.read_dims();
     let ones = vec![1u64; rows.len()];
     let pattern = Matrix::from_tuples(
-        a.nrows(),
-        a.ncols(),
+        nrows,
+        ncols,
         &rows,
         &cols,
         &ones,
@@ -55,25 +63,25 @@ mod tests {
 
     #[test]
     fn single_triangle() {
-        let g = symmetric(&[(0, 1), (1, 2), (0, 2)], 4);
-        assert_eq!(triangle_count(&g), 1);
+        let mut g = symmetric(&[(0, 1), (1, 2), (0, 2)], 4);
+        assert_eq!(triangle_count(&mut g), 1);
     }
 
     #[test]
     fn square_has_no_triangles() {
-        let g = symmetric(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
-        assert_eq!(triangle_count(&g), 0);
+        let mut g = symmetric(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert_eq!(triangle_count(&mut g), 0);
     }
 
     #[test]
     fn k4_has_four_triangles() {
-        let g = symmetric(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 4);
-        assert_eq!(triangle_count(&g), 4);
+        let mut g = symmetric(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 4);
+        assert_eq!(triangle_count(&mut g), 4);
     }
 
     #[test]
     fn weights_are_ignored() {
-        let g = Matrix::from_tuples(
+        let mut g = Matrix::from_tuples(
             4,
             4,
             &[0, 1, 1, 2, 0, 2],
@@ -82,21 +90,21 @@ mod tests {
             Plus,
         )
         .unwrap();
-        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangle_count(&mut g), 1);
     }
 
     #[test]
     fn empty_graph() {
-        assert_eq!(triangle_count(&Matrix::<u64>::new(8, 8)), 0);
+        assert_eq!(triangle_count(&mut Matrix::<u64>::new(8, 8)), 0);
     }
 
     #[test]
     fn hypersparse_triangle() {
         let base = 1u64 << 33;
-        let g = symmetric(
+        let mut g = symmetric(
             &[(base, base + 1), (base + 1, base + 2), (base, base + 2)],
             1 << 40,
         );
-        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangle_count(&mut g), 1);
     }
 }

@@ -246,6 +246,12 @@ impl<T: ScalarType> Dcsr<T> {
         })
     }
 
+    /// The four raw compressed arrays `(row_ids, row_ptr, col_idx, vals)` —
+    /// read-only access for the cursor kernel's bulk run copies.
+    pub(crate) fn raw_parts(&self) -> (&[Index], &[usize], &[Index], &[T]) {
+        (&self.row_ids, &self.row_ptr, &self.col_idx, &self.vals)
+    }
+
     /// Build from a COO that has already been sorted and deduplicated.
     ///
     /// Returns an error if the COO is not in sorted/dedup state.

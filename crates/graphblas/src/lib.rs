@@ -54,7 +54,9 @@ pub mod ops;
 
 pub mod formats;
 
+pub mod cursor;
 pub mod matrix;
+pub mod reader;
 pub mod sink;
 pub mod vector;
 
@@ -66,6 +68,7 @@ pub use error::{GrbError, GrbResult};
 pub use formats::dcsr::MergeScratch;
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
+pub use reader::{MatrixReader, StreamingSystem};
 pub use sink::StreamingSink;
 pub use types::ScalarType;
 pub use vector::SparseVector;
@@ -99,6 +102,7 @@ pub mod prelude {
     pub use crate::ops::transpose::transpose;
     pub use crate::ops::unary::{AInv, Abs, Identity, MInv, One};
     pub use crate::ops::{BinaryOp, Monoid, Semiring, UnaryOp};
+    pub use crate::reader::{read_tuples, MatrixReader, StreamingSystem};
     pub use crate::sink::StreamingSink;
     pub use crate::types::ScalarType;
     pub use crate::vector::SparseVector;

@@ -323,6 +323,13 @@ impl<T: ScalarType> Matrix<T> {
         &self.settled
     }
 
+    /// The pending (not yet settled) tuples as parallel slices — read-side
+    /// callers fold these in after merging the settled structures, instead
+    /// of clone-and-settling the whole matrix.
+    pub fn pending_parts(&self) -> (&[Index], &[Index], &[T]) {
+        self.pending.parts()
+    }
+
     /// A settled copy of this matrix (does not mutate `self`).
     pub fn to_settled(&self) -> Matrix<T> {
         let mut m = self.clone();

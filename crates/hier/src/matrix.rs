@@ -2,12 +2,18 @@
 
 use crate::config::HierConfig;
 use crate::stats::HierStats;
+use hyperstream_graphblas::cursor::{
+    for_each_merged, merge_levels, merged_nnz, merged_row_degree, merged_row_into,
+    merged_row_reduce, merged_top_k,
+};
+use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::formats::MemoryFootprint;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
 use hyperstream_graphblas::ops::reduce::reduce_scalar;
-use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, ScalarType, StreamingSink};
+use hyperstream_graphblas::{
+    GrbError, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
+};
 
 /// An N-level hierarchical hypersparse matrix accumulating under `+`.
 ///
@@ -177,18 +183,74 @@ impl<T: ScalarType> HierMatrix<T> {
     }
 
     /// Materialise without touching statistics (usable through `&self`).
+    ///
+    /// The settled level structures merge through the k-way cursor kernel
+    /// in one pass — a single output allocation instead of the old
+    /// per-level `ewise_add` loop that rewrote the accumulator L times —
+    /// and any pending level-0 tuples fold in afterwards.
     pub fn materialize_ref(&self) -> Matrix<T> {
-        let mut acc = Matrix::new(self.nrows, self.ncols);
-        for level in &self.levels {
-            ewise_add_into(&mut acc, level, Plus).expect("levels share dimensions");
-        }
+        let dcsrs: Vec<&Dcsr<T>> = self.level_dcsrs().collect();
+        let merged =
+            merge_levels(self.nrows, self.ncols, &dcsrs, Plus).expect("levels share dimensions");
+        let mut acc = Matrix::from_dcsr(merged);
+        self.fold_pending_into(&mut acc);
         acc
     }
 
-    /// Exact number of stored entries of the represented matrix
-    /// (requires a materialisation pass).
+    /// The settled DCSR structure of every level, lowest first (pending
+    /// level-0 tuples are *not* included — see
+    /// [`HierMatrix::fold_pending_into`]).
+    pub(crate) fn level_dcsrs(&self) -> impl Iterator<Item = &Dcsr<T>> {
+        self.levels.iter().map(|l| l.dcsr())
+    }
+
+    /// Fold every level's pending tuples into `acc` — the companion of
+    /// [`HierMatrix::level_dcsrs`] for read paths that merge settled
+    /// structures first.
+    pub(crate) fn fold_pending_into(&self, acc: &mut Matrix<T>) {
+        let mut any = false;
+        for level in &self.levels {
+            let (r, c, v) = level.pending_parts();
+            if !r.is_empty() {
+                acc.accum_tuples(r, c, v)
+                    .expect("pending tuples are within bounds");
+                any = true;
+            }
+        }
+        if any {
+            acc.wait();
+        }
+    }
+
+    /// Settle every level's pending tuples in place (cheap — only level 0
+    /// can hold pending data, and it is cache resident by construction).
+    /// The represented matrix is unchanged; afterwards the level DCSRs are
+    /// the complete content, which is what the cursor queries walk.
+    pub(crate) fn settle_levels(&mut self) {
+        for level in &mut self.levels {
+            level.wait();
+        }
+    }
+
+    /// Settle and return the level DCSRs for cursor queries.
+    fn settled_level_dcsrs(&mut self) -> Vec<&Dcsr<T>> {
+        self.settle_levels();
+        self.levels.iter().map(|l| l.dcsr()).collect()
+    }
+
+    /// Exact number of stored entries of the represented matrix.
+    ///
+    /// Settled hierarchies are counted through the merged cursors without
+    /// materialising; only when pending tuples exist does this fall back to
+    /// a materialisation pass (use the [`MatrixReader`] interface to settle
+    /// and avoid even that).
     pub fn nvals_exact(&self) -> usize {
-        self.materialize_ref().nvals()
+        if self.levels.iter().all(|l| l.npending() == 0) {
+            let dcsrs: Vec<&Dcsr<T>> = self.level_dcsrs().collect();
+            merged_nnz(&dcsrs)
+        } else {
+            self.materialize_ref().nvals()
+        }
     }
 
     /// Value of the represented matrix at `(row, col)`: the sum of the
@@ -311,6 +373,55 @@ impl<T: ScalarType> StreamingSink<T> for HierMatrix<T> {
 
     fn total_weight(&self) -> f64 {
         self.total_weight_f64()
+    }
+}
+
+/// The paper's query path without the materialisation: every answer merges
+/// the L level cursors on the fly (after settling the cache-resident
+/// pending buffers), so analytics interleave with ingest at no more than
+/// `O(Σ nnz(A_i))` per full sweep and `O(L log + row width)` per row query.
+impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
+    fn reader_name(&self) -> &str {
+        "hier-graphblas"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_nnz(&dcsrs)
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
+        // Per-level gets fold pending tuples in directly; no settle needed.
+        HierMatrix::get(self, row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_into(&dcsrs, row, Plus, out);
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_degree(&dcsrs, row)
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_reduce(&dcsrs, row, Plus)
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_top_k(&dcsrs, k)
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.settled_level_dcsrs();
+        for_each_merged(&dcsrs, Plus, f);
     }
 }
 
@@ -541,6 +652,80 @@ mod tests {
         for (i, &n) in per_level.iter().enumerate().take(per_level.len() - 1) {
             assert_eq!(n, 0, "level {i} not flushed");
         }
+    }
+
+    #[test]
+    fn reader_matches_materialized_answers() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        for i in 0..2000u64 {
+            m.update(i % 97, (i * 13) % 211, (i % 5) + 1).unwrap();
+        }
+        // Deliberately unflushed: entries sit in several levels plus the
+        // level-0 pending buffer.
+        let snap = m.materialize_ref();
+        assert_eq!(m.read_nnz(), snap.nvals());
+        let (er, ec, ev) = snap.extract_tuples();
+        let mut gr = Vec::new();
+        let mut gc = Vec::new();
+        let mut gv = Vec::new();
+        m.read_entries(&mut |r, c, v| {
+            gr.push(r);
+            gc.push(c);
+            gv.push(v);
+        });
+        assert_eq!((gr, gc, gv), (er.clone(), ec, ev));
+        // Row queries for a present and an absent row.
+        let row = er[0];
+        let mut got_row = Vec::new();
+        m.read_row(row, &mut got_row);
+        let (cols, vals) = snap.dcsr().row(row).unwrap();
+        let expect_row: Vec<(u64, u64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+        assert_eq!(got_row, expect_row);
+        assert_eq!(m.read_row_degree(row), expect_row.len());
+        assert_eq!(
+            m.read_row_reduce(row),
+            Some(expect_row.iter().map(|&(_, v)| v).sum())
+        );
+        m.read_row(1 << 19, &mut got_row);
+        assert!(got_row.is_empty());
+        assert_eq!(m.read_row_degree(1 << 19), 0);
+        assert_eq!(m.read_row_reduce(1 << 19), None);
+        assert_eq!(m.read_get(row, expect_row[0].0), Some(expect_row[0].1));
+    }
+
+    #[test]
+    fn reader_top_k_matches_reference() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..500u64 {
+            m.update(i % 23, (i * 7) % 200, 1).unwrap();
+        }
+        let snap = m.materialize_ref();
+        let d = snap.dcsr();
+        let mut expect: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+            .map(|k| (d.row_ids()[k], d.row_slot(k).0.len()))
+            .collect();
+        expect.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for k in [0usize, 1, 5, 1000] {
+            let mut e = expect.clone();
+            e.truncate(k);
+            assert_eq!(m.read_top_k(k), e, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn nvals_exact_without_pending_uses_cursors() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..300u64 {
+            m.update(i, i, 1).unwrap();
+        }
+        m.settle_levels();
+        assert!(m.levels.iter().all(|l| l.npending() == 0));
+        assert_eq!(m.nvals_exact(), 300);
+        // With pending tuples the fallback still answers exactly.
+        m.update(5, 5, 1).unwrap();
+        assert_eq!(m.nvals_exact(), 300);
+        m.update(1 << 15, 1, 1).unwrap();
+        assert_eq!(m.nvals_exact(), 301);
     }
 
     #[test]

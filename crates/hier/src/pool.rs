@@ -10,6 +10,7 @@
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use crate::stats::HierStats;
+use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
 
 /// The multiplicative row hash shared by every row-based sharder in the
@@ -218,13 +219,25 @@ impl<T: ScalarType> InstancePool<T> {
     /// Materialise the union of all instances into a single matrix
     /// (sum of the per-instance matrices — valid because instances hold
     /// disjoint or additively-combinable content).
+    ///
+    /// All instances' levels merge through the k-way cursor kernel in one
+    /// pass, instead of materialising every instance and summing the
+    /// copies pairwise.
     pub fn materialize_union(&self) -> Option<Matrix<T>> {
-        let mats: Vec<Matrix<T>> = self.instances.iter().map(|m| m.materialize_ref()).collect();
-        let refs: Vec<&Matrix<T>> = mats.iter().collect();
-        hyperstream_graphblas::ops::ewise_add::sum_all(
-            &refs,
-            hyperstream_graphblas::ops::monoid::PlusMonoid,
-        )
+        let first = self.instances.first()?;
+        let (nrows, ncols) = (first.nrows(), first.ncols());
+        let dcsrs: Vec<&hyperstream_graphblas::prelude::Dcsr<T>> = self
+            .instances
+            .iter()
+            .flat_map(|m| m.level_dcsrs())
+            .collect();
+        let merged =
+            hyperstream_graphblas::cursor::merge_levels(nrows, ncols, &dcsrs, Plus).ok()?;
+        let mut acc = Matrix::from_dcsr(merged);
+        for m in &self.instances {
+            m.fold_pending_into(&mut acc);
+        }
+        Some(acc)
     }
 }
 

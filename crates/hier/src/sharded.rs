@@ -51,7 +51,9 @@ use crate::stats::HierStats;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::sink::check_tuple_lengths;
-use hyperstream_graphblas::{validate_index, GrbResult, Index, Matrix, ScalarType, StreamingSink};
+use hyperstream_graphblas::{
+    validate_index, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
+};
 use parking_lot::Mutex;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -140,6 +142,42 @@ enum WorkerMsg<T> {
     Flush,
     /// Acknowledge once every prior message has been applied.
     Barrier(SyncSender<BarrierAck>),
+    /// Answer a read query from the owned shard — the query push-down.
+    /// Rides the same FIFO channel as `Apply`, so by the time the worker
+    /// answers it has applied every previously queued batch (the drain
+    /// barrier and the query are one message).
+    Query(ReaderQuery, SyncSender<ReaderReply<T>>),
+}
+
+/// A read query pushed down to a shard worker.  Row-targeted queries go to
+/// the single owning shard; whole-matrix queries fan out to every worker,
+/// which answer *in parallel* from their own hierarchies via the merged
+/// level cursors — no materialised matrix is built or shipped anywhere.
+enum ReaderQuery {
+    /// Point get `A(row, col)`.
+    Get(Index, Index),
+    /// Extract one merged row.
+    Row(Index),
+    /// Distinct columns in one row.
+    RowDegree(Index),
+    /// Reduce one row under `+`.
+    RowReduce(Index),
+    /// The shard's local top-`k` rows by degree.
+    TopK(usize),
+    /// Distinct cells stored in the shard.
+    Nnz,
+    /// The shard's sorted entry list.
+    Entries,
+}
+
+/// A worker's answer to a [`ReaderQuery`] (disjoint-row partials the
+/// producer concatenates or k-way merges).
+enum ReaderReply<T> {
+    Value(Option<T>),
+    Row(Vec<(Index, T)>),
+    Count(usize),
+    TopK(Vec<(Index, usize)>),
+    Entries(Vec<(Index, Index, T)>),
 }
 
 /// A worker's answer to a drain barrier.
@@ -197,6 +235,27 @@ fn worker_loop<T: ScalarType>(
                     result: std::mem::replace(&mut error, Ok(())),
                 });
             }
+            WorkerMsg::Query(query, reply) => {
+                let mut shard = shard.lock();
+                let answer = match query {
+                    ReaderQuery::Get(r, c) => ReaderReply::Value(shard.read_get(r, c)),
+                    ReaderQuery::Row(r) => {
+                        let mut out = Vec::new();
+                        shard.read_row(r, &mut out);
+                        ReaderReply::Row(out)
+                    }
+                    ReaderQuery::RowDegree(r) => ReaderReply::Count(shard.read_row_degree(r)),
+                    ReaderQuery::RowReduce(r) => ReaderReply::Value(shard.read_row_reduce(r)),
+                    ReaderQuery::TopK(k) => ReaderReply::TopK(shard.read_top_k(k)),
+                    ReaderQuery::Nnz => ReaderReply::Count(shard.read_nnz()),
+                    ReaderQuery::Entries => {
+                        let mut out = Vec::new();
+                        shard.read_entries(&mut |r, c, v| out.push((r, c, v)));
+                        ReaderReply::Entries(out)
+                    }
+                };
+                let _ = reply.send(answer);
+            }
         }
     }
 }
@@ -226,6 +285,10 @@ pub struct ShardedHierMatrix<T> {
     since_round: usize,
     rounds: u64,
     chunks_sent: u64,
+    /// Read queries answered by the worker pool (never through a
+    /// materialised matrix) — the counter the no-materialisation tests
+    /// assert against.
+    pushdown_queries: u64,
 }
 
 impl<T: ScalarType> ShardedHierMatrix<T> {
@@ -276,6 +339,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             since_round: 0,
             rounds: 0,
             chunks_sent: 0,
+            pushdown_queries: 0,
         })
     }
 
@@ -328,6 +392,14 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// Tuple batches handed to workers so far.
     pub fn chunks_sent(&self) -> u64 {
         self.chunks_sent
+    }
+
+    /// Read queries answered through the worker pool so far.  The
+    /// no-materialisation tests pair this with
+    /// [`HierStats::materializations`] staying zero: every pushed-down
+    /// query is served from shard-local level cursors.
+    pub fn pushdown_queries(&self) -> u64 {
+        self.pushdown_queries
     }
 
     /// The OS thread ids of the worker pool, obtained through a drain
@@ -448,6 +520,47 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         }
     }
 
+    /// Push one read query down to `shard`'s worker: drain that shard's
+    /// staging into its channel, enqueue the query (FIFO ⇒ it acts as its
+    /// own drain barrier) and wait for the answer.  Only the owning shard
+    /// does any work; the other workers keep ingesting.
+    fn query_shard(&mut self, shard: usize, query: ReaderQuery) -> ReaderReply<T> {
+        self.dispatch_shard(shard);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.workers[shard]
+            .tx
+            .send(WorkerMsg::Query(query, reply_tx))
+            .expect("shard worker exited");
+        self.pushdown_queries += 1;
+        reply_rx.recv().expect("shard worker exited")
+    }
+
+    /// Push one read query down to *every* worker and collect the partial
+    /// answers (arrival order).  All shards compute concurrently; because
+    /// shards own disjoint row sets the producer only concatenates or
+    /// k-way merges the partials — no materialised matrices travel through
+    /// the channels.
+    fn query_all(&mut self, mk: impl Fn() -> ReaderQuery) -> Vec<ReaderReply<T>> {
+        self.dispatch_all();
+        let (reply_tx, reply_rx) = sync_channel(self.workers.len());
+        for w in &self.workers {
+            w.tx.send(WorkerMsg::Query(mk(), reply_tx.clone()))
+                .expect("shard worker exited");
+        }
+        drop(reply_tx);
+        self.pushdown_queries += 1;
+        (0..self.workers.len())
+            .map(|_| reply_rx.recv().expect("shard worker exited"))
+            .collect()
+    }
+
+    /// The shard owning `row` under the configured partitioner.
+    fn owner(&self, row: Index) -> usize {
+        self.config
+            .partitioner
+            .shard(row, self.nrows, self.shards.len())
+    }
+
     /// Block until `shard`'s worker has applied everything queued so far,
     /// surfacing any worker error (unreachable today — tuples validate
     /// before staging — but never swallowed).
@@ -514,37 +627,28 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
 
     /// `Σ_shards Σ_levels` of the shards' contents.  Callers must have
     /// drained the workers; tuples still staged producer-side are folded
-    /// in by the caller where required.
+    /// in by the caller where required.  This is the *snapshot* path — it
+    /// counts one materialisation per shard, which is how the tests verify
+    /// that the query push-down never comes through here.
     fn shard_sum(&self) -> Matrix<T> {
         let mut acc = Matrix::new(self.nrows, self.ncols);
         for shard in &self.shards {
-            let level_sum = shard.lock().materialize_ref();
+            let level_sum = shard.lock().materialize();
             ewise_add_into(&mut acc, &level_sum, Plus).expect("shards share dimensions");
         }
         acc
     }
 
     /// Value of the represented matrix at `(row, col)` — answered by the
-    /// single shard that owns the row (drained first), plus any tuples
-    /// still staged producer-side.
-    pub fn get(&self, row: Index, col: Index) -> Option<T> {
-        let shard = self
-            .config
-            .partitioner
-            .shard(row, self.nrows, self.shards.len());
-        self.barrier_shard(shard)
-            .expect("shard worker reported an error");
-        let mut acc = self.shards[shard].lock().get(row, col);
-        let (r, c, v) = self.staging.shard_slices(shard);
-        for i in 0..r.len() {
-            if r[i] == row && c[i] == col {
-                acc = Some(match acc {
-                    Some(a) => a.add(v[i]),
-                    None => v[i],
-                });
-            }
+    /// single shard that owns the row.  The row partitioner routes the
+    /// query: only that shard's staging is dispatched and only its worker
+    /// does any work (no producer-side locks, no scan of other shards).
+    pub fn get(&mut self, row: Index, col: Index) -> Option<T> {
+        let shard = self.owner(row);
+        match self.query_shard(shard, ReaderQuery::Get(row, col)) {
+            ReaderReply::Value(v) => v,
+            _ => unreachable!("worker answered Get with a non-Value reply"),
         }
-        acc
     }
 
     /// Sum of all weight currently represented — staged, in flight, or
@@ -607,6 +711,123 @@ impl<T: ScalarType> StreamingSink<T> for ShardedHierMatrix<T> {
 
     fn total_weight(&self) -> f64 {
         self.total_weight_f64()
+    }
+}
+
+/// Merge per-shard sorted entry lists into one row-major stream.  Shards
+/// own disjoint row sets, so all entries of a row sit contiguously in one
+/// list: after picking the list with the smallest head row the whole run
+/// of that row is emitted before re-scanning heads.
+fn merge_disjoint_entries<T: ScalarType>(
+    parts: Vec<Vec<(Index, Index, T)>>,
+    f: &mut dyn FnMut(Index, Index, T),
+) {
+    let mut pos = vec![0usize; parts.len()];
+    loop {
+        let mut best: Option<(usize, Index)> = None;
+        for (i, p) in parts.iter().enumerate() {
+            if let Some(&(r, _, _)) = p.get(pos[i]) {
+                if best.map_or(true, |(_, br)| r < br) {
+                    best = Some((i, r));
+                }
+            }
+        }
+        let Some((i, row)) = best else { break };
+        while let Some(&(r, c, v)) = parts[i].get(pos[i]) {
+            if r != row {
+                break;
+            }
+            f(r, c, v);
+            pos[i] += 1;
+        }
+    }
+}
+
+/// The read path pushed down the drain-barrier protocol: row-targeted
+/// queries go to the one owning worker; whole-matrix queries fan out and
+/// every worker answers *in parallel* from its own shard's merged level
+/// cursors.  The producer only sums counts, k-way merges disjoint-row
+/// entry runs, or re-ranks partial top-k lists — it never receives (or
+/// builds) a materialised matrix.
+impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
+    fn reader_name(&self) -> &str {
+        "sharded-hier-graphblas"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        // Shards own disjoint rows: distinct cells simply add up.
+        self.query_all(|| ReaderQuery::Nnz)
+            .into_iter()
+            .map(|reply| match reply {
+                ReaderReply::Count(n) => n,
+                _ => unreachable!("worker answered Nnz with a non-Count reply"),
+            })
+            .sum()
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
+        ShardedHierMatrix::get(self, row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+        let shard = self.owner(row);
+        match self.query_shard(shard, ReaderQuery::Row(row)) {
+            ReaderReply::Row(r) => {
+                out.clear();
+                out.extend(r);
+            }
+            _ => unreachable!("worker answered Row with a non-Row reply"),
+        }
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        let shard = self.owner(row);
+        match self.query_shard(shard, ReaderQuery::RowDegree(row)) {
+            ReaderReply::Count(n) => n,
+            _ => unreachable!("worker answered RowDegree with a non-Count reply"),
+        }
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
+        let shard = self.owner(row);
+        match self.query_shard(shard, ReaderQuery::RowReduce(row)) {
+            ReaderReply::Value(v) => v,
+            _ => unreachable!("worker answered RowReduce with a non-Value reply"),
+        }
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Every worker returns its local top-k; rows are disjoint, so the
+        // global top-k is the top-k of the concatenated partials.
+        let mut all: Vec<(Index, usize)> = Vec::new();
+        for reply in self.query_all(|| ReaderQuery::TopK(k)) {
+            match reply {
+                ReaderReply::TopK(part) => all.extend(part),
+                _ => unreachable!("worker answered TopK with a non-TopK reply"),
+            }
+        }
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+        let parts: Vec<Vec<(Index, Index, T)>> = self
+            .query_all(|| ReaderQuery::Entries)
+            .into_iter()
+            .map(|reply| match reply {
+                ReaderReply::Entries(e) => e,
+                _ => unreachable!("worker answered Entries with a non-Entries reply"),
+            })
+            .collect();
+        merge_disjoint_entries(parts, f);
     }
 }
 
@@ -814,6 +1035,78 @@ mod tests {
             );
         }
         assert!(engine.rounds() >= 5);
+    }
+
+    #[test]
+    fn reader_pushdown_matches_flat_reference() {
+        for shards in [1usize, 3] {
+            let mut engine = tiny_engine(shards, ShardPartitioner::RowHash);
+            let mut flat = Matrix::<u64>::new(DIM, DIM);
+            for &(r, c, v) in &stream(2500) {
+                engine.update(r, c, v).unwrap();
+                flat.accum_element(r, c, v).unwrap();
+            }
+            flat.wait();
+            // Mid-ingest (staged + in-flight tuples): every reader answer
+            // must equal the flat reference.
+            assert_eq!(engine.read_nnz(), flat.nvals(), "{shards} shards");
+            let d = flat.dcsr();
+            let probe_row = d.row_ids()[0];
+            let (cols, vals) = d.row(probe_row).unwrap();
+            let expect_row: Vec<(u64, u64)> =
+                cols.iter().copied().zip(vals.iter().copied()).collect();
+            let mut got_row = Vec::new();
+            engine.read_row(probe_row, &mut got_row);
+            assert_eq!(got_row, expect_row);
+            assert_eq!(engine.read_row_degree(probe_row), expect_row.len());
+            assert_eq!(
+                engine.read_row_reduce(probe_row),
+                Some(expect_row.iter().map(|&(_, v)| v).sum())
+            );
+            assert_eq!(
+                engine.read_get(probe_row, expect_row[0].0),
+                Some(expect_row[0].1)
+            );
+            assert_eq!(engine.read_get(DIM - 1, DIM - 1), None);
+            // Entries stream row-major sorted and identical to flat.
+            let mut got = Vec::new();
+            engine.read_entries(&mut |r, c, v| got.push((r, c, v)));
+            let expect: Vec<_> = flat.iter_settled().collect();
+            assert_eq!(got, expect);
+            // Top-k equals the reference ranking (degree desc, row asc).
+            let mut ranking: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+                .map(|k| (d.row_ids()[k], d.row_slot(k).0.len()))
+                .collect();
+            ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranking.truncate(7);
+            assert_eq!(engine.read_top_k(7), ranking);
+        }
+    }
+
+    #[test]
+    fn reader_pushdown_never_materializes() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        for &(r, c, v) in &stream(2000) {
+            engine.update(r, c, v).unwrap();
+        }
+        let before = engine.pushdown_queries();
+        let _ = engine.read_nnz();
+        let _ = engine.read_top_k(5);
+        let mut row = Vec::new();
+        engine.read_row(797_003, &mut row);
+        let _ = engine.read_get(797_003, 1);
+        let _ = engine.read_row_degree(797_003);
+        let mut n = 0usize;
+        engine.read_entries(&mut |_, _, _| n += 1);
+        assert!(n > 0);
+        assert!(engine.pushdown_queries() >= before + 6);
+        // The whole query battery ran through the worker pool's cursors:
+        // no shard ever materialised `Σ levels`.
+        assert_eq!(engine.aggregate_stats().materializations, 0);
+        // The snapshot path, by contrast, is counted — proving the counter
+        // would have caught a materialising query path.
+        let _ = engine.materialize().unwrap();
+        assert_eq!(engine.aggregate_stats().materializations, 3);
     }
 
     #[test]

@@ -11,9 +11,13 @@
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
+use hyperstream_graphblas::cursor::{
+    for_each_merged, merge_levels, merged_nnz, merged_point, merged_row_degree, merged_row_into,
+    merged_row_reduce, merged_top_k,
+};
+use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::ops::ewise_add::ewise_add;
-use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType, StreamingSink};
+use hyperstream_graphblas::{GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink};
 use std::collections::VecDeque;
 
 /// A rotating sequence of hierarchical matrices, one per time window.
@@ -110,13 +114,30 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
         self.current.materialize_ref()
     }
 
+    /// The hierarchies covering the last `k` closed windows plus the
+    /// current one (current first).
+    fn recent_windows(&self, k: usize) -> Vec<&HierMatrix<T>> {
+        let mut ws = vec![&self.current];
+        for i in 0..k.min(self.closed.len()) {
+            ws.push(&self.closed[self.closed.len() - 1 - i]);
+        }
+        ws
+    }
+
     /// Materialise the sum of the last `k` closed windows plus the current
     /// one — the "recent traffic" view used for background models.
+    ///
+    /// All the involved windows' levels merge through the k-way cursor
+    /// kernel in one pass (previously: one full `ewise_add` rebuild per
+    /// window).
     pub fn recent(&self, k: usize) -> Matrix<T> {
-        let mut acc = self.current.materialize_ref();
-        for i in 0..k.min(self.closed.len()) {
-            let idx = self.closed.len() - 1 - i;
-            acc = ewise_add(&acc, &self.closed[idx].materialize_ref(), Plus);
+        let ws = self.recent_windows(k);
+        let dcsrs: Vec<&Dcsr<T>> = ws.iter().flat_map(|w| w.level_dcsrs()).collect();
+        let merged =
+            merge_levels(self.nrows, self.ncols, &dcsrs, Plus).expect("windows share dimensions");
+        let mut acc = Matrix::from_dcsr(merged);
+        for w in &ws {
+            w.fold_pending_into(&mut acc);
         }
         acc
     }
@@ -174,6 +195,70 @@ impl<T: ScalarType> StreamingSink<T> for WindowedHierMatrix<T> {
 
     fn total_weight(&self) -> f64 {
         self.total_weight_f64()
+    }
+}
+
+/// The windowed read path: queries cover the *retained* windows plus the
+/// current one (evicted windows are gone by design, matching the sink's
+/// totals), merged through one set of cursors over every window's levels.
+impl<T: ScalarType> MatrixReader<T> for WindowedHierMatrix<T> {
+    fn reader_name(&self) -> &str {
+        "hier-graphblas-windowed"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_nnz(&dcsrs)
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_point(&dcsrs, row, col, Plus)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_into(&dcsrs, row, Plus, out);
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_degree(&dcsrs, row)
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_reduce(&dcsrs, row, Plus)
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_top_k(&dcsrs, k)
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.retained_settled_dcsrs();
+        for_each_merged(&dcsrs, Plus, f);
+    }
+}
+
+impl<T: ScalarType> WindowedHierMatrix<T> {
+    /// Settle every retained window's levels and return all their DCSRs
+    /// for one merged cursor sweep.
+    fn retained_settled_dcsrs(&mut self) -> Vec<&Dcsr<T>> {
+        for w in &mut self.closed {
+            w.settle_levels();
+        }
+        self.current.settle_levels();
+        self.closed
+            .iter()
+            .flat_map(|w| w.level_dcsrs())
+            .chain(self.current.level_dcsrs())
+            .collect()
     }
 }
 
@@ -272,6 +357,30 @@ mod tests {
         // 4 closed windows (2 evicted) + current: 2 * 10 + 10 remain.
         assert_eq!(w.total_weight_f64(), 30.0);
         assert_eq!(w.materialize_retained().nvals(), 30);
+    }
+
+    #[test]
+    fn reader_covers_retained_windows() {
+        let mut w = windowed(10, 2);
+        for i in 0..50u64 {
+            w.update(i % 4, 7, 1).unwrap();
+        }
+        // 4 closed (2 evicted) + current: reader answers must equal the
+        // materialised retained union.
+        let snap = w.materialize_retained();
+        assert_eq!(w.read_nnz(), snap.nvals());
+        assert_eq!(w.read_get(0, 7), snap.get(0, 7));
+        let mut row = Vec::new();
+        w.read_row(2, &mut row);
+        let (cols, vals) = snap.dcsr().row(2).unwrap();
+        let expect: Vec<(u64, u64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+        assert_eq!(row, expect);
+        assert_eq!(w.read_row_degree(2), 1);
+        assert_eq!(w.read_row_reduce(2), snap.get(2, 7));
+        assert_eq!(w.read_top_k(1).len(), 1);
+        let mut total = 0u64;
+        w.read_entries(&mut |_, _, v| total += v);
+        assert_eq!(total as f64, w.total_weight_f64());
     }
 
     #[test]

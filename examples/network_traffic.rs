@@ -51,9 +51,10 @@ fn main() {
         "cumulative supernode volume must be non-decreasing"
     );
 
-    // Background model: out-degree distribution and its power-law exponent.
-    let snapshot = traffic.materialize();
-    let dist = degree_distribution(&snapshot);
+    // Background model: out-degree distribution and its power-law exponent,
+    // computed straight off the hierarchy's merged level cursors — no
+    // materialised snapshot, streaming could continue concurrently.
+    let dist = degree_distribution(&mut traffic);
     println!("\n== background model ==");
     println!(
         "distinct sources: {},  max out-degree: {}",
@@ -65,8 +66,9 @@ fn main() {
     }
 
     // Scanner detection: sources touching many distinct destinations but with
-    // low per-destination volume -> high out-degree, low max entry.
-    let degrees = row_degree(&snapshot);
+    // low per-destination volume -> high out-degree, low max entry.  Also
+    // materialisation-free via the MatrixReader cursor layer.
+    let degrees = row_degree(&mut traffic);
     let scanners = degrees.top_k(5);
     println!("\n== top fan-out sources (scanner candidates) ==");
     for (addr, fanout) in &scanners {
@@ -77,7 +79,9 @@ fn main() {
         );
     }
 
-    // Heavy-flow extraction: flows with at least 16 packets.
+    // Heavy-flow extraction: flows with at least 16 packets (a whole-matrix
+    // transform, so this one still materialises a snapshot).
+    let snapshot = traffic.materialize();
     let heavy = select(&snapshot, SelectOp::ValueGe(16));
     println!("\nflows with >= 16 packets: {}", heavy.nvals());
 

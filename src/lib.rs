@@ -78,7 +78,8 @@ pub mod prelude {
     };
 
     pub use hyperstream_cluster::{
-        build_fig2, drive_sink, make_sink, measure_scaling, measure_system, ClusterSpec,
-        ExtrapolationModel, Fig2Options, NodeSpec, SystemKind,
+        build_fig2, drive_mixed, drive_sink, make_sink, make_system, measure_mixed,
+        measure_scaling, measure_system, ClusterSpec, ExtrapolationModel, Fig2Options, MixedRate,
+        NodeSpec, SystemKind,
     };
 }

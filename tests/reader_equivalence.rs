@@ -1,0 +1,195 @@
+#![recursion_limit = "256"] // the proptest macro expansion is token-heavy
+
+//! Property-based tests (proptest) of the `MatrixReader` cursor layer:
+//! for random update streams, cut schedules, shard counts and mid-stream
+//! flushes/queries, every reader answer (get / row / degree / reduce /
+//! top-k / nnz / sorted entries) from *every* sink system must be
+//! byte-identical to the answer computed from the materialised flat
+//! matrix.  This is the read-side mirror of the write-side equivalence
+//! suites: the cascade schedule, the sharding, the string keys and the
+//! storage engines may only change the *cost* of a query, never its value.
+
+use hyperstream::prelude::*;
+use proptest::prelude::*;
+
+const DIM: u64 = 1 << 32;
+
+/// A stream of updates drawn from a small id pool (to force duplicates and
+/// row collisions across hierarchy levels) scattered over the hypersparse
+/// index space.
+fn update_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..60, 0u64..60, 1u64..5), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(r, c, w)| ((r * 20_000_019) % DIM, (c * 40_000_003) % DIM, w))
+            .collect()
+    })
+}
+
+/// An arbitrary valid cut schedule (strictly increasing, non-zero).
+fn cut_schedule() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..64, 1usize..4).prop_map(|deltas| {
+        let mut acc = 0u64;
+        deltas
+            .into_iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn build_flat(updates: &[(u64, u64, u64)]) -> Matrix<u64> {
+    let mut m = Matrix::<u64>::new(DIM, DIM);
+    for &(r, c, v) in updates {
+        m.accum_element(r, c, v).unwrap();
+    }
+    m.wait();
+    m
+}
+
+/// Reference top-k (degree descending, row ascending) from the flat matrix.
+fn reference_top_k(flat: &Matrix<u64>, k: usize) -> Vec<(u64, usize)> {
+    let d = flat.dcsr();
+    let mut degs: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+        .map(|slot| (d.row_ids()[slot], d.row_slot(slot).0.len()))
+        .collect();
+    degs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    degs.truncate(k);
+    degs
+}
+
+/// Every system under test, constructed with the randomised knobs.
+fn all_systems(cuts: &[u64], shards: usize, chunk: usize) -> Vec<Box<dyn StreamingSystem<u64>>> {
+    let hier_cfg = HierConfig::from_cuts(cuts.to_vec()).unwrap();
+    vec![
+        Box::new(Matrix::<u64>::new(DIM, DIM)),
+        Box::new(HierMatrix::<u64>::new(DIM, DIM, hier_cfg.clone()).unwrap()),
+        // A window large enough never to rotate: retained content equals
+        // the full stream, so the windowed reader is comparable too.
+        Box::new(WindowedHierMatrix::<u64>::new(DIM, DIM, hier_cfg.clone(), u64::MAX, 4).unwrap()),
+        Box::new(
+            ShardedHierMatrix::<u64>::new(
+                DIM,
+                DIM,
+                hier_cfg,
+                ShardedConfig {
+                    shards,
+                    partitioner: ShardPartitioner::RowHash,
+                    chunk_tuples: chunk,
+                    channel_depth: 2,
+                    round_tuples: 128,
+                },
+            )
+            .unwrap(),
+        ),
+        Box::new(HierAssoc::new(
+            HierAssocConfig::from_cuts(cuts.to_vec()).unwrap(),
+        )),
+        Box::new(TabletStore::with_memtable_limit(32)),
+        Box::new(ArrayStore::with_chunk_dim(1 << 24)),
+        Box::new(RowStore::new()),
+        Box::new(DocStore::with_shards(3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_reader_matches_the_materialized_matrix(
+        updates in update_stream(250),
+        cuts in cut_schedule(),
+        shards in 1usize..=8,
+        chunk in 1usize..64,
+        flush_at in 0usize..250,
+        k in 0usize..10,
+    ) {
+        let flat = build_flat(&updates);
+        let expect_entries = flat.extract_tuples();
+        let expect_top = reference_top_k(&flat, k);
+        // Probe rows/cells: a present row, a row absent from the stream.
+        let probe_row = updates[0].0;
+        let absent_row = (61 * 20_000_019) % DIM;
+        let (probe_cols, probe_vals) = flat.dcsr().row(probe_row).unwrap();
+        let expect_row: Vec<(u64, u64)> = probe_cols
+            .iter()
+            .copied()
+            .zip(probe_vals.iter().copied())
+            .collect();
+        let expect_reduce: u64 = expect_row.iter().map(|&(_, v)| v).sum();
+
+        for sys in all_systems(&cuts, shards, chunk).iter_mut() {
+            let name = sys.reader_name().to_string();
+            for (i, &(r, c, v)) in updates.iter().enumerate() {
+                sys.insert(r, c, v).unwrap();
+                if i == flush_at {
+                    // Mid-stream analytics + flush must not disturb the
+                    // represented matrix.
+                    let _ = sys.read_row_degree(r);
+                    sys.flush().unwrap();
+                }
+            }
+            // No trailing flush: readers must answer over pending /
+            // staged / in-flight state.
+            prop_assert_eq!(sys.read_nnz(), flat.nvals(), "nnz of {}", &name);
+            let mut row = Vec::new();
+            sys.read_row(probe_row, &mut row);
+            prop_assert_eq!(&row, &expect_row, "row extract of {}", &name);
+            prop_assert_eq!(
+                sys.read_row_degree(probe_row),
+                expect_row.len(),
+                "degree of {}",
+                &name
+            );
+            prop_assert_eq!(
+                sys.read_row_reduce(probe_row),
+                Some(expect_reduce),
+                "row reduce of {}",
+                &name
+            );
+            sys.read_row(absent_row, &mut row);
+            prop_assert!(row.is_empty(), "absent row of {}", &name);
+            prop_assert_eq!(sys.read_row_degree(absent_row), 0, "absent degree of {}", &name);
+            prop_assert_eq!(sys.read_row_reduce(absent_row), None, "absent reduce of {}", &name);
+            let (pc, pv) = (expect_row[0].0, expect_row[0].1);
+            prop_assert_eq!(sys.read_get(probe_row, pc), Some(pv), "get of {}", &name);
+            prop_assert_eq!(sys.read_get(absent_row, 0), None, "absent get of {}", &name);
+            prop_assert_eq!(&sys.read_top_k(k), &expect_top, "top-k of {}", &name);
+            let mut entries = (Vec::new(), Vec::new(), Vec::new());
+            sys.read_entries(&mut |r, c, v| {
+                entries.0.push(r);
+                entries.1.push(c);
+                entries.2.push(v);
+            });
+            prop_assert_eq!(&entries, &expect_entries, "entries of {}", &name);
+        }
+    }
+}
+
+/// The graph algorithms run over any reader: spot-check that degree
+/// analytics computed straight off a hierarchical matrix (no snapshot)
+/// equal those computed from the materialised flat matrix.
+#[test]
+fn algorithms_over_readers_match_flat() {
+    use hyperstream::graphblas::algo::degree::{degree_distribution, row_degree};
+
+    let mut hier =
+        HierMatrix::<u64>::new(DIM, DIM, HierConfig::from_cuts(vec![8, 64]).unwrap()).unwrap();
+    let mut flat = Matrix::<u64>::new(DIM, DIM);
+    for i in 0..3000u64 {
+        let (r, c) = ((i % 41) * 1_000_003, (i * 7) % 97);
+        hier.update(r, c, 1).unwrap();
+        flat.accum_element(r, c, 1).unwrap();
+    }
+    let hier_deg = row_degree(&mut hier);
+    let flat_deg = row_degree(&mut flat);
+    assert_eq!(hier_deg.nvals(), flat_deg.nvals());
+    for (i, d) in hier_deg.iter() {
+        assert_eq!(flat_deg.get(i), Some(d));
+    }
+    assert_eq!(
+        degree_distribution(&mut hier).counts,
+        degree_distribution(&mut flat).counts
+    );
+}
