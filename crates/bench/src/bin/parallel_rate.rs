@@ -27,7 +27,7 @@
 //! CI smoke runs 2), `--batches N` (override the stream length), `--weak`,
 //! `--zipf`.
 
-use hyperstream_bench::{arg_value, bench_meta, fmt_rate, quick_mode, timed_drive};
+use hyperstream_bench::{arg_value, bench_meta, fmt_rate, quick_mode, timed_drive, TrialRates};
 use hyperstream_hier::{HierConfig, ShardedConfig, ShardedHierMatrix};
 use hyperstream_workload::{
     edges_to_tuples_into, shard_streams, Edge, PowerLawConfig, PowerLawGenerator, StreamConfig,
@@ -85,6 +85,7 @@ struct ShardRate {
     shards: usize,
     updates: u64,
     seconds: f64,
+    trials: TrialRates,
 }
 
 impl ShardRate {
@@ -101,9 +102,11 @@ impl ShardRate {
 fn measure_strong(shards: usize, batches: &[Vec<Edge>], runs: usize) -> ShardRate {
     let mut best_seconds = f64::INFINITY;
     let mut updates = 0;
+    let mut trials = TrialRates::default();
     for _ in 0..runs.max(1) {
         let mut engine = sweep_engine(shards);
         let (u, seconds) = timed_drive(&mut engine, batches);
+        trials.push(u as f64 / seconds);
         updates = u;
         best_seconds = best_seconds.min(seconds);
     }
@@ -111,6 +114,7 @@ fn measure_strong(shards: usize, batches: &[Vec<Edge>], runs: usize) -> ShardRat
         shards,
         updates,
         seconds: best_seconds,
+        trials,
     }
 }
 
@@ -121,6 +125,7 @@ fn measure_weak(shards: usize, batches: usize, seed: u64, runs: usize) -> ShardR
     let streams = shard_streams(shards, batches, BATCH_SIZE, DIM, seed);
     let mut best_seconds = f64::INFINITY;
     let mut updates = 0u64;
+    let mut trials = TrialRates::default();
     for _ in 0..runs.max(1) {
         let mut engine = sweep_engine(shards);
         let start = std::time::Instant::now();
@@ -136,12 +141,14 @@ fn measure_weak(shards: usize, batches: usize, seed: u64, runs: usize) -> ShardR
         engine.flush().expect("flush completes");
         let seconds = start.elapsed().as_secs_f64().max(1e-9);
         updates = (shards * batches * BATCH_SIZE) as u64;
+        trials.push(updates as f64 / seconds);
         best_seconds = best_seconds.min(seconds);
     }
     ShardRate {
         shards,
         updates,
         seconds: best_seconds,
+        trials,
     }
 }
 
@@ -219,12 +226,14 @@ fn write_json(
     for (i, r) in rates.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"shards\": {}, \"updates\": {}, \"seconds\": {:.6}, \"aggregate_rate\": {:.1}, \"speedup_vs_1\": {:.3}}}",
+            "    {{\"shards\": {}, \"updates\": {}, \"seconds\": {:.6}, \"aggregate_rate\": {:.1}, \"speedup_vs_1\": {:.3}, \"best_of\": {}, {}}}",
             r.shards,
             r.updates,
             r.seconds,
             r.aggregate_rate(),
             r.aggregate_rate() / base_rate,
+            r.trials.best_of(),
+            r.trials.json_fields("aggregate_rates"),
         );
         out.push_str(if i + 1 < rates.len() { ",\n" } else { "\n" });
     }

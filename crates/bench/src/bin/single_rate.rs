@@ -12,7 +12,7 @@
 //! inserts/sec per hierarchy depth) so successive commits can be compared
 //! automatically.  Run with `--quick` for a reduced batch count.
 
-use hyperstream_bench::{bench_meta, fmt_rate, paper_batches, quick_mode, timed_drive};
+use hyperstream_bench::{bench_meta, fmt_rate, paper_batches, quick_mode, timed_drive, TrialRates};
 use hyperstream_cluster::{measure_system, SystemKind};
 use hyperstream_hier::{HierConfig, HierMatrix};
 use hyperstream_workload::Edge;
@@ -25,9 +25,10 @@ struct DepthRate {
     cuts: Vec<u64>,
     updates: u64,
     seconds: f64,
+    trials: TrialRates,
 }
 
-fn measure_depth(levels: usize, batches: &[Vec<Edge>]) -> DepthRate {
+fn measure_depth(levels: usize, batches: &[Vec<Edge>], runs: usize) -> DepthRate {
     let cfg = if levels <= 1 {
         // The flat baseline: a cut so large it never trips.  Reported as
         // depth 1 with no cuts — the sentinel cut is an implementation
@@ -41,13 +42,21 @@ fn measure_depth(levels: usize, batches: &[Vec<Edge>]) -> DepthRate {
     } else {
         cfg.cuts().to_vec()
     };
-    let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg).expect("valid dims");
-    let (updates, seconds) = timed_drive(&mut m, batches);
+    let mut trials = TrialRates::default();
+    let (mut updates, mut best_seconds) = (0u64, f64::INFINITY);
+    for _ in 0..runs.max(1) {
+        let mut m = HierMatrix::<u64>::new(DIM, DIM, cfg.clone()).expect("valid dims");
+        let (u, seconds) = timed_drive(&mut m, batches);
+        trials.push(u as f64 / seconds);
+        updates = u;
+        best_seconds = best_seconds.min(seconds);
+    }
     DepthRate {
         levels,
         cuts,
         updates,
-        seconds,
+        seconds: best_seconds,
+        trials,
     }
 }
 
@@ -64,7 +73,7 @@ fn json_label(s: &str) -> &str {
 fn write_json(
     path: &str,
     quick: bool,
-    systems: &[(SystemKind, u64, f64)],
+    systems: &[(SystemKind, u64, f64, TrialRates)],
     depths: &[DepthRate],
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
@@ -76,15 +85,17 @@ fn write_json(
     let _ = writeln!(out, "  \"dim\": {DIM},");
     out.push_str(&bench_meta().json_fields());
     out.push_str("  \"systems\": [\n");
-    for (i, (sys, updates, seconds)) in systems.iter().enumerate() {
+    for (i, (sys, updates, seconds, trials)) in systems.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"system\": \"{}\", \"label\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}}}",
+            "    {{\"system\": \"{}\", \"label\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"best_of\": {}, {}}}",
             json_label(&format!("{sys:?}")),
             json_label(sys.label()),
             updates,
             seconds,
             *updates as f64 / seconds,
+            trials.best_of(),
+            trials.json_fields("updates_per_sec"),
         );
         out.push_str(if i + 1 < systems.len() { ",\n" } else { "\n" });
     }
@@ -93,12 +104,14 @@ fn write_json(
     for (i, d) in depths.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"levels\": {}, \"cuts\": {:?}, \"updates\": {}, \"seconds\": {:.6}, \"inserts_per_sec\": {:.1}}}",
+            "    {{\"levels\": {}, \"cuts\": {:?}, \"updates\": {}, \"seconds\": {:.6}, \"inserts_per_sec\": {:.1}, \"best_of\": {}, {}}}",
             d.levels,
             d.cuts,
             d.updates,
             d.seconds,
             d.updates as f64 / d.seconds,
+            d.trials.best_of(),
+            d.trials.json_fields("inserts_per_sec"),
         );
         out.push_str(if i + 1 < depths.len() { ",\n" } else { "\n" });
     }
@@ -125,21 +138,34 @@ fn main() {
 
     let stream = paper_batches(batches, 2020);
     let mut hier_rate = 0.0;
-    let mut system_rows: Vec<(SystemKind, u64, f64)> = Vec::new();
+    let mut system_rows: Vec<(SystemKind, u64, f64, TrialRates)> = Vec::new();
     for &sys in SystemKind::all() {
-        // The slowest analogues get a shorter stream so the harness finishes
-        // in minutes; rates are still per-update and comparable.
-        let sys_stream: Vec<_> = match sys {
+        // The slowest analogues get a shorter stream (and a single trial)
+        // so the harness finishes in minutes; rates are still per-update
+        // and comparable.
+        let (sys_stream, runs): (Vec<_>, usize) = match sys {
             SystemKind::HierGraphBlas
             | SystemKind::ShardedHierGraphBlas
-            | SystemKind::FlatGraphBlas => stream.clone(),
-            _ => stream.iter().take(stream.len().min(5)).cloned().collect(),
+            | SystemKind::FlatGraphBlas => (stream.clone(), if quick { 1 } else { 2 }),
+            _ => (
+                stream.iter().take(stream.len().min(5)).cloned().collect(),
+                1,
+            ),
         };
-        let r = measure_system(sys, &sys_stream, DIM);
+        let mut trials = TrialRates::default();
+        let mut best = measure_system(sys, &sys_stream, DIM);
+        trials.push(best.updates_per_second());
+        for _ in 1..runs {
+            let r = measure_system(sys, &sys_stream, DIM);
+            trials.push(r.updates_per_second());
+            if r.seconds < best.seconds {
+                best = r;
+            }
+        }
+        let r = best;
         if sys == SystemKind::HierGraphBlas {
             hier_rate = r.updates_per_second();
         }
-        system_rows.push((sys, r.updates, r.seconds));
         println!(
             "{:<28} {:>14} {:>12.3} {:>16}",
             sys.label(),
@@ -147,6 +173,7 @@ fn main() {
             r.seconds,
             fmt_rate(r.updates_per_second())
         );
+        system_rows.push((sys, r.updates, r.seconds, trials));
     }
 
     println!();
@@ -163,7 +190,7 @@ fn main() {
     let depths: Vec<DepthRate> = [1usize, 2, 3, 4, 5]
         .iter()
         .map(|&levels| {
-            let d = measure_depth(levels, &depth_stream);
+            let d = measure_depth(levels, &depth_stream, if quick { 1 } else { 2 });
             let label = if d.cuts.is_empty() {
                 format!("{} level (flat, no cuts)", d.levels)
             } else {

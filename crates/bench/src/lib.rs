@@ -121,6 +121,61 @@ pub fn fmt_rate(rate: f64) -> String {
     format!("{rate:.3e}")
 }
 
+/// Per-trial rates of one best-of-N measurement, recorded verbatim in the
+/// benchmark artifacts: on a 1-core container whose host speed drifts
+/// ±30%, folding trials into a silent best-of hides the noise floor — the
+/// spread belongs in the JSON so artifact consumers can judge it.
+#[derive(Debug, Clone, Default)]
+pub struct TrialRates {
+    /// One measured rate per trial, in run order.
+    pub rates: Vec<f64>,
+}
+
+impl TrialRates {
+    /// Record one trial's rate.
+    pub fn push(&mut self, rate: f64) {
+        self.rates.push(rate);
+    }
+
+    /// The reported (best) rate: max across trials, 0 when none ran.
+    pub fn best(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of trials.
+    pub fn best_of(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Relative spread `(max - min) / max` — 0 for a single trial; the
+    /// per-artifact record of the host's drift during this measurement.
+    pub fn spread(&self) -> f64 {
+        let max = self.best();
+        if self.rates.len() < 2 || max <= 0.0 {
+            return 0.0;
+        }
+        let min = self.rates.iter().copied().fold(f64::INFINITY, f64::min);
+        (max - min) / max
+    }
+
+    /// The trial fields rendered as JSON object fields (no surrounding
+    /// braces or trailing comma), ready to splice into an artifact entry.
+    /// Key names derive from `name` so several metrics' trials can live in
+    /// one object without duplicate keys (the caller writes `best_of`
+    /// itself, once).
+    pub fn json_fields(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut rates = String::new();
+        for (i, r) in self.rates.iter().enumerate() {
+            let _ = write!(rates, "{}{:.1}", if i == 0 { "" } else { ", " }, r);
+        }
+        format!(
+            "\"trial_{name}\": [{rates}], \"trial_{name}_spread\": {:.4}",
+            self.spread()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +193,23 @@ mod tests {
     #[test]
     fn rate_formatting() {
         assert_eq!(fmt_rate(75e9), "7.500e10");
+    }
+
+    #[test]
+    fn trial_rates_best_and_spread() {
+        let mut t = TrialRates::default();
+        assert_eq!(t.best(), 0.0);
+        assert_eq!(t.spread(), 0.0);
+        t.push(100.0);
+        assert_eq!(t.spread(), 0.0);
+        t.push(80.0);
+        t.push(90.0);
+        assert_eq!(t.best(), 100.0);
+        assert_eq!(t.best_of(), 3);
+        assert!((t.spread() - 0.2).abs() < 1e-12);
+        let json = t.json_fields("insert_rates");
+        assert!(json.contains("\"trial_insert_rates\": [100.0, 80.0, 90.0]"));
+        assert!(json.contains("\"trial_insert_rates_spread\": 0.2000"));
+        assert!(!json.contains("\"best_of\""), "caller writes best_of once");
     }
 }

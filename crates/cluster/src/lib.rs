@@ -39,7 +39,7 @@ pub use extrapolate::ExtrapolationModel;
 pub use fig2::{build_fig2, Fig2Options, Fig2Point, Fig2Series};
 pub use measure::{
     drive_mixed, drive_sink, make_sink, make_system, measure_mixed, measure_system, MeasuredRate,
-    MixedRate, SystemKind, DEFAULT_SINK_SHARDS,
+    MixedRate, QueryMix, SystemKind, DEFAULT_SINK_SHARDS,
 };
 pub use node::{ClusterSpec, NodeSpec};
 pub use report::{render_csv, render_table};

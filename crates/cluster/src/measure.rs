@@ -165,11 +165,35 @@ pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> Me
     }
 }
 
+/// The query blend interleaved with ingest by the mixed harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMix {
+    /// Rotate row extract / row degree / point get / top-k — the balanced
+    /// analytics blend.
+    Rotating,
+    /// Degree-ranking heavy: three top-k scans per degree-distribution
+    /// query — the blend that used to be all full sweeps and now exercises
+    /// the incremental degree index.
+    TopKHeavy,
+}
+
+impl QueryMix {
+    /// Stable label used in reports and benchmark artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryMix::Rotating => "rotating",
+            QueryMix::TopKHeavy => "topk-heavy",
+        }
+    }
+}
+
 /// A measured mixed ingest + query workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixedRate {
     /// Which system was measured.
     pub system: SystemKind,
+    /// The query blend that was interleaved.
+    pub mix: QueryMix,
     /// Queries issued after each ingest batch.
     pub queries_per_batch: usize,
     /// Total updates applied.
@@ -201,15 +225,16 @@ impl MixedRate {
 }
 
 /// The one generic *mixed* loop: after every ingested batch, issue
-/// `queries_per_batch` queries rotating through row extract, row degree,
-/// point get and top-k — targets drawn from the batch just ingested, so
-/// queries hit live data (the analytics-while-ingest pattern of the
-/// paper's motivating applications).  Returns `(inserts, queries)`; query
-/// answers feed a black-boxed checksum so nothing is optimised away.
+/// `queries_per_batch` queries of the given [`QueryMix`] — targets drawn
+/// from the batch just ingested, so queries hit live data (the
+/// analytics-while-ingest pattern of the paper's motivating applications).
+/// Returns `(inserts, queries)`; query answers feed a black-boxed checksum
+/// so nothing is optimised away.
 pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
     sys: &mut S,
     batches: &[Vec<Edge>],
     queries_per_batch: usize,
+    mix: QueryMix,
 ) -> (u64, u64) {
     let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
     let mut row_buf: Vec<(u64, u64)> = Vec::new();
@@ -223,17 +248,29 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
         inserts += rows.len() as u64;
         for q in 0..queries_per_batch {
             let e = &batch[(q * 7919 + 13) % batch.len()];
-            match q % 4 {
-                0 => {
-                    sys.read_row(e.src, &mut row_buf);
-                    checksum ^= row_buf.len() as u64;
-                }
-                1 => checksum ^= sys.read_row_degree(e.src) as u64,
-                2 => checksum ^= sys.read_get(e.src, e.dst).unwrap_or(0),
-                _ => {
-                    let top = sys.read_top_k(8);
-                    checksum ^= top.first().map(|t| t.0).unwrap_or(0);
-                }
+            match mix {
+                QueryMix::Rotating => match q % 4 {
+                    0 => {
+                        sys.read_row(e.src, &mut row_buf);
+                        checksum ^= row_buf.len() as u64;
+                    }
+                    1 => checksum ^= sys.read_row_degree(e.src) as u64,
+                    2 => checksum ^= sys.read_get(e.src, e.dst).unwrap_or(0),
+                    _ => {
+                        let top = sys.read_top_k(8);
+                        checksum ^= top.first().map(|t| t.0).unwrap_or(0);
+                    }
+                },
+                QueryMix::TopKHeavy => match q % 4 {
+                    3 => {
+                        let hist = sys.read_degree_histogram();
+                        checksum ^= hist.keys().next_back().copied().unwrap_or(0);
+                    }
+                    _ => {
+                        let top = sys.read_top_k(8);
+                        checksum ^= top.first().map(|t| t.0).unwrap_or(0);
+                    }
+                },
             }
             queries += 1;
         }
@@ -244,19 +281,22 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
 }
 
 /// Stream `batches` into one instance of `system` with
-/// `queries_per_batch` interleaved queries and measure the mixed rates.
+/// `queries_per_batch` interleaved queries of `mix` and measure the mixed
+/// rates.
 pub fn measure_mixed(
     system: SystemKind,
     batches: &[Vec<Edge>],
     queries_per_batch: usize,
     dim: u64,
+    mix: QueryMix,
 ) -> MixedRate {
     let mut sys = make_system(system, dim);
     let start = Instant::now();
-    let (inserts, queries) = drive_mixed(sys.as_mut(), batches, queries_per_batch);
+    let (inserts, queries) = drive_mixed(sys.as_mut(), batches, queries_per_batch, mix);
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
     MixedRate {
         system,
+        mix,
         queries_per_batch,
         inserts,
         queries,
@@ -342,11 +382,17 @@ mod tests {
     #[test]
     fn all_systems_answer_mixed_workloads() {
         let batches = small_batches();
-        for &sys in SystemKind::all() {
-            let r = measure_mixed(sys, &batches, 3, 1 << 32);
-            assert_eq!(r.inserts, 8_000, "{sys:?}");
-            assert_eq!(r.queries, 12, "{sys:?}");
-            assert!(r.insert_rate() > 0.0 && r.query_rate() > 0.0, "{sys:?}");
+        for &mix in &[QueryMix::Rotating, QueryMix::TopKHeavy] {
+            for &sys in SystemKind::all() {
+                let r = measure_mixed(sys, &batches, 3, 1 << 32, mix);
+                assert_eq!(r.inserts, 8_000, "{sys:?} {mix:?}");
+                assert_eq!(r.queries, 12, "{sys:?} {mix:?}");
+                assert!(
+                    r.insert_rate() > 0.0 && r.query_rate() > 0.0,
+                    "{sys:?} {mix:?}"
+                );
+                assert_eq!(r.mix, mix);
+            }
         }
     }
 

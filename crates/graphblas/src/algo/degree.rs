@@ -102,17 +102,18 @@ impl DegreeDistribution {
 }
 
 /// Compute the out-degree distribution of a matrix's pattern.
+///
+/// Served through [`MatrixReader::read_degree_histogram`], so index-backed
+/// readers (the hierarchical systems) answer in O(distinct degrees) rather
+/// than sweeping every entry.
 pub fn degree_distribution<V, R>(a: &mut R) -> DegreeDistribution
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
 {
-    let degrees = row_degree(a);
-    let mut counts = BTreeMap::new();
-    for (_, d) in degrees.iter() {
-        *counts.entry(d).or_insert(0u64) += 1;
+    DegreeDistribution {
+        counts: a.read_degree_histogram(),
     }
-    DegreeDistribution { counts }
 }
 
 #[cfg(test)]

@@ -103,6 +103,17 @@ impl<'a, T: ScalarType> LevelCursors<'a, T> {
         }
     }
 
+    /// Open cursors positioned at the first row `>= lo` of each level — the
+    /// range-scan entry point.  Each level skips its leading rows with one
+    /// binary search instead of cursor steps.
+    pub fn new_at(levels: &[&'a Dcsr<T>], lo: Index) -> Self {
+        let mut c = Self::new(levels);
+        for (l, d) in c.levels.iter().enumerate() {
+            c.slot[l] = d.row_ids().partition_point(|&r| r < lo);
+        }
+        c
+    }
+
     /// Advance to the next non-empty row of the union and return its id;
     /// `None` when every level is exhausted.
     pub fn next_row(&mut self) -> Option<Index> {
@@ -439,10 +450,30 @@ pub fn merged_row_reduce<T: ScalarType, Op: BinaryOp<T>>(
 /// degree descending then row id ascending — the "top talkers by fan-out"
 /// query.  One cursor sweep with a size-`k` min-heap; no materialisation.
 pub fn merged_top_k<T: ScalarType>(levels: &[&Dcsr<T>], k: usize) -> Vec<(Index, usize)> {
+    merged_top_k_with(levels, k, &mut TopKScratch::default())
+}
+
+/// Reusable buffer for the top-k sweeps: the min-heap's backing vector
+/// survives between queries, so a query-heavy mixed workload performs one
+/// heap allocation total instead of one per top-k call.
+#[derive(Debug, Clone, Default)]
+pub struct TopKScratch {
+    buf: Vec<Reverse<(usize, Reverse<Index>)>>,
+}
+
+/// [`merged_top_k`] through a caller-held [`TopKScratch`].
+pub fn merged_top_k_with<T: ScalarType>(
+    levels: &[&Dcsr<T>],
+    k: usize,
+    scratch: &mut TopKScratch,
+) -> Vec<(Index, usize)> {
     if k == 0 {
         return Vec::new();
     }
-    let mut heap: BinaryHeap<Reverse<(usize, Reverse<Index>)>> = BinaryHeap::with_capacity(k + 1);
+    // Clear before heapifying: `from` on an empty Vec is free, while
+    // heapifying leftover elements would sift garbage for nothing.
+    scratch.buf.clear();
+    let mut heap = BinaryHeap::from(std::mem::take(&mut scratch.buf));
     let mut cur = LevelCursors::new(levels);
     while let Some(row) = cur.next_row() {
         let d = cur.row_degree();
@@ -451,12 +482,52 @@ pub fn merged_top_k<T: ScalarType>(levels: &[&Dcsr<T>], k: usize) -> Vec<(Index,
             heap.pop();
         }
     }
-    let mut out: Vec<(Index, usize)> = heap
-        .into_iter()
+    let mut buf = heap.into_vec();
+    let mut out: Vec<(Index, usize)> = buf
+        .drain(..)
         .map(|Reverse((d, Reverse(r)))| (r, d))
         .collect();
+    scratch.buf = buf;
     out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     out
+}
+
+/// The degree histogram of `Σ levels` (`degree -> number of rows`),
+/// counted through one cursor sweep — the fallback twin of the degree
+/// index's O(distinct degrees) answer.
+pub fn merged_degree_histogram<T: ScalarType>(
+    levels: &[&Dcsr<T>],
+) -> std::collections::BTreeMap<u64, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut cur = LevelCursors::new(levels);
+    while cur.next_row().is_some() {
+        *counts.entry(cur.row_degree() as u64).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+/// Sorted row-major iteration over the rows `lo..hi` (half-open) of
+/// `Σ levels` under `op` — the subnet-style range scan.  Each level's
+/// leading rows skip with one binary search; the sweep stops at the first
+/// merged row `>= hi`, so cost is proportional to the *range's* content,
+/// not the matrix's.
+pub fn merged_row_range<T: ScalarType, Op: BinaryOp<T>>(
+    levels: &[&Dcsr<T>],
+    lo: Index,
+    hi: Index,
+    op: Op,
+    f: &mut dyn FnMut(Index, Index, T),
+) {
+    if lo >= hi {
+        return;
+    }
+    let mut cur = LevelCursors::new_at(levels, lo);
+    while let Some(row) = cur.next_row() {
+        if row >= hi {
+            break;
+        }
+        cur.fold_row(op, &mut |c, v| f(row, c, v));
+    }
 }
 
 #[cfg(test)]
@@ -572,6 +643,46 @@ mod tests {
         assert_eq!(all.len(), 4);
         assert_eq!(all[3], (900_000_000, 1));
         assert!(merged_top_k(&levels, 0).is_empty());
+    }
+
+    #[test]
+    fn merged_row_range_skips_and_stops() {
+        let owned = sample_levels();
+        let levels: Vec<&Dcsr<u64>> = owned.iter().collect();
+        let reference = pairwise_reference(&levels);
+        for (lo, hi) in [
+            (0u64, u64::MAX),
+            (1, 6),
+            (5, 6),
+            (6, 900_000_001),
+            (2, 2),
+            (7, 3),
+            (1_000_000_000, u64::MAX),
+        ] {
+            let mut got = Vec::new();
+            merged_row_range(&levels, lo, hi, Plus, &mut |r, c, v| got.push((r, c, v)));
+            let expect: Vec<_> = reference
+                .iter()
+                .filter(|&(r, _, _)| r >= lo && r < hi)
+                .collect();
+            assert_eq!(got, expect, "range {lo}..{hi}");
+        }
+        let mut none = Vec::new();
+        merged_row_range::<u64, _>(&[], 0, 10, Plus, &mut |r, c, v| none.push((r, c, v)));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn merged_top_k_with_reuses_scratch() {
+        let owned = sample_levels();
+        let levels: Vec<&Dcsr<u64>> = owned.iter().collect();
+        let mut scratch = TopKScratch::default();
+        let first = merged_top_k_with(&levels, 3, &mut scratch);
+        assert_eq!(first, merged_top_k(&levels, 3));
+        // Second call (different k) through the same scratch stays correct.
+        let second = merged_top_k_with(&levels, 100, &mut scratch);
+        assert_eq!(second, merged_top_k(&levels, 100));
+        assert!(merged_top_k_with(&levels, 0, &mut scratch).is_empty());
     }
 
     #[test]

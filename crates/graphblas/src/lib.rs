@@ -55,26 +55,31 @@ pub mod ops;
 pub mod formats;
 
 pub mod cursor;
+pub mod degree_index;
 pub mod matrix;
 pub mod reader;
 pub mod sink;
+pub mod snapshot;
 pub mod vector;
 
 pub mod mask;
 
 pub mod algo;
 
+pub use degree_index::{DegreeIndex, DegreeIndexView};
 pub use error::{GrbError, GrbResult};
 pub use formats::dcsr::MergeScratch;
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
 pub use reader::{MatrixReader, StreamingSystem};
 pub use sink::StreamingSink;
+pub use snapshot::MatrixSnapshot;
 pub use types::ScalarType;
 pub use vector::SparseVector;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::degree_index::{DegreeIndex, DegreeIndexView};
     pub use crate::error::{GrbError, GrbResult};
     pub use crate::formats::coo::Coo;
     pub use crate::formats::csr::Csr;
@@ -104,6 +109,7 @@ pub mod prelude {
     pub use crate::ops::{BinaryOp, Monoid, Semiring, UnaryOp};
     pub use crate::reader::{read_tuples, MatrixReader, StreamingSystem};
     pub use crate::sink::StreamingSink;
+    pub use crate::snapshot::MatrixSnapshot;
     pub use crate::types::ScalarType;
     pub use crate::vector::SparseVector;
 }

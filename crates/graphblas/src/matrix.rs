@@ -9,6 +9,7 @@
 //! "defer and batch" idea the hierarchical matrix generalises to multiple
 //! levels.
 
+use crate::cursor::TopKScratch;
 use crate::error::{GrbError, GrbResult};
 use crate::formats::coo::Coo;
 use crate::formats::dcsr::{Dcsr, MergeScratch};
@@ -17,15 +18,24 @@ use crate::index::{validate_dims, validate_index, Index};
 use crate::ops::binary::{Plus, Second};
 use crate::ops::BinaryOp;
 use crate::types::ScalarType;
+use std::sync::Arc;
 
 /// A hypersparse matrix over scalar type `T`.
+///
+/// The settled structure lives behind an [`Arc`] so read paths can take
+/// O(1) *snapshots* of it ([`Matrix::settled_arc`]): a snapshot holder and
+/// the matrix share the structure until the next mutation, which
+/// copy-on-writes ([`Arc::make_mut`]) — free in the common unshared case
+/// (a pointer uniqueness check), one structural clone when a snapshot is
+/// outstanding.  This is what lets hierarchical levels hand out cheap
+/// level snapshots that keep answering while ingest continues.
 ///
 /// See the [crate-level documentation](crate) for an overview and examples.
 #[derive(Debug)]
 pub struct Matrix<T> {
     nrows: Index,
     ncols: Index,
-    settled: Dcsr<T>,
+    settled: Arc<Dcsr<T>>,
     pending: Coo<T>,
     /// Number of pending tuples at which `wait()` is triggered automatically.
     pending_limit: usize,
@@ -33,6 +43,10 @@ pub struct Matrix<T> {
     /// accumulate goes through these instead of allocating fresh vectors.
     /// Not part of the matrix *value* (excluded from `PartialEq`).
     scratch: MergeScratch<T>,
+    /// Reusable top-k heap buffer: repeated degree-ranking queries (the
+    /// mixed-workload hot loop) reuse one allocation instead of building a
+    /// fresh heap per call.  A cache, like `scratch`.
+    topk_scratch: TopKScratch,
 }
 
 /// Clones copy the represented content but start with *empty* scratch
@@ -44,10 +58,13 @@ impl<T: Clone> Clone for Matrix<T> {
         Self {
             nrows: self.nrows,
             ncols: self.ncols,
-            settled: self.settled.clone(),
+            // Shares the settled structure; a later mutation of either
+            // copy-on-writes its own.
+            settled: Arc::clone(&self.settled),
             pending: self.pending.clone(),
             pending_limit: self.pending_limit,
             scratch: MergeScratch::default(),
+            topk_scratch: TopKScratch::default(),
         }
     }
 }
@@ -87,10 +104,11 @@ impl<T: ScalarType> Matrix<T> {
         Ok(Self {
             nrows,
             ncols,
-            settled: Dcsr::try_new(nrows, ncols)?,
+            settled: Arc::new(Dcsr::try_new(nrows, ncols)?),
             pending: Coo::try_new(nrows, ncols)?,
             pending_limit: DEFAULT_PENDING_LIMIT,
             scratch: MergeScratch::new(),
+            topk_scratch: TopKScratch::default(),
         })
     }
 
@@ -108,10 +126,11 @@ impl<T: ScalarType> Matrix<T> {
         Ok(Self {
             nrows,
             ncols,
-            settled,
+            settled: Arc::new(settled),
             pending: Coo::try_new(nrows, ncols)?,
             pending_limit: DEFAULT_PENDING_LIMIT,
             scratch: MergeScratch::new(),
+            topk_scratch: TopKScratch::default(),
         })
     }
 
@@ -122,8 +141,9 @@ impl<T: ScalarType> Matrix<T> {
             ncols: d.ncols(),
             pending: Coo::new(d.nrows(), d.ncols()),
             pending_limit: DEFAULT_PENDING_LIMIT,
-            settled: d,
+            settled: Arc::new(d),
             scratch: MergeScratch::new(),
+            topk_scratch: TopKScratch::default(),
         }
     }
 
@@ -238,8 +258,31 @@ impl<T: ScalarType> Matrix<T> {
             return;
         }
         self.pending.sort_dedup_with(dup, &mut self.scratch);
-        self.settled
+        Arc::make_mut(&mut self.settled)
             .merge_sorted_coo_into(&self.pending, dup, &mut self.scratch)
+            .expect("pending tuples are within bounds");
+        self.pending.clear();
+    }
+
+    /// [`Matrix::wait`] with a hook into the settle's dedup-unpack: after
+    /// the pending tuples are sorted and in-batch-deduplicated under `+`
+    /// but *before* they merge into the settled structure, `observe` sees
+    /// the batch as sorted row-major parallel slices.  This is the event
+    /// an incremental [`DegreeIndex`](crate::degree_index::DegreeIndex)
+    /// maintains itself on: the batch is exactly the set of cells whose
+    /// stored values change in this settle.
+    #[allow(clippy::type_complexity)]
+    pub fn wait_observed(&mut self, observe: &mut dyn FnMut(&[Index], &[Index], &[T])) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_dedup_with(Plus, &mut self.scratch);
+        {
+            let (r, c, v) = self.pending.parts();
+            observe(r, c, v);
+        }
+        Arc::make_mut(&mut self.settled)
+            .merge_sorted_coo_into(&self.pending, Plus, &mut self.scratch)
             .expect("pending tuples are within bounds");
         self.pending.clear();
     }
@@ -270,11 +313,10 @@ impl<T: ScalarType> Matrix<T> {
         // two operands.
         self.wait();
         if other.npending() == 0 {
-            self.settled.merge_into(other.dcsr(), op, &mut self.scratch)
+            Arc::make_mut(&mut self.settled).merge_into(other.dcsr(), op, &mut self.scratch)
         } else {
             let settled_other = other.to_settled();
-            self.settled
-                .merge_into(settled_other.dcsr(), op, &mut self.scratch)
+            Arc::make_mut(&mut self.settled).merge_into(settled_other.dcsr(), op, &mut self.scratch)
         }
     }
 
@@ -297,7 +339,7 @@ impl<T: ScalarType> Matrix<T> {
     /// structure's buffers; see [`Matrix::clear_retaining_capacity`] for the
     /// streaming variant.
     pub fn clear(&mut self) {
-        self.settled = Dcsr::new(self.nrows, self.ncols);
+        self.settled = Arc::new(Dcsr::new(self.nrows, self.ncols));
         self.pending.clear();
     }
 
@@ -305,7 +347,12 @@ impl<T: ScalarType> Matrix<T> {
     /// matrix can be refilled without touching the allocator.  Used by the
     /// hierarchical cascade to clear a level after moving it up.
     pub fn clear_retaining_capacity(&mut self) {
-        self.settled.clear_retaining();
+        // When a snapshot shares the structure, detach instead of
+        // copy-on-writing a structure we are about to empty.
+        match Arc::get_mut(&mut self.settled) {
+            Some(d) => d.clear_retaining(),
+            None => self.settled = Arc::new(Dcsr::new(self.nrows, self.ncols)),
+        }
         self.pending.clear();
     }
 
@@ -315,6 +362,20 @@ impl<T: ScalarType> Matrix<T> {
     /// matrix.
     pub fn dcsr(&self) -> &Dcsr<T> {
         &self.settled
+    }
+
+    /// An O(1) shared handle to the settled structure — the snapshot
+    /// primitive.  The holder keeps reading this exact structure while the
+    /// matrix keeps mutating (the next settle/cascade copy-on-writes the
+    /// matrix's own copy).  Pending tuples are excluded; settle first
+    /// ([`Matrix::wait`] / [`Matrix::wait_observed`]) for the full content.
+    pub fn settled_arc(&self) -> Arc<Dcsr<T>> {
+        Arc::clone(&self.settled)
+    }
+
+    /// The reusable top-k scratch paired with this matrix's read path.
+    pub(crate) fn topk_scratch(&mut self) -> &mut TopKScratch {
+        &mut self.topk_scratch
     }
 
     /// Settle pending tuples and return the complete hypersparse structure.

@@ -65,6 +65,48 @@ pub trait MatrixReader<V: ScalarType> {
     /// combined.
     fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, V));
 
+    /// Visit the stored entries of rows `lo..hi` (half-open) in row-major
+    /// sorted order, duplicates combined — the subnet-style range scan.
+    ///
+    /// The default filters a full [`read_entries`](MatrixReader::read_entries)
+    /// sweep; indexed readers override with a cursor range-skip (cost
+    /// proportional to the range's content) and the sharded engine
+    /// dispatches only to the workers whose row bands overlap the range.
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, V)) {
+        if lo >= hi {
+            return;
+        }
+        self.read_entries(&mut |r, c, v| {
+            if r >= lo && r < hi {
+                f(r, c, v);
+            }
+        });
+    }
+
+    /// The degree histogram of the stored pattern: `degree -> number of
+    /// rows with that many distinct columns`.
+    ///
+    /// The default run-counts a full entry sweep (valid because entries
+    /// arrive row-major sorted); index-backed readers answer in
+    /// O(distinct degrees).
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        let mut run: Option<(Index, u64)> = None;
+        self.read_entries(&mut |r, _, _| match &mut run {
+            Some((cr, n)) if *cr == r => *n += 1,
+            _ => {
+                if let Some((_, n)) = run.take() {
+                    *counts.entry(n).or_insert(0u64) += 1;
+                }
+                run = Some((r, 1));
+            }
+        });
+        if let Some((_, n)) = run {
+            *counts.entry(n).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
     /// Number of distinct `(row, col)` cells stored.
     fn read_nnz(&mut self) -> usize {
         let mut n = 0;
@@ -193,7 +235,13 @@ impl<T: ScalarType> MatrixReader<T> for Matrix<T> {
 
     fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
         self.wait();
-        cursor::merged_top_k(&[self.dcsr()], k)
+        // The heap buffer is owned by the matrix: repeated top-k queries in
+        // a mixed workload reuse one allocation (split borrow through raw
+        // parts is not possible here, so take/restore the scratch).
+        let mut scratch = std::mem::take(self.topk_scratch());
+        let out = cursor::merged_top_k_with(&[self.dcsr()], k, &mut scratch);
+        *self.topk_scratch() = scratch;
+        out
     }
 
     fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
@@ -201,6 +249,23 @@ impl<T: ScalarType> MatrixReader<T> for Matrix<T> {
         for (r, c, v) in self.dcsr().iter() {
             f(r, c, v);
         }
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        self.wait();
+        cursor::merged_row_range(&[self.dcsr()], lo, hi, Plus, f);
+    }
+
+    /// O(non-empty rows) straight off the compressed row pointers — no
+    /// entry sweep and no per-call scratch.
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.wait();
+        let (_, ptr, _, _) = self.dcsr().raw_parts();
+        let mut counts = std::collections::BTreeMap::new();
+        for w in ptr.windows(2) {
+            *counts.entry((w[1] - w[0]) as u64).or_insert(0u64) += 1;
+        }
+        counts
     }
 }
 

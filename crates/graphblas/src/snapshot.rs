@@ -1,0 +1,244 @@
+//! Consistent point-in-time read snapshots of a streaming matrix.
+//!
+//! A [`MatrixSnapshot`] is the answer to the read path's `&mut self`
+//! exclusivity: every [`MatrixReader`] method may settle or drain before
+//! answering, so a long full-matrix sweep holds the matrix (or a shard
+//! worker's whole channel) for its entire duration.  A snapshot instead
+//! captures, in O(levels):
+//!
+//! * **Arc'd settled levels** — shared handles to the levels' compressed
+//!   structures ([`Matrix::settled_arc`]); the owning matrix keeps
+//!   cascading and settling, copy-on-writing its own copies, while the
+//!   snapshot keeps reading the captured ones;
+//! * an optional **pending-tail copy** — pending tuples captured through
+//!   `&self` are settled into one private tail level; and
+//! * an optional **degree-index view** — the Arc-shared row stats of the
+//!   source's [`DegreeIndex`], so `top_k`/`nnz`/degree answers stay
+//!   O(k)/O(1) off the live path too.
+//!
+//! The snapshot implements [`MatrixReader`] itself, so every generic
+//! analytic (the `algo` module, the mixed-workload harness) runs against
+//! it unchanged — the "analytics while ingest" overlap of the roadmap:
+//! take a snapshot at a drain barrier, answer the sweep from it, and let
+//! the ingest channel keep draining underneath.
+//!
+//! [`Matrix`]: crate::matrix::Matrix
+
+use crate::cursor::{
+    for_each_merged, merged_nnz, merged_point, merged_row_degree, merged_row_into,
+    merged_row_range, merged_row_reduce, merged_top_k_with, TopKScratch,
+};
+use crate::degree_index::DegreeIndexView;
+use crate::formats::dcsr::Dcsr;
+use crate::index::Index;
+use crate::ops::binary::Plus;
+use crate::reader::MatrixReader;
+use crate::types::ScalarType;
+use std::sync::Arc;
+
+/// A point-in-time, independently owned view of a matrix: Arc'd settled
+/// levels + optional pending tail + optional degree-index view.  See the
+/// [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct MatrixSnapshot<V> {
+    name: String,
+    nrows: Index,
+    ncols: Index,
+    levels: Vec<Arc<Dcsr<V>>>,
+    /// Pending tuples captured un-settled, compressed into one extra level.
+    tail: Option<Dcsr<V>>,
+    /// Present when the source settled before capturing (the tail is empty
+    /// then) — serves the O(1)/O(k) degree-centric answers.
+    index: Option<DegreeIndexView<V>>,
+    topk_scratch: TopKScratch,
+}
+
+impl<V: ScalarType> MatrixSnapshot<V> {
+    /// Assemble a snapshot.  `tail_tuples` are pending tuples not yet
+    /// settled at capture (any order, duplicates allowed — they compress
+    /// under `+` here); when a tail exists the degree-centric queries fall
+    /// back to cursor sweeps, so sources that can settle first should
+    /// (then the tail is empty and `index` applies).
+    pub fn new(
+        name: impl Into<String>,
+        nrows: Index,
+        ncols: Index,
+        levels: Vec<Arc<Dcsr<V>>>,
+        tail_tuples: (&[Index], &[Index], &[V]),
+        index: Option<DegreeIndexView<V>>,
+    ) -> Self {
+        let (tr, tc, tv) = tail_tuples;
+        let tail = if tr.is_empty() {
+            None
+        } else {
+            Some(
+                Dcsr::from_tuples(nrows, ncols, tr, tc, tv, Plus)
+                    .expect("snapshot tail tuples are within bounds"),
+            )
+        };
+        Self {
+            name: name.into(),
+            nrows,
+            ncols,
+            levels,
+            index: if tail.is_none() { index } else { None },
+            tail,
+            topk_scratch: TopKScratch::default(),
+        }
+    }
+
+    /// The captured level structures (tail included), lowest first — for
+    /// engines that k-way merge several snapshots (e.g. per-shard
+    /// snapshots whose rows are disjoint).
+    pub fn level_dcsrs(&self) -> Vec<&Dcsr<V>> {
+        self.levels
+            .iter()
+            .map(|a| a.as_ref())
+            .chain(self.tail.as_ref())
+            .collect()
+    }
+
+    /// True when the degree-index view serves this snapshot's degree
+    /// answers (no pending tail was captured).
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+}
+
+/// Snapshot queries run over the captured levels only — by construction
+/// nothing here ever settles, drains or otherwise disturbs the source.
+impl<V: ScalarType> MatrixReader<V> for MatrixSnapshot<V> {
+    fn reader_name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        match &self.index {
+            Some(ix) => ix.nnz(),
+            None => merged_nnz(&self.level_dcsrs()),
+        }
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<V> {
+        merged_point(&self.level_dcsrs(), row, col, Plus)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, V)>) {
+        merged_row_into(&self.level_dcsrs(), row, Plus, out);
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        match &self.index {
+            Some(ix) => ix.row_degree(row),
+            None => merged_row_degree(&self.level_dcsrs(), row),
+        }
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<V> {
+        match &self.index {
+            Some(ix) => ix.row_weight(row),
+            None => merged_row_reduce(&self.level_dcsrs(), row, Plus),
+        }
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        match &mut self.index {
+            Some(ix) => ix.top_k(k),
+            None => {
+                let levels: Vec<&Dcsr<V>> = self
+                    .levels
+                    .iter()
+                    .map(|a| a.as_ref())
+                    .chain(self.tail.as_ref())
+                    .collect();
+                merged_top_k_with(&levels, k, &mut self.topk_scratch)
+            }
+        }
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, V)) {
+        for_each_merged(&self.level_dcsrs(), Plus, f);
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, V)) {
+        merged_row_range(&self.level_dcsrs(), lo, hi, Plus, f);
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        match &mut self.index {
+            Some(ix) => ix.degree_histogram(),
+            None => crate::cursor::merged_degree_histogram(&self.level_dcsrs()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn snapshot_is_immune_to_source_mutation() {
+        let mut m = Matrix::<u64>::new(1 << 20, 1 << 20);
+        m.accum_tuples(&[1, 1, 5], &[1, 2, 5], &[10, 20, 50])
+            .unwrap();
+        m.wait();
+        let mut snap = MatrixSnapshot::new(
+            "snap",
+            m.nrows(),
+            m.ncols(),
+            vec![m.settled_arc()],
+            (&[], &[], &[]),
+            None,
+        );
+        // Mutate the source: copy-on-write must leave the snapshot alone.
+        m.accum_element(9, 9, 99).unwrap();
+        m.wait();
+        assert_eq!(m.nvals(), 4);
+        assert_eq!(snap.read_nnz(), 3);
+        assert_eq!(snap.read_get(1, 2), Some(20));
+        assert_eq!(snap.read_get(9, 9), None);
+        assert_eq!(snap.read_row_degree(1), 2);
+        assert_eq!(snap.read_row_reduce(1), Some(30));
+        assert_eq!(snap.read_top_k(1), vec![(1, 2)]);
+        let mut got = Vec::new();
+        snap.read_entries(&mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(got, vec![(1, 1, 10), (1, 2, 20), (5, 5, 50)]);
+        assert_eq!(snap.read_dims(), (1 << 20, 1 << 20));
+        assert_eq!(snap.reader_name(), "snap");
+        assert!(!snap.has_index());
+    }
+
+    #[test]
+    fn pending_tail_copy_compresses_and_answers() {
+        let mut m = Matrix::<u64>::new(100, 100);
+        m.accum_tuples(&[3], &[3], &[3]).unwrap();
+        m.wait();
+        // Captured through &self with a live pending tail (duplicates on
+        // (7, 7) must combine under +).
+        m.accum_tuples(&[7, 7, 3], &[7, 7, 4], &[1, 2, 4]).unwrap();
+        let (pr, pc, pv) = m.pending_parts();
+        let mut snap = MatrixSnapshot::new(
+            "snap",
+            m.nrows(),
+            m.ncols(),
+            vec![m.settled_arc()],
+            (pr, pc, pv),
+            None,
+        );
+        assert_eq!(snap.read_nnz(), 3);
+        assert_eq!(snap.read_get(7, 7), Some(3));
+        assert_eq!(snap.read_get(3, 4), Some(4));
+        assert_eq!(snap.read_row_degree(3), 2);
+        let hist = snap.read_degree_histogram();
+        assert_eq!(hist.get(&2), Some(&1));
+        assert_eq!(hist.get(&1), Some(&1));
+        let mut range = Vec::new();
+        snap.read_row_range(4, 100, &mut |r, c, v| range.push((r, c, v)));
+        assert_eq!(range, vec![(7, 7, 3)]);
+    }
+}

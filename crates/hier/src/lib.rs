@@ -56,7 +56,7 @@ pub use config::HierConfig;
 pub use matrix::HierMatrix;
 pub use memtrace::{simulate_flat_trace, simulate_hier_trace, TraceComparison};
 pub use pool::{InstancePool, PartitionBuffers};
-pub use sharded::{ShardPartitioner, ShardedConfig, ShardedHierMatrix};
+pub use sharded::{ShardPartitioner, ShardedConfig, ShardedHierMatrix, ShardedSnapshot};
 pub use stats::HierStats;
 pub use tuning::{recommend_cuts, sweep_cut_schedules, CutRecommendation};
 pub use windowed::WindowedHierMatrix;

@@ -4,7 +4,7 @@ use crate::config::HierConfig;
 use crate::stats::HierStats;
 use hyperstream_graphblas::cursor::{
     for_each_merged, merge_levels, merged_nnz, merged_row_degree, merged_row_into,
-    merged_row_reduce, merged_top_k,
+    merged_row_range, merged_row_reduce, merged_top_k,
 };
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::formats::MemoryFootprint;
@@ -12,7 +12,8 @@ use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
 use hyperstream_graphblas::ops::reduce::reduce_scalar;
 use hyperstream_graphblas::{
-    GrbError, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
+    DegreeIndex, GrbError, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
+    StreamingSink,
 };
 
 /// An N-level hierarchical hypersparse matrix accumulating under `+`.
@@ -22,6 +23,16 @@ use hyperstream_graphblas::{
 /// type (logical OR for `bool`), matching the paper's usage; the linearity
 /// guarantees the paper emphasises hold because cascades are ordinary
 /// GraphBLAS `ewise_add` calls.
+///
+/// Alongside the levels the matrix maintains an incremental
+/// [`DegreeIndex`]: every level-0 settle feeds its sorted, deduplicated
+/// batch through the index (cascades move cells between levels without
+/// changing the represented union, so they cost the index nothing), which
+/// turns `read_nnz` / `read_row_degree` / `read_row_reduce` into O(1)
+/// answers and `read_top_k` / the degree histogram into O(k) answers off
+/// lazily rebuilt caches — previously all full cursor sweeps.  The sweep
+/// path is retained as the `sweep_*` fallback family and re-checked by
+/// `debug_assert` on every indexed answer.
 #[derive(Debug, Clone)]
 pub struct HierMatrix<T> {
     nrows: Index,
@@ -29,6 +40,7 @@ pub struct HierMatrix<T> {
     config: HierConfig,
     levels: Vec<Matrix<T>>,
     stats: HierStats,
+    index: DegreeIndex<T>,
 }
 
 impl<T: ScalarType> HierMatrix<T> {
@@ -47,6 +59,7 @@ impl<T: ScalarType> HierMatrix<T> {
             stats: HierStats::new(n_levels),
             config,
             levels,
+            index: DegreeIndex::new(),
         })
     }
 
@@ -121,7 +134,18 @@ impl<T: ScalarType> HierMatrix<T> {
             });
         }
         let nupd = a.nvals_settled() + a.npending();
-        self.levels[0].accum_matrix(a)?;
+        // `accum_matrix` settles level 0 internally; settle through the
+        // observed path first so the index sees the dedup-unpack, then feed
+        // the whole update matrix through the cell oracle.
+        self.settle_level(0);
+        if a.npending() == 0 {
+            self.index.observe_dcsr(a.dcsr());
+            self.levels[0].accum_matrix(a)?;
+        } else {
+            let settled = a.to_settled();
+            self.index.observe_dcsr(settled.dcsr());
+            self.levels[0].accum_matrix(&settled)?;
+        }
         self.stats.updates += nupd as u64;
         self.maybe_cascade();
         Ok(())
@@ -153,9 +177,13 @@ impl<T: ScalarType> HierMatrix<T> {
         self.levels.iter().map(|l| l.memory()).collect()
     }
 
-    /// Total bytes across all levels.
+    /// Total bytes across all levels, including the degree index's tables.
     pub fn memory_bytes(&self) -> usize {
-        self.memory_per_level().iter().map(|m| m.total()).sum()
+        self.memory_per_level()
+            .iter()
+            .map(|m| m.total())
+            .sum::<usize>()
+            + self.index.memory_bytes()
     }
 
     /// Sum of all stored values (in `f64`), computable without materialising
@@ -222,13 +250,49 @@ impl<T: ScalarType> HierMatrix<T> {
         }
     }
 
+    /// Settle level `i`'s pending tuples through the degree-index observer:
+    /// the sorted, in-batch-deduplicated pending batch is exactly the settle
+    /// dedup-unpack event the index maintains itself on.  Every settle in
+    /// the hierarchy routes through here so the index never misses a cell.
+    fn settle_level(&mut self, i: usize) {
+        if self.levels[i].npending() == 0 {
+            return;
+        }
+        let index = &mut self.index;
+        self.levels[i].wait_observed(&mut |rows, cols, vals| {
+            index.observe_settle(rows, cols, vals);
+        });
+    }
+
     /// Settle every level's pending tuples in place (cheap — only level 0
     /// can hold pending data, and it is cache resident by construction).
     /// The represented matrix is unchanged; afterwards the level DCSRs are
     /// the complete content, which is what the cursor queries walk.
     pub(crate) fn settle_levels(&mut self) {
-        for level in &mut self.levels {
-            level.wait();
+        for i in 0..self.levels.len() {
+            self.settle_level(i);
+        }
+    }
+
+    /// The settled level DCSRs without settling — callers must have
+    /// settled first ([`HierMatrix::settle_levels`]).
+    fn dcsr_refs(&self) -> Vec<&Dcsr<T>> {
+        self.levels.iter().map(|l| l.dcsr()).collect()
+    }
+
+    /// Settle everything and make sure the degree index is live.  The index
+    /// is lazily activated so pure-ingest streams pay zero maintenance: the
+    /// first degree query lands here, activates it and rebuilds it with one
+    /// pass over the settled levels (the cell oracle deduplicates cells
+    /// that sit in several levels); every later settle maintains it
+    /// incrementally through the observer.
+    fn ensure_index(&mut self) {
+        self.settle_levels();
+        if !self.index.is_active() {
+            self.index.activate();
+            for level in &self.levels {
+                self.index.observe_dcsr(level.dcsr());
+            }
         }
     }
 
@@ -246,8 +310,18 @@ impl<T: ScalarType> HierMatrix<T> {
     /// and avoid even that).
     pub fn nvals_exact(&self) -> usize {
         if self.levels.iter().all(|l| l.npending() == 0) {
-            let dcsrs: Vec<&Dcsr<T>> = self.level_dcsrs().collect();
-            merged_nnz(&dcsrs)
+            if self.index.is_active() {
+                // Everything settled has passed through the index.
+                let n = self.index.nnz();
+                debug_assert_eq!(n, {
+                    let dcsrs: Vec<&Dcsr<T>> = self.level_dcsrs().collect();
+                    merged_nnz(&dcsrs)
+                });
+                n
+            } else {
+                let dcsrs: Vec<&Dcsr<T>> = self.level_dcsrs().collect();
+                merged_nnz(&dcsrs)
+            }
         } else {
             self.materialize_ref().nvals()
         }
@@ -288,6 +362,7 @@ impl<T: ScalarType> HierMatrix<T> {
         for level in &mut self.levels {
             level.clear();
         }
+        self.index.clear();
         self.reset_stats();
     }
 
@@ -311,7 +386,7 @@ impl<T: ScalarType> HierMatrix<T> {
                 break;
             }
             if self.levels[i].npending() > 0 {
-                self.levels[i].wait();
+                self.settle_level(i);
                 if (self.levels[i].nvals_settled() as u64) <= cut {
                     break;
                 }
@@ -331,8 +406,10 @@ impl<T: ScalarType> HierMatrix<T> {
     /// streaming hot path.
     fn cascade_level(&mut self, i: usize) {
         debug_assert!(i + 1 < self.levels.len());
-        // Settle level i first so the merge sees compressed data.
-        self.levels[i].wait();
+        // Settle level i first so the merge sees compressed data.  The
+        // merge itself moves cells between levels without changing the
+        // represented union, so the cascade costs the degree index nothing.
+        self.settle_level(i);
         let moved = self.levels[i].nvals_settled() as u64;
         if moved == 0 {
             return;
@@ -344,6 +421,104 @@ impl<T: ScalarType> HierMatrix<T> {
         self.levels[i].clear_retaining_capacity();
         self.stats.cascades[i] += 1;
         self.stats.entries_moved[i] += moved;
+    }
+
+    /// The maintained degree index (settled content only — settle first via
+    /// the reader interface for answers covering pending tuples).
+    pub fn degree_index(&self) -> &DegreeIndex<T> {
+        &self.index
+    }
+
+    /// Take a consistent point-in-time snapshot: settles the cache-resident
+    /// pending tuples (through the index observer), then captures Arc'd
+    /// handles to every level plus a degree-index view — O(levels), no
+    /// entry is copied.  The snapshot answers every [`MatrixReader`] query
+    /// independently while this matrix keeps ingesting (subsequent settles
+    /// and cascades copy-on-write their own structures).
+    pub fn snapshot(&mut self) -> MatrixSnapshot<T> {
+        self.ensure_index();
+        MatrixSnapshot::new(
+            "hier-graphblas-snapshot",
+            self.nrows,
+            self.ncols,
+            self.levels.iter().map(|l| l.settled_arc()).collect(),
+            (&[], &[], &[]),
+            Some(self.index.view()),
+        )
+    }
+
+    /// Snapshot through `&self`: the settled levels share as in
+    /// [`HierMatrix::snapshot`] and any not-yet-settled pending tuples are
+    /// *copied* as the snapshot's tail level.  When a tail exists the
+    /// snapshot's degree answers fall back to cursor sweeps (the index has
+    /// not seen those cells yet).
+    pub fn snapshot_ref(&self) -> MatrixSnapshot<T> {
+        let (mut tr, mut tc, mut tv) = (Vec::new(), Vec::new(), Vec::new());
+        for level in &self.levels {
+            let (r, c, v) = level.pending_parts();
+            tr.extend_from_slice(r);
+            tc.extend_from_slice(c);
+            tv.extend_from_slice(v);
+        }
+        let index = if tr.is_empty() && self.index.is_active() {
+            Some(self.index.view())
+        } else {
+            None
+        };
+        MatrixSnapshot::new(
+            "hier-graphblas-snapshot",
+            self.nrows,
+            self.ncols,
+            self.levels.iter().map(|l| l.settled_arc()).collect(),
+            (&tr, &tc, &tv),
+            index,
+        )
+    }
+
+    /// The retained cursor-sweep fallback of [`MatrixReader::read_nnz`]:
+    /// counts distinct cells by walking the merged level cursors.  The
+    /// equivalence property tests pit every indexed answer against its
+    /// `sweep_*` twin.
+    pub fn sweep_nnz(&mut self) -> usize {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_nnz(&dcsrs)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_row_degree`].
+    pub fn sweep_row_degree(&mut self, row: Index) -> usize {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_degree(&dcsrs, row)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_row_reduce`].
+    pub fn sweep_row_reduce(&mut self, row: Index) -> Option<T> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_reduce(&dcsrs, row, Plus)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_top_k`].
+    pub fn sweep_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_top_k(&dcsrs, k)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_degree_histogram`].
+    pub fn sweep_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.settle_levels();
+        hyperstream_graphblas::cursor::merged_degree_histogram(&self.dcsr_refs())
+    }
+}
+
+/// Two `+`-reductions agree: exactly for the integer scalars, to relative
+/// rounding for `f64` (arrival-order vs level-order folds).
+pub(crate) fn reduce_agrees<T: ScalarType>(a: Option<T>, b: Option<T>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            let (x, y) = (x.to_f64(), y.to_f64());
+            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+        }
+        _ => false,
     }
 }
 
@@ -376,10 +551,12 @@ impl<T: ScalarType> StreamingSink<T> for HierMatrix<T> {
     }
 }
 
-/// The paper's query path without the materialisation: every answer merges
-/// the L level cursors on the fly (after settling the cache-resident
-/// pending buffers), so analytics interleave with ingest at no more than
-/// `O(Σ nnz(A_i))` per full sweep and `O(L log + row width)` per row query.
+/// The paper's query path: point/row/entry extraction merges the L level
+/// cursors on the fly (after settling the cache-resident pending buffers);
+/// the degree-centric answers — nnz, per-row degree/reduce, top-k, degree
+/// histogram — come from the incremental [`DegreeIndex`] in O(1)/O(k).  In
+/// debug builds every indexed answer is re-derived through the retained
+/// cursor-sweep fallback.
 impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
     fn reader_name(&self) -> &str {
         "hier-graphblas"
@@ -390,8 +567,10 @@ impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
     }
 
     fn read_nnz(&mut self) -> usize {
-        let dcsrs = self.settled_level_dcsrs();
-        merged_nnz(&dcsrs)
+        self.ensure_index();
+        let n = self.index.nnz();
+        debug_assert_eq!(n, merged_nnz(&self.dcsr_refs()));
+        n
     }
 
     fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
@@ -405,23 +584,44 @@ impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
     }
 
     fn read_row_degree(&mut self, row: Index) -> usize {
-        let dcsrs = self.settled_level_dcsrs();
-        merged_row_degree(&dcsrs, row)
+        self.ensure_index();
+        let d = self.index.row_degree(row);
+        debug_assert_eq!(d, merged_row_degree(&self.dcsr_refs(), row));
+        d
     }
 
     fn read_row_reduce(&mut self, row: Index) -> Option<T> {
-        let dcsrs = self.settled_level_dcsrs();
-        merged_row_reduce(&dcsrs, row, Plus)
+        self.ensure_index();
+        let w = self.index.row_weight(row);
+        debug_assert!(
+            reduce_agrees(w, merged_row_reduce(&self.dcsr_refs(), row, Plus)),
+            "index weight diverged from cursor fold for row {row}"
+        );
+        w
     }
 
     fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
-        let dcsrs = self.settled_level_dcsrs();
-        merged_top_k(&dcsrs, k)
+        self.ensure_index();
+        let top = self.index.top_k(k);
+        debug_assert_eq!(top, merged_top_k(&self.dcsr_refs(), k));
+        top
     }
 
     fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
         let dcsrs = self.settled_level_dcsrs();
         for_each_merged(&dcsrs, Plus, f);
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_row_range(&dcsrs, lo, hi, Plus, f);
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.ensure_index();
+        let hist = self.index.degree_histogram();
+        debug_assert_eq!(hist, self.sweep_degree_histogram());
+        hist
     }
 }
 
@@ -726,6 +926,118 @@ mod tests {
         assert_eq!(m.nvals_exact(), 300);
         m.update(1 << 15, 1, 1).unwrap();
         assert_eq!(m.nvals_exact(), 301);
+    }
+
+    #[test]
+    fn index_answers_equal_sweep_fallbacks() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        for i in 0..3000u64 {
+            m.update(i % 131, (i * 17) % 257, i % 7 + 1).unwrap();
+        }
+        // Mid-stream: entries sit across levels plus the pending buffer.
+        assert_eq!(m.read_nnz(), m.sweep_nnz());
+        for row in [0u64, 1, 77, 130, 131, 9999] {
+            assert_eq!(m.read_row_degree(row), m.sweep_row_degree(row), "{row}");
+            assert_eq!(m.read_row_reduce(row), m.sweep_row_reduce(row), "{row}");
+        }
+        for k in [0usize, 1, 8, 1000] {
+            assert_eq!(m.read_top_k(k), m.sweep_top_k(k), "k = {k}");
+        }
+        assert_eq!(m.read_degree_histogram(), m.sweep_degree_histogram());
+        // Flush (cascades everything to the top) must not disturb the index.
+        m.flush();
+        assert_eq!(m.read_nnz(), m.sweep_nnz());
+        assert_eq!(m.read_top_k(5), m.sweep_top_k(5));
+        // update_matrix path feeds the index too.
+        let upd = Matrix::from_tuples(
+            1 << 20,
+            1 << 20,
+            &[1, 500_000, 1],
+            &[999, 0, 1000],
+            &[2u64, 3, 4],
+            Plus,
+        )
+        .unwrap();
+        m.update_matrix(&upd).unwrap();
+        assert_eq!(m.read_nnz(), m.sweep_nnz());
+        assert_eq!(m.read_row_degree(500_000), 1);
+        // clear resets the index with the content.
+        m.clear();
+        assert_eq!(m.read_nnz(), 0);
+        assert!(m.read_top_k(3).is_empty());
+    }
+
+    #[test]
+    fn read_row_range_matches_filtered_entries() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        for i in 0..800u64 {
+            m.update((i * 13) % 500, i % 40, 1).unwrap();
+        }
+        let mut all = Vec::new();
+        m.read_entries(&mut |r, c, v| all.push((r, c, v)));
+        for (lo, hi) in [(0u64, 100u64), (100, 101), (250, 499), (600, 1 << 20)] {
+            let mut got = Vec::new();
+            m.read_row_range(lo, hi, &mut |r, c, v| got.push((r, c, v)));
+            let expect: Vec<_> = all
+                .iter()
+                .copied()
+                .filter(|&(r, _, _)| r >= lo && r < hi)
+                .collect();
+            assert_eq!(got, expect, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn snapshot_overlaps_with_ingest() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        for i in 0..500u64 {
+            m.update(i % 97, (i * 3) % 211, 1).unwrap();
+        }
+        let frozen = m.materialize_ref();
+        let mut snap = m.snapshot();
+        assert!(snap.has_index());
+        // Keep streaming: the snapshot must not move.
+        for i in 0..500u64 {
+            m.update((i % 89) + 100_000, i % 50, 1).unwrap();
+        }
+        assert_eq!(snap.read_nnz(), frozen.nvals());
+        let probe = frozen.dcsr().row_ids()[0];
+        assert_eq!(
+            snap.read_row_degree(probe),
+            frozen.dcsr().row(probe).unwrap().0.len()
+        );
+        let mut entries = Vec::new();
+        snap.read_entries(&mut |r, c, v| entries.push((r, c, v)));
+        let (er, ec, ev) = frozen.extract_tuples();
+        let expect: Vec<_> = er
+            .into_iter()
+            .zip(ec)
+            .zip(ev)
+            .map(|((r, c), v)| (r, c, v))
+            .collect();
+        assert_eq!(entries, expect);
+        // The live matrix has moved on.
+        assert!(m.read_nnz() > snap.read_nnz());
+    }
+
+    #[test]
+    fn snapshot_ref_carries_pending_tail() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        m.update(3, 3, 5).unwrap();
+        m.update(3, 4, 6).unwrap();
+        // Pending only — the &self snapshot copies the tail.
+        let mut snap = m.snapshot_ref();
+        assert!(!snap.has_index());
+        assert_eq!(snap.read_nnz(), 2);
+        assert_eq!(snap.read_get(3, 3), Some(5));
+        assert_eq!(snap.read_row_reduce(3), Some(11));
+        // Settled source with a live (query-activated) index: the &self
+        // snapshot carries the index view.
+        assert_eq!(m.read_nnz(), 2);
+        let mut settled_snap = m.snapshot_ref();
+        assert!(settled_snap.has_index());
+        assert_eq!(settled_snap.read_nnz(), 2);
+        assert_eq!(settled_snap.read_top_k(1), vec![(3, 2)]);
     }
 
     #[test]

@@ -11,13 +11,38 @@ use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use crate::stats::HierStats;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::{GrbResult, Index, Matrix, ScalarType};
+use hyperstream_graphblas::{GrbResult, Index, Matrix, MatrixReader, ScalarType};
 
 /// The multiplicative row hash shared by every row-based sharder in the
 /// workspace ([`InstancePool::route`], the sharded engine's row-hash
 /// partitioner, and the workload-side stream partitioning).
 pub fn row_hash(row: Index) -> u64 {
     row.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Re-rank concatenated per-part top-k lists from parts that own
+/// *disjoint row sets* (instances, shards, shard snapshots): the global
+/// top-k is the top-k of the concatenation, ordered degree descending
+/// then row ascending.  One combine rule shared by every disjoint-row
+/// engine so their tie-breaking can never diverge.
+pub(crate) fn rerank_top_k(mut all: Vec<(Index, usize)>, k: usize) -> Vec<(Index, usize)> {
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Sum per-part degree histograms from disjoint-row parts: every row is
+/// counted by exactly one part, so the counts add.
+pub(crate) fn sum_histograms(
+    parts: impl IntoIterator<Item = std::collections::BTreeMap<u64, u64>>,
+) -> std::collections::BTreeMap<u64, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for part in parts {
+        for (d, n) in part {
+            *counts.entry(d).or_insert(0) += n;
+        }
+    }
+    counts
 }
 
 /// Reusable per-shard staging buffers for partitioning a tuple stream.
@@ -216,6 +241,32 @@ impl<T: ScalarType> InstancePool<T> {
         agg
     }
 
+    /// The `k` highest-degree rows across the pool (degree descending, row
+    /// ascending).  Instances are routed by row hash — they own disjoint
+    /// row sets — so the pool's top-k is the re-ranked concatenation of
+    /// each instance's O(k) degree-index answer; no instance materialises.
+    pub fn top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(Index, usize)> = Vec::new();
+        for m in &mut self.instances {
+            all.extend(m.read_top_k(k));
+        }
+        rerank_top_k(all, k)
+    }
+
+    /// Exact distinct cells across the pool: the per-instance degree-index
+    /// counts sum because instances own disjoint rows.
+    pub fn nnz_exact(&mut self) -> usize {
+        self.instances.iter_mut().map(|m| m.read_nnz()).sum()
+    }
+
+    /// The pool's degree histogram (per-instance index histograms summed).
+    pub fn degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        sum_histograms(self.instances.iter_mut().map(|m| m.read_degree_histogram()))
+    }
+
     /// Materialise the union of all instances into a single matrix
     /// (sum of the per-instance matrices — valid because instances hold
     /// disjoint or additively-combinable content).
@@ -326,6 +377,28 @@ mod tests {
         let bu = batched.materialize_union().unwrap();
         let su = singles.materialize_union().unwrap();
         assert_eq!(bu.extract_tuples(), su.extract_tuples());
+    }
+
+    #[test]
+    fn pool_analytics_match_materialized_union() {
+        let mut p = pool(3);
+        for i in 0..600u64 {
+            p.update(i % 37, (i * 11) % 101, 1).unwrap();
+        }
+        let union = p.materialize_union().unwrap();
+        assert_eq!(p.nnz_exact(), union.nvals());
+        let d = union.dcsr();
+        let mut expect: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+            .map(|k| (d.row_ids()[k], d.row_slot(k).0.len()))
+            .collect();
+        expect.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        expect.truncate(5);
+        assert_eq!(p.top_k(5), expect);
+        assert!(p.top_k(0).is_empty());
+        let mut union_ro = union;
+        assert_eq!(p.degree_histogram(), union_ro.read_degree_histogram());
+        // Analytics never materialise any instance.
+        assert_eq!(p.aggregate_stats().materializations, 0);
     }
 
     #[test]

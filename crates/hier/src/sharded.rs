@@ -46,13 +46,15 @@
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
-use crate::pool::{row_hash, PartitionBuffers};
+use crate::pool::{rerank_top_k, row_hash, sum_histograms, PartitionBuffers};
 use crate::stats::HierStats;
+use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::sink::check_tuple_lengths;
 use hyperstream_graphblas::{
-    validate_index, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
+    validate_index, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
+    StreamingSink,
 };
 use parking_lot::Mutex;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -168,16 +170,30 @@ enum ReaderQuery {
     Nnz,
     /// The shard's sorted entry list.
     Entries,
+    /// The shard's sorted entries within a row range (half-open).
+    RowRange(Index, Index),
+    /// The shard's degree histogram.
+    Histogram,
+    /// A consistent point-in-time snapshot of the shard (Arc'd levels +
+    /// degree-index view): the analytics-while-ingest handoff — the
+    /// producer sweeps the snapshot while this worker's channel keeps
+    /// draining.
+    Snapshot,
 }
 
 /// A worker's answer to a [`ReaderQuery`] (disjoint-row partials the
-/// producer concatenates or k-way merges).
+/// producer concatenates or k-way merges).  Replies travel once per query
+/// over a rendezvous channel, so the size spread between variants is
+/// irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum ReaderReply<T> {
     Value(Option<T>),
     Row(Vec<(Index, T)>),
     Count(usize),
     TopK(Vec<(Index, usize)>),
     Entries(Vec<(Index, Index, T)>),
+    Hist(std::collections::BTreeMap<u64, u64>),
+    Snapshot(MatrixSnapshot<T>),
 }
 
 /// A worker's answer to a drain barrier.
@@ -253,6 +269,13 @@ fn worker_loop<T: ScalarType>(
                         shard.read_entries(&mut |r, c, v| out.push((r, c, v)));
                         ReaderReply::Entries(out)
                     }
+                    ReaderQuery::RowRange(lo, hi) => {
+                        let mut out = Vec::new();
+                        shard.read_row_range(lo, hi, &mut |r, c, v| out.push((r, c, v)));
+                        ReaderReply::Entries(out)
+                    }
+                    ReaderQuery::Histogram => ReaderReply::Hist(shard.read_degree_histogram()),
+                    ReaderQuery::Snapshot => ReaderReply::Snapshot(shard.snapshot()),
                 };
                 let _ = reply.send(answer);
             }
@@ -289,6 +312,10 @@ pub struct ShardedHierMatrix<T> {
     /// materialised matrix) — the counter the no-materialisation tests
     /// assert against.
     pushdown_queries: u64,
+    /// Workers consulted by the most recent pushed-down query — the
+    /// range-dispatch tests assert a narrow `read_row_range` on a
+    /// RowRange-partitioned engine touches only the overlapping workers.
+    last_fanout: usize,
 }
 
 impl<T: ScalarType> ShardedHierMatrix<T> {
@@ -340,6 +367,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             rounds: 0,
             chunks_sent: 0,
             pushdown_queries: 0,
+            last_fanout: 0,
         })
     }
 
@@ -532,7 +560,34 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             .send(WorkerMsg::Query(query, reply_tx))
             .expect("shard worker exited");
         self.pushdown_queries += 1;
+        self.last_fanout = 1;
         reply_rx.recv().expect("shard worker exited")
+    }
+
+    /// Push one read query down to a *subset* of workers and collect their
+    /// partial answers (arrival order).  The range dispatch uses this to
+    /// consult only the workers whose row bands overlap a scan.
+    fn query_shards(
+        &mut self,
+        shards: &[usize],
+        mk: impl Fn() -> ReaderQuery,
+    ) -> Vec<ReaderReply<T>> {
+        for &s in shards {
+            self.dispatch_shard(s);
+        }
+        let (reply_tx, reply_rx) = sync_channel(shards.len());
+        for &s in shards {
+            self.workers[s]
+                .tx
+                .send(WorkerMsg::Query(mk(), reply_tx.clone()))
+                .expect("shard worker exited");
+        }
+        drop(reply_tx);
+        self.pushdown_queries += 1;
+        self.last_fanout = shards.len();
+        (0..shards.len())
+            .map(|_| reply_rx.recv().expect("shard worker exited"))
+            .collect()
     }
 
     /// Push one read query down to *every* worker and collect the partial
@@ -541,17 +596,52 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// k-way merges the partials — no materialised matrices travel through
     /// the channels.
     fn query_all(&mut self, mk: impl Fn() -> ReaderQuery) -> Vec<ReaderReply<T>> {
-        self.dispatch_all();
-        let (reply_tx, reply_rx) = sync_channel(self.workers.len());
-        for w in &self.workers {
-            w.tx.send(WorkerMsg::Query(mk(), reply_tx.clone()))
-                .expect("shard worker exited");
+        let all: Vec<usize> = (0..self.workers.len()).collect();
+        self.query_shards(&all, mk)
+    }
+
+    /// The shards whose row sets can intersect `lo..hi`: a contiguous band
+    /// range under the RowRange partitioner, every shard under RowHash.
+    fn range_shards(&self, lo: Index, hi: Index) -> Vec<usize> {
+        let n = self.shards.len();
+        match self.config.partitioner {
+            ShardPartitioner::RowRange => {
+                let band = self.nrows.div_ceil(n as u64).max(1);
+                let first = ((lo / band) as usize).min(n - 1);
+                let last =
+                    (((hi - 1).min(self.nrows.saturating_sub(1)) / band) as usize).min(n - 1);
+                (first..=last).collect()
+            }
+            ShardPartitioner::RowHash => (0..n).collect(),
         }
-        drop(reply_tx);
-        self.pushdown_queries += 1;
-        (0..self.workers.len())
-            .map(|_| reply_rx.recv().expect("shard worker exited"))
-            .collect()
+    }
+
+    /// Workers consulted by the most recent pushed-down query.
+    pub fn last_query_fanout(&self) -> usize {
+        self.last_fanout
+    }
+
+    /// Take a consistent engine-wide snapshot: staged tuples dispatch,
+    /// every worker snapshots its shard at its drain barrier (O(levels)
+    /// Arc bumps — no entries are copied or shipped), and the producer
+    /// receives one [`MatrixSnapshot`] per shard.  The returned
+    /// [`ShardedSnapshot`] answers every [`MatrixReader`] query from the
+    /// captured state while the workers keep draining their channels —
+    /// the analytics-while-ingest overlap the roadmap parked here.
+    pub fn snapshot(&mut self) -> ShardedSnapshot<T> {
+        let shards = self
+            .query_all(|| ReaderQuery::Snapshot)
+            .into_iter()
+            .map(|reply| match reply {
+                ReaderReply::Snapshot(s) => s,
+                _ => unreachable!("worker answered Snapshot with a non-Snapshot reply"),
+            })
+            .collect();
+        ShardedSnapshot {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            shards,
+        }
     }
 
     /// The shard owning `row` under the configured partitioner.
@@ -813,9 +903,7 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
                 _ => unreachable!("worker answered TopK with a non-TopK reply"),
             }
         }
-        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        all.truncate(k);
-        all
+        rerank_top_k(all, k)
     }
 
     fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
@@ -828,6 +916,118 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             })
             .collect();
         merge_disjoint_entries(parts, f);
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        if lo >= hi {
+            return;
+        }
+        // Only the workers whose row bands can overlap the range are
+        // consulted: a RowRange-partitioned engine serves a narrow scan
+        // from one worker while the rest keep ingesting.
+        let targets = self.range_shards(lo, hi);
+        let parts: Vec<Vec<(Index, Index, T)>> = self
+            .query_shards(&targets, || ReaderQuery::RowRange(lo, hi))
+            .into_iter()
+            .map(|reply| match reply {
+                ReaderReply::Entries(e) => e,
+                _ => unreachable!("worker answered RowRange with a non-Entries reply"),
+            })
+            .collect();
+        merge_disjoint_entries(parts, f);
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        // Shards own disjoint rows: per-shard histograms sum exactly.
+        sum_histograms(self.query_all(|| ReaderQuery::Histogram).into_iter().map(
+            |reply| match reply {
+                ReaderReply::Hist(part) => part,
+                _ => unreachable!("worker answered Histogram with a non-Hist reply"),
+            },
+        ))
+    }
+}
+
+/// One consistent point-in-time view of the whole sharded engine: a
+/// [`MatrixSnapshot`] per shard, captured at each worker's drain barrier.
+/// Shards own disjoint row sets, so cross-shard combination is pure
+/// concatenation / summation / re-ranking — and because every per-shard
+/// snapshot holds Arc'd level structures, the engine keeps ingesting (and
+/// its workers keep draining) while this view answers long sweeps.
+#[derive(Debug)]
+pub struct ShardedSnapshot<T> {
+    nrows: Index,
+    ncols: Index,
+    shards: Vec<MatrixSnapshot<T>>,
+}
+
+impl<T: ScalarType> ShardedSnapshot<T> {
+    /// Number of captured shard snapshots.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Every captured level structure across all shards (for k-way merged
+    /// sweeps).
+    fn all_levels(&self) -> Vec<&Dcsr<T>> {
+        self.shards.iter().flat_map(|s| s.level_dcsrs()).collect()
+    }
+}
+
+impl<T: ScalarType> MatrixReader<T> for ShardedSnapshot<T> {
+    fn reader_name(&self) -> &str {
+        "sharded-hier-graphblas-snapshot"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.read_nnz()).sum()
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
+        hyperstream_graphblas::cursor::merged_point(&self.all_levels(), row, col, Plus)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+        hyperstream_graphblas::cursor::merged_row_into(&self.all_levels(), row, Plus, out);
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        // Disjoint rows: exactly one shard can own the row.
+        self.shards.iter_mut().map(|s| s.read_row_degree(row)).sum()
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.read_row_reduce(row))
+            .reduce(|a, b| a.add(b))
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(Index, usize)> = Vec::new();
+        for s in &mut self.shards {
+            all.extend(s.read_top_k(k));
+        }
+        rerank_top_k(all, k)
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+        hyperstream_graphblas::cursor::for_each_merged(&self.all_levels(), Plus, f);
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        hyperstream_graphblas::cursor::merged_row_range(&self.all_levels(), lo, hi, Plus, f);
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        sum_histograms(self.shards.iter_mut().map(|s| s.read_degree_histogram()))
     }
 }
 
@@ -1107,6 +1307,98 @@ mod tests {
         // would have caught a materialising query path.
         let _ = engine.materialize().unwrap();
         assert_eq!(engine.aggregate_stats().materializations, 3);
+    }
+
+    #[test]
+    fn snapshot_answers_capture_while_ingest_continues() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        let updates = stream(2000);
+        let mut flat = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in &updates {
+            engine.update(r, c, v).unwrap();
+            flat.accum_element(r, c, v).unwrap();
+        }
+        flat.wait();
+        let mut snap = engine.snapshot();
+        assert_eq!(snap.num_shards(), 3);
+        // The engine keeps ingesting *after* the capture...
+        for &(r, c, v) in &stream(1000) {
+            engine.update(r.wrapping_add(1), c, v).unwrap();
+        }
+        // ...while the snapshot still answers exactly the captured state.
+        assert_eq!(snap.read_nnz(), flat.nvals());
+        let probe = flat.dcsr().row_ids()[0];
+        let (cols, vals) = flat.dcsr().row(probe).unwrap();
+        assert_eq!(snap.read_row_degree(probe), cols.len());
+        assert_eq!(snap.read_row_reduce(probe), Some(vals.iter().sum::<u64>()));
+        assert_eq!(snap.read_get(probe, cols[0]), Some(vals[0]));
+        let mut got = Vec::new();
+        snap.read_entries(&mut |r, c, v| got.push((r, c, v)));
+        let expect: Vec<_> = flat.iter_settled().collect();
+        assert_eq!(got, expect);
+        // Top-k re-ranks the per-shard index answers.
+        let mut ranking: Vec<(u64, usize)> = (0..flat.dcsr().nrows_nonempty())
+            .map(|k| (flat.dcsr().row_ids()[k], flat.dcsr().row_slot(k).0.len()))
+            .collect();
+        ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranking.truncate(5);
+        assert_eq!(snap.read_top_k(5), ranking);
+        // The capture never materialised any shard.
+        assert_eq!(engine.aggregate_stats().materializations, 0);
+    }
+
+    #[test]
+    fn row_range_dispatches_only_overlapping_workers() {
+        let mut range_engine = tiny_engine(4, ShardPartitioner::RowRange);
+        let mut hash_engine = tiny_engine(4, ShardPartitioner::RowHash);
+        let updates = stream(2000);
+        let mut flat = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in &updates {
+            range_engine.update(r, c, v).unwrap();
+            hash_engine.update(r, c, v).unwrap();
+            flat.accum_element(r, c, v).unwrap();
+        }
+        flat.wait();
+        // A band well inside the first shard's range (rows < DIM / 4).
+        let (lo, hi) = (0u64, 1u64 << 26);
+        let expect: Vec<(u64, u64, u64)> = flat
+            .iter_settled()
+            .filter(|&(r, _, _)| r >= lo && r < hi)
+            .collect();
+        let mut got = Vec::new();
+        range_engine.read_row_range(lo, hi, &mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(got, expect);
+        assert_eq!(
+            range_engine.last_query_fanout(),
+            1,
+            "narrow range should visit one RowRange worker"
+        );
+        // The hash partitioner cannot bound the scan: full fan-out.
+        got.clear();
+        hash_engine.read_row_range(lo, hi, &mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(got, expect);
+        assert_eq!(hash_engine.last_query_fanout(), 4);
+        // Wide ranges visit every band worker and agree too.
+        got.clear();
+        range_engine.read_row_range(0, DIM, &mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(got.len(), flat.nvals());
+        assert_eq!(range_engine.last_query_fanout(), 4);
+        // Empty range is free.
+        got.clear();
+        range_engine.read_row_range(5, 5, &mut |r, c, v| got.push((r, c, v)));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn histogram_pushdown_sums_disjoint_shards() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        let mut flat = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in &stream(1500) {
+            engine.update(r, c, v).unwrap();
+            flat.accum_element(r, c, v).unwrap();
+        }
+        assert_eq!(engine.read_degree_histogram(), flat.read_degree_histogram());
+        assert_eq!(engine.aggregate_stats().materializations, 0);
     }
 
     #[test]

@@ -13,14 +13,27 @@ use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use hyperstream_graphblas::cursor::{
     for_each_merged, merge_levels, merged_nnz, merged_point, merged_row_degree, merged_row_into,
-    merged_row_reduce, merged_top_k,
+    merged_row_range, merged_row_reduce, merged_top_k, LevelCursors,
 };
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::{GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink};
+use hyperstream_graphblas::{
+    DegreeIndex, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
+};
 use std::collections::VecDeque;
 
 /// A rotating sequence of hierarchical matrices, one per time window.
+///
+/// The reader's degree-centric answers come from a **union degree index**
+/// over the retained windows.  Unlike a single hierarchy — whose index
+/// maintains itself incrementally because cells never leave the union —
+/// rotation *evicts* whole windows, and a cell may or may not survive in
+/// other retained windows; the union index therefore follows the
+/// decrement-or-rebuild rule in its simplest exact form: any mutation
+/// (update, rotation, eviction) marks it stale and the next degree query
+/// rebuilds it in one merged cursor sweep.  Within a query burst (the
+/// analytics pattern: a batch arrives, then many queries) every answer
+/// after the first is O(1)/O(k).
 #[derive(Debug, Clone)]
 pub struct WindowedHierMatrix<T> {
     nrows: Index,
@@ -38,6 +51,10 @@ pub struct WindowedHierMatrix<T> {
     current_count: u64,
     /// Total windows ever closed (including dropped ones).
     windows_closed: u64,
+    /// Lazily rebuilt union degree index over the retained windows.
+    index: DegreeIndex<T>,
+    /// True when a mutation has outdated `index`.
+    index_stale: bool,
 }
 
 impl<T: ScalarType> WindowedHierMatrix<T> {
@@ -60,6 +77,8 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
             closed: VecDeque::new(),
             current_count: 0,
             windows_closed: 0,
+            index: DegreeIndex::new(),
+            index_stale: false,
         })
     }
 
@@ -86,6 +105,7 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
         }
         self.current.update(row, col, val)?;
         self.current_count += 1;
+        self.index_stale = true;
         Ok(())
     }
 
@@ -98,8 +118,12 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
         self.windows_closed += 1;
         self.current_count = 0;
         while self.closed.len() > self.max_windows {
+            // Eviction removes cells whose survival depends on the other
+            // retained windows — exactly the case the union index answers
+            // by rebuilding.
             self.closed.pop_front();
         }
+        self.index_stale = true;
         Ok(())
     }
 
@@ -200,7 +224,9 @@ impl<T: ScalarType> StreamingSink<T> for WindowedHierMatrix<T> {
 
 /// The windowed read path: queries cover the *retained* windows plus the
 /// current one (evicted windows are gone by design, matching the sink's
-/// totals), merged through one set of cursors over every window's levels.
+/// totals).  Point/row/entry extraction merges one set of cursors over
+/// every window's levels; the degree-centric answers come from the lazily
+/// rebuilt union index (checked against the cursor sweep in debug builds).
 impl<T: ScalarType> MatrixReader<T> for WindowedHierMatrix<T> {
     fn reader_name(&self) -> &str {
         "hier-graphblas-windowed"
@@ -211,8 +237,10 @@ impl<T: ScalarType> MatrixReader<T> for WindowedHierMatrix<T> {
     }
 
     fn read_nnz(&mut self) -> usize {
-        let dcsrs = self.retained_settled_dcsrs();
-        merged_nnz(&dcsrs)
+        self.refresh_index();
+        let n = self.index.nnz();
+        debug_assert_eq!(n, self.sweep_nnz());
+        n
     }
 
     fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
@@ -226,23 +254,41 @@ impl<T: ScalarType> MatrixReader<T> for WindowedHierMatrix<T> {
     }
 
     fn read_row_degree(&mut self, row: Index) -> usize {
-        let dcsrs = self.retained_settled_dcsrs();
-        merged_row_degree(&dcsrs, row)
+        self.refresh_index();
+        let d = self.index.row_degree(row);
+        debug_assert_eq!(d, self.sweep_row_degree(row));
+        d
     }
 
     fn read_row_reduce(&mut self, row: Index) -> Option<T> {
-        let dcsrs = self.retained_settled_dcsrs();
-        merged_row_reduce(&dcsrs, row, Plus)
+        self.refresh_index();
+        let w = self.index.row_weight(row);
+        debug_assert!(crate::matrix::reduce_agrees(w, self.sweep_row_reduce(row)));
+        w
     }
 
     fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
-        let dcsrs = self.retained_settled_dcsrs();
-        merged_top_k(&dcsrs, k)
+        self.refresh_index();
+        let top = self.index.top_k(k);
+        debug_assert_eq!(top, self.sweep_top_k(k));
+        top
     }
 
     fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
         let dcsrs = self.retained_settled_dcsrs();
         for_each_merged(&dcsrs, Plus, f);
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_range(&dcsrs, lo, hi, Plus, f);
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.refresh_index();
+        let hist = self.index.degree_histogram();
+        debug_assert_eq!(hist, self.sweep_degree_histogram());
+        hist
     }
 }
 
@@ -259,6 +305,68 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
             .flat_map(|w| w.level_dcsrs())
             .chain(self.current.level_dcsrs())
             .collect()
+    }
+
+    /// Rebuild the union index if any mutation outdated it: one merged
+    /// cursor sweep over every retained window's levels, emitting each
+    /// union row's degree and weight straight into the index (the entries
+    /// are already deduplicated, so the rebuild skips the cell oracle).
+    fn refresh_index(&mut self) {
+        if !self.index_stale {
+            return;
+        }
+        for w in &mut self.closed {
+            w.settle_levels();
+        }
+        self.current.settle_levels();
+        self.index.clear();
+        let dcsrs: Vec<&Dcsr<T>> = self
+            .closed
+            .iter()
+            .flat_map(|w| w.level_dcsrs())
+            .chain(self.current.level_dcsrs())
+            .collect();
+        let mut cur = LevelCursors::new(&dcsrs);
+        while let Some(row) = cur.next_row() {
+            let mut degree = 0u64;
+            let mut weight = T::default();
+            cur.fold_row(Plus, &mut |_, v| {
+                degree += 1;
+                weight = weight.add(v);
+            });
+            self.index.add_unique_row(row, degree, weight);
+        }
+        self.index_stale = false;
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_nnz`].
+    pub fn sweep_nnz(&mut self) -> usize {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_nnz(&dcsrs)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_row_degree`].
+    pub fn sweep_row_degree(&mut self, row: Index) -> usize {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_degree(&dcsrs, row)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_row_reduce`].
+    pub fn sweep_row_reduce(&mut self, row: Index) -> Option<T> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_row_reduce(&dcsrs, row, Plus)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_top_k`].
+    pub fn sweep_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_top_k(&dcsrs, k)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_degree_histogram`].
+    pub fn sweep_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let dcsrs = self.retained_settled_dcsrs();
+        hyperstream_graphblas::cursor::merged_degree_histogram(&dcsrs)
     }
 }
 
@@ -381,6 +489,54 @@ mod tests {
         let mut total = 0u64;
         w.read_entries(&mut |_, _, v| total += v);
         assert_eq!(total as f64, w.total_weight_f64());
+    }
+
+    #[test]
+    fn union_index_survives_rotation_and_eviction() {
+        let mut w = windowed(25, 2);
+        for i in 0..170u64 {
+            // Cells recur across windows, so eviction removes some cells
+            // that survive in other windows and some that do not.
+            w.update(i % 7, (i * 3) % 11, 1).unwrap();
+            if i % 40 == 39 {
+                assert_eq!(w.read_nnz(), w.sweep_nnz(), "at update {i}");
+                assert_eq!(w.read_top_k(4), w.sweep_top_k(4), "at update {i}");
+            }
+        }
+        // Evictions happened (6 closed, 2 retained).
+        assert_eq!(w.windows_closed(), 6);
+        assert_eq!(w.retained_windows(), 2);
+        for row in 0u64..8 {
+            assert_eq!(w.read_row_degree(row), w.sweep_row_degree(row), "{row}");
+            assert_eq!(w.read_row_reduce(row), w.sweep_row_reduce(row), "{row}");
+        }
+        assert_eq!(w.read_degree_histogram(), w.sweep_degree_histogram());
+        // Manual rotation invalidates the cached index too.
+        let before = w.read_nnz();
+        w.rotate().unwrap();
+        w.rotate().unwrap();
+        w.rotate().unwrap();
+        // All content evicted: three empty windows pushed the full ones out.
+        assert_eq!(w.read_nnz(), w.sweep_nnz());
+        assert!(w.read_nnz() < before);
+    }
+
+    #[test]
+    fn windowed_row_range_matches_filter() {
+        let mut w = windowed(30, 3);
+        for i in 0..100u64 {
+            w.update(i % 50, i % 9, 1).unwrap();
+        }
+        let mut all = Vec::new();
+        w.read_entries(&mut |r, c, v| all.push((r, c, v)));
+        let mut got = Vec::new();
+        w.read_row_range(10, 20, &mut |r, c, v| got.push((r, c, v)));
+        let expect: Vec<_> = all
+            .iter()
+            .copied()
+            .filter(|&(r, _, _)| (10..20).contains(&r))
+            .collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

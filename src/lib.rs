@@ -58,7 +58,7 @@ pub mod prelude {
 
     pub use hyperstream_hier::{
         HierConfig, HierMatrix, HierStats, InstancePool, PartitionBuffers, ShardPartitioner,
-        ShardedConfig, ShardedHierMatrix, WindowedHierMatrix,
+        ShardedConfig, ShardedHierMatrix, ShardedSnapshot, WindowedHierMatrix,
     };
 
     pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};
