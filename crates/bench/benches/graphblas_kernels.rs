@@ -247,6 +247,97 @@ fn bench_merged_cursor(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched point/row reads versus their single-query loops: `read_rows`
+/// and `read_get_many` pay the settle check and cursor setup once per
+/// batch instead of once per key, which is the win the sharded engine
+/// turns into one push-down round per owning shard.
+fn bench_batched_reads(c: &mut Criterion) {
+    use hyperstream_graphblas::MatrixReader;
+    use hyperstream_hier::{HierConfig, HierMatrix};
+
+    let mut group = c.benchmark_group("batched_reads");
+    group.sample_size(20);
+    let mut gen = PowerLawGenerator::new(PowerLawConfig {
+        seed: 21,
+        ..PowerLawConfig::paper()
+    });
+    let edges = gen.batch(200_000);
+    let rows: Vec<u64> = edges.iter().map(|e| e.src).collect();
+    let cols: Vec<u64> = edges.iter().map(|e| e.dst).collect();
+    let vals: Vec<u64> = edges.iter().map(|e| e.weight).collect();
+    let mut m = HierMatrix::<u64>::new(DIM, DIM, HierConfig::paper_default()).unwrap();
+    m.update_batch(&rows, &cols, &vals).unwrap();
+    let probe_rows: Vec<u64> = rows.iter().step_by(781).copied().collect();
+    let keys: Vec<(u64, u64)> = edges.iter().step_by(781).map(|e| (e.src, e.dst)).collect();
+
+    group.throughput(Throughput::Elements(probe_rows.len() as u64));
+    group.bench_function("hier_read_rows_batched", |b| {
+        b.iter(|| m.read_rows(&probe_rows).len())
+    });
+    group.bench_function("hier_read_row_loop", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for &r in &probe_rows {
+                m.read_row(r, &mut out);
+                n += out.len();
+            }
+            n
+        })
+    });
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("hier_get_many_batched", |b| {
+        b.iter(|| m.read_get_many(&keys).iter().flatten().sum::<u64>())
+    });
+    group.bench_function("hier_get_loop", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter_map(|&(r, c)| m.read_get(r, c))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+/// The transpose read path head-to-head: column extract and in-degree
+/// top-k served from the lazily-built column twin / column degree index
+/// versus the whole-matrix cursor sweeps they replace.
+fn bench_column_queries(c: &mut Criterion) {
+    use hyperstream_graphblas::cursor::{merged_col_into, merged_in_top_k};
+    use hyperstream_graphblas::MatrixReader;
+
+    let mut group = c.benchmark_group("column_queries");
+    group.sample_size(20);
+    let mut m = random_matrix(200_000, 9);
+    let probe_col = m.dcsr().row_slot(0).0[0];
+    // Build the column twin once, outside the timed region, so the bench
+    // measures the steady-state O(k) answer (first-query activation is a
+    // one-off full transpose).
+    let mut warm = Vec::new();
+    m.read_col(probe_col, &mut warm);
+    assert!(!warm.is_empty());
+
+    group.bench_function("read_col_twin", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            m.read_col(probe_col, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("read_col_sweep", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            merged_col_into(&[m.dcsr()], probe_col, Plus, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("in_top_k_8_indexed", |b| b.iter(|| m.read_in_top_k(8)));
+    group.bench_function("in_top_k_8_sweep", |b| {
+        b.iter(|| merged_in_top_k(&[m.dcsr()], 8))
+    });
+    group.finish();
+}
+
 fn bench_mxm_and_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("mxm_reduce");
     group.sample_size(10);
@@ -268,6 +359,8 @@ criterion_group!(
     bench_accum_tuples,
     bench_sort_dedup,
     bench_merged_cursor,
+    bench_batched_reads,
+    bench_column_queries,
     bench_mxm_and_reduce
 );
 criterion_main!(benches);

@@ -11,7 +11,10 @@
 //!   `Q ∈ {0, 16, 128, 512}` (the `Q = 512` point shows where the old
 //!   sweep-served top-k quarter collapsed ingest to ~10% of pure);
 //! * **topk-heavy** — three top-k scans per degree-distribution query,
-//!   the blend the incremental degree index exists for.
+//!   the blend the incremental degree index exists for;
+//! * **col-heavy** — column extract / column degree / two in-degree top-k
+//!   scans per cycle, the transpose-direction blend the lazily-maintained
+//!   column twin and column degree index exist for.
 //!
 //! The slower database analogues run a shorter stream and skip the
 //! heaviest points (rates stay per-operation and comparable).  The run
@@ -19,7 +22,7 @@
 //! the per-trial rates + relative spread of every best-of-N measurement,
 //! so the single-core host drift is visible in the artifact instead of
 //! silently folded away.  Flags: `--quick` (reduced stream + the top-k
-//! sweep-regression tripwire CI relies on), `--batches N`.
+//! and in-degree sweep-regression tripwires CI relies on), `--batches N`.
 
 use hyperstream_bench::{arg_value, bench_meta, fmt_rate, quick_mode, TrialRates};
 use hyperstream_cluster::{measure_mixed, MixedRate, QueryMix, SystemKind};
@@ -156,6 +159,68 @@ fn topk_tripwire(stream: &[Vec<hyperstream_workload::Edge>]) -> Result<f64, f64>
     }
 }
 
+/// The transpose-direction tripwire behind `--quick`: a burst of in-degree
+/// top-k + column-extract queries against a freshly ingested hierarchical
+/// matrix must complete within the same budget.  Served from the column
+/// degree index and column twin the burst is milliseconds; a regression to
+/// cursor sweeps costs thousands of whole-matrix walks.  On success returns
+/// `(burst seconds, per-query speedup of the indexed in-degree top-k over
+/// the cursor-sweep answer)`.
+fn col_tripwire(stream: &[Vec<hyperstream_workload::Edge>]) -> Result<(f64, f64), f64> {
+    use hyperstream_graphblas::MatrixReader;
+    use hyperstream_hier::{HierConfig, HierMatrix};
+
+    const BURST: usize = 2_000;
+    const BUDGET_SECONDS: f64 = 5.0;
+    const SWEEP_BURST: usize = 16;
+
+    let mut m = HierMatrix::<u64>::new(DIM, DIM, HierConfig::paper_default()).expect("valid dims");
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    for batch in stream {
+        hyperstream_workload::edges_to_tuples_into(batch, &mut rows, &mut cols, &mut vals);
+        m.update_batch(&rows, &cols, &vals).expect("in-bounds");
+    }
+    let probe_col = stream[0][0].dst;
+    let start = std::time::Instant::now();
+    let mut checksum = 0u64;
+    let mut col_buf = Vec::new();
+    for i in 0..BURST {
+        if i % 4 == 0 {
+            m.read_col(probe_col, &mut col_buf);
+            checksum ^= col_buf.len() as u64;
+        } else {
+            checksum ^= m.read_in_top_k(8).first().map(|t| t.0).unwrap_or(0);
+        }
+    }
+    std::hint::black_box(checksum);
+    let took = start.elapsed().as_secs_f64();
+    if took > BUDGET_SECONDS {
+        return Err(took);
+    }
+    let indexed_per_query = took / BURST as f64;
+
+    // Per-query cost of the cursor-sweep answer to the same in-degree
+    // top-k, over the identical settled data (a flat rebuild of the
+    // stream): the baseline the column index is supposed to beat.
+    let mut flat = hyperstream_graphblas::Matrix::<u64>::new(DIM, DIM);
+    for batch in stream {
+        for e in batch {
+            flat.accum_element(e.src, e.dst, e.weight)
+                .expect("in-bounds");
+        }
+    }
+    flat.wait();
+    let start = std::time::Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..SWEEP_BURST {
+        let top = hyperstream_graphblas::cursor::merged_in_top_k(&[flat.dcsr()], 8);
+        checksum ^= top.first().map(|t| t.0).unwrap_or(0);
+    }
+    std::hint::black_box(checksum);
+    let sweep_per_query = start.elapsed().as_secs_f64() / SWEEP_BURST as f64;
+    Ok((took, sweep_per_query / indexed_per_query.max(1e-12)))
+}
+
 fn main() {
     let quick = quick_mode();
     let batches = arg_value("--batches")
@@ -170,6 +235,7 @@ fn main() {
         &[0, 16, 128, 512]
     };
     let topk: &[usize] = if quick { &[8] } else { &[16, 128, 512] };
+    let colheavy: &[usize] = if quick { &[8] } else { &[16, 128, 512] };
 
     println!("=== E9: mixed ingest + query rate (MatrixReader layer) ===");
     println!(
@@ -212,6 +278,12 @@ fn main() {
             topk.iter()
                 .filter(|&&q| graphblas_native || q <= 16)
                 .map(|&q| (QueryMix::TopKHeavy, q)),
+        );
+        points.extend(
+            colheavy
+                .iter()
+                .filter(|&&q| graphblas_native || q <= 16)
+                .map(|&q| (QueryMix::ColHeavy, q)),
         );
 
         let mut measured = Vec::new();
@@ -272,6 +344,14 @@ fn main() {
                 fmt_rate(tk.best.insert_rate()),
             );
         }
+        if let Some(ch) = points.iter().rfind(|p| p.best.mix == QueryMix::ColHeavy) {
+            println!(
+                "hier-graphblas col-heavy mix (Q={}): {} queries/sec at {} inserts/sec",
+                ch.best.queries_per_batch,
+                fmt_rate(ch.best.query_rate()),
+                fmt_rate(ch.best.insert_rate()),
+            );
+        }
     }
 
     // CI sweep-regression tripwire (quick mode only: the smoke must stay
@@ -288,6 +368,19 @@ fn main() {
                 eprintln!(
                     "top-k tripwire FAILED: 2000-query burst took {took:.3}s (budget 5s) — \
                      degree-ranking queries have regressed to full sweeps"
+                );
+                std::process::exit(1);
+            }
+        }
+        match col_tripwire(&stream) {
+            Ok((took, speedup)) => println!(
+                "in-degree tripwire: 2000-query burst in {took:.3}s (budget 5s), \
+                 indexed in-degree top-k {speedup:.0}x the cursor sweep — column twin healthy"
+            ),
+            Err(took) => {
+                eprintln!(
+                    "in-degree tripwire FAILED: 2000-query burst took {took:.3}s (budget 5s) — \
+                     column queries have regressed to full sweeps"
                 );
                 std::process::exit(1);
             }

@@ -175,6 +175,11 @@ pub enum QueryMix {
     /// query — the blend that used to be all full sweeps and now exercises
     /// the incremental degree index.
     TopKHeavy,
+    /// Transpose-heavy: column extract / column degree / two in-degree
+    /// top-k scans — the blend that used to be all cursor sweeps and now
+    /// exercises the lazily-maintained column twin and column degree
+    /// index.
+    ColHeavy,
 }
 
 impl QueryMix {
@@ -183,6 +188,7 @@ impl QueryMix {
         match self {
             QueryMix::Rotating => "rotating",
             QueryMix::TopKHeavy => "topk-heavy",
+            QueryMix::ColHeavy => "col-heavy",
         }
     }
 }
@@ -268,6 +274,17 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
                     }
                     _ => {
                         let top = sys.read_top_k(8);
+                        checksum ^= top.first().map(|t| t.0).unwrap_or(0);
+                    }
+                },
+                QueryMix::ColHeavy => match q % 4 {
+                    0 => {
+                        sys.read_col(e.dst, &mut row_buf);
+                        checksum ^= row_buf.len() as u64;
+                    }
+                    1 => checksum ^= sys.read_col_degree(e.dst) as u64,
+                    _ => {
+                        let top = sys.read_in_top_k(8);
                         checksum ^= top.first().map(|t| t.0).unwrap_or(0);
                     }
                 },
@@ -382,7 +399,7 @@ mod tests {
     #[test]
     fn all_systems_answer_mixed_workloads() {
         let batches = small_batches();
-        for &mix in &[QueryMix::Rotating, QueryMix::TopKHeavy] {
+        for &mix in &[QueryMix::Rotating, QueryMix::TopKHeavy, QueryMix::ColHeavy] {
             for &sys in SystemKind::all() {
                 let r = measure_mixed(sys, &batches, 3, 1 << 32, mix);
                 assert_eq!(r.inserts, 8_000, "{sys:?} {mix:?}");
@@ -401,7 +418,15 @@ mod tests {
         // Every system ingests the same stream; reader answers must be
         // byte-identical across systems (the cross-system comparison the
         // MatrixReader contract exists for).
-        type ReaderAnswers = (usize, Vec<(u64, u64)>, usize, Vec<(u64, usize)>);
+        type ReaderAnswers = (
+            usize,
+            Vec<(u64, u64)>,
+            usize,
+            Vec<(u64, usize)>,
+            Vec<(u64, u64)>,
+            usize,
+            Vec<(u64, usize)>,
+        );
         let batches = small_batches();
         let probe = batches[0][0];
         let mut references: Option<ReaderAnswers> = None;
@@ -413,13 +438,23 @@ mod tests {
             sys.read_row(probe.src, &mut row);
             let degree = sys.read_row_degree(probe.src);
             let top = sys.read_top_k(5);
+            // Column answers must agree too, whether a system serves them
+            // from a column twin (hier family) or the sweep fallback (the
+            // key-value analogues).
+            let mut col = Vec::new();
+            sys.read_col(probe.dst, &mut col);
+            let col_degree = sys.read_col_degree(probe.dst);
+            let in_top = sys.read_in_top_k(5);
             match &references {
-                None => references = Some((nnz, row, degree, top)),
-                Some((e_nnz, e_row, e_deg, e_top)) => {
+                None => references = Some((nnz, row, degree, top, col, col_degree, in_top)),
+                Some((e_nnz, e_row, e_deg, e_top, e_col, e_cdeg, e_itop)) => {
                     assert_eq!(nnz, *e_nnz, "{kind:?}");
                     assert_eq!(&row, e_row, "{kind:?}");
                     assert_eq!(degree, *e_deg, "{kind:?}");
                     assert_eq!(&top, e_top, "{kind:?}");
+                    assert_eq!(&col, e_col, "{kind:?}");
+                    assert_eq!(col_degree, *e_cdeg, "{kind:?}");
+                    assert_eq!(&in_top, e_itop, "{kind:?}");
                 }
             }
         }

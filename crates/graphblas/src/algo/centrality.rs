@@ -37,17 +37,22 @@ where
         return SparseVector::new(nrows);
     }
 
-    // Out-degrees from the sorted entry stream (rows arrive grouped).
-    let mut out_deg: std::collections::BTreeMap<Index, f64> = std::collections::BTreeMap::new();
-    for &r in &rows {
-        *out_deg.entry(r).or_insert(0.0) += 1.0;
-    }
-
     // Column-stochastic transition: P(i, j) = 1 / outdeg(i) for each edge.
-    let mut pvals = Vec::with_capacity(rows.len());
-    for &r in &rows {
-        let d = out_deg.get(&r).copied().unwrap_or(1.0);
-        pvals.push(1.0 / d.max(1.0));
+    // The reader contract delivers entries row-major sorted, so each row's
+    // edges are one contiguous run — fill the reciprocal per run instead of
+    // building and re-probing a per-edge degree map.
+    let mut pvals = vec![0.0f64; rows.len()];
+    let mut start = 0;
+    while start < rows.len() {
+        let mut end = start + 1;
+        while end < rows.len() && rows[end] == rows[start] {
+            end += 1;
+        }
+        let inv = 1.0 / (end - start) as f64;
+        for slot in &mut pvals[start..end] {
+            *slot = inv;
+        }
+        start = end;
     }
     let p = Matrix::from_tuples(nrows, ncols, &rows, &cols, &pvals, crate::ops::binary::Plus)
         .expect("transition matrix coordinates are in bounds");

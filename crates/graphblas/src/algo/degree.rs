@@ -37,16 +37,24 @@ where
 }
 
 /// In-degree of every non-empty column.
+///
+/// Served through [`MatrixReader::read_in_top_k`] with `k = nnz` (an upper
+/// bound on the number of distinct columns), so twin/index-backed readers
+/// answer in O(columns log columns) off their column structures instead of
+/// sweeping every stored entry.
 pub fn col_degree<V, R>(a: &mut R) -> SparseVector<u64>
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
 {
-    let mut counts: BTreeMap<Index, u64> = BTreeMap::new();
-    a.read_entries(&mut |_, c, _| *counts.entry(c).or_insert(0) += 1);
+    let bound = a.read_nnz();
+    let mut degs = a.read_in_top_k(bound);
+    // Ranked by degree; re-sort by column id so the vector builds with
+    // ascending appends (linear) like the row-side mirror.
+    degs.sort_unstable_by_key(|&(c, _)| c);
     let mut v = SparseVector::new(a.read_dims().1);
-    for (c, n) in counts {
-        v.set(c, n).expect("col id within reader dims");
+    for (c, n) in degs {
+        v.set(c, n as u64).expect("col id within reader dims");
     }
     v
 }
@@ -101,11 +109,16 @@ impl DegreeDistribution {
     }
 }
 
-/// Compute the out-degree distribution of a matrix's pattern.
+/// Compute the **out**-degree (row-pattern) distribution of a matrix.
 ///
 /// Served through [`MatrixReader::read_degree_histogram`], so index-backed
 /// readers (the hierarchical systems) answer in O(distinct degrees) rather
-/// than sweeping every entry.
+/// than sweeping every entry.  This counts *rows*; the column mirror is
+/// [`in_degree_distribution`] — since the column read path landed, both
+/// directions are index-served symmetrically (out-degree off the row
+/// [`DegreeIndex`], in-degree off the column twin/index).
+///
+/// [`DegreeIndex`]: crate::degree_index::DegreeIndex
 pub fn degree_distribution<V, R>(a: &mut R) -> DegreeDistribution
 where
     V: ScalarType,
@@ -113,6 +126,23 @@ where
 {
     DegreeDistribution {
         counts: a.read_degree_histogram(),
+    }
+}
+
+/// Compute the **in**-degree (column-pattern) distribution of a matrix —
+/// the background model for *destination*-centric telemetry (victim
+/// profiles) the way [`degree_distribution`] models sources.
+///
+/// Served through [`MatrixReader::read_in_degree_histogram`]: O(distinct
+/// degrees) off a column index, one O(k) twin lookup otherwise — never the
+/// old full-entry sweep.
+pub fn in_degree_distribution<V, R>(a: &mut R) -> DegreeDistribution
+where
+    V: ScalarType,
+    R: MatrixReader<V> + ?Sized,
+{
+    DegreeDistribution {
+        counts: a.read_in_degree_histogram(),
     }
 }
 
@@ -153,6 +183,16 @@ mod tests {
         g.accum_tuples(&[3, 3, 3], &[1, 2, 1], &[1, 1, 1]).unwrap();
         // Pending only; duplicates on (3, 1) must collapse in the pattern.
         assert_eq!(row_degree(&mut g).get(3), Some(2));
+    }
+
+    #[test]
+    fn in_degree_distribution_mirrors_transpose() {
+        let mut g = star_graph(5, 4);
+        let dist = in_degree_distribution(&mut g);
+        // Four leaves, each with in-degree 1; the hub has none.
+        assert_eq!(dist.counts.get(&1), Some(&4));
+        assert_eq!(dist.total_vertices(), 4);
+        assert_eq!(dist.max_degree(), 1);
     }
 
     #[test]

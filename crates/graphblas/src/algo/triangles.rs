@@ -8,7 +8,6 @@ use crate::ops::monoid::PlusMonoid;
 use crate::ops::mxm::mxm;
 use crate::ops::reduce::reduce_scalar;
 use crate::ops::semiring::PlusTimes;
-use crate::ops::unary::One;
 use crate::reader::{read_tuples, MatrixReader};
 use crate::types::ScalarType;
 
@@ -23,6 +22,9 @@ where
     R: MatrixReader<V> + ?Sized,
 {
     // Work on a u64 pattern so path counts cannot overflow small types.
+    // The reader cursor delivers duplicates already combined; every value
+    // is rebuilt as literal 1 here (`Second` over a ones vector), so the
+    // pattern needs no extra `apply(One)` normalisation pass.
     let (rows, cols, _) = read_tuples(a);
     let (nrows, ncols) = a.read_dims();
     let ones = vec![1u64; rows.len()];
@@ -35,7 +37,6 @@ where
         crate::ops::binary::Second,
     )
     .expect("pattern rebuild");
-    let pattern = crate::ops::apply::apply(&pattern, One);
 
     let paths2 = mxm(&pattern, &pattern, PlusTimes);
     let closed = ewise_mult(&paths2, &pattern, Times);

@@ -190,6 +190,24 @@ impl<'a, T: ScalarType> LevelCursors<'a, T> {
         }
         self.merge_active(op, emit);
     }
+
+    /// Column-seek within the current row: binary-search each active part
+    /// for `col`, folding the hits under `op` — the inner step of the
+    /// transpose (column-extract) kernels.  `None` when the current row
+    /// stores nothing in `col`.
+    pub fn col_in_row<Op: BinaryOp<T>>(&self, col: Index, op: Op) -> Option<T> {
+        let mut acc: Option<T> = None;
+        for i in 0..self.active.len() {
+            let (cols, vals) = self.part(i);
+            if let Ok(j) = cols.binary_search(&col) {
+                acc = Some(match acc {
+                    Some(a) => op.apply(a, vals[j]),
+                    None => vals[j],
+                });
+            }
+        }
+        acc
+    }
 }
 
 /// Verify that every level matches the `nrows x ncols` target.
@@ -530,6 +548,133 @@ pub fn merged_row_range<T: ScalarType, Op: BinaryOp<T>>(
     }
 }
 
+/// Extract one logical *column* of `Σ levels` into `out` (cleared first),
+/// sorted by row, values combined under `op` — the transpose twin of
+/// [`merged_row_into`].  Row-major storage cannot seek a column directly,
+/// so this walks every merged row and column-seeks each (one binary search
+/// per level holding the row): `O(rows · log degree)`.  This is the
+/// retained cursor-sweep fallback; the column-shadow fast path answers in
+/// `O(column degree)`.
+pub fn merged_col_into<T: ScalarType, Op: BinaryOp<T>>(
+    levels: &[&Dcsr<T>],
+    col: Index,
+    op: Op,
+    out: &mut Vec<(Index, T)>,
+) {
+    out.clear();
+    let mut cur = LevelCursors::new(levels);
+    while let Some(row) = cur.next_row() {
+        if let Some(v) = cur.col_in_row(col, op) {
+            out.push((row, v));
+        }
+    }
+}
+
+/// Number of distinct rows storing something in column `col` of
+/// `Σ levels` (the column's in-degree), by column-seek sweep.
+pub fn merged_col_degree<T: ScalarType>(levels: &[&Dcsr<T>], col: Index) -> usize {
+    let mut cur = LevelCursors::new(levels);
+    let mut n = 0;
+    while cur.next_row().is_some() {
+        if cur.col_in_row(col, crate::ops::binary::First).is_some() {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Reduce column `col` of `Σ levels` to a scalar under `op` (`None` when
+/// the column is empty).  For an associative, commutative `op` the
+/// cross-level collisions need no merge: every stored value folds in.
+pub fn merged_col_reduce<T: ScalarType, Op: BinaryOp<T>>(
+    levels: &[&Dcsr<T>],
+    col: Index,
+    op: Op,
+) -> Option<T> {
+    let mut acc: Option<T> = None;
+    for d in levels {
+        let (ids, ptr, cols, vals) = d.raw_parts();
+        for slot in 0..ids.len() {
+            let (lo, hi) = (ptr[slot], ptr[slot + 1]);
+            if let Ok(j) = cols[lo..hi].binary_search(&col) {
+                acc = Some(match acc {
+                    Some(a) => op.apply(a, vals[lo + j]),
+                    None => vals[lo + j],
+                });
+            }
+        }
+    }
+    acc
+}
+
+/// Distinct-row degree of every non-empty column of `Σ levels` — one full
+/// merged sweep (cells are unique after the merge, so each counts once).
+pub fn merged_col_degrees<T: ScalarType>(
+    levels: &[&Dcsr<T>],
+) -> std::collections::BTreeMap<Index, u64> {
+    let mut degs = std::collections::BTreeMap::new();
+    for_each_merged(levels, crate::ops::binary::First, &mut |_, c, _| {
+        *degs.entry(c).or_insert(0u64) += 1;
+    });
+    degs
+}
+
+/// The `k` columns of `Σ levels` with the most distinct rows, sorted by
+/// in-degree descending then column id ascending — the "top talkers by
+/// fan-in" query's full-sweep fallback (`O(nnz)` plus a rank).
+pub fn merged_in_top_k<T: ScalarType>(levels: &[&Dcsr<T>], k: usize) -> Vec<(Index, usize)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut all: Vec<(Index, usize)> = merged_col_degrees(levels)
+        .into_iter()
+        .map(|(c, d)| (c, d as usize))
+        .collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// The in-degree histogram of `Σ levels` (`in-degree -> column count`),
+/// by full sweep — the fallback twin of the column index's answer.
+pub fn merged_in_degree_histogram<T: ScalarType>(
+    levels: &[&Dcsr<T>],
+) -> std::collections::BTreeMap<u64, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for (_, d) in merged_col_degrees(levels) {
+        *counts.entry(d).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+/// Column-major iteration over the columns `lo..hi` (half-open) of
+/// `Σ levels` under `op`: `f(row, col, value)` fires in (col asc, row asc)
+/// order.  Row-major levels cannot stream a column range directly, so this
+/// fallback collects the matching cells from one merged row sweep and
+/// sorts them into column-major order — the shadow fast path streams the
+/// same order with no sort.
+pub fn merged_col_range<T: ScalarType, Op: BinaryOp<T>>(
+    levels: &[&Dcsr<T>],
+    lo: Index,
+    hi: Index,
+    op: Op,
+    f: &mut dyn FnMut(Index, Index, T),
+) {
+    if lo >= hi {
+        return;
+    }
+    let mut hits: Vec<(Index, Index, T)> = Vec::new();
+    for_each_merged(levels, op, &mut |r, c, v| {
+        if c >= lo && c < hi {
+            hits.push((c, r, v));
+        }
+    });
+    hits.sort_unstable_by_key(|&(c, r, _)| (c, r));
+    for (c, r, v) in hits {
+        f(r, c, v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +828,77 @@ mod tests {
         let second = merged_top_k_with(&levels, 100, &mut scratch);
         assert_eq!(second, merged_top_k(&levels, 100));
         assert!(merged_top_k_with(&levels, 0, &mut scratch).is_empty());
+    }
+
+    #[test]
+    fn merged_col_kernels_match_transposed_reference() {
+        let owned = sample_levels();
+        let levels: Vec<&Dcsr<u64>> = owned.iter().collect();
+        let reference = pairwise_reference(&levels);
+        // Column 2 is stored by rows 5 (two levels: 1 + 100) only; column 9
+        // by row 5 (two levels); column 4 by row 0.
+        let mut col = Vec::new();
+        merged_col_into(&levels, 2, Plus, &mut col);
+        assert_eq!(col, vec![(5, 101)]);
+        merged_col_into(&levels, 9, Plus, &mut col);
+        assert_eq!(col, vec![(5, 202)]);
+        merged_col_into(&levels, 77, Plus, &mut col);
+        assert!(col.is_empty());
+        assert_eq!(merged_col_degree(&levels, 2), 1);
+        assert_eq!(merged_col_degree(&levels, 77), 0);
+        assert_eq!(merged_col_reduce(&levels, 2, Plus), Some(101));
+        assert_eq!(merged_col_reduce(&levels, 77, Plus), None);
+        // Exhaustive check against the materialised reference, per column.
+        let mut by_col: std::collections::BTreeMap<u64, Vec<(u64, u64)>> = Default::default();
+        for (r, c, v) in reference.iter() {
+            by_col.entry(c).or_default().push((r, v));
+        }
+        for (&c, expect) in &by_col {
+            merged_col_into(&levels, c, Plus, &mut col);
+            assert_eq!(&col, expect, "column {c}");
+            assert_eq!(merged_col_degree(&levels, c), expect.len());
+            assert_eq!(
+                merged_col_reduce(&levels, c, Plus),
+                Some(expect.iter().map(|&(_, v)| v).sum())
+            );
+        }
+        let degs = merged_col_degrees(&levels);
+        for (&c, expect) in &by_col {
+            assert_eq!(degs.get(&c), Some(&(expect.len() as u64)));
+        }
+        assert_eq!(degs.len(), by_col.len());
+    }
+
+    #[test]
+    fn merged_in_top_k_and_histogram_order() {
+        // Columns: 7 appears in rows 1, 2, 3; 8 in rows 1, 2; 9 in row 9.
+        let a = dcsr(&[(1, 7, 1), (1, 8, 1), (2, 7, 1)]);
+        let b = dcsr(&[(2, 8, 1), (3, 7, 1), (9, 9, 1)]);
+        let levels = [&a, &b];
+        assert_eq!(merged_in_top_k(&levels, 2), vec![(7, 3), (8, 2)]);
+        assert_eq!(merged_in_top_k(&levels, 10), vec![(7, 3), (8, 2), (9, 1)]);
+        assert!(merged_in_top_k(&levels, 0).is_empty());
+        let hist = merged_in_degree_histogram(&levels);
+        assert_eq!(hist.get(&3), Some(&1));
+        assert_eq!(hist.get(&2), Some(&1));
+        assert_eq!(hist.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn merged_col_range_is_column_major() {
+        let owned = sample_levels();
+        let levels: Vec<&Dcsr<u64>> = owned.iter().collect();
+        let reference = pairwise_reference(&levels);
+        for (lo, hi) in [(0u64, u64::MAX), (2, 4), (9, 10), (5, 5), (100, 2)] {
+            let mut got = Vec::new();
+            merged_col_range(&levels, lo, hi, Plus, &mut |r, c, v| got.push((r, c, v)));
+            let mut expect: Vec<_> = reference
+                .iter()
+                .filter(|&(_, c, _)| c >= lo && c < hi)
+                .collect();
+            expect.sort_by_key(|&(r, c, _)| (c, r));
+            assert_eq!(got, expect, "cols {lo}..{hi}");
+        }
     }
 
     #[test]

@@ -397,6 +397,36 @@ impl<V: ScalarType> DegreeIndex<V> {
         core.version += 1;
     }
 
+    /// Observe a settled structure **transposed**: every `(row, col)` entry
+    /// feeds the oracle and stats as `(col, row)`.  This is how a *column*
+    /// degree index rebuilds from row-major level structures — the settle
+    /// observer is coordinate-agnostic (grouping by the first coordinate is
+    /// only a fast path), so the same [`DegreeIndex`] type indexes either
+    /// axis; only this bulk rebuild needs to know the storage is row-major.
+    pub fn observe_dcsr_transposed(&mut self, d: &Dcsr<V>) {
+        let (ids, ptr, cols, vals) = d.raw_parts();
+        if !self.active || ids.is_empty() {
+            return;
+        }
+        let core = Arc::make_mut(&mut self.view.core);
+        for (slot, &row) in ids.iter().enumerate() {
+            for j in ptr[slot]..ptr[slot + 1] {
+                let col = cols[j];
+                let new_cell = self.cells.insert(cell_key(col, row));
+                let stat = core.rows.entry(col).or_insert(RowStat {
+                    degree: 0,
+                    weight: V::default(),
+                });
+                if new_cell {
+                    stat.degree += 1;
+                    core.nnz += 1;
+                }
+                stat.weight = stat.weight.add(vals[j]);
+            }
+        }
+        core.version += 1;
+    }
+
     /// Record one row's worth of entries that are *known distinct and new*
     /// (no cell probes) — the rebuild path of readers that reconstruct an
     /// index from an already-deduplicated union sweep, where the oracle
@@ -582,6 +612,32 @@ mod tests {
         assert_eq!(ix.nnz(), 3);
         assert_eq!(ix.row_degree(4), 2);
         assert_eq!(ix.row_weight(4), Some(60));
+    }
+
+    #[test]
+    fn transposed_observation_builds_a_column_index() {
+        // (4,1) (4,2) (9,2): column degrees are {1: 1, 2: 2}.
+        let d =
+            Dcsr::from_tuples(100, 100, &[4, 4, 9], &[1, 2, 2], &[10u64, 20, 30], Plus).unwrap();
+        let mut ix = DegreeIndex::<u64>::new();
+        ix.activate();
+        ix.observe_dcsr_transposed(&d);
+        assert_eq!(ix.nnz(), 3);
+        assert_eq!(ix.row_degree(1), 1);
+        assert_eq!(ix.row_degree(2), 2);
+        assert_eq!(ix.row_weight(2), Some(50));
+        assert_eq!(ix.top_k(1), vec![(2, 2)]);
+        // Re-observation only accumulates weight where cells repeat.
+        ix.observe_dcsr_transposed(&d);
+        assert_eq!(ix.nnz(), 3);
+        assert_eq!(ix.row_degree(2), 2);
+        // The settle observer with swapped coordinate slices maintains the
+        // same column stats incrementally (grouping by the first slice is a
+        // fast path, not a correctness requirement).
+        ix.observe_settle(&[7, 2], &[1, 8], &[5, 5]);
+        assert_eq!(ix.row_degree(7), 1);
+        assert_eq!(ix.row_degree(2), 3);
+        assert_eq!(ix.nnz(), 5);
     }
 
     #[test]

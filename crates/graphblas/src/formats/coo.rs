@@ -243,9 +243,9 @@ impl<T: ScalarType> Coo<T> {
 
     /// The radix settle kernel: pack each `(row, col)` into a `u64` key
     /// (`row << 32 | col` — valid because both dimensions are at most
-    /// `2^32`), LSD radix-sort the interleaved key/value pairs digit by
-    /// digit through the reusable scratch buffers, and combine duplicates
-    /// with `dup` while unpacking into the output vectors.
+    /// `2^32`), LSD radix-sort parallel key/value planes digit by digit
+    /// through the reusable scratch buffers, and combine duplicates with
+    /// `dup` while unpacking into the output vectors.
     ///
     /// What makes this the streaming hot path's kernel:
     ///
@@ -275,8 +275,10 @@ impl<T: ScalarType> Coo<T> {
             return;
         }
         let MergeScratch {
-            radix_pairs,
-            radix_pairs_alt,
+            radix_keys,
+            radix_vals,
+            radix_keys_alt,
+            radix_vals_alt,
             radix_hist,
             sort_rows,
             sort_cols,
@@ -353,13 +355,17 @@ impl<T: ScalarType> Coo<T> {
         };
 
         // First scatter pass packs keys on the fly from the source arrays —
-        // the pairs buffer receives its first write already in scattered
-        // order.  Remaining passes ping-pong between the two pair buffers,
-        // which persist in the scratch at working-set size; the resize only
-        // adjusts the length delta (every slot is overwritten by the
-        // offset-driven scatter, so stale contents never surface), making
-        // the steady-state re-fill cost zero.
-        radix_pairs.resize(n, (0, T::default()));
+        // the key/value planes receive their first write already in
+        // scattered order.  Remaining passes ping-pong between the two
+        // plane sets, which persist in the scratch at working-set size; the
+        // resize only adjusts the length delta (every slot is overwritten
+        // by the offset-driven scatter, so stale contents never surface),
+        // making the steady-state re-fill cost zero.  Keys and values are
+        // separate planes so the key stream stays contiguous `u64`s — the
+        // digit extract vectorises and each scatter store is 8 bytes tight
+        // instead of a padded 16-byte pair.
+        radix_keys.resize(n, 0);
+        radix_vals.resize(n, T::default());
         {
             let p = active[0];
             let shift = p * digit_bits;
@@ -368,44 +374,58 @@ impl<T: ScalarType> Coo<T> {
             for i in 0..n {
                 let k = (self.rows[i] << 32) | self.cols[i];
                 let slot = &mut plane[((k >> shift) & digit_mask) as usize];
-                radix_pairs[*slot] = (k, self.vals[i]);
+                radix_keys[*slot] = k;
+                radix_vals[*slot] = self.vals[i];
                 *slot += 1;
             }
         }
         if nactive > 1 {
-            radix_pairs_alt.resize(n, (0, T::default()));
+            radix_keys_alt.resize(n, 0);
+            radix_vals_alt.resize(n, T::default());
         }
-        let mut flipped = false; // data currently in radix_pairs
+        let mut flipped = false; // data currently in radix_keys/radix_vals
         for &p in &active[1..nactive] {
-            let (src, dst) = if flipped {
-                (&*radix_pairs_alt, &mut *radix_pairs)
+            let (src_k, src_v, dst_k, dst_v) = if flipped {
+                (
+                    &*radix_keys_alt,
+                    &*radix_vals_alt,
+                    &mut *radix_keys,
+                    &mut *radix_vals,
+                )
             } else {
-                (&*radix_pairs, &mut *radix_pairs_alt)
+                (
+                    &*radix_keys,
+                    &*radix_vals,
+                    &mut *radix_keys_alt,
+                    &mut *radix_vals_alt,
+                )
             };
             let shift = p * digit_bits;
             let plane = &mut radix_hist[p * nbuckets..(p + 1) * nbuckets];
             prefix_sum(plane);
-            for &pair in src.iter() {
-                let slot = &mut plane[((pair.0 >> shift) & digit_mask) as usize];
-                dst[*slot] = pair;
+            for (&k, &v) in src_k.iter().zip(src_v.iter()) {
+                let slot = &mut plane[((k >> shift) & digit_mask) as usize];
+                dst_k[*slot] = k;
+                dst_v[*slot] = v;
                 *slot += 1;
             }
             flipped = !flipped;
         }
-        let pairs = if flipped {
-            &*radix_pairs_alt
+        let (keys, vals) = if flipped {
+            (&*radix_keys_alt, &*radix_vals_alt)
         } else {
-            &*radix_pairs
+            (&*radix_keys, &*radix_vals)
         };
 
         // Dedup while unpacking: runs of equal keys are contiguous and in
         // insertion order (stable scatter), so `dup` folds left-to-right.
         let mut i = 0;
         while i < n {
-            let (k, mut acc) = pairs[i];
+            let k = keys[i];
+            let mut acc = vals[i];
             let mut j = i + 1;
-            while j < n && pairs[j].0 == k {
-                acc = dup.apply(acc, pairs[j].1);
+            while j < n && keys[j] == k {
+                acc = dup.apply(acc, vals[j]);
                 j += 1;
             }
             sort_rows.push(k >> 32);

@@ -62,12 +62,18 @@ pub struct MergeScratch<T> {
     pub(crate) sort_cols: Vec<Index>,
     /// Staging vals for the pending-tuple sort.
     pub(crate) sort_vals: Vec<T>,
-    /// Interleaved `((row << 32) | col, value)` pairs for the radix settle
-    /// kernel — one contiguous slot per tuple so each scatter pass moves a
-    /// single cache object.
-    pub(crate) radix_pairs: Vec<(u64, T)>,
-    /// Scatter destination pairs (ping-pongs with `radix_pairs` per pass).
-    pub(crate) radix_pairs_alt: Vec<(u64, T)>,
+    /// Packed `(row << 32) | col` keys for the radix settle kernel.  Keys
+    /// and values live in *separate* planes (not interleaved pairs): the
+    /// digit-extract loop then reads a contiguous `u64` stream the compiler
+    /// can vectorise, and each scatter writes two tight 8-byte stores
+    /// instead of one padded 16-byte pair.
+    pub(crate) radix_keys: Vec<u64>,
+    /// Values plane parallel to `radix_keys`.
+    pub(crate) radix_vals: Vec<T>,
+    /// Scatter destination keys (ping-pongs with `radix_keys` per pass).
+    pub(crate) radix_keys_alt: Vec<u64>,
+    /// Scatter destination values (ping-pongs with `radix_vals` per pass).
+    pub(crate) radix_vals_alt: Vec<T>,
     /// Digit histogram / offset table for the radix passes.
     pub(crate) radix_hist: Vec<usize>,
 }
@@ -85,8 +91,10 @@ impl<T> Default for MergeScratch<T> {
             sort_rows: Vec::new(),
             sort_cols: Vec::new(),
             sort_vals: Vec::new(),
-            radix_pairs: Vec::new(),
-            radix_pairs_alt: Vec::new(),
+            radix_keys: Vec::new(),
+            radix_vals: Vec::new(),
+            radix_keys_alt: Vec::new(),
+            radix_vals_alt: Vec::new(),
             radix_hist: Vec::new(),
         }
     }
@@ -112,11 +120,11 @@ impl<T: ScalarType> MergeScratch<T> {
                 * std::mem::size_of::<Index>()
                 + (self.row_ptr.capacity() + self.perm.capacity() + self.radix_hist.capacity())
                     * std::mem::size_of::<usize>()
-                + (self.radix_pairs.capacity() + self.radix_pairs_alt.capacity())
-                    * (std::mem::size_of::<(u64, T)>() - std::mem::size_of::<T>()),
+                + (self.radix_keys.capacity() + self.radix_keys_alt.capacity())
+                    * std::mem::size_of::<u64>(),
             value_bytes: (self.vals.capacity() + self.sort_vals.capacity())
                 * std::mem::size_of::<T>()
-                + (self.radix_pairs.capacity() + self.radix_pairs_alt.capacity())
+                + (self.radix_vals.capacity() + self.radix_vals_alt.capacity())
                     * std::mem::size_of::<T>(),
         }
     }

@@ -47,6 +47,13 @@ pub struct Matrix<T> {
     /// mixed-workload hot loop) reuse one allocation instead of building a
     /// fresh heap per call.  A cache, like `scratch`.
     topk_scratch: TopKScratch,
+    /// Lazily-built column-major twin: the settled structure transposed
+    /// (an `ncols x nrows` [`Dcsr`] whose "rows" are this matrix's
+    /// columns).  Built on the first column-side query and invalidated
+    /// whenever the settled structure changes, so pure-ingest workloads
+    /// never pay for it.  Derived content, not part of the matrix *value*
+    /// (excluded from `PartialEq`, shared by `Clone`).
+    col_shadow: Option<Arc<Dcsr<T>>>,
 }
 
 /// Clones copy the represented content but start with *empty* scratch
@@ -65,6 +72,9 @@ impl<T: Clone> Clone for Matrix<T> {
             pending_limit: self.pending_limit,
             scratch: MergeScratch::default(),
             topk_scratch: TopKScratch::default(),
+            // Immutable once built, so clones share it like the settled
+            // structure; the next mutation of either copy drops its own.
+            col_shadow: self.col_shadow.clone(),
         }
     }
 }
@@ -109,6 +119,7 @@ impl<T: ScalarType> Matrix<T> {
             pending_limit: DEFAULT_PENDING_LIMIT,
             scratch: MergeScratch::new(),
             topk_scratch: TopKScratch::default(),
+            col_shadow: None,
         })
     }
 
@@ -131,6 +142,7 @@ impl<T: ScalarType> Matrix<T> {
             pending_limit: DEFAULT_PENDING_LIMIT,
             scratch: MergeScratch::new(),
             topk_scratch: TopKScratch::default(),
+            col_shadow: None,
         })
     }
 
@@ -144,6 +156,7 @@ impl<T: ScalarType> Matrix<T> {
             settled: Arc::new(d),
             scratch: MergeScratch::new(),
             topk_scratch: TopKScratch::default(),
+            col_shadow: None,
         }
     }
 
@@ -262,6 +275,7 @@ impl<T: ScalarType> Matrix<T> {
             .merge_sorted_coo_into(&self.pending, dup, &mut self.scratch)
             .expect("pending tuples are within bounds");
         self.pending.clear();
+        self.col_shadow = None;
     }
 
     /// [`Matrix::wait`] with a hook into the settle's dedup-unpack: after
@@ -285,6 +299,7 @@ impl<T: ScalarType> Matrix<T> {
             .merge_sorted_coo_into(&self.pending, Plus, &mut self.scratch)
             .expect("pending tuples are within bounds");
         self.pending.clear();
+        self.col_shadow = None;
     }
 
     /// Accumulate a whole matrix in place: `self = self ⊕ other` under `+`.
@@ -312,6 +327,7 @@ impl<T: ScalarType> Matrix<T> {
         // `ewise_add` settles its operands); `op` applies only across the
         // two operands.
         self.wait();
+        self.col_shadow = None;
         if other.npending() == 0 {
             Arc::make_mut(&mut self.settled).merge_into(other.dcsr(), op, &mut self.scratch)
         } else {
@@ -341,6 +357,7 @@ impl<T: ScalarType> Matrix<T> {
     pub fn clear(&mut self) {
         self.settled = Arc::new(Dcsr::new(self.nrows, self.ncols));
         self.pending.clear();
+        self.col_shadow = None;
     }
 
     /// Remove every stored entry but keep every buffer's capacity, so the
@@ -354,6 +371,7 @@ impl<T: ScalarType> Matrix<T> {
             None => self.settled = Arc::new(Dcsr::new(self.nrows, self.ncols)),
         }
         self.pending.clear();
+        self.col_shadow = None;
     }
 
     /// Access the settled hypersparse structure (pending tuples excluded).
@@ -376,6 +394,39 @@ impl<T: ScalarType> Matrix<T> {
     /// The reusable top-k scratch paired with this matrix's read path.
     pub(crate) fn topk_scratch(&mut self) -> &mut TopKScratch {
         &mut self.topk_scratch
+    }
+
+    /// The column-major twin of the settled structure: an `ncols x nrows`
+    /// [`Dcsr`] storing the transpose, so a column extract is a *row*
+    /// lookup on the twin — O(k) instead of an O(nnz) sweep.
+    ///
+    /// Lazy and cached: the first call settles pending tuples and builds
+    /// the transpose (one O(nnz log nnz) sort); later calls are O(1) until
+    /// the next mutation invalidates it.  Holders share the structure
+    /// through the [`Arc`] exactly like [`Matrix::settled_arc`] snapshots.
+    ///
+    /// Callers that route settles through an observer hook (the
+    /// hierarchical levels feeding a [`DegreeIndex`]) must settle *before*
+    /// calling this — the internal `wait()` here is a plain, unobserved
+    /// settle.
+    ///
+    /// [`DegreeIndex`]: crate::degree_index::DegreeIndex
+    pub fn col_shadow(&mut self) -> Arc<Dcsr<T>> {
+        self.wait();
+        if self.col_shadow.is_none() {
+            let (rows, cols, vals) = self.settled.extract_tuples();
+            let t = Dcsr::from_tuples(self.ncols, self.nrows, &cols, &rows, &vals, Plus)
+                .expect("transposed tuples stay within the swapped dims");
+            self.col_shadow = Some(Arc::new(t));
+        }
+        Arc::clone(self.col_shadow.as_ref().expect("just built"))
+    }
+
+    /// Whether the column twin is currently materialised — lets tests and
+    /// the overhead report verify lazy activation (pure ingest never
+    /// builds it).
+    pub fn has_col_shadow(&self) -> bool {
+        self.col_shadow.is_some()
     }
 
     /// Settle pending tuples and return the complete hypersparse structure.
@@ -423,10 +474,16 @@ impl<T: ScalarType> Matrix<T> {
         let s = self.settled.memory();
         let p = self.pending.memory();
         let sc = self.scratch.footprint();
-        MemoryFootprint {
+        let mut f = MemoryFootprint {
             index_bytes: s.index_bytes + p.index_bytes + sc.index_bytes,
             value_bytes: s.value_bytes + p.value_bytes + sc.value_bytes,
+        };
+        if let Some(shadow) = &self.col_shadow {
+            let sh = shadow.memory();
+            f.index_bytes += sh.index_bytes;
+            f.value_bytes += sh.value_bytes;
         }
+        f
     }
 
     /// Validate internal invariants (used by property tests).
@@ -635,6 +692,54 @@ mod tests {
         assert_eq!(m.npending(), 0);
         let total: u64 = m.extract_tuples().2.iter().sum();
         assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn col_shadow_is_the_transpose_and_lazy() {
+        let mut m = Matrix::<u64>::new(1 << 32, 1 << 20);
+        m.accum_tuples(&[5, 5, 9, 5], &[1, 2, 2, 2], &[10, 20, 30, 5])
+            .unwrap();
+        assert!(!m.has_col_shadow());
+        let shadow = m.col_shadow();
+        assert!(m.has_col_shadow());
+        assert_eq!((shadow.nrows(), shadow.ncols()), (1 << 20, 1 << 32));
+        // Shadow "rows" are the matrix's columns, duplicates combined.
+        assert_eq!(shadow.row(2), Some((&[5u64, 9][..], &[25u64, 30][..])));
+        assert_eq!(shadow.row(1), Some((&[5u64][..], &[10u64][..])));
+        assert_eq!(shadow.row(7), None);
+        // Cached: a second call hands out the same structure.
+        assert!(Arc::ptr_eq(&shadow, &m.col_shadow()));
+        // Clones share the cache; mutating the original invalidates only
+        // the original's.
+        let clone = m.clone();
+        assert!(clone.has_col_shadow());
+        m.accum_element(9, 1, 1).unwrap();
+        m.wait();
+        assert!(!m.has_col_shadow());
+        assert!(clone.has_col_shadow());
+        assert_eq!(
+            m.col_shadow().row(1),
+            Some((&[5u64, 9][..], &[10u64, 1][..]))
+        );
+        // Clearing drops it too.
+        m.clear();
+        assert!(!m.has_col_shadow());
+        assert_eq!(m.col_shadow().nvals(), 0);
+    }
+
+    #[test]
+    fn col_shadow_invalidated_by_matrix_accum() {
+        let mut a = Matrix::<u64>::new(100, 100);
+        a.accum_element(1, 3, 7).unwrap();
+        let _ = a.col_shadow();
+        let mut b = Matrix::<u64>::new(100, 100);
+        b.accum_element(2, 3, 5).unwrap();
+        a.accum_matrix(&b).unwrap();
+        assert!(!a.has_col_shadow());
+        assert_eq!(
+            a.col_shadow().row(3),
+            Some((&[1u64, 2][..], &[7u64, 5][..]))
+        );
     }
 
     #[test]

@@ -39,6 +39,11 @@ use crate::types::ScalarType;
 /// * [`read_top_k`](MatrixReader::read_top_k) orders by degree descending,
 ///   ties broken by ascending row id, so answers are byte-identical across
 ///   systems.
+/// * Column-side answers mirror the row-side ones through the transpose:
+///   [`read_col`](MatrixReader::read_col) visits rows ascending,
+///   [`read_in_top_k`](MatrixReader::read_in_top_k) orders by in-degree
+///   descending then column ascending, and
+///   [`read_col_range`](MatrixReader::read_col_range) visits column-major.
 /// * Values accumulate under the `+` monoid of `V` (the paper's update
 ///   model); [`read_row_reduce`](MatrixReader::read_row_reduce) reduces
 ///   with the same monoid.
@@ -167,6 +172,105 @@ pub trait MatrixReader<V: ScalarType> {
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
+
+    /// Extract column `col` into `out` (cleared first): `(row, value)`
+    /// pairs sorted by row, duplicates combined — the transpose of
+    /// [`read_row`](MatrixReader::read_row), "who talks *to* this host?".
+    ///
+    /// The default filters a full entry sweep (O(nnz)); twin-backed
+    /// readers override with an O(k) row lookup on their column shadow.
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, V)>) {
+        out.clear();
+        self.read_entries(&mut |r, c, v| {
+            if c == col {
+                out.push((r, v));
+            }
+        });
+    }
+
+    /// Number of distinct rows stored in column `col` (the in-degree).
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        let mut out = Vec::new();
+        self.read_col(col, &mut out);
+        out.len()
+    }
+
+    /// Reduce column `col` to a scalar under `+` (`None` when empty).
+    fn read_col_reduce(&mut self, col: Index) -> Option<V> {
+        let mut out = Vec::new();
+        self.read_col(col, &mut out);
+        out.into_iter().map(|(_, v)| v).reduce(|a, b| a.add(b))
+    }
+
+    /// The `k` columns with the most distinct rows (highest in-degree),
+    /// sorted by degree descending then column ascending — the
+    /// destination-centric dual of [`read_top_k`](MatrixReader::read_top_k)
+    /// (DDoS-victim candidates instead of scanner candidates).
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut degs: std::collections::BTreeMap<Index, usize> = Default::default();
+        self.read_entries(&mut |_, c, _| *degs.entry(c).or_insert(0) += 1);
+        let mut out: Vec<(Index, usize)> = degs.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// The in-degree histogram of the stored pattern: `in-degree -> number
+    /// of columns with that many distinct rows`.
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let mut degs: std::collections::BTreeMap<Index, u64> = Default::default();
+        self.read_entries(&mut |_, c, _| *degs.entry(c).or_insert(0) += 1);
+        let mut counts = std::collections::BTreeMap::new();
+        for d in degs.into_values() {
+            *counts.entry(d).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Visit the stored entries of columns `lo..hi` (half-open) in
+    /// **column-major** `(col, row)` ascending order, duplicates combined —
+    /// the destination-subnet range scan.  The callback still receives
+    /// `(row, col, value)` like every other visitor.
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, V)) {
+        if lo >= hi {
+            return;
+        }
+        let mut hits: Vec<(Index, Index, V)> = Vec::new();
+        self.read_entries(&mut |r, c, v| {
+            if c >= lo && c < hi {
+                hits.push((c, r, v));
+            }
+        });
+        hits.sort_unstable_by_key(|&(c, r, _)| (c, r));
+        for (c, r, v) in hits {
+            f(r, c, v);
+        }
+    }
+
+    /// Extract many rows in one call: one `(col, value)` vector per
+    /// requested row, in the order given (duplicate keys allowed).
+    ///
+    /// The default loops [`read_row`](MatrixReader::read_row); batching
+    /// readers amortise the per-query setup across keys — one settle and
+    /// one cursor walk for the hierarchies, one barrier round-trip per
+    /// shard (instead of per key) for the sharded engine.
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, V)>> {
+        let mut out = Vec::new();
+        rows.iter()
+            .map(|&r| {
+                self.read_row(r, &mut out);
+                std::mem::take(&mut out)
+            })
+            .collect()
+    }
+
+    /// Point-get many cells in one call, answers in key order.
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<V>> {
+        keys.iter().map(|&(r, c)| self.read_get(r, c)).collect()
+    }
 }
 
 /// Extract every entry of a reader into parallel tuple vectors (row-major
@@ -267,6 +371,72 @@ impl<T: ScalarType> MatrixReader<T> for Matrix<T> {
         }
         counts
     }
+
+    /// O(k) off the column twin: a column extract is a row lookup on the
+    /// transposed shadow.
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        let shadow = self.col_shadow();
+        out.clear();
+        if let Some((rows, vals)) = shadow.row(col) {
+            out.extend(rows.iter().copied().zip(vals.iter().copied()));
+        }
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        self.col_shadow().row(col).map_or(0, |(rows, _)| rows.len())
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        let shadow = self.col_shadow();
+        cursor::merged_row_reduce(&[&*shadow], col, Plus)
+    }
+
+    /// In-degree ranking off the twin's compressed row pointers — the
+    /// column-side mirror of [`read_top_k`](MatrixReader::read_top_k),
+    /// sharing the same reusable heap scratch.
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let shadow = self.col_shadow();
+        let mut scratch = std::mem::take(self.topk_scratch());
+        let out = cursor::merged_top_k_with(&[&*shadow], k, &mut scratch);
+        *self.topk_scratch() = scratch;
+        out
+    }
+
+    /// O(non-empty columns) off the twin's compressed pointers.
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let shadow = self.col_shadow();
+        let (_, ptr, _, _) = shadow.raw_parts();
+        let mut counts = std::collections::BTreeMap::new();
+        for w in ptr.windows(2) {
+            *counts.entry((w[1] - w[0]) as u64).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// A row-range skip on the twin: cost proportional to the columns'
+    /// content, emitted column-major with the original orientation.
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let shadow = self.col_shadow();
+        cursor::merged_row_range(&[&*shadow], lo, hi, Plus, &mut |c, r, v| f(r, c, v));
+    }
+
+    /// One settle for the whole batch, then direct settled-row lookups.
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        self.wait();
+        rows.iter()
+            .map(|&r| {
+                self.dcsr().row(r).map_or_else(Vec::new, |(cols, vals)| {
+                    cols.iter().copied().zip(vals.iter().copied()).collect()
+                })
+            })
+            .collect()
+    }
+
+    /// One settle for the whole batch, then direct settled point gets.
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        self.wait();
+        keys.iter().map(|&(r, c)| self.dcsr().get(r, c)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -350,5 +520,72 @@ mod tests {
         assert_eq!(w.read_row_degree(5), 3);
         assert_eq!(w.read_row_reduce(5), Some(65));
         assert!(w.read_top_k(0).is_empty());
+        // Column-side defaults (entry sweeps) equal the shadow-served
+        // overrides on the same content.
+        let mut dw = Vec::new();
+        let mut dm = Vec::new();
+        for col in [1u64, 2, 3, 9, 77] {
+            w.read_col(col, &mut dw);
+            m.read_col(col, &mut dm);
+            assert_eq!(dw, dm, "col {col}");
+            assert_eq!(w.read_col_degree(col), m.read_col_degree(col));
+            assert_eq!(w.read_col_reduce(col), m.read_col_reduce(col));
+        }
+        assert_eq!(w.read_in_top_k(3), m.read_in_top_k(3));
+        assert!(w.read_in_top_k(0).is_empty());
+        assert!(m.read_in_top_k(0).is_empty());
+        assert_eq!(w.read_in_degree_histogram(), m.read_in_degree_histogram());
+        let (mut gw, mut gm) = (Vec::new(), Vec::new());
+        w.read_col_range(2, 10, &mut |r, c, v| gw.push((r, c, v)));
+        m.read_col_range(2, 10, &mut |r, c, v| gm.push((r, c, v)));
+        assert_eq!(gw, gm);
+        // Batched defaults equal the amortised overrides.
+        let rows = [5u64, 7, 9, 5];
+        assert_eq!(w.read_rows(&rows), m.read_rows(&rows));
+        let keys = [(5u64, 2u64), (9, 9), (0, 0)];
+        assert_eq!(w.read_get_many(&keys), m.read_get_many(&keys));
+    }
+
+    #[test]
+    fn column_reads_mirror_rows_through_the_twin() {
+        let mut m = sample();
+        // Entries: (5,1,10) (5,2,25) (5,3,30) (9,9,1).
+        let mut col = Vec::new();
+        m.read_col(2, &mut col);
+        assert_eq!(col, vec![(5, 25)]);
+        m.read_col(9, &mut col);
+        assert_eq!(col, vec![(9, 1)]);
+        m.read_col(4, &mut col);
+        assert!(col.is_empty());
+        assert_eq!(m.read_col_degree(2), 1);
+        assert_eq!(m.read_col_degree(4), 0);
+        assert_eq!(m.read_col_reduce(3), Some(30));
+        assert_eq!(m.read_col_reduce(4), None);
+        assert_eq!(m.read_in_top_k(2), vec![(1, 1), (2, 1)]);
+        assert_eq!(
+            m.read_in_degree_histogram(),
+            std::collections::BTreeMap::from([(1, 4)])
+        );
+        let mut got = Vec::new();
+        m.read_col_range(2, 4, &mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(got, vec![(5, 2, 25), (5, 3, 30)]);
+        // The twin tracks later updates.
+        m.accum_element(7, 2, 2).unwrap();
+        m.read_col(2, &mut col);
+        assert_eq!(col, vec![(5, 25), (7, 2)]);
+        assert_eq!(m.read_in_top_k(1), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn batched_reads_answer_in_key_order() {
+        let mut m = sample();
+        let rows = m.read_rows(&[9, 5, 7]);
+        assert_eq!(rows[0], vec![(9, 1)]);
+        assert_eq!(rows[1], vec![(1, 10), (2, 25), (3, 30)]);
+        assert!(rows[2].is_empty());
+        assert_eq!(
+            m.read_get_many(&[(5, 3), (0, 0), (5, 2)]),
+            vec![Some(30), None, Some(25)]
+        );
     }
 }

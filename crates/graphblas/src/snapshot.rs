@@ -50,6 +50,13 @@ pub struct MatrixSnapshot<V> {
     /// Present when the source settled before capturing (the tail is empty
     /// then) — serves the O(1)/O(k) degree-centric answers.
     index: Option<DegreeIndexView<V>>,
+    /// Arc-shared *column* stats (in-degree index) captured from sources
+    /// that maintain one; same tail rule as `index`.
+    col_index: Option<DegreeIndexView<V>>,
+    /// Column twin built on the first column-extract query: the whole
+    /// captured content (levels + tail) merged and transposed once, then
+    /// every column read is O(k).  Lazy like the source matrices' twins.
+    col_shadow: Option<Arc<Dcsr<V>>>,
     topk_scratch: TopKScratch,
 }
 
@@ -82,9 +89,21 @@ impl<V: ScalarType> MatrixSnapshot<V> {
             ncols,
             levels,
             index: if tail.is_none() { index } else { None },
+            col_index: None,
+            col_shadow: None,
             tail,
             topk_scratch: TopKScratch::default(),
         }
+    }
+
+    /// Attach an Arc-shared column-stats view captured from the source's
+    /// column [`DegreeIndex`](crate::degree_index::DegreeIndex), serving
+    /// O(1) in-degree / O(k) in-degree-top-k straight off the snapshot.
+    /// Dropped when a pending tail was captured — the same rule as the row
+    /// index (the view cannot cover un-settled tuples).
+    pub fn with_col_index(mut self, col_index: Option<DegreeIndexView<V>>) -> Self {
+        self.col_index = if self.tail.is_none() { col_index } else { None };
+        self
     }
 
     /// The captured level structures (tail included), lowest first — for
@@ -102,6 +121,28 @@ impl<V: ScalarType> MatrixSnapshot<V> {
     /// answers (no pending tail was captured).
     pub fn has_index(&self) -> bool {
         self.index.is_some()
+    }
+
+    /// True when a column-stats view serves the in-degree answers.
+    pub fn has_col_index(&self) -> bool {
+        self.col_index.is_some()
+    }
+
+    /// The captured content transposed into one column-major structure,
+    /// built on first use and cached (cheap Arc clone afterwards).
+    fn col_shadow(&mut self) -> Arc<Dcsr<V>> {
+        if self.col_shadow.is_none() {
+            let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+            for_each_merged(&self.level_dcsrs(), Plus, &mut |r, c, v| {
+                rows.push(r);
+                cols.push(c);
+                vals.push(v);
+            });
+            let t = Dcsr::from_tuples(self.ncols, self.nrows, &cols, &rows, &vals, Plus)
+                .expect("transposed snapshot tuples stay within the swapped dims");
+            self.col_shadow = Some(Arc::new(t));
+        }
+        Arc::clone(self.col_shadow.as_ref().expect("just built"))
     }
 }
 
@@ -174,6 +215,50 @@ impl<V: ScalarType> MatrixReader<V> for MatrixSnapshot<V> {
             None => crate::cursor::merged_degree_histogram(&self.level_dcsrs()),
         }
     }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, V)>) {
+        let shadow = self.col_shadow();
+        out.clear();
+        if let Some((rows, vals)) = shadow.row(col) {
+            out.extend(rows.iter().copied().zip(vals.iter().copied()));
+        }
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        if let Some(ix) = &self.col_index {
+            return ix.row_degree(col);
+        }
+        self.col_shadow().row(col).map_or(0, |(rows, _)| rows.len())
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<V> {
+        if let Some(ix) = &self.col_index {
+            return ix.row_weight(col);
+        }
+        let shadow = self.col_shadow();
+        merged_row_reduce(&[&*shadow], col, Plus)
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if let Some(ix) = &mut self.col_index {
+            return ix.top_k(k);
+        }
+        let shadow = self.col_shadow();
+        merged_top_k_with(&[&*shadow], k, &mut self.topk_scratch)
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        if let Some(ix) = &mut self.col_index {
+            return ix.degree_histogram();
+        }
+        let shadow = self.col_shadow();
+        crate::cursor::merged_degree_histogram(&[&*shadow])
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, V)) {
+        let shadow = self.col_shadow();
+        merged_row_range(&[&*shadow], lo, hi, Plus, &mut |c, r, v| f(r, c, v));
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +325,61 @@ mod tests {
         let mut range = Vec::new();
         snap.read_row_range(4, 100, &mut |r, c, v| range.push((r, c, v)));
         assert_eq!(range, vec![(7, 7, 3)]);
+    }
+
+    #[test]
+    fn snapshot_column_reads_with_and_without_view() {
+        use crate::degree_index::DegreeIndex;
+        let mut m = Matrix::<u64>::new(1 << 20, 1 << 20);
+        m.accum_tuples(&[1, 2, 5, 9], &[7, 7, 7, 2], &[1, 2, 3, 4])
+            .unwrap();
+        m.wait();
+        // An Arc-shared column view captured alongside the levels.
+        let mut cix = DegreeIndex::<u64>::new();
+        cix.activate();
+        cix.observe_dcsr_transposed(m.dcsr());
+        let mut snap = MatrixSnapshot::new(
+            "snap",
+            m.nrows(),
+            m.ncols(),
+            vec![m.settled_arc()],
+            (&[], &[], &[]),
+            None,
+        )
+        .with_col_index(Some(cix.view()));
+        assert!(snap.has_col_index());
+        assert_eq!(snap.read_col_degree(7), 3);
+        assert_eq!(snap.read_col_reduce(7), Some(6));
+        assert_eq!(snap.read_in_top_k(1), vec![(7, 3)]);
+        let mut col = Vec::new();
+        snap.read_col(7, &mut col);
+        assert_eq!(col, vec![(1, 1), (2, 2), (5, 3)]);
+        // The source keeps mutating; the snapshot keeps its capture.
+        m.accum_element(3, 7, 9).unwrap();
+        m.wait();
+        snap.read_col(7, &mut col);
+        assert_eq!(col, vec![(1, 1), (2, 2), (5, 3)]);
+        assert_eq!(snap.read_col_degree(7), 3);
+        // Without a view the lazily-built shadow serves the same answers.
+        let mut plain = MatrixSnapshot::new(
+            "plain",
+            m.nrows(),
+            m.ncols(),
+            vec![m.settled_arc()],
+            (&[], &[], &[]),
+            None,
+        );
+        assert!(!plain.has_col_index());
+        assert_eq!(plain.read_col_degree(7), 4);
+        assert_eq!(plain.read_in_top_k(1), vec![(7, 4)]);
+        let hist = plain.read_in_degree_histogram();
+        assert_eq!(hist.get(&4), Some(&1));
+        assert_eq!(hist.get(&1), Some(&1));
+        let mut got = Vec::new();
+        plain.read_col_range(0, 8, &mut |r, c, v| got.push((r, c, v)));
+        assert_eq!(
+            got,
+            vec![(9, 2, 4), (1, 7, 1), (2, 7, 2), (3, 7, 9), (5, 7, 3)]
+        );
     }
 }

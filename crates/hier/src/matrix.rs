@@ -3,8 +3,9 @@
 use crate::config::HierConfig;
 use crate::stats::HierStats;
 use hyperstream_graphblas::cursor::{
-    for_each_merged, merge_levels, merged_nnz, merged_row_degree, merged_row_into,
-    merged_row_range, merged_row_reduce, merged_top_k,
+    for_each_merged, merge_levels, merged_col_degree, merged_col_into, merged_col_range,
+    merged_col_reduce, merged_in_degree_histogram, merged_in_top_k, merged_nnz, merged_point,
+    merged_row_degree, merged_row_into, merged_row_range, merged_row_reduce, merged_top_k,
 };
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::formats::MemoryFootprint;
@@ -15,6 +16,7 @@ use hyperstream_graphblas::{
     DegreeIndex, GrbError, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
     StreamingSink,
 };
+use std::sync::Arc;
 
 /// An N-level hierarchical hypersparse matrix accumulating under `+`.
 ///
@@ -33,6 +35,15 @@ use hyperstream_graphblas::{
 /// lazily rebuilt caches — previously all full cursor sweeps.  The sweep
 /// path is retained as the `sweep_*` fallback family and re-checked by
 /// `debug_assert` on every indexed answer.
+///
+/// The *column* read path mirrors all of this through the transpose: a
+/// second, lazily-activated [`DegreeIndex`] keyed by column (fed by the
+/// same settle observer with the coordinate slices swapped) answers
+/// in-degree / in-degree-top-k / in-degree-histogram in O(1)/O(k), and
+/// per-level column twins ([`Matrix::col_shadow`]) serve column extracts
+/// and column-range scans in O(k) per level.  Cascades are union-preserving
+/// so they cost the column structures nothing either; the `sweep_col_*` /
+/// `sweep_in_*` fallbacks retain the cursor path for equivalence checks.
 #[derive(Debug, Clone)]
 pub struct HierMatrix<T> {
     nrows: Index,
@@ -41,6 +52,11 @@ pub struct HierMatrix<T> {
     levels: Vec<Matrix<T>>,
     stats: HierStats,
     index: DegreeIndex<T>,
+    /// Column-keyed twin of `index`: the same settle events observed with
+    /// the coordinate slices swapped maintain in-degree stats (the observer
+    /// is coordinate-agnostic).  Lazily activated by the first column-side
+    /// degree query, so pure-ingest and row-only workloads never pay.
+    col_index: DegreeIndex<T>,
 }
 
 impl<T: ScalarType> HierMatrix<T> {
@@ -60,6 +76,7 @@ impl<T: ScalarType> HierMatrix<T> {
             config,
             levels,
             index: DegreeIndex::new(),
+            col_index: DegreeIndex::new(),
         })
     }
 
@@ -140,10 +157,12 @@ impl<T: ScalarType> HierMatrix<T> {
         self.settle_level(0);
         if a.npending() == 0 {
             self.index.observe_dcsr(a.dcsr());
+            self.col_index.observe_dcsr_transposed(a.dcsr());
             self.levels[0].accum_matrix(a)?;
         } else {
             let settled = a.to_settled();
             self.index.observe_dcsr(settled.dcsr());
+            self.col_index.observe_dcsr_transposed(settled.dcsr());
             self.levels[0].accum_matrix(&settled)?;
         }
         self.stats.updates += nupd as u64;
@@ -184,6 +203,7 @@ impl<T: ScalarType> HierMatrix<T> {
             .map(|m| m.total())
             .sum::<usize>()
             + self.index.memory_bytes()
+            + self.col_index.memory_bytes()
     }
 
     /// Sum of all stored values (in `f64`), computable without materialising
@@ -259,8 +279,12 @@ impl<T: ScalarType> HierMatrix<T> {
             return;
         }
         let index = &mut self.index;
+        let col_index = &mut self.col_index;
         self.levels[i].wait_observed(&mut |rows, cols, vals| {
             index.observe_settle(rows, cols, vals);
+            // Same event, coordinates swapped: the observer is
+            // coordinate-agnostic, so this maintains the in-degree stats.
+            col_index.observe_settle(cols, rows, vals);
         });
     }
 
@@ -296,10 +320,37 @@ impl<T: ScalarType> HierMatrix<T> {
         }
     }
 
+    /// Settle everything and make sure the *column* degree index is live —
+    /// the transpose mirror of [`HierMatrix::ensure_index`].  The first
+    /// in-degree query activates it and rebuilds it with one transposed
+    /// pass over the settled levels; every later settle maintains it
+    /// incrementally through the swapped-coordinate observer.
+    fn ensure_col_index(&mut self) {
+        self.settle_levels();
+        if !self.col_index.is_active() {
+            self.col_index.activate();
+            for level in &self.levels {
+                self.col_index.observe_dcsr_transposed(level.dcsr());
+            }
+        }
+    }
+
     /// Settle and return the level DCSRs for cursor queries.
     fn settled_level_dcsrs(&mut self) -> Vec<&Dcsr<T>> {
         self.settle_levels();
         self.levels.iter().map(|l| l.dcsr()).collect()
+    }
+
+    /// Settle (through the index observers) and return each level's column
+    /// twin.  Settling first matters: [`Matrix::col_shadow`] runs a plain
+    /// *unobserved* settle internally, which would bypass the degree
+    /// indexes — after [`HierMatrix::settle_levels`] that internal wait is
+    /// a no-op.  Twins are lazily built and Arc-cached per level, so a
+    /// column-read phase builds each once and cascades invalidate only the
+    /// levels they touch.
+    pub(crate) fn settled_col_shadows(&mut self) -> Vec<Arc<Dcsr<T>>> {
+        self.settle_levels();
+        self.levels.iter_mut().map(|l| l.col_shadow()).collect()
     }
 
     /// Exact number of stored entries of the represented matrix.
@@ -363,6 +414,7 @@ impl<T: ScalarType> HierMatrix<T> {
             level.clear();
         }
         self.index.clear();
+        self.col_index.clear();
         self.reset_stats();
     }
 
@@ -429,6 +481,13 @@ impl<T: ScalarType> HierMatrix<T> {
         &self.index
     }
 
+    /// The maintained *column* (in-degree) index.  Inactive until the first
+    /// column-side degree query; see [`HierMatrix::degree_index`] for the
+    /// settling caveat.
+    pub fn col_degree_index(&self) -> &DegreeIndex<T> {
+        &self.col_index
+    }
+
     /// Take a consistent point-in-time snapshot: settles the cache-resident
     /// pending tuples (through the index observer), then captures Arc'd
     /// handles to every level plus a degree-index view — O(levels), no
@@ -437,6 +496,11 @@ impl<T: ScalarType> HierMatrix<T> {
     /// and cascades copy-on-write their own structures).
     pub fn snapshot(&mut self) -> MatrixSnapshot<T> {
         self.ensure_index();
+        // Column stats ride along only when the column index is already
+        // live — snapshotting must not defeat its lazy activation.  A
+        // snapshot without the view still answers column queries off its
+        // own lazily-built merged twin.
+        let col_view = self.col_index.is_active().then(|| self.col_index.view());
         MatrixSnapshot::new(
             "hier-graphblas-snapshot",
             self.nrows,
@@ -445,6 +509,7 @@ impl<T: ScalarType> HierMatrix<T> {
             (&[], &[], &[]),
             Some(self.index.view()),
         )
+        .with_col_index(col_view)
     }
 
     /// Snapshot through `&self`: the settled levels share as in
@@ -465,6 +530,7 @@ impl<T: ScalarType> HierMatrix<T> {
         } else {
             None
         };
+        let col_view = (tr.is_empty() && self.col_index.is_active()).then(|| self.col_index.view());
         MatrixSnapshot::new(
             "hier-graphblas-snapshot",
             self.nrows,
@@ -473,6 +539,7 @@ impl<T: ScalarType> HierMatrix<T> {
             (&tr, &tc, &tv),
             index,
         )
+        .with_col_index(col_view)
     }
 
     /// The retained cursor-sweep fallback of [`MatrixReader::read_nnz`]:
@@ -506,6 +573,45 @@ impl<T: ScalarType> HierMatrix<T> {
     pub fn sweep_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
         self.settle_levels();
         hyperstream_graphblas::cursor::merged_degree_histogram(&self.dcsr_refs())
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col`]: per-level
+    /// binary searches over the row-major structures, no column twin.
+    pub fn sweep_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_col_into(&dcsrs, col, Plus, out);
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_degree`].
+    pub fn sweep_col_degree(&mut self, col: Index) -> usize {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_col_degree(&dcsrs, col)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_reduce`].
+    pub fn sweep_col_reduce(&mut self, col: Index) -> Option<T> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_col_reduce(&dcsrs, col, Plus)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_in_top_k`]: one full
+    /// merged sweep counting every column — the O(nnz) cost the column
+    /// index exists to avoid.
+    pub fn sweep_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_in_top_k(&dcsrs, k)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_in_degree_histogram`].
+    pub fn sweep_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_in_degree_histogram(&dcsrs)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_range`].
+    pub fn sweep_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.settled_level_dcsrs();
+        merged_col_range(&dcsrs, lo, hi, Plus, f);
     }
 }
 
@@ -622,6 +728,82 @@ impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
         let hist = self.index.degree_histogram();
         debug_assert_eq!(hist, self.sweep_degree_histogram());
         hist
+    }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        // O(k) off the per-level column twins instead of the default
+        // full-entry sweep: one binary search per twin, then a k-way merge
+        // of the per-level column runs.
+        let shadows = self.settled_col_shadows();
+        let refs: Vec<&Dcsr<T>> = shadows.iter().map(|s| s.as_ref()).collect();
+        merged_row_into(&refs, col, Plus, out);
+        debug_assert_eq!(*out, {
+            let mut sweep = Vec::new();
+            merged_col_into(&self.dcsr_refs(), col, Plus, &mut sweep);
+            sweep
+        });
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        self.ensure_col_index();
+        let d = self.col_index.row_degree(col);
+        debug_assert_eq!(d, merged_col_degree(&self.dcsr_refs(), col));
+        d
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        self.ensure_col_index();
+        let w = self.col_index.row_weight(col);
+        debug_assert!(
+            reduce_agrees(w, merged_col_reduce(&self.dcsr_refs(), col, Plus)),
+            "column index weight diverged from cursor fold for col {col}"
+        );
+        w
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        self.ensure_col_index();
+        let top = self.col_index.top_k(k);
+        debug_assert_eq!(top, merged_in_top_k(&self.dcsr_refs(), k));
+        top
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.ensure_col_index();
+        let hist = self.col_index.degree_histogram();
+        debug_assert_eq!(hist, merged_in_degree_histogram(&self.dcsr_refs()));
+        hist
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        // The twins are row-major in (col, row), so a plain row-range walk
+        // over them *is* the column-major contract order — no collect/sort
+        // pass like the default sweep needs.
+        let shadows = self.settled_col_shadows();
+        let refs: Vec<&Dcsr<T>> = shadows.iter().map(|s| s.as_ref()).collect();
+        merged_row_range(&refs, lo, hi, Plus, &mut |c, r, v| f(r, c, v));
+    }
+
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        // One settle for the whole batch (the default pays the settle
+        // check per call through `read_row`).
+        let dcsrs = self.settled_level_dcsrs();
+        rows.iter()
+            .map(|&row| {
+                let mut out = Vec::new();
+                merged_row_into(&dcsrs, row, Plus, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        // One settle, then two binary searches per key per level — the
+        // default's per-key `read_get` rescans every pending tuple instead.
+        let dcsrs = self.settled_level_dcsrs();
+        keys.iter()
+            .map(|&(row, col)| merged_point(&dcsrs, row, col, Plus))
+            .collect()
     }
 }
 
@@ -965,6 +1147,134 @@ mod tests {
         m.clear();
         assert_eq!(m.read_nnz(), 0);
         assert!(m.read_top_k(3).is_empty());
+    }
+
+    #[test]
+    fn column_index_answers_equal_sweep_fallbacks() {
+        let mut m = HierMatrix::<u64>::new(1 << 20, 1 << 20, small_config()).unwrap();
+        for i in 0..3000u64 {
+            m.update(i % 131, (i * 17) % 257, i % 7 + 1).unwrap();
+        }
+        // Mid-stream: entries sit across levels plus the pending buffer.
+        for col in [0u64, 1, 77, 200, 256, 257, 9999] {
+            assert_eq!(m.read_col_degree(col), m.sweep_col_degree(col), "{col}");
+            assert!(
+                reduce_agrees(m.read_col_reduce(col), m.sweep_col_reduce(col)),
+                "col {col}"
+            );
+            let mut got = Vec::new();
+            m.read_col(col, &mut got);
+            let mut sweep = Vec::new();
+            m.sweep_col(col, &mut sweep);
+            assert_eq!(got, sweep, "{col}");
+        }
+        for k in [0usize, 1, 8, 1000] {
+            assert_eq!(m.read_in_top_k(k), m.sweep_in_top_k(k), "k = {k}");
+        }
+        assert_eq!(m.read_in_degree_histogram(), m.sweep_in_degree_histogram());
+        // Flush (cascades everything to the top) must not disturb the
+        // column index, and more ingest keeps it maintained incrementally.
+        m.flush();
+        for i in 0..500u64 {
+            m.update(i % 7 + 200_000, (i * 5) % 61, 1).unwrap();
+        }
+        assert_eq!(m.read_in_top_k(5), m.sweep_in_top_k(5));
+        assert_eq!(m.read_in_degree_histogram(), m.sweep_in_degree_histogram());
+        // update_matrix path feeds the column index too.
+        let upd = Matrix::from_tuples(
+            1 << 20,
+            1 << 20,
+            &[1, 500_000, 1],
+            &[999, 999_999, 1000],
+            &[2u64, 3, 4],
+            Plus,
+        )
+        .unwrap();
+        m.update_matrix(&upd).unwrap();
+        assert_eq!(m.read_col_degree(999_999), 1);
+        assert_eq!(m.read_in_top_k(3), m.sweep_in_top_k(3));
+        // clear resets the column index with the content.
+        m.clear();
+        assert!(m.read_in_top_k(3).is_empty());
+        assert_eq!(m.read_col_degree(0), 0);
+    }
+
+    #[test]
+    fn column_reads_mirror_a_transposed_flat_matrix() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        let mut transposed = Matrix::<u64>::new(1 << 16, 1 << 16);
+        for i in 0..1200u64 {
+            let (r, c, v) = ((i * 13) % 400, (i * 7) % 90, i % 5 + 1);
+            m.update(r, c, v).unwrap();
+            transposed.accum_element(c, r, v).unwrap();
+        }
+        transposed.wait();
+        for col in [0u64, 1, 44, 89, 90, 12345] {
+            let mut got = Vec::new();
+            m.read_col(col, &mut got);
+            let expect: Vec<(u64, u64)> = transposed
+                .dcsr()
+                .row(col)
+                .map(|(rs, vs)| rs.iter().copied().zip(vs.iter().copied()).collect())
+                .unwrap_or_default();
+            assert_eq!(got, expect, "col {col}");
+            assert_eq!(m.read_col_degree(col), expect.len());
+        }
+        // Column-range scan is column-major and matches the transpose's
+        // row-range scan with coordinates swapped back.
+        for (lo, hi) in [(0u64, 30u64), (30, 31), (85, 1 << 16)] {
+            let mut got = Vec::new();
+            m.read_col_range(lo, hi, &mut |r, c, v| got.push((r, c, v)));
+            let mut expect = Vec::new();
+            transposed.read_row_range(lo, hi, &mut |c, r, v| expect.push((r, c, v)));
+            assert_eq!(got, expect, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn batched_reads_match_singles() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..900u64 {
+            m.update(i % 50, (i * 3) % 70, 1).unwrap();
+        }
+        let rows = [0u64, 7, 49, 50, 60_000];
+        let batch = m.read_rows(&rows);
+        assert_eq!(batch.len(), rows.len());
+        for (i, &row) in rows.iter().enumerate() {
+            let mut single = Vec::new();
+            m.read_row(row, &mut single);
+            assert_eq!(batch[i], single, "row {row}");
+        }
+        let keys = [(0u64, 0u64), (7, 21), (49, 3), (50, 50), (60_000, 1)];
+        let got = m.read_get_many(&keys);
+        let expect: Vec<Option<u64>> = keys.iter().map(|&(r, c)| m.read_get(r, c)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn snapshot_carries_column_index_only_when_active() {
+        let mut m = HierMatrix::<u64>::new(1 << 16, 1 << 16, small_config()).unwrap();
+        for i in 0..400u64 {
+            m.update(i % 31, (i * 11) % 47, 1).unwrap();
+        }
+        // No column query yet: snapshot has row index only, but still
+        // answers column queries via its own merged twin.
+        let mut plain = m.snapshot();
+        assert!(plain.has_index());
+        assert!(!plain.has_col_index());
+        let expect_top = m.sweep_in_top_k(4);
+        assert_eq!(plain.read_in_top_k(4), expect_top);
+        // Activate the column index, snapshot again: the view rides along
+        // and survives further ingest on the source.
+        let live_top = m.read_in_top_k(4);
+        assert_eq!(live_top, expect_top);
+        let mut indexed = m.snapshot();
+        assert!(indexed.has_col_index());
+        for i in 0..400u64 {
+            m.update(i + 1000, 0, 1).unwrap();
+        }
+        assert_eq!(indexed.read_in_top_k(4), expect_top);
+        assert!(m.read_col_degree(0) > indexed.read_col_degree(0));
     }
 
     #[test]

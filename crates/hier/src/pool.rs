@@ -45,6 +45,49 @@ pub(crate) fn sum_histograms(
     counts
 }
 
+/// Sum per-part `(column, degree)` partials from parts that own disjoint
+/// **row** sets.  Columns are *not* disjoint across row-partitioned parts
+/// — one column's cells split over every part — so, unlike the row-side
+/// top-k, partial rankings cannot be re-ranked: the per-column degrees
+/// must be summed first and ranked afterwards.
+pub(crate) fn sum_col_degrees(
+    parts: impl IntoIterator<Item = Vec<(Index, usize)>>,
+) -> std::collections::BTreeMap<Index, usize> {
+    let mut degrees = std::collections::BTreeMap::new();
+    for part in parts {
+        for (c, d) in part {
+            *degrees.entry(c).or_insert(0) += d;
+        }
+    }
+    degrees
+}
+
+/// Rank a summed column→degree map (degree descending, column ascending)
+/// and keep the first `k` — the in-degree combine rule paired with
+/// [`sum_col_degrees`], mirroring [`rerank_top_k`]'s tie-breaking.
+pub(crate) fn rank_col_degrees(
+    degrees: &std::collections::BTreeMap<Index, usize>,
+    k: usize,
+) -> Vec<(Index, usize)> {
+    let mut all: Vec<(Index, usize)> = degrees.iter().map(|(&c, &d)| (c, d)).collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Histogram of a summed column→degree map — the in-degree mirror of
+/// [`sum_histograms`], which would over-count columns whose cells split
+/// across parts if applied to per-part in-degree histograms.
+pub(crate) fn col_degree_histogram(
+    degrees: &std::collections::BTreeMap<Index, usize>,
+) -> std::collections::BTreeMap<u64, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &d in degrees.values() {
+        *counts.entry(d as u64).or_insert(0) += 1;
+    }
+    counts
+}
+
 /// Reusable per-shard staging buffers for partitioning a tuple stream.
 ///
 /// Partitioning a 100,000-tuple batch across N shards must not allocate
@@ -267,6 +310,47 @@ impl<T: ScalarType> InstancePool<T> {
         sum_histograms(self.instances.iter_mut().map(|m| m.read_degree_histogram()))
     }
 
+    /// The `k` highest **in-degree** columns across the pool.  Instances
+    /// own disjoint rows but share columns, so the per-instance column
+    /// stats are *summed* per column (never re-ranked) before ranking.
+    pub fn in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let parts: Vec<Vec<(Index, usize)>> = self
+            .instances
+            .iter_mut()
+            .map(|m| {
+                let bound = m.read_nnz();
+                m.read_in_top_k(bound)
+            })
+            .collect();
+        rank_col_degrees(&sum_col_degrees(parts), k)
+    }
+
+    /// In-degree of one column across the pool (per-instance column-index
+    /// answers summed — columns are not disjoint across instances).
+    pub fn col_degree(&mut self, col: Index) -> usize {
+        self.instances
+            .iter_mut()
+            .map(|m| m.read_col_degree(col))
+            .sum()
+    }
+
+    /// The pool's in-degree histogram, computed from summed per-column
+    /// degrees (summing per-instance histograms would split columns).
+    pub fn in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let parts: Vec<Vec<(Index, usize)>> = self
+            .instances
+            .iter_mut()
+            .map(|m| {
+                let bound = m.read_nnz();
+                m.read_in_top_k(bound)
+            })
+            .collect();
+        col_degree_histogram(&sum_col_degrees(parts))
+    }
+
     /// Materialise the union of all instances into a single matrix
     /// (sum of the per-instance matrices — valid because instances hold
     /// disjoint or additively-combinable content).
@@ -398,6 +482,25 @@ mod tests {
         let mut union_ro = union;
         assert_eq!(p.degree_histogram(), union_ro.read_degree_histogram());
         // Analytics never materialise any instance.
+        assert_eq!(p.aggregate_stats().materializations, 0);
+    }
+
+    #[test]
+    fn pool_column_analytics_sum_across_instances() {
+        let mut p = pool(3);
+        for i in 0..600u64 {
+            // Rows spread across instances; columns deliberately shared, so
+            // each column's degree splits over several instances.
+            p.update(i % 37, (i * 11) % 23, 1).unwrap();
+        }
+        let mut union = p.materialize_union().unwrap();
+        for k in [0usize, 1, 5, 100] {
+            assert_eq!(p.in_top_k(k), union.read_in_top_k(k), "k = {k}");
+        }
+        for col in 0u64..25 {
+            assert_eq!(p.col_degree(col), union.read_col_degree(col), "{col}");
+        }
+        assert_eq!(p.in_degree_histogram(), union.read_in_degree_histogram());
         assert_eq!(p.aggregate_stats().materializations, 0);
     }
 

@@ -46,7 +46,10 @@
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
-use crate::pool::{rerank_top_k, row_hash, sum_histograms, PartitionBuffers};
+use crate::pool::{
+    col_degree_histogram, rank_col_degrees, rerank_top_k, row_hash, sum_col_degrees,
+    sum_histograms, PartitionBuffers,
+};
 use crate::stats::HierStats;
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
@@ -135,6 +138,10 @@ impl Default for ShardedConfig {
 /// A tuple batch travelling to a worker (and, emptied, back).
 type TupleBuf<T> = (Vec<Index>, Vec<Index>, Vec<T>);
 
+/// Batched-read routing: per shard, the original request indices and the
+/// keys that shard owns, so replies scatter back into request order.
+type ShardBatch<K> = Vec<(usize, Vec<usize>, Vec<K>)>;
+
 /// Commands a worker consumes from its SPSC channel.
 enum WorkerMsg<T> {
     /// Apply a batch of pre-validated tuples to the shard.  The buffers
@@ -179,6 +186,27 @@ enum ReaderQuery {
     /// producer sweeps the snapshot while this worker's channel keeps
     /// draining.
     Snapshot,
+    /// Extract one merged column (the shard's slice of it — every shard
+    /// may own rows intersecting any column, so column queries always fan
+    /// out to the whole pool).
+    Col(Index),
+    /// Distinct rows in one column of this shard.
+    ColDegree(Index),
+    /// Reduce one column of this shard under `+`.
+    ColReduce(Index),
+    /// The shard's **complete** column→in-degree list.  Unlike the row
+    /// top-k, a per-shard in-degree *top-k* cannot be re-ranked by the
+    /// producer — a column's degree splits across the row-partitioned
+    /// shards — so workers ship the full per-column stats and the producer
+    /// sums per column before ranking or histogramming.
+    InDegrees,
+    /// The shard's entries within a column range (half-open), column-major.
+    ColRange(Index, Index),
+    /// Extract a batch of merged rows (one settle shard-side, row-disjoint
+    /// partials reassembled by the producer).
+    Rows(Vec<Index>),
+    /// Batched point gets.
+    GetMany(Vec<(Index, Index)>),
 }
 
 /// A worker's answer to a [`ReaderQuery`] (disjoint-row partials the
@@ -194,6 +222,8 @@ enum ReaderReply<T> {
     Entries(Vec<(Index, Index, T)>),
     Hist(std::collections::BTreeMap<u64, u64>),
     Snapshot(MatrixSnapshot<T>),
+    Rows(Vec<Vec<(Index, T)>>),
+    Values(Vec<Option<T>>),
 }
 
 /// A worker's answer to a drain barrier.
@@ -276,6 +306,26 @@ fn worker_loop<T: ScalarType>(
                     }
                     ReaderQuery::Histogram => ReaderReply::Hist(shard.read_degree_histogram()),
                     ReaderQuery::Snapshot => ReaderReply::Snapshot(shard.snapshot()),
+                    ReaderQuery::Col(c) => {
+                        let mut out = Vec::new();
+                        shard.read_col(c, &mut out);
+                        ReaderReply::Row(out)
+                    }
+                    ReaderQuery::ColDegree(c) => ReaderReply::Count(shard.read_col_degree(c)),
+                    ReaderQuery::ColReduce(c) => ReaderReply::Value(shard.read_col_reduce(c)),
+                    ReaderQuery::InDegrees => {
+                        // nnz bounds the number of distinct columns, so
+                        // this is the shard's complete column stat list.
+                        let bound = shard.read_nnz();
+                        ReaderReply::TopK(shard.read_in_top_k(bound))
+                    }
+                    ReaderQuery::ColRange(lo, hi) => {
+                        let mut out = Vec::new();
+                        shard.read_col_range(lo, hi, &mut |r, c, v| out.push((r, c, v)));
+                        ReaderReply::Entries(out)
+                    }
+                    ReaderQuery::Rows(rows) => ReaderReply::Rows(shard.read_rows(&rows)),
+                    ReaderQuery::GetMany(keys) => ReaderReply::Values(shard.read_get_many(&keys)),
                 };
                 let _ = reply.send(answer);
             }
@@ -316,6 +366,13 @@ pub struct ShardedHierMatrix<T> {
     /// range-dispatch tests assert a narrow `read_row_range` on a
     /// RowRange-partitioned engine touches only the overlapping workers.
     last_fanout: usize,
+    /// Producer-side cache of the summed column → in-degree map.  Unlike
+    /// row rankings (disjoint rows, rerank per query), the in-degree
+    /// ranking needs every shard's full column stats shipped and summed —
+    /// expensive enough that a query burst must not repeat it.  Any staged
+    /// tuple invalidates the cache; flushes and settles don't (they never
+    /// change the represented union).
+    in_degrees_cache: Option<std::collections::BTreeMap<Index, usize>>,
 }
 
 impl<T: ScalarType> ShardedHierMatrix<T> {
@@ -368,6 +425,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             chunks_sent: 0,
             pushdown_queries: 0,
             last_fanout: 0,
+            in_degrees_cache: None,
         })
     }
 
@@ -480,6 +538,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         self.staging.push(shard, row, col, val);
         self.ingested_weight += val.to_f64();
         self.since_round += 1;
+        self.in_degrees_cache = None;
         if self.staging.staged(shard) >= self.config.chunk_tuples.max(1) {
             self.dispatch_shard(shard);
         }
@@ -502,6 +561,9 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             self.ingested_weight += vals[i].to_f64();
         }
         self.since_round += rows.len();
+        if !rows.is_empty() {
+            self.in_degrees_cache = None;
+        }
         let chunk = self.config.chunk_tuples.max(1);
         for shard in 0..nshards {
             if self.staging.staged(shard) >= chunk {
@@ -600,6 +662,33 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         self.query_shards(&all, mk)
     }
 
+    /// Push a *distinct* query down to each listed worker (the batched-read
+    /// dispatch: each shard gets exactly the keys it owns) and collect the
+    /// replies in the same order as `queries`.  One reply channel per query
+    /// keeps the pairing; all targeted workers still compute concurrently.
+    fn query_each(&mut self, queries: Vec<(usize, ReaderQuery)>) -> Vec<ReaderReply<T>> {
+        for &(s, _) in &queries {
+            self.dispatch_shard(s);
+        }
+        let receivers: Vec<Receiver<ReaderReply<T>>> = queries
+            .into_iter()
+            .map(|(s, q)| {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                self.workers[s]
+                    .tx
+                    .send(WorkerMsg::Query(q, reply_tx))
+                    .expect("shard worker exited");
+                reply_rx
+            })
+            .collect();
+        self.pushdown_queries += 1;
+        self.last_fanout = receivers.len();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker exited"))
+            .collect()
+    }
+
     /// The shards whose row sets can intersect `lo..hi`: a contiguous band
     /// range under the RowRange partitioner, every shard under RowHash.
     fn range_shards(&self, lo: Index, hi: Index) -> Vec<usize> {
@@ -642,6 +731,25 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             ncols: self.ncols,
             shards,
         }
+    }
+
+    /// Full column → in-degree map summed across every shard.  A column's
+    /// degree splits across the row-partitioned shards, so per-shard top-k
+    /// lists cannot be re-ranked; workers ship their complete column stats
+    /// and the producer sums them before ranking or binning.
+    fn ensure_in_degrees(&mut self) -> &std::collections::BTreeMap<Index, usize> {
+        if self.in_degrees_cache.is_none() {
+            let parts: Vec<Vec<(Index, usize)>> = self
+                .query_all(|| ReaderQuery::InDegrees)
+                .into_iter()
+                .map(|reply| match reply {
+                    ReaderReply::TopK(part) => part,
+                    _ => unreachable!("worker answered InDegrees with a non-TopK reply"),
+                })
+                .collect();
+            self.in_degrees_cache = Some(sum_col_degrees(parts));
+        }
+        self.in_degrees_cache.as_ref().expect("just filled")
     }
 
     /// The shard owning `row` under the configured partitioner.
@@ -946,6 +1054,139 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             },
         ))
     }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        // A column intersects every row partition, so the query fans out to
+        // all workers (each answering O(k) off its shard's column twins);
+        // the partials hold disjoint row sets, so one sort merges them.
+        let mut all: Vec<(Index, T)> = Vec::new();
+        for reply in self.query_all(|| ReaderQuery::Col(col)) {
+            match reply {
+                ReaderReply::Row(part) => all.extend(part),
+                _ => unreachable!("worker answered Col with a non-Row reply"),
+            }
+        }
+        all.sort_unstable_by_key(|&(r, _)| r);
+        out.clear();
+        out.extend(all);
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        // Disjoint rows: per-shard distinct-row counts of one column add.
+        self.query_all(|| ReaderQuery::ColDegree(col))
+            .into_iter()
+            .map(|reply| match reply {
+                ReaderReply::Count(n) => n,
+                _ => unreachable!("worker answered ColDegree with a non-Count reply"),
+            })
+            .sum()
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        self.query_all(|| ReaderQuery::ColReduce(col))
+            .into_iter()
+            .filter_map(|reply| match reply {
+                ReaderReply::Value(v) => v,
+                _ => unreachable!("worker answered ColReduce with a non-Value reply"),
+            })
+            .reduce(|a, b| a.add(b))
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Per-shard in-degree top-k lists can NOT be re-ranked like the row
+        // side: a column's degree splits across the row-partitioned shards.
+        // Workers ship their complete column stats; sum, then rank.
+        rank_col_degrees(self.ensure_in_degrees(), k)
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        col_degree_histogram(self.ensure_in_degrees())
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        if lo >= hi {
+            return;
+        }
+        // Column bands cannot be bounded by the row partitioner: full
+        // fan-out, then one (col, row) sort over the disjoint-row partials.
+        let mut all: Vec<(Index, Index, T)> = Vec::new();
+        for reply in self.query_all(|| ReaderQuery::ColRange(lo, hi)) {
+            match reply {
+                ReaderReply::Entries(part) => all.extend(part),
+                _ => unreachable!("worker answered ColRange with a non-Entries reply"),
+            }
+        }
+        all.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        for (r, c, v) in all {
+            f(r, c, v);
+        }
+    }
+
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        // Group the keys by owning shard, push one batched query per
+        // involved worker, and scatter the per-shard answers back into
+        // request order.
+        let mut per_shard: ShardBatch<Index> = Vec::new();
+        for (i, &row) in rows.iter().enumerate() {
+            let owner = self.owner(row);
+            match per_shard.iter_mut().find(|(s, _, _)| *s == owner) {
+                Some((_, idxs, keys)) => {
+                    idxs.push(i);
+                    keys.push(row);
+                }
+                None => per_shard.push((owner, vec![i], vec![row])),
+            }
+        }
+        let queries: Vec<(usize, ReaderQuery)> = per_shard
+            .iter()
+            .map(|(s, _, keys)| (*s, ReaderQuery::Rows(keys.clone())))
+            .collect();
+        let mut out: Vec<Vec<(Index, T)>> = vec![Vec::new(); rows.len()];
+        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)) {
+            match reply {
+                ReaderReply::Rows(parts) => {
+                    for (&i, part) in idxs.iter().zip(parts) {
+                        out[i] = part;
+                    }
+                }
+                _ => unreachable!("worker answered Rows with a non-Rows reply"),
+            }
+        }
+        out
+    }
+
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        let mut per_shard: ShardBatch<(Index, Index)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let owner = self.owner(key.0);
+            match per_shard.iter_mut().find(|(s, _, _)| *s == owner) {
+                Some((_, idxs, ks)) => {
+                    idxs.push(i);
+                    ks.push(key);
+                }
+                None => per_shard.push((owner, vec![i], vec![key])),
+            }
+        }
+        let queries: Vec<(usize, ReaderQuery)> = per_shard
+            .iter()
+            .map(|(s, _, ks)| (*s, ReaderQuery::GetMany(ks.clone())))
+            .collect();
+        let mut out: Vec<Option<T>> = vec![None; keys.len()];
+        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)) {
+            match reply {
+                ReaderReply::Values(vals) => {
+                    for (&i, v) in idxs.iter().zip(vals) {
+                        out[i] = v;
+                    }
+                }
+                _ => unreachable!("worker answered GetMany with a non-Values reply"),
+            }
+        }
+        out
+    }
 }
 
 /// One consistent point-in-time view of the whole sharded engine: a
@@ -971,6 +1212,20 @@ impl<T: ScalarType> ShardedSnapshot<T> {
     /// sweeps).
     fn all_levels(&self) -> Vec<&Dcsr<T>> {
         self.shards.iter().flat_map(|s| s.level_dcsrs()).collect()
+    }
+
+    /// Column → in-degree over the whole capture: per-shard stats summed
+    /// (a column's degree splits across the row-partitioned shards).
+    fn summed_in_degrees(&mut self) -> std::collections::BTreeMap<Index, usize> {
+        let parts: Vec<Vec<(Index, usize)>> = self
+            .shards
+            .iter_mut()
+            .map(|s| {
+                let bound = s.read_nnz();
+                s.read_in_top_k(bound)
+            })
+            .collect();
+        sum_col_degrees(parts)
     }
 }
 
@@ -1028,6 +1283,74 @@ impl<T: ScalarType> MatrixReader<T> for ShardedSnapshot<T> {
 
     fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
         sum_histograms(self.shards.iter_mut().map(|s| s.read_degree_histogram()))
+    }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        // Every shard snapshot may hold a slice of the column (disjoint
+        // rows): concatenate the per-shard partials and sort once.
+        let mut all: Vec<(Index, T)> = Vec::new();
+        let mut part = Vec::new();
+        for s in &mut self.shards {
+            s.read_col(col, &mut part);
+            all.append(&mut part);
+        }
+        all.sort_unstable_by_key(|&(r, _)| r);
+        out.clear();
+        out.extend(all);
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        self.shards.iter_mut().map(|s| s.read_col_degree(col)).sum()
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.read_col_reduce(col))
+            .reduce(|a, b| a.add(b))
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        rank_col_degrees(&self.summed_in_degrees(), k)
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        col_degree_histogram(&self.summed_in_degrees())
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        if lo >= hi {
+            return;
+        }
+        let mut all: Vec<(Index, Index, T)> = Vec::new();
+        for s in &mut self.shards {
+            s.read_col_range(lo, hi, &mut |r, c, v| all.push((r, c, v)));
+        }
+        all.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        for (r, c, v) in all {
+            f(r, c, v);
+        }
+    }
+
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        let levels = self.all_levels();
+        rows.iter()
+            .map(|&row| {
+                let mut out = Vec::new();
+                hyperstream_graphblas::cursor::merged_row_into(&levels, row, Plus, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        let levels = self.all_levels();
+        keys.iter()
+            .map(|&(r, c)| hyperstream_graphblas::cursor::merged_point(&levels, r, c, Plus))
+            .collect()
     }
 }
 
@@ -1307,6 +1630,184 @@ mod tests {
         // would have caught a materialising query path.
         let _ = engine.materialize().unwrap();
         assert_eq!(engine.aggregate_stats().materializations, 3);
+    }
+
+    /// A column-dense stream: 60 columns, ~42 distinct rows each, so
+    /// in-degree rankings are non-degenerate.
+    fn col_stream(n: u64) -> Vec<(u64, u64, u64)> {
+        (0..n)
+            .map(|i| ((i * 7919) % 5000 * 797_003, (i * 104_729) % 60, i % 4 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn column_pushdown_matches_transposed_flat_reference() {
+        for partitioner in [ShardPartitioner::RowHash, ShardPartitioner::RowRange] {
+            let mut engine = tiny_engine(3, partitioner);
+            let mut transposed = Matrix::<u64>::new(DIM, DIM);
+            for &(r, c, v) in &col_stream(2500) {
+                engine.update(r, c, v).unwrap();
+                transposed.accum_element(c, r, v).unwrap();
+            }
+            transposed.wait();
+            // Mid-ingest: staged and in-flight tuples must be visible.
+            let probe_col = 7u64;
+            let mut got = Vec::new();
+            engine.read_col(probe_col, &mut got);
+            let mut expect = Vec::new();
+            transposed.read_row(probe_col, &mut expect);
+            assert!(!expect.is_empty());
+            assert_eq!(got, expect, "{partitioner:?}");
+            assert_eq!(
+                engine.read_col_degree(probe_col),
+                transposed.read_row_degree(probe_col),
+                "{partitioner:?}"
+            );
+            assert_eq!(
+                engine.read_col_reduce(probe_col),
+                transposed.read_row_reduce(probe_col)
+            );
+            assert_eq!(engine.read_col_degree(DIM - 1), 0);
+            assert_eq!(engine.read_col_reduce(DIM - 1), None);
+            // In-degree ranking: per-shard partial degrees must sum before
+            // ranking — the transposed flat matrix is the oracle.
+            assert_eq!(engine.read_in_top_k(7), transposed.read_top_k(7));
+            assert_eq!(
+                engine.read_in_degree_histogram(),
+                transposed.read_degree_histogram()
+            );
+            // Column band: (col, row)-sorted and identical to a transposed
+            // row band with coordinates swapped back.
+            let mut got_band = Vec::new();
+            engine.read_col_range(0, 30, &mut |r, c, v| got_band.push((r, c, v)));
+            let mut expect_band = Vec::new();
+            transposed.read_row_range(0, 30, &mut |c, r, v| expect_band.push((r, c, v)));
+            assert!(!expect_band.is_empty());
+            assert_eq!(got_band, expect_band, "{partitioner:?}");
+        }
+    }
+
+    #[test]
+    fn column_battery_never_materializes() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        for &(r, c, v) in &col_stream(2000) {
+            engine.update(r, c, v).unwrap();
+        }
+        let before = engine.pushdown_queries();
+        let mut col = Vec::new();
+        engine.read_col(7, &mut col);
+        assert!(!col.is_empty());
+        let _ = engine.read_col_degree(7);
+        let _ = engine.read_col_reduce(7);
+        let _ = engine.read_in_top_k(5);
+        let _ = engine.read_in_degree_histogram();
+        let mut n = 0usize;
+        engine.read_col_range(0, 30, &mut |_, _, _| n += 1);
+        assert!(n > 0);
+        let _ = engine.read_rows(&[0, 797_003]);
+        let _ = engine.read_get_many(&[(797_003, 7)]);
+        // 7 push-down rounds, not 8: the histogram right after top-k reuses
+        // the producer-side summed in-degree cache instead of re-shipping
+        // every shard's column stats.
+        assert!(engine.pushdown_queries() >= before + 7);
+        let warm = engine.pushdown_queries();
+        let _ = engine.read_in_top_k(5);
+        assert_eq!(engine.pushdown_queries(), warm, "cache hit expected");
+        engine.update(1, 1, 1).unwrap();
+        let _ = engine.read_in_top_k(5);
+        assert!(
+            engine.pushdown_queries() > warm,
+            "ingest must invalidate the in-degree cache"
+        );
+        // The whole column battery ran off worker-side twins and cursors:
+        // no shard ever materialised `Σ levels`.
+        assert_eq!(engine.aggregate_stats().materializations, 0);
+    }
+
+    #[test]
+    fn batched_pushdown_matches_singles() {
+        // RowRange spreads consecutive probe rows across different owners,
+        // exercising the group-by-shard dispatch and request-order
+        // reassembly.
+        let mut engine = tiny_engine(4, ShardPartitioner::RowRange);
+        let updates = col_stream(2000);
+        for &(r, c, v) in &updates {
+            engine.update(r, c, v).unwrap();
+        }
+        let mut probe_rows: Vec<u64> = updates.iter().take(9).map(|u| u.0).collect();
+        probe_rows.push(DIM - 1); // absent row
+        let batched = engine.read_rows(&probe_rows);
+        assert_eq!(batched.len(), probe_rows.len());
+        for (&row, got) in probe_rows.iter().zip(&batched) {
+            let mut single = Vec::new();
+            engine.read_row(row, &mut single);
+            assert_eq!(*got, single, "row {row}");
+        }
+        let mut keys: Vec<(u64, u64)> = updates.iter().take(9).map(|u| (u.0, u.1)).collect();
+        keys.push((DIM - 1, DIM - 1)); // absent cell
+        let values = engine.read_get_many(&keys);
+        assert_eq!(values.len(), keys.len());
+        for (&(r, c), got) in keys.iter().zip(&values) {
+            assert_eq!(*got, engine.read_get(r, c), "key ({r}, {c})");
+        }
+        // One batched call is a single push-down round, fanning out to at
+        // most one query per owning shard.
+        let before = engine.pushdown_queries();
+        let _ = engine.read_rows(&probe_rows);
+        assert_eq!(engine.pushdown_queries(), before + 1);
+        assert!(engine.last_query_fanout() <= 4);
+    }
+
+    #[test]
+    fn snapshot_column_answers_survive_continued_ingest() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        let updates = col_stream(2400);
+        let (first, second) = updates.split_at(1200);
+        let mut transposed = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in first {
+            engine.update(r, c, v).unwrap();
+            transposed.accum_element(c, r, v).unwrap();
+        }
+        transposed.wait();
+        let mut snap = engine.snapshot();
+        // Keep ingesting after the capture: the snapshot must stay pinned
+        // to the barrier state.
+        for &(r, c, v) in second {
+            engine.update(r, c, v).unwrap();
+        }
+        assert_eq!(snap.read_in_top_k(5), transposed.read_top_k(5));
+        assert_eq!(
+            snap.read_in_degree_histogram(),
+            transposed.read_degree_histogram()
+        );
+        let mut got = Vec::new();
+        snap.read_col(7, &mut got);
+        let mut expect = Vec::new();
+        transposed.read_row(7, &mut expect);
+        assert_eq!(got, expect);
+        assert_eq!(snap.read_col_degree(7), transposed.read_row_degree(7));
+        let mut got_band = Vec::new();
+        snap.read_col_range(0, 30, &mut |r, c, v| got_band.push((r, c, v)));
+        let mut expect_band = Vec::new();
+        transposed.read_row_range(0, 30, &mut |c, r, v| expect_band.push((r, c, v)));
+        assert_eq!(got_band, expect_band);
+        // Batched snapshot reads agree with their single-key counterparts.
+        let rows: Vec<u64> = first.iter().take(5).map(|u| u.0).collect();
+        let singles: Vec<Vec<(u64, u64)>> = rows
+            .iter()
+            .map(|&r| {
+                let mut out = Vec::new();
+                snap.read_row(r, &mut out);
+                out
+            })
+            .collect();
+        assert_eq!(snap.read_rows(&rows), singles);
+        let keys: Vec<(u64, u64)> = first.iter().take(5).map(|u| (u.0, u.1)).collect();
+        let point_singles: Vec<Option<u64>> =
+            keys.iter().map(|&(r, c)| snap.read_get(r, c)).collect();
+        assert_eq!(snap.read_get_many(&keys), point_singles);
+        // The engine itself has since moved past the capture.
+        assert!(engine.read_nnz() > snap.read_nnz());
     }
 
     #[test]

@@ -12,15 +12,18 @@
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use hyperstream_graphblas::cursor::{
-    for_each_merged, merge_levels, merged_nnz, merged_point, merged_row_degree, merged_row_into,
-    merged_row_range, merged_row_reduce, merged_top_k, LevelCursors,
+    for_each_merged, merge_levels, merged_col_degree, merged_col_into, merged_col_range,
+    merged_col_reduce, merged_in_degree_histogram, merged_in_top_k, merged_nnz, merged_point,
+    merged_row_degree, merged_row_into, merged_row_range, merged_row_reduce, merged_top_k,
+    LevelCursors,
 };
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::{
     DegreeIndex, GrbResult, Index, Matrix, MatrixReader, ScalarType, StreamingSink,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// A rotating sequence of hierarchical matrices, one per time window.
 ///
@@ -55,6 +58,15 @@ pub struct WindowedHierMatrix<T> {
     index: DegreeIndex<T>,
     /// True when a mutation has outdated `index`.
     index_stale: bool,
+    /// Column twin of `index`: union in-degree stats over the retained
+    /// windows, following the same stale-mark + wholesale-rebuild rule
+    /// (eviction can remove a column's cells from one window while they
+    /// survive in another, so incremental maintenance is not exact here).
+    /// Rebuilt only by column-side degree queries, so row-only workloads
+    /// never pay for it.
+    col_index: DegreeIndex<T>,
+    /// True when a mutation has outdated `col_index`.
+    col_index_stale: bool,
 }
 
 impl<T: ScalarType> WindowedHierMatrix<T> {
@@ -79,6 +91,8 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
             windows_closed: 0,
             index: DegreeIndex::new(),
             index_stale: false,
+            col_index: DegreeIndex::new(),
+            col_index_stale: false,
         })
     }
 
@@ -106,6 +120,7 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
         self.current.update(row, col, val)?;
         self.current_count += 1;
         self.index_stale = true;
+        self.col_index_stale = true;
         Ok(())
     }
 
@@ -124,6 +139,7 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
             self.closed.pop_front();
         }
         self.index_stale = true;
+        self.col_index_stale = true;
         Ok(())
     }
 
@@ -290,6 +306,74 @@ impl<T: ScalarType> MatrixReader<T> for WindowedHierMatrix<T> {
         debug_assert_eq!(hist, self.sweep_degree_histogram());
         hist
     }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        // O(k) off the per-window column twins (each window's shadows are
+        // Arc-cached, so a query burst between rotations builds them once).
+        let shadows = self.retained_col_shadows();
+        let refs: Vec<&Dcsr<T>> = shadows.iter().map(|s| s.as_ref()).collect();
+        merged_row_into(&refs, col, Plus, out);
+        debug_assert_eq!(*out, {
+            let mut sweep = Vec::new();
+            self.sweep_col(col, &mut sweep);
+            sweep
+        });
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        self.refresh_col_index();
+        let d = self.col_index.row_degree(col);
+        debug_assert_eq!(d, self.sweep_col_degree(col));
+        d
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        self.refresh_col_index();
+        let w = self.col_index.row_weight(col);
+        debug_assert!(crate::matrix::reduce_agrees(w, self.sweep_col_reduce(col)));
+        w
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        self.refresh_col_index();
+        let top = self.col_index.top_k(k);
+        debug_assert_eq!(top, self.sweep_in_top_k(k));
+        top
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        self.refresh_col_index();
+        let hist = self.col_index.degree_histogram();
+        debug_assert_eq!(hist, self.sweep_in_degree_histogram());
+        hist
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        // The twins are row-major in (col, row): a row-range walk over them
+        // is already the column-major contract order.
+        let shadows = self.retained_col_shadows();
+        let refs: Vec<&Dcsr<T>> = shadows.iter().map(|s| s.as_ref()).collect();
+        merged_row_range(&refs, lo, hi, Plus, &mut |c, r, v| f(r, c, v));
+    }
+
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        // One settle across every retained window for the whole batch.
+        let dcsrs = self.retained_settled_dcsrs();
+        rows.iter()
+            .map(|&row| {
+                let mut out = Vec::new();
+                merged_row_into(&dcsrs, row, Plus, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        let dcsrs = self.retained_settled_dcsrs();
+        keys.iter()
+            .map(|&(row, col)| merged_point(&dcsrs, row, col, Plus))
+            .collect()
+    }
 }
 
 impl<T: ScalarType> WindowedHierMatrix<T> {
@@ -367,6 +451,86 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
     pub fn sweep_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
         let dcsrs = self.retained_settled_dcsrs();
         hyperstream_graphblas::cursor::merged_degree_histogram(&dcsrs)
+    }
+
+    /// Settle every retained window (through the index observers) and
+    /// collect every window's per-level column twins for one merged
+    /// transpose-side sweep.
+    fn retained_col_shadows(&mut self) -> Vec<Arc<Dcsr<T>>> {
+        let mut shadows = Vec::new();
+        for w in &mut self.closed {
+            shadows.extend(w.settled_col_shadows());
+        }
+        shadows.extend(self.current.settled_col_shadows());
+        shadows
+    }
+
+    /// Rebuild the union *column* index if any mutation outdated it — the
+    /// transpose mirror of [`WindowedHierMatrix::refresh_index`].  A
+    /// row-major union sweep does not group columns the way it groups rows,
+    /// so the rebuild first accumulates per-column (degree, weight) in a
+    /// map, then bulk-loads the already-deduplicated stats.
+    fn refresh_col_index(&mut self) {
+        if !self.col_index_stale {
+            return;
+        }
+        for w in &mut self.closed {
+            w.settle_levels();
+        }
+        self.current.settle_levels();
+        self.col_index.clear();
+        let dcsrs: Vec<&Dcsr<T>> = self
+            .closed
+            .iter()
+            .flat_map(|w| w.level_dcsrs())
+            .chain(self.current.level_dcsrs())
+            .collect();
+        let mut cols: BTreeMap<Index, (u64, T)> = BTreeMap::new();
+        for_each_merged(&dcsrs, Plus, &mut |_, c, v| {
+            let slot = cols.entry(c).or_insert((0, T::default()));
+            slot.0 += 1;
+            slot.1 = slot.1.add(v);
+        });
+        for (c, (degree, weight)) in cols {
+            self.col_index.add_unique_row(c, degree, weight);
+        }
+        self.col_index_stale = false;
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col`].
+    pub fn sweep_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_col_into(&dcsrs, col, Plus, out);
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_degree`].
+    pub fn sweep_col_degree(&mut self, col: Index) -> usize {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_col_degree(&dcsrs, col)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_reduce`].
+    pub fn sweep_col_reduce(&mut self, col: Index) -> Option<T> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_col_reduce(&dcsrs, col, Plus)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_in_top_k`].
+    pub fn sweep_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_in_top_k(&dcsrs, k)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_in_degree_histogram`].
+    pub fn sweep_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_in_degree_histogram(&dcsrs)
+    }
+
+    /// Cursor-sweep fallback of [`MatrixReader::read_col_range`].
+    pub fn sweep_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let dcsrs = self.retained_settled_dcsrs();
+        merged_col_range(&dcsrs, lo, hi, Plus, f);
     }
 }
 
@@ -519,6 +683,66 @@ mod tests {
         // All content evicted: three empty windows pushed the full ones out.
         assert_eq!(w.read_nnz(), w.sweep_nnz());
         assert!(w.read_nnz() < before);
+    }
+
+    #[test]
+    fn union_col_index_survives_rotation_and_eviction() {
+        let mut w = windowed(25, 2);
+        for i in 0..170u64 {
+            w.update(i % 7, (i * 3) % 11, 1).unwrap();
+            if i % 40 == 39 {
+                assert_eq!(w.read_in_top_k(4), w.sweep_in_top_k(4), "at update {i}");
+            }
+        }
+        assert_eq!(w.windows_closed(), 6);
+        for col in 0u64..12 {
+            assert_eq!(w.read_col_degree(col), w.sweep_col_degree(col), "{col}");
+            assert_eq!(w.read_col_reduce(col), w.sweep_col_reduce(col), "{col}");
+            let mut got = Vec::new();
+            w.read_col(col, &mut got);
+            let mut sweep = Vec::new();
+            w.sweep_col(col, &mut sweep);
+            assert_eq!(got, sweep, "{col}");
+        }
+        assert_eq!(w.read_in_degree_histogram(), w.sweep_in_degree_histogram());
+        // Rotating everything out empties the column answers too.
+        w.rotate().unwrap();
+        w.rotate().unwrap();
+        w.rotate().unwrap();
+        assert!(w.read_in_top_k(3).is_empty());
+        assert_eq!(w.read_col_degree(5), 0);
+    }
+
+    #[test]
+    fn windowed_col_range_and_batched_reads() {
+        let mut w = windowed(30, 3);
+        for i in 0..100u64 {
+            w.update(i % 50, i % 9, 1).unwrap();
+        }
+        let mut all = Vec::new();
+        w.read_entries(&mut |r, c, v| all.push((r, c, v)));
+        // Column-range answers are column-major over the union.
+        let mut got = Vec::new();
+        w.read_col_range(3, 7, &mut |r, c, v| got.push((r, c, v)));
+        let mut expect: Vec<_> = all
+            .iter()
+            .copied()
+            .filter(|&(_, c, _)| (3..7).contains(&c))
+            .collect();
+        expect.sort_by_key(|&(r, c, _)| (c, r));
+        assert_eq!(got, expect);
+        // Batched reads match their single-query counterparts.
+        let rows = [0u64, 13, 49, 60];
+        let batch = w.read_rows(&rows);
+        for (i, &row) in rows.iter().enumerate() {
+            let mut single = Vec::new();
+            w.read_row(row, &mut single);
+            assert_eq!(batch[i], single, "row {row}");
+        }
+        let keys = [(0u64, 0u64), (13, 4), (49, 8), (60, 1)];
+        let got = w.read_get_many(&keys);
+        let expect: Vec<Option<u64>> = keys.iter().map(|&(r, c)| w.read_get(r, c)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

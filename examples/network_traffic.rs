@@ -79,6 +79,29 @@ fn main() {
         );
     }
 
+    // Victim detection is the transpose question: destinations contacted by
+    // many distinct sources -> high IN-degree.  Served O(k) from the
+    // lazily-maintained column degree index — the same report that used to
+    // need a whole-matrix sweep or an explicitly transposed copy.
+    let victims = traffic.read_in_top_k(16);
+    println!("== top fan-in destinations (victim / supernode candidates) ==");
+    for (addr, fanin) in victims.iter().take(5) {
+        println!(
+            "  {:>12} contacted by {} distinct sources",
+            format!("{addr:#010x}"),
+            fanin
+        );
+    }
+    let supernode_hits = victims
+        .iter()
+        .filter(|&&(addr, _)| supernode_addrs.contains(&addr))
+        .count();
+    println!("  ({supernode_hits}/16 of the top fan-in destinations are embedded supernodes)");
+    assert!(
+        supernode_hits >= 8,
+        "the fan-in ranking should recover most embedded supernodes"
+    );
+
     // Heavy-flow extraction: flows with at least 16 packets (a whole-matrix
     // transform, so this one still materialises a snapshot).
     let snapshot = traffic.materialize();

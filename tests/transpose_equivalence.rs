@@ -1,0 +1,333 @@
+#![recursion_limit = "256"] // the proptest macro expansion is token-heavy
+
+//! Property-based tests of the column/transpose read path: for random
+//! update streams, cut schedules, shard counts and window rotations, every
+//! column answer — column extract, column degree, column reduce, in-degree
+//! top-k, in-degree histogram, column-band scan — must be byte-identical
+//! to the retained cursor-sweep fallback *and* to the row-side answer of a
+//! transposed flat matrix built from the same stream.  Snapshots taken
+//! mid-stream must keep answering the captured state no matter how far the
+//! source streams on.
+
+use hyperstream::prelude::*;
+use proptest::prelude::*;
+
+const DIM: u64 = 1 << 32;
+
+// A stream from a small id pool (duplicates + cross-level collisions)
+// scattered over the hypersparse index space.
+fn update_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..48, 0u64..48, 1u64..5), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(r, c, w)| ((r * 20_000_019) % DIM, (c * 40_000_003) % DIM, w))
+            .collect()
+    })
+}
+
+// An arbitrary valid cut schedule (strictly increasing, non-zero).
+fn cut_schedule() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..64, 1usize..4).prop_map(|deltas| {
+        let mut acc = 0u64;
+        deltas
+            .into_iter()
+            .map(|d| {
+                acc += d;
+                acc
+            })
+            .collect()
+    })
+}
+
+/// The transpose oracle: the same stream accumulated with coordinates
+/// swapped, so its *row* answers are the expected *column* answers.
+fn build_transposed(updates: &[(u64, u64, u64)]) -> Matrix<u64> {
+    let mut m = Matrix::<u64>::new(DIM, DIM);
+    for &(r, c, v) in updates {
+        m.accum_element(c, r, v).unwrap();
+    }
+    m.wait();
+    m
+}
+
+// Reference ranking (degree descending, id ascending) from a flat matrix;
+// on the transposed oracle this is the in-degree top-k.
+fn reference_top_k(flat: &Matrix<u64>, k: usize) -> Vec<(u64, usize)> {
+    let d = flat.dcsr();
+    let mut degs: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+        .map(|slot| (d.row_ids()[slot], d.row_slot(slot).0.len()))
+        .collect();
+    degs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    degs.truncate(k);
+    degs
+}
+
+/// Column-band entries of the transposed oracle, swapped back to
+/// original (row, col, val) coordinates — (col, row)-major, the
+/// `read_col_range` contract.
+fn reference_col_band(transposed: &Matrix<u64>, lo: u64, hi: u64) -> Vec<(u64, u64, u64)> {
+    transposed
+        .iter_settled()
+        .filter(|&(c, _, _)| c >= lo && c < hi)
+        .map(|(c, r, v)| (r, c, v))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn hier_column_twin_matches_sweep_and_transposed_flat(
+        updates in update_stream(300),
+        cuts in cut_schedule(),
+        flush_at in 0usize..300,
+        k in 0usize..12,
+    ) {
+        let transposed = build_transposed(&updates);
+        let cfg = HierConfig::from_cuts(cuts).unwrap();
+        let mut hier = HierMatrix::<u64>::new(DIM, DIM, cfg).unwrap();
+        let mut snap = None;
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            hier.update(r, c, v).unwrap();
+            if i == flush_at {
+                // Mid-stream: a column query (activating the twin early),
+                // a snapshot, then a flush — none may disturb the stream,
+                // and the snapshot must freeze here.
+                let _ = hier.read_in_top_k(3);
+                snap = Some((hier.snapshot(), i));
+                hier.flush();
+            }
+        }
+        // Twin-served answers == cursor-sweep fallback == transposed flat.
+        prop_assert_eq!(hier.read_in_top_k(k), hier.sweep_in_top_k(k));
+        prop_assert_eq!(hier.read_in_top_k(k), reference_top_k(&transposed, k));
+        prop_assert_eq!(
+            hier.read_in_degree_histogram(),
+            hier.sweep_in_degree_histogram()
+        );
+        prop_assert_eq!(
+            hier.read_in_degree_histogram(),
+            {
+                let mut t = transposed.clone();
+                t.read_degree_histogram()
+            }
+        );
+        for probe in [updates[0].1, (49 * 40_000_003) % DIM] {
+            let mut got = Vec::new();
+            hier.read_col(probe, &mut got);
+            let mut swept = Vec::new();
+            hier.sweep_col(probe, &mut swept);
+            prop_assert_eq!(&got, &swept);
+            let mut expect = Vec::new();
+            {
+                let mut t = transposed.clone();
+                t.read_row(probe, &mut expect);
+            }
+            prop_assert_eq!(&got, &expect);
+            prop_assert_eq!(hier.read_col_degree(probe), hier.sweep_col_degree(probe));
+            prop_assert_eq!(hier.read_col_degree(probe), expect.len());
+            prop_assert_eq!(hier.read_col_reduce(probe), hier.sweep_col_reduce(probe));
+        }
+        // Column-band scans equal the transposed entries swapped back.
+        let (lo, hi) = (updates[0].1.min(updates[updates.len() - 1].1),
+                        updates[0].1.max(updates[updates.len() - 1].1) + 1);
+        let mut got = Vec::new();
+        hier.read_col_range(lo, hi, &mut |r, c, v| got.push((r, c, v)));
+        let mut swept = Vec::new();
+        hier.sweep_col_range(lo, hi, &mut |r, c, v| swept.push((r, c, v)));
+        prop_assert_eq!(&got, &swept);
+        prop_assert_eq!(got, reference_col_band(&transposed, lo, hi));
+        // Batched reads agree with their single-key loops.
+        let rows: Vec<u64> = updates.iter().take(6).map(|&(r, _, _)| r).collect();
+        let singles: Vec<Vec<(u64, u64)>> = rows.iter().map(|&r| {
+            let mut out = Vec::new();
+            hier.read_row(r, &mut out);
+            out
+        }).collect();
+        prop_assert_eq!(hier.read_rows(&rows), singles);
+        let keys: Vec<(u64, u64)> = updates.iter().take(6).map(|&(r, c, _)| (r, c)).collect();
+        let points: Vec<Option<u64>> =
+            keys.iter().map(|&(r, c)| hier.read_get(r, c)).collect();
+        prop_assert_eq!(hier.read_get_many(&keys), points);
+        // The mid-stream snapshot still answers the captured prefix.
+        if let Some((mut snap, at)) = snap {
+            let prefix = build_transposed(&updates[..=at]);
+            prop_assert_eq!(snap.read_in_top_k(5), reference_top_k(&prefix, 5));
+            let probe = updates[0].1;
+            let mut got = Vec::new();
+            snap.read_col(probe, &mut got);
+            let mut expect = Vec::new();
+            {
+                let mut p = prefix.clone();
+                p.read_row(probe, &mut expect);
+            }
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(snap.read_col_degree(probe), expect.len());
+        }
+    }
+
+    #[test]
+    fn sharded_column_pushdown_matches_transposed_flat(
+        updates in update_stream(300),
+        cuts in cut_schedule(),
+        shards in 1usize..=8,
+        chunk in 1usize..64,
+        flush_at in 0usize..300,
+        k in 0usize..12,
+        partitioner_sel in 0u64..2,
+    ) {
+        let transposed = build_transposed(&updates);
+        let cfg = HierConfig::from_cuts(cuts).unwrap();
+        let partitioner = if partitioner_sel == 1 {
+            ShardPartitioner::RowRange
+        } else {
+            ShardPartitioner::RowHash
+        };
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            cfg,
+            ShardedConfig {
+                shards,
+                partitioner,
+                chunk_tuples: chunk,
+                channel_depth: 2,
+                round_tuples: 128,
+            },
+        )
+        .unwrap();
+        let mut snap = None;
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            engine.update(r, c, v).unwrap();
+            if i == flush_at {
+                snap = Some((engine.snapshot(), i));
+                engine.flush().unwrap();
+            }
+        }
+        // A column's degree splits across the row-partitioned shards: the
+        // producer must sum per-shard stats before ranking.  Answers equal
+        // the transposed flat reference; nothing materialises.
+        prop_assert_eq!(engine.read_in_top_k(k), reference_top_k(&transposed, k));
+        prop_assert_eq!(
+            engine.read_in_degree_histogram(),
+            {
+                let mut t = transposed.clone();
+                t.read_degree_histogram()
+            }
+        );
+        let probe = updates[0].1;
+        let mut got = Vec::new();
+        engine.read_col(probe, &mut got);
+        let mut expect = Vec::new();
+        {
+            let mut t = transposed.clone();
+            t.read_row(probe, &mut expect);
+        }
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(engine.read_col_degree(probe), expect.len());
+        prop_assert_eq!(engine.aggregate_stats().materializations, 0);
+        // Column bands fan out to every shard and come back (col, row)
+        // sorted.
+        let mut band = Vec::new();
+        engine.read_col_range(0, DIM / 2, &mut |r, c, v| band.push((r, c, v)));
+        prop_assert_eq!(band, reference_col_band(&transposed, 0, DIM / 2));
+        // Batched reads group keys by owning shard yet answer in request
+        // order.
+        let rows: Vec<u64> = updates.iter().take(6).map(|&(r, _, _)| r).collect();
+        let singles: Vec<Vec<(u64, u64)>> = rows.iter().map(|&r| {
+            let mut out = Vec::new();
+            engine.read_row(r, &mut out);
+            out
+        }).collect();
+        prop_assert_eq!(engine.read_rows(&rows), singles);
+        let keys: Vec<(u64, u64)> = updates.iter().take(6).map(|&(r, c, _)| (r, c)).collect();
+        let points: Vec<Option<u64>> =
+            keys.iter().map(|&(r, c)| engine.read_get(r, c)).collect();
+        prop_assert_eq!(engine.read_get_many(&keys), points);
+        // The engine-wide snapshot froze the captured prefix.
+        if let Some((mut snap, at)) = snap {
+            let prefix = build_transposed(&updates[..=at]);
+            prop_assert_eq!(snap.read_in_top_k(4), reference_top_k(&prefix, 4));
+            let mut got = Vec::new();
+            snap.read_col(probe, &mut got);
+            let mut expect = Vec::new();
+            {
+                let mut p = prefix.clone();
+                p.read_row(probe, &mut expect);
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn windowed_rotation_column_index_matches_sweep_and_retained_union(
+        updates in update_stream(300),
+        cuts in cut_schedule(),
+        window in 10u64..120,
+        max_windows in 1usize..4,
+        k in 0usize..10,
+    ) {
+        let cfg = HierConfig::from_cuts(cuts).unwrap();
+        let mut w =
+            WindowedHierMatrix::<u64>::new(DIM, DIM, cfg, window, max_windows).unwrap();
+        for (i, &(r, c, v)) in updates.iter().enumerate() {
+            w.update(r, c, v).unwrap();
+            if i == updates.len() / 2 {
+                // A mid-stream column query exercises the stale-mark +
+                // wholesale-rebuild path across later rotations.
+                let _ = w.read_in_top_k(3);
+            }
+        }
+        // Eviction makes incremental column maintenance inexact, so the
+        // union index rebuilds wholesale; answers must equal the cursor
+        // sweep over retained windows and the transposed retained union.
+        let retained = w.materialize_retained();
+        let (rrows, rcols, rvals) = retained.extract_tuples();
+        let retained_t =
+            Matrix::from_tuples(DIM, DIM, &rcols, &rrows, &rvals, Plus).unwrap();
+        prop_assert_eq!(w.read_in_top_k(k), w.sweep_in_top_k(k));
+        prop_assert_eq!(w.read_in_top_k(k), reference_top_k(&retained_t, k));
+        prop_assert_eq!(
+            w.read_in_degree_histogram(),
+            w.sweep_in_degree_histogram()
+        );
+        let probe = updates[updates.len() - 1].1;
+        let mut got = Vec::new();
+        w.read_col(probe, &mut got);
+        let mut swept = Vec::new();
+        w.sweep_col(probe, &mut swept);
+        prop_assert_eq!(&got, &swept);
+        let expect_deg = retained_t.dcsr().row(probe).map_or(0, |(c, _)| c.len());
+        prop_assert_eq!(w.read_col_degree(probe), w.sweep_col_degree(probe));
+        prop_assert_eq!(w.read_col_degree(probe), expect_deg);
+        prop_assert_eq!(w.read_col_reduce(probe), w.sweep_col_reduce(probe));
+        let mut band = Vec::new();
+        w.read_col_range(0, DIM / 2, &mut |r, c, v| band.push((r, c, v)));
+        let mut band_swept = Vec::new();
+        w.sweep_col_range(0, DIM / 2, &mut |r, c, v| band_swept.push((r, c, v)));
+        prop_assert_eq!(band, band_swept);
+    }
+}
+
+/// In-degree top-k through the generic algorithm layer equals the
+/// out-degree ranking of the explicitly transposed stream, for flat,
+/// hierarchical and sharded systems alike (the asymmetry the column twin
+/// removes: both directions are now O(k) reads, not sweeps).
+#[test]
+fn in_top_k_over_twin_matches_transposed_out_top_k() {
+    let mut flat = Matrix::<u64>::new(DIM, DIM);
+    let mut flat_t = Matrix::<u64>::new(DIM, DIM);
+    let mut hier =
+        HierMatrix::<u64>::new(DIM, DIM, HierConfig::from_cuts(vec![8, 64]).unwrap()).unwrap();
+    let mut sharded = ShardedHierMatrix::<u64>::with_shards(DIM, DIM, 3).unwrap();
+    for i in 0..4000u64 {
+        let (r, c, v) = ((i % 53) * 1_000_003, (i * 11) % 83, i % 3 + 1);
+        flat.accum_element(r, c, v).unwrap();
+        flat_t.accum_element(c, r, v).unwrap();
+        hier.update(r, c, v).unwrap();
+        sharded.update(r, c, v).unwrap();
+    }
+    let expect = flat_t.read_top_k(9);
+    assert_eq!(flat.read_in_top_k(9), expect);
+    assert_eq!(hier.read_in_top_k(9), expect);
+    assert_eq!(sharded.read_in_top_k(9), expect);
+}
