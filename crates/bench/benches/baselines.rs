@@ -25,7 +25,7 @@ fn bench_baseline_ingest(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("system", format!("{sys:?}")), |b| {
             b.iter(|| {
                 let mut sink = make_sink(sys, DIM);
-                drive_sink(sink.as_mut(), &batches)
+                drive_sink(sink.as_mut(), &batches).unwrap()
             })
         });
     }

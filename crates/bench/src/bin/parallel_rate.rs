@@ -187,7 +187,9 @@ fn measure_zipf(shards: usize, batches: usize, seed: u64) -> ZipfSkew {
     }
     engine.flush().expect("flush completes");
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    let per_shard_updates: Vec<u64> = (0..shards).map(|s| engine.shard_stats(s).updates).collect();
+    let per_shard_updates: Vec<u64> = (0..shards)
+        .map(|s| engine.shard_stats(s).expect("worker pool healthy").updates)
+        .collect();
     ZipfSkew {
         shards,
         updates: (batches * BATCH_SIZE) as u64,

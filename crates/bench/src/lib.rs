@@ -49,7 +49,7 @@ pub fn timed_drive<S: StreamingSink<u64> + ?Sized>(
 ) -> (u64, f64) {
     let updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
     let start = std::time::Instant::now();
-    hyperstream_cluster::drive_sink(sink, batches);
+    hyperstream_cluster::drive_sink(sink, batches).expect("healthy sink ingests the stream");
     (updates, start.elapsed().as_secs_f64().max(1e-9))
 }
 
@@ -78,6 +78,11 @@ pub struct BenchMeta {
     pub git_commit: String,
     /// Wall-clock time of the run (seconds since the Unix epoch).
     pub unix_time: u64,
+    /// Failpoint fires observed in this process (always 0 unless the
+    /// `failpoints` feature is compiled in AND a site was armed); recorded
+    /// so artifacts from fault-capable builds attest the measurement ran
+    /// clean.
+    pub faults_injected: u64,
 }
 
 /// Collect the run metadata for a benchmark artifact.
@@ -100,6 +105,10 @@ pub fn bench_meta() -> BenchMeta {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        #[cfg(feature = "failpoints")]
+        faults_injected: hyperstream_hier::failpoint::total_fired(),
+        #[cfg(not(feature = "failpoints"))]
+        faults_injected: 0,
     }
 }
 
@@ -108,10 +117,11 @@ impl BenchMeta {
     /// ready to splice into a benchmark artifact.
     pub fn json_fields(&self) -> String {
         format!(
-            "  \"threads\": {},\n  \"git_commit\": \"{}\",\n  \"unix_time\": {},\n",
+            "  \"threads\": {},\n  \"git_commit\": \"{}\",\n  \"unix_time\": {},\n  \"faults_injected\": {},\n",
             self.threads,
             self.git_commit.replace(['"', '\\'], "?"),
-            self.unix_time
+            self.unix_time,
+            self.faults_injected
         )
     }
 }

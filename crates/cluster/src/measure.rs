@@ -7,7 +7,7 @@
 
 use hyperstream_baselines::{ArrayStore, DocStore, RowStore, TabletStore};
 use hyperstream_d4m::{HierAssoc, HierAssocConfig};
-use hyperstream_graphblas::{Matrix, StreamingSink, StreamingSystem};
+use hyperstream_graphblas::{GrbResult, Matrix, StreamingSink, StreamingSystem};
 use hyperstream_hier::{HierConfig, HierMatrix, ShardedHierMatrix};
 use hyperstream_workload::{edges_to_tuples_into, Edge};
 use std::time::Instant;
@@ -126,18 +126,25 @@ pub fn make_sink(system: SystemKind, dim: u64) -> Box<dyn StreamingSystem<u64>> 
 /// The one generic ingest loop: stream every batch into `sink`, flush, and
 /// read back the total weight (defeating dead-code elimination and checking
 /// that no updates were dropped).  Returns the total weight ingested.
-pub fn drive_sink<S: StreamingSink<u64> + ?Sized>(sink: &mut S, batches: &[Vec<Edge>]) -> f64 {
+///
+/// Sink errors propagate typed instead of panicking the harness: a
+/// supervised engine that loses a worker mid-stream (see the sharded
+/// engine's fault model) surfaces here as `Err`, and the caller decides
+/// whether the measurement is salvageable.
+pub fn drive_sink<S: StreamingSink<u64> + ?Sized>(
+    sink: &mut S,
+    batches: &[Vec<Edge>],
+) -> GrbResult<f64> {
     // The tuple-slice buffers are reused across batches (allocating three
     // fresh vectors per batch is measurable harness overhead; see
     // `edges_to_tuples_into`).
     let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
     for batch in batches {
         edges_to_tuples_into(batch, &mut rows, &mut cols, &mut vals);
-        sink.insert_batch(&rows, &cols, &vals)
-            .expect("in-bounds updates");
+        sink.insert_batch(&rows, &cols, &vals)?;
     }
-    sink.flush().expect("flush completes");
-    std::hint::black_box(sink.total_weight())
+    sink.flush()?;
+    Ok(std::hint::black_box(sink.total_weight()))
 }
 
 /// Stream `batches` of edges into one instance of `system` and measure the
@@ -147,7 +154,9 @@ pub fn measure_system(system: SystemKind, batches: &[Vec<Edge>], dim: u64) -> Me
     let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
     let mut sink = make_sink(system, dim);
     let start = Instant::now();
-    let weight = drive_sink(sink.as_mut(), batches);
+    // The measurement boundary: a fresh, healthy sink failing the stream is
+    // a harness bug, not a recoverable condition.
+    let weight = drive_sink(sink.as_mut(), batches).expect("fresh sink ingests the stream");
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
     debug_assert_eq!(
         weight,
@@ -241,7 +250,7 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
     batches: &[Vec<Edge>],
     queries_per_batch: usize,
     mix: QueryMix,
-) -> (u64, u64) {
+) -> GrbResult<(u64, u64)> {
     let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
     let mut row_buf: Vec<(u64, u64)> = Vec::new();
     let mut inserts = 0u64;
@@ -249,8 +258,7 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
     let mut checksum = 0u64;
     for batch in batches {
         edges_to_tuples_into(batch, &mut rows, &mut cols, &mut vals);
-        sys.insert_batch(&rows, &cols, &vals)
-            .expect("in-bounds updates");
+        sys.insert_batch(&rows, &cols, &vals)?;
         inserts += rows.len() as u64;
         for q in 0..queries_per_batch {
             let e = &batch[(q * 7919 + 13) % batch.len()];
@@ -292,9 +300,9 @@ pub fn drive_mixed<S: StreamingSystem<u64> + ?Sized>(
             queries += 1;
         }
     }
-    sys.flush().expect("flush completes");
+    sys.flush()?;
     std::hint::black_box(checksum);
-    (inserts, queries)
+    Ok((inserts, queries))
 }
 
 /// Stream `batches` into one instance of `system` with
@@ -309,7 +317,8 @@ pub fn measure_mixed(
 ) -> MixedRate {
     let mut sys = make_system(system, dim);
     let start = Instant::now();
-    let (inserts, queries) = drive_mixed(sys.as_mut(), batches, queries_per_batch, mix);
+    let (inserts, queries) = drive_mixed(sys.as_mut(), batches, queries_per_batch, mix)
+        .expect("fresh system ingests the stream");
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
     MixedRate {
         system,
@@ -362,7 +371,7 @@ mod tests {
         let expected_weight: f64 = batches.iter().flatten().map(|e| e.weight as f64).sum();
         for &sys in SystemKind::all() {
             let mut sink = make_sink(sys, 1 << 32);
-            let weight = drive_sink(sink.as_mut(), &batches);
+            let weight = drive_sink(sink.as_mut(), &batches).unwrap();
             assert_eq!(
                 weight,
                 expected_weight,
@@ -387,7 +396,7 @@ mod tests {
         .iter()
         .map(|&sys| {
             let mut sink = make_sink(sys, 1 << 32);
-            drive_sink(sink.as_mut(), &batches);
+            drive_sink(sink.as_mut(), &batches).unwrap();
             sink.nvals()
         })
         .collect();
@@ -432,7 +441,7 @@ mod tests {
         let mut references: Option<ReaderAnswers> = None;
         for &kind in SystemKind::all() {
             let mut sys = make_system(kind, 1 << 32);
-            drive_sink(sys.as_mut(), &batches);
+            drive_sink(sys.as_mut(), &batches).unwrap();
             let nnz = sys.read_nnz();
             let mut row = Vec::new();
             sys.read_row(probe.src, &mut row);

@@ -32,6 +32,26 @@ pub enum GrbError {
     NoValue,
     /// An invalid argument value (e.g. zero dimension, malformed cut list).
     InvalidValue(String),
+    /// A supervised engine lost one or more worker threads (panic or
+    /// channel closure).  `shards` lists the dead shard indices; `detail`
+    /// carries the first captured panic message, if any.
+    ShardsLost {
+        /// Indices of the lost shards.
+        shards: Vec<usize>,
+        /// Captured panic message or closure description.
+        detail: String,
+    },
+    /// A bounded wait on an engine component elapsed before completion.
+    /// The component may still finish later; the caller's wait is over.
+    Timeout {
+        /// What was being waited on.
+        what: &'static str,
+        /// The configured bound, in milliseconds.
+        after_ms: u64,
+    },
+    /// An error injected by the fault-injection harness (the `failpoints`
+    /// feature).  Never constructed in production builds.
+    Injected(&'static str),
 }
 
 impl fmt::Display for GrbError {
@@ -47,6 +67,13 @@ impl fmt::Display for GrbError {
             GrbError::Domain(msg) => write!(f, "domain error: {msg}"),
             GrbError::NoValue => write!(f, "no value stored at the requested position"),
             GrbError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            GrbError::ShardsLost { shards, detail } => {
+                write!(f, "lost shard workers {shards:?}: {detail}")
+            }
+            GrbError::Timeout { what, after_ms } => {
+                write!(f, "timed out waiting on {what} after {after_ms} ms")
+            }
+            GrbError::Injected(site) => write!(f, "injected fault at failpoint '{site}'"),
         }
     }
 }
@@ -78,6 +105,23 @@ mod tests {
 
         let e = GrbError::InvalidValue("zero dim".into());
         assert!(e.to_string().contains("zero dim"));
+
+        let e = GrbError::ShardsLost {
+            shards: vec![2, 5],
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("[2, 5]"));
+        assert!(e.to_string().contains("boom"));
+
+        let e = GrbError::Timeout {
+            what: "drain barrier",
+            after_ms: 750,
+        };
+        assert!(e.to_string().contains("drain barrier"));
+        assert!(e.to_string().contains("750"));
+
+        let e = GrbError::Injected("worker-apply");
+        assert!(e.to_string().contains("worker-apply"));
     }
 
     #[test]

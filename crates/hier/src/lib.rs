@@ -44,6 +44,8 @@
 #![warn(missing_docs)]
 
 pub mod config;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod matrix;
 pub mod memtrace;
 pub mod pool;
@@ -53,10 +55,45 @@ pub mod tuning;
 pub mod windowed;
 
 pub use config::HierConfig;
+#[cfg(feature = "failpoints")]
+pub use failpoint::FailAction;
 pub use matrix::HierMatrix;
 pub use memtrace::{simulate_flat_trace, simulate_hier_trace, TraceComparison};
 pub use pool::{InstancePool, PartitionBuffers};
+pub use sharded::{EngineHealth, ShardRecovery};
 pub use sharded::{ShardPartitioner, ShardedConfig, ShardedHierMatrix, ShardedSnapshot};
 pub use stats::HierStats;
 pub use tuning::{recommend_cuts, sweep_cut_schedules, CutRecommendation};
 pub use windowed::WindowedHierMatrix;
+
+/// Evaluate a fallible fault-injection site: under the `failpoints`
+/// feature an armed site may return [`GrbError::Injected`]
+/// (`GrbError` = `hyperstream_graphblas::GrbError`), panic, or sleep;
+/// without the feature the macro compiles to nothing.  The optional second
+/// argument is the shard index the site reports for per-index arming.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        #[cfg(feature = "failpoints")]
+        $crate::failpoint::check($name, usize::MAX)?;
+    };
+    ($name:expr, $idx:expr) => {
+        #[cfg(feature = "failpoints")]
+        $crate::failpoint::check($name, $idx)?;
+    };
+}
+
+/// Panic-only form of [`failpoint!`] for infallible contexts (an armed
+/// `error` action escalates to a panic).  Compiles to nothing without the
+/// `failpoints` feature.
+#[macro_export]
+macro_rules! failpoint_panic {
+    ($name:expr) => {
+        #[cfg(feature = "failpoints")]
+        $crate::failpoint::check_panic_only($name, usize::MAX);
+    };
+    ($name:expr, $idx:expr) => {
+        #[cfg(feature = "failpoints")]
+        $crate::failpoint::check_panic_only($name, $idx);
+    };
+}

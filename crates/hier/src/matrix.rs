@@ -278,6 +278,7 @@ impl<T: ScalarType> HierMatrix<T> {
         if self.levels[i].npending() == 0 {
             return;
         }
+        crate::failpoint_panic!("hier-settle");
         let index = &mut self.index;
         let col_index = &mut self.col_index;
         self.levels[i].wait_observed(&mut |rows, cols, vals| {
@@ -396,7 +397,12 @@ impl<T: ScalarType> HierMatrix<T> {
     /// Push every entry up into the top level (complete all pending
     /// cascades), leaving levels `0..N-1` empty.  Useful before handing the
     /// matrix off for analysis or for checkpointing.
-    pub fn flush(&mut self) {
+    ///
+    /// Infallible today except under fault injection — the fallible
+    /// signature is what lets a shard worker latch and report a flush
+    /// failure instead of dropping it.
+    pub fn flush(&mut self) -> GrbResult<()> {
+        crate::failpoint!("hier-flush");
         let top = self.levels.len() - 1;
         for i in 0..top {
             let entries = self.level_entries_bound(i);
@@ -405,6 +411,7 @@ impl<T: ScalarType> HierMatrix<T> {
             }
             self.cascade_level(i);
         }
+        Ok(())
     }
 
     /// Remove every stored entry from every level (dimensions and
@@ -458,6 +465,7 @@ impl<T: ScalarType> HierMatrix<T> {
     /// streaming hot path.
     fn cascade_level(&mut self, i: usize) {
         debug_assert!(i + 1 < self.levels.len());
+        crate::failpoint_panic!("hier-cascade");
         // Settle level i first so the merge sees compressed data.  The
         // merge itself moves cells between levels without changing the
         // represented union, so the cascade costs the degree index nothing.
@@ -644,8 +652,7 @@ impl<T: ScalarType> StreamingSink<T> for HierMatrix<T> {
     }
 
     fn flush(&mut self) -> GrbResult<()> {
-        HierMatrix::flush(self);
-        Ok(())
+        HierMatrix::flush(self)
     }
 
     fn nvals(&self) -> usize {
@@ -930,7 +937,7 @@ mod tests {
         for i in 0..200u64 {
             m.update(i, i, 1).unwrap();
         }
-        m.flush();
+        m.flush().unwrap();
         let per_level = m.entries_per_level();
         for (i, &n) in per_level.iter().enumerate() {
             if i + 1 < per_level.len() {
@@ -1127,7 +1134,7 @@ mod tests {
         }
         assert_eq!(m.read_degree_histogram(), m.sweep_degree_histogram());
         // Flush (cascades everything to the top) must not disturb the index.
-        m.flush();
+        m.flush().unwrap();
         assert_eq!(m.read_nnz(), m.sweep_nnz());
         assert_eq!(m.read_top_k(5), m.sweep_top_k(5));
         // update_matrix path feeds the index too.
@@ -1174,7 +1181,7 @@ mod tests {
         assert_eq!(m.read_in_degree_histogram(), m.sweep_in_degree_histogram());
         // Flush (cascades everything to the top) must not disturb the
         // column index, and more ingest keeps it maintained incrementally.
-        m.flush();
+        m.flush().unwrap();
         for i in 0..500u64 {
             m.update(i % 7 + 200_000, (i * 5) % 61, 1).unwrap();
         }

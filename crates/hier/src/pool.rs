@@ -11,7 +11,7 @@ use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
 use crate::stats::HierStats;
 use hyperstream_graphblas::ops::binary::Plus;
-use hyperstream_graphblas::{GrbResult, Index, Matrix, MatrixReader, ScalarType};
+use hyperstream_graphblas::{GrbError, GrbResult, Index, Matrix, MatrixReader, ScalarType};
 
 /// The multiplicative row hash shared by every row-based sharder in the
 /// workspace ([`InstancePool::route`], the sharded engine's row-hash
@@ -358,21 +358,27 @@ impl<T: ScalarType> InstancePool<T> {
     /// All instances' levels merge through the k-way cursor kernel in one
     /// pass, instead of materialising every instance and summing the
     /// copies pairwise.
-    pub fn materialize_union(&self) -> Option<Matrix<T>> {
-        let first = self.instances.first()?;
+    pub fn materialize_union(&self) -> GrbResult<Matrix<T>> {
+        // Construction clamps the pool to at least one instance, so an
+        // empty pool means the invariant broke — report it, don't panic.
+        let first = self
+            .instances
+            .first()
+            .ok_or(GrbError::EmptyObject("instance pool"))?;
         let (nrows, ncols) = (first.nrows(), first.ncols());
         let dcsrs: Vec<&hyperstream_graphblas::prelude::Dcsr<T>> = self
             .instances
             .iter()
             .flat_map(|m| m.level_dcsrs())
             .collect();
-        let merged =
-            hyperstream_graphblas::cursor::merge_levels(nrows, ncols, &dcsrs, Plus).ok()?;
+        // Previously `.ok()?` collapsed a merge failure into `None`,
+        // indistinguishable from an empty pool; propagate it instead.
+        let merged = hyperstream_graphblas::cursor::merge_levels(nrows, ncols, &dcsrs, Plus)?;
         let mut acc = Matrix::from_dcsr(merged);
         for m in &self.instances {
             m.fold_pending_into(&mut acc);
         }
-        Some(acc)
+        Ok(acc)
     }
 }
 

@@ -43,6 +43,27 @@
 //! barrier message per worker, acknowledged only after every previously
 //! queued batch has been applied (workers also report their thread id,
 //! which the thread-reuse tests round-trip).
+//!
+//! # Fault tolerance
+//!
+//! Every worker runs under a panic-catching supervision wrapper: a panic
+//! is captured (payload preserved), the worker's shared liveness flag
+//! clears, and the engine observes the death as a *typed* error —
+//! [`GrbError::ShardsLost`] — instead of panicking or hanging.  The
+//! producer never blocks unboundedly: sends fail immediately once a dead
+//! worker's channel disconnects (a live worker always drains, so the
+//! blocking send is bounded by backpressure alone), and every ack/reply
+//! wait is capped by [`ShardedConfig::wait_timeout`]
+//! ([`GrbError::Timeout`]; a timeout does not declare the worker dead).
+//! [`ShardedHierMatrix::health`] reports the pool state as an
+//! [`EngineHealth`]; with [`ShardedConfig::degraded_reads`] enabled,
+//! whole-matrix reads answer from the survivors and record the skipped
+//! row bands; [`ShardedHierMatrix::respawn_shard`] rebuilds a dead worker
+//! and replays the batches retained under
+//! [`ShardedConfig::replay_limit_tuples`].  The `failpoints` feature
+//! compiles deterministic fault-injection sites into the worker loop
+//! (see [`crate::failpoint`]) — the chaos suite drives panics, injected
+//! errors, and stalls through every one of these paths.
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
@@ -55,14 +76,18 @@ use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
 use hyperstream_graphblas::sink::check_tuple_lengths;
+use hyperstream_graphblas::GrbError;
 use hyperstream_graphblas::{
     validate_index, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
     StreamingSink,
 };
 use parking_lot::Mutex;
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::{JoinHandle, ThreadId};
+use std::time::Duration;
 
 /// How updates are routed to shards.  Both strategies depend only on the
 /// row, so every `(row, col)` cell lives in exactly one shard and per-shard
@@ -109,6 +134,24 @@ pub struct ShardedConfig {
     /// Staged tuples that count one ingest round (all remainders are
     /// force-dispatched).  Rounds also complete on flush and queries.
     pub round_tuples: usize,
+    /// Upper bound on any single wait for a worker (barrier acks, query
+    /// replies).  A wait that exceeds it returns [`GrbError::Timeout`]
+    /// instead of blocking forever; a timeout does *not* mark the worker
+    /// lost (a slow worker is not a dead one — channel disconnection is
+    /// what proves death).  The default is generous: it exists to bound
+    /// pathological stalls, not to race healthy workers.
+    pub wait_timeout: Duration,
+    /// When `true`, whole-matrix reads against a degraded engine answer
+    /// from the surviving shards and record the lost row bands in
+    /// [`ShardedHierMatrix::last_answer_lost`]; when `false` (default),
+    /// any read touching a lost shard returns [`GrbError::ShardsLost`].
+    pub degraded_reads: bool,
+    /// Per-shard bound on the tuples retained for replay after a worker
+    /// loss ([`ShardedHierMatrix::respawn_shard`]).  `0` (default)
+    /// disables retention entirely — the ingest hot path then does no
+    /// copying — and a respawned shard restarts empty with the loss
+    /// recorded.
+    pub replay_limit_tuples: usize,
 }
 
 impl ShardedConfig {
@@ -120,6 +163,9 @@ impl ShardedConfig {
             chunk_tuples: 8192,
             channel_depth: 4,
             round_tuples: 1 << 19,
+            wait_timeout: Duration::from_secs(60),
+            degraded_reads: false,
+            replay_limit_tuples: 0,
         }
     }
 }
@@ -132,6 +178,108 @@ impl Default for ShardedConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
         )
+    }
+}
+
+/// Supervision state of the worker pool, derived from per-worker liveness.
+///
+/// A worker is *lost* when its thread has exited — by panic (the panic
+/// payload is captured and reported in [`GrbError::ShardsLost`]) or by
+/// channel disconnection.  Losses are permanent until
+/// [`ShardedHierMatrix::respawn_shard`] rebuilds the worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// Every worker is alive.
+    Healthy,
+    /// Some workers died; the listed shards' row bands are unreachable.
+    /// Reads either fail typed or, with [`ShardedConfig::degraded_reads`],
+    /// answer from the survivors.
+    Degraded {
+        /// Indices of the lost shards, ascending.
+        lost: Vec<usize>,
+    },
+    /// Every worker died — no data is reachable through the pool.
+    Failed,
+}
+
+/// The outcome of [`ShardedHierMatrix::respawn_shard`]: how much of the
+/// lost shard's stream the replay buffer could restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// The respawned shard.
+    pub shard: usize,
+    /// Tuples re-dispatched into the fresh hierarchy from the replay
+    /// buffer.
+    pub replayed_tuples: usize,
+    /// Tuples that could not be recovered: dropped by the replay bound
+    /// (or disabled retention) or retired by a pre-loss barrier.  Zero
+    /// means the rebuilt shard is exact.
+    pub lost_tuples: u64,
+}
+
+/// State shared between the engine and one worker thread's panic wrapper.
+#[derive(Debug)]
+struct WorkerShared {
+    /// Cleared (release) by the worker's unwind wrapper on any exit, and
+    /// by the producer when a send/recv finds the channel disconnected.
+    /// An `AtomicBool` rather than a mutexed flag so `&self` read paths
+    /// (e.g. [`StreamingSink::nvals`]) can record a discovered loss.
+    alive: AtomicBool,
+    /// The captured panic payload, if the worker died panicking.
+    panic_msg: Mutex<Option<String>>,
+}
+
+impl WorkerShared {
+    fn new() -> Self {
+        Self {
+            alive: AtomicBool::new(true),
+            panic_msg: Mutex::new(None),
+        }
+    }
+}
+
+/// Producer-side retention of one shard's dispatched tuples, replayed into
+/// a fresh hierarchy by [`ShardedHierMatrix::respawn_shard`].  Batches are
+/// retained from dispatch until the next fully-acknowledged drain barrier
+/// (the worker has then provably applied them *and* stayed alive), bounded
+/// by [`ShardedConfig::replay_limit_tuples`].
+#[derive(Debug, Default)]
+struct ReplayBuffer<T> {
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<T>,
+    /// Tuples dispatched but *not* retained (limit exceeded or retention
+    /// disabled).  Non-zero at respawn time means the rebuilt shard is
+    /// missing data — recorded, never silent.
+    dropped: u64,
+    /// Tuples retired by an acknowledged barrier since the last respawn.
+    /// Non-zero at respawn time likewise means unrecoverable data: the
+    /// dead worker's hierarchy held them and the replay buffer no longer
+    /// does.
+    retired: u64,
+}
+
+impl<T: ScalarType> ReplayBuffer<T> {
+    fn retained(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Retire retained batches after a fully-acknowledged barrier.
+    fn on_barrier_ack(&mut self) {
+        self.retired += self.rows.len() as u64;
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Forget everything (after a respawn replayed the retained tuples the
+    /// fresh hierarchy corresponds to the buffer exactly).
+    fn reset(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+        self.dropped = 0;
+        self.retired = 0;
     }
 }
 
@@ -233,8 +381,9 @@ struct BarrierAck {
     /// OS thread identity — round-tripped by the thread-reuse tests to
     /// prove the pool is persistent.
     worker: ThreadId,
-    /// First error since the previous barrier, if any (unreachable today:
-    /// every tuple is bounds-validated before staging).
+    /// First error since the previous barrier, if any — a failed shard
+    /// flush or a failed batch apply is latched worker-side and surfaces
+    /// here rather than being lost.
     result: GrbResult<()>,
 }
 
@@ -247,6 +396,23 @@ struct ShardWorker<T> {
     recycled: Receiver<TupleBuf<T>>,
     /// The worker thread, joined on drop.
     handle: JoinHandle<()>,
+    /// Liveness flag and captured panic payload.
+    shared: Arc<WorkerShared>,
+}
+
+/// One batch apply inside the worker, behind the fallible
+/// `worker-apply-error` fault site — a failure is latched worker-side and
+/// surfaces in the next barrier ack.
+#[cfg_attr(not(feature = "failpoints"), allow(unused_variables))]
+fn apply_batch<T: ScalarType>(
+    shard_idx: usize,
+    shard: &Mutex<HierMatrix<T>>,
+    rows: &[Index],
+    cols: &[Index],
+    vals: &[T],
+) -> GrbResult<()> {
+    crate::failpoint!("worker-apply-error", shard_idx);
+    shard.lock().update_batch(rows, cols, vals)
 }
 
 /// The worker thread body: park on the channel, apply batches to the owned
@@ -261,8 +427,9 @@ fn worker_loop<T: ScalarType>(
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Apply((mut rows, mut cols, mut vals)) => {
+                crate::failpoint_panic!("worker-apply", shard_idx);
                 if error.is_ok() {
-                    error = shard.lock().update_batch(&rows, &cols, &vals);
+                    error = apply_batch(shard_idx, &shard, &rows, &cols, &vals);
                 }
                 rows.clear();
                 cols.clear();
@@ -272,9 +439,15 @@ fn worker_loop<T: ScalarType>(
                 let _ = recycle.send((rows, cols, vals));
             }
             WorkerMsg::Flush => {
-                shard.lock().flush();
+                // Latch a failed flush: the next barrier ack reports it
+                // instead of the outcome silently vanishing.
+                let result = shard.lock().flush();
+                if error.is_ok() {
+                    error = result;
+                }
             }
             WorkerMsg::Barrier(ack) => {
+                crate::failpoint_panic!("worker-barrier", shard_idx);
                 let _ = ack.send(BarrierAck {
                     shard: shard_idx,
                     worker: std::thread::current().id(),
@@ -282,6 +455,7 @@ fn worker_loop<T: ScalarType>(
                 });
             }
             WorkerMsg::Query(query, reply) => {
+                crate::failpoint_panic!("worker-query", shard_idx);
                 let mut shard = shard.lock();
                 let answer = match query {
                     ReaderQuery::Get(r, c) => ReaderReply::Value(shard.read_get(r, c)),
@@ -373,6 +547,70 @@ pub struct ShardedHierMatrix<T> {
     /// tuple invalidates the cache; flushes and settles don't (they never
     /// change the represented union).
     in_degrees_cache: Option<std::collections::BTreeMap<Index, usize>>,
+    /// Per-shard replay retention (empty vectors when
+    /// [`ShardedConfig::replay_limit_tuples`] is 0).
+    replay: Vec<ReplayBuffer<T>>,
+    /// Shard cut schedule, kept so [`Self::respawn_shard`] can build a
+    /// fresh hierarchy identical to the lost one's.
+    hier_config: HierConfig,
+    /// First error swallowed by an infallible [`MatrixReader`] method since
+    /// the last [`Self::take_read_error`] — the trait's signatures cannot
+    /// carry it, so it is latched here instead of vanishing.  Mutexed so
+    /// `&self` paths (e.g. [`StreamingSink::nvals`]) can latch too.
+    last_error: Mutex<Option<GrbError>>,
+    /// Shards skipped by the most recent degraded read (empty when the
+    /// answer was complete).
+    last_answer_lost: Vec<usize>,
+}
+
+/// Spawn one supervised worker thread for shard `i`: the loop runs under
+/// `catch_unwind`, and any exit — panic or channel closure — clears the
+/// shared liveness flag so the producer observes the death instead of
+/// blocking on it.
+fn spawn_worker<T: ScalarType>(
+    i: usize,
+    shard: Arc<Mutex<HierMatrix<T>>>,
+    depth: usize,
+) -> ShardWorker<T> {
+    let (tx, rx) = sync_channel::<WorkerMsg<T>>(depth);
+    let (recycle_tx, recycle_rx) = channel::<TupleBuf<T>>();
+    let shared = Arc::new(WorkerShared::new());
+    let worker_shared = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("shard-worker-{i}"))
+        .spawn(move || {
+            // AssertUnwindSafe: on panic the shard hierarchy may be
+            // mid-mutation; the engine treats a lost shard's contents as
+            // unreliable and rebuilds from scratch on respawn, so the
+            // broken invariants never escape.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(i, shard, rx, recycle_tx)
+            }));
+            if let Err(payload) = outcome {
+                let msg = panic_message(payload.as_ref());
+                *worker_shared.panic_msg.lock() = Some(msg);
+            }
+            worker_shared.alive.store(false, Ordering::Release);
+        })
+        .expect("spawn shard worker");
+    ShardWorker {
+        tx,
+        recycled: recycle_rx,
+        handle,
+        shared,
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
 }
 
 impl<T: ScalarType> ShardedHierMatrix<T> {
@@ -389,25 +627,16 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         let depth = config.channel_depth.max(1);
         let mut shards = Vec::with_capacity(nshards);
         let mut workers = Vec::with_capacity(nshards);
+        let mut replay = Vec::with_capacity(nshards);
         for i in 0..nshards {
             let shard = Arc::new(Mutex::new(HierMatrix::new(
                 nrows,
                 ncols,
                 hier_config.clone(),
             )?));
-            let (tx, rx) = sync_channel::<WorkerMsg<T>>(depth);
-            let (recycle_tx, recycle_rx) = channel::<TupleBuf<T>>();
-            let worker_shard = Arc::clone(&shard);
-            let handle = std::thread::Builder::new()
-                .name(format!("shard-worker-{i}"))
-                .spawn(move || worker_loop(i, worker_shard, rx, recycle_tx))
-                .expect("spawn shard worker");
+            workers.push(spawn_worker(i, Arc::clone(&shard), depth));
             shards.push(shard);
-            workers.push(ShardWorker {
-                tx,
-                recycled: recycle_rx,
-                handle,
-            });
+            replay.push(ReplayBuffer::default());
         }
         Ok(Self {
             nrows,
@@ -426,6 +655,10 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             pushdown_queries: 0,
             last_fanout: 0,
             in_degrees_cache: None,
+            replay,
+            hier_config,
+            last_error: Mutex::new(None),
+            last_answer_lost: Vec::new(),
         })
     }
 
@@ -460,12 +693,114 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         &self.config
     }
 
+    /// Whether shard `i`'s worker thread is alive.
+    fn is_alive(&self, i: usize) -> bool {
+        self.workers[i].shared.alive.load(Ordering::Acquire)
+    }
+
+    /// Indices of the lost shards, ascending.
+    pub fn lost_shards(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&i| !self.is_alive(i))
+            .collect()
+    }
+
+    /// Current supervision state of the worker pool.
+    pub fn health(&self) -> EngineHealth {
+        let lost = self.lost_shards();
+        if lost.is_empty() {
+            EngineHealth::Healthy
+        } else if lost.len() == self.workers.len() {
+            EngineHealth::Failed
+        } else {
+            EngineHealth::Degraded { lost }
+        }
+    }
+
+    /// Shards skipped by the most recent degraded read (empty when the
+    /// last answer was complete).  Only meaningful with
+    /// [`ShardedConfig::degraded_reads`] enabled.
+    pub fn last_answer_lost(&self) -> &[usize] {
+        &self.last_answer_lost
+    }
+
+    /// Take (and clear) the first error swallowed by an infallible
+    /// [`MatrixReader`] method since the previous call.  The fallible
+    /// `try_*` duals never latch — prefer them on supervised engines.
+    pub fn take_read_error(&self) -> Option<GrbError> {
+        self.last_error.lock().take()
+    }
+
+    /// The typed error describing the given lost shards, carrying the
+    /// first captured panic payload as detail.
+    fn lost_error(&self, shards: Vec<usize>) -> GrbError {
+        let detail = shards
+            .iter()
+            .find_map(|&i| self.workers[i].shared.panic_msg.lock().clone())
+            .unwrap_or_else(|| "worker channel closed".to_string());
+        GrbError::ShardsLost { shards, detail }
+    }
+
+    /// Record shard `i`'s worker as dead after a disconnected channel and
+    /// return the typed error.
+    fn mark_lost(&self, i: usize) -> GrbError {
+        self.workers[i].shared.alive.store(false, Ordering::Release);
+        self.lost_error(vec![i])
+    }
+
+    /// Send one command to shard `i`'s worker.  The send blocks only while
+    /// the bounded channel is full of a *live* worker's backlog
+    /// (backpressure); a dead worker's channel is disconnected, which
+    /// returns immediately — so this cannot hang.  Returns the message on
+    /// failure so callers can salvage its payload.
+    fn send_msg(&self, i: usize, msg: WorkerMsg<T>) -> Result<(), WorkerMsg<T>> {
+        self.workers[i].tx.send(msg).map_err(|e| e.0)
+    }
+
+    /// Bounded wait for one reply from shard `i`: a disconnect marks the
+    /// worker lost; exceeding [`ShardedConfig::wait_timeout`] returns a
+    /// typed timeout *without* declaring the worker dead.
+    fn recv_bounded<R>(&self, i: usize, what: &'static str, rx: &Receiver<R>) -> GrbResult<R> {
+        match rx.recv_timeout(self.config.wait_timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Disconnected) => Err(self.mark_lost(i)),
+            Err(RecvTimeoutError::Timeout) => Err(GrbError::Timeout {
+                what,
+                after_ms: self.config.wait_timeout.as_millis() as u64,
+            }),
+        }
+    }
+
+    /// Fail fast when any worker is already known lost, unless degraded
+    /// reads are enabled — then report the survivors the caller should
+    /// target and record the skipped shards.
+    fn surviving_targets(&mut self, targets: &[usize]) -> GrbResult<Vec<usize>> {
+        let lost: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| !self.is_alive(i))
+            .collect();
+        if lost.is_empty() {
+            self.last_answer_lost.clear();
+            return Ok(targets.to_vec());
+        }
+        if !self.config.degraded_reads {
+            return Err(self.lost_error(lost));
+        }
+        let alive: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| self.is_alive(i))
+            .collect();
+        self.last_answer_lost = lost;
+        Ok(alive)
+    }
+
     /// A snapshot of one shard's hierarchy statistics (drains that shard's
     /// worker first so in-flight batches are counted).
-    pub fn shard_stats(&self, i: usize) -> HierStats {
-        self.barrier_shard(i)
-            .expect("shard worker reported an error");
-        self.shards[i].lock().stats().clone()
+    pub fn shard_stats(&self, i: usize) -> GrbResult<HierStats> {
+        self.barrier_shard(i)?;
+        Ok(self.shards[i].lock().stats().clone())
     }
 
     /// Ingest rounds completed so far.  Rounds meter the stream into
@@ -491,30 +826,43 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// The OS thread ids of the worker pool, obtained through a drain
     /// barrier.  Repeated calls on a live engine return the same ids —
     /// the property the thread-reuse tests assert.
-    pub fn worker_ids(&self) -> Vec<ThreadId> {
-        let mut acks = self.collect_barrier_acks();
-        acks.sort_by_key(|a| a.shard);
-        acks.into_iter()
-            .map(|a| {
-                a.result.expect("shard worker reported an error");
-                a.worker
-            })
-            .collect()
+    pub fn worker_ids(&self) -> GrbResult<Vec<ThreadId>> {
+        let mut acks = Vec::with_capacity(self.workers.len());
+        for (shard, ack) in self.collect_barrier_acks() {
+            let ack = ack?;
+            debug_assert_eq!(ack.shard, shard);
+            ack.result?;
+            acks.push((ack.shard, ack.worker));
+        }
+        acks.sort_by_key(|&(shard, _)| shard);
+        Ok(acks.into_iter().map(|(_, worker)| worker).collect())
     }
 
     /// Total updates applied across all shards (drains in-flight batches
-    /// first; staged tuples are excluded).
-    pub fn total_updates(&self) -> u64 {
-        self.barrier_all().expect("worker pool alive");
-        self.shards.iter().map(|s| s.lock().stats().updates).sum()
+    /// first; staged tuples are excluded).  A degraded engine with
+    /// [`ShardedConfig::degraded_reads`] sums the surviving shards.
+    pub fn total_updates(&self) -> GrbResult<u64> {
+        let lost = self.barrier_live()?;
+        Ok(self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(_, s)| s.lock().stats().updates)
+            .sum())
     }
 
     /// Aggregate hierarchy statistics (sums over shards, after a drain).
-    pub fn aggregate_stats(&self) -> HierStats {
-        self.barrier_all().expect("worker pool alive");
+    /// A degraded engine with [`ShardedConfig::degraded_reads`] sums the
+    /// surviving shards.
+    pub fn aggregate_stats(&self) -> GrbResult<HierStats> {
+        let lost = self.barrier_live()?;
         let levels = self.shards.first().map(|m| m.lock().levels()).unwrap_or(1);
         let mut agg = HierStats::new(levels);
-        for m in &self.shards {
+        for (i, m) in self.shards.iter().enumerate() {
+            if lost.contains(&i) {
+                continue;
+            }
             let m = m.lock();
             let s = m.stats();
             agg.updates += s.updates;
@@ -524,7 +872,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
                 agg.entries_moved[l] += s.entries_moved_from_level(l);
             }
         }
-        agg
+        Ok(agg)
     }
 
     /// Apply one streaming update `A(row, col) += val`.
@@ -540,10 +888,9 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         self.since_round += 1;
         self.in_degrees_cache = None;
         if self.staging.staged(shard) >= self.config.chunk_tuples.max(1) {
-            self.dispatch_shard(shard);
+            self.dispatch_shard(shard)?;
         }
-        self.maybe_complete_round();
-        Ok(())
+        self.maybe_complete_round()
     }
 
     /// Apply a batch of updates given as parallel slices.  The batch is
@@ -567,97 +914,189 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         let chunk = self.config.chunk_tuples.max(1);
         for shard in 0..nshards {
             if self.staging.staged(shard) >= chunk {
-                self.dispatch_shard(shard);
+                self.dispatch_shard(shard)?;
             }
         }
-        self.maybe_complete_round();
-        Ok(())
+        self.maybe_complete_round()
     }
 
     /// Hand `shard`'s staged tuples to its worker: swap the staging vectors
     /// out (replaced by recycled buffers when the worker has returned any),
     /// and send them whole over the bounded channel.  Blocks when the
     /// worker is `channel_depth` batches behind — the engine's
-    /// backpressure.
-    fn dispatch_shard(&mut self, shard: usize) {
+    /// backpressure (a *dead* worker's channel is disconnected and fails
+    /// immediately instead).  On a send failure the batch is re-staged, so
+    /// a later [`Self::respawn_shard`] can still dispatch it.
+    fn dispatch_shard(&mut self, shard: usize) -> GrbResult<()> {
         if self.staging.staged(shard) == 0 {
-            return;
+            return Ok(());
         }
+        if !self.is_alive(shard) {
+            return Err(self.lost_error(vec![shard]));
+        }
+        // Retain a replay copy before the buffers travel (rolled back if
+        // the send fails — the tuples then live in staging, not both).
+        let batch_len = self.staging.staged(shard);
+        let retained_before = self.replay_retain(shard);
         let replacement = self.workers[shard].recycled.try_recv().unwrap_or_default();
         let buf = self.staging.take_shard(shard, replacement);
-        self.workers[shard]
-            .tx
-            .send(WorkerMsg::Apply(buf))
-            .expect("shard worker exited");
-        self.chunks_sent += 1;
+        match self.send_msg(shard, WorkerMsg::Apply(buf)) {
+            Ok(()) => {
+                self.chunks_sent += 1;
+                Ok(())
+            }
+            Err(WorkerMsg::Apply((rows, cols, vals))) => {
+                // The worker died between the liveness check and the send:
+                // salvage the batch back into staging and undo the replay
+                // append so the tuples are counted exactly once.
+                for i in 0..rows.len() {
+                    self.staging.push(shard, rows[i], cols[i], vals[i]);
+                }
+                self.replay_rollback(shard, retained_before, batch_len);
+                Err(self.mark_lost(shard))
+            }
+            Err(_) => unreachable!("send returned a different message than it was given"),
+        }
     }
 
-    /// Dispatch every shard's staged remainder.
-    fn dispatch_all(&mut self) {
-        for shard in 0..self.shards.len() {
-            self.dispatch_shard(shard);
+    /// Append `shard`'s currently staged tuples to its replay buffer
+    /// (bounded; overflow is recorded, not silently dropped).  Returns the
+    /// buffer's prior retained length for rollback.
+    fn replay_retain(&mut self, shard: usize) -> usize {
+        let staged = self.staging.staged(shard);
+        let rb = &mut self.replay[shard];
+        let before = rb.retained();
+        let limit = self.config.replay_limit_tuples;
+        if limit == 0 || before + staged > limit {
+            rb.dropped += staged as u64;
+            return before;
         }
+        let (r, c, v) = self.staging.shard_slices(shard);
+        rb.rows.extend_from_slice(r);
+        rb.cols.extend_from_slice(c);
+        rb.vals.extend_from_slice(v);
+        before
+    }
+
+    /// Undo a [`Self::replay_retain`] after a failed dispatch.
+    fn replay_rollback(&mut self, shard: usize, retained_before: usize, batch_len: usize) {
+        let rb = &mut self.replay[shard];
+        if rb.retained() > retained_before {
+            rb.rows.truncate(retained_before);
+            rb.cols.truncate(retained_before);
+            rb.vals.truncate(retained_before);
+        } else {
+            // The batch was never retained — it was counted as dropped.
+            rb.dropped = rb.dropped.saturating_sub(batch_len as u64);
+        }
+    }
+
+    /// Dispatch every live shard's staged remainder, surfacing the first
+    /// failure after trying them all.
+    fn dispatch_all(&mut self) -> GrbResult<()> {
+        let mut result = Ok(());
+        for shard in 0..self.shards.len() {
+            if self.staging.staged(shard) == 0 {
+                continue;
+            }
+            if !self.is_alive(shard) {
+                // Leave the staged tuples in place for a future respawn.
+                if result.is_ok() {
+                    result = Err(self.lost_error(vec![shard]));
+                }
+                continue;
+            }
+            let r = self.dispatch_shard(shard);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
     }
 
     /// Count a round once `round_tuples` have been staged since the last
     /// one, force-dispatching all remainders so the round is fully in
     /// flight.
-    fn maybe_complete_round(&mut self) {
+    fn maybe_complete_round(&mut self) -> GrbResult<()> {
         if self.since_round >= self.config.round_tuples.max(1) {
-            self.dispatch_all();
+            let r = self.dispatch_all();
             self.since_round = 0;
             self.rounds += 1;
+            return r;
         }
+        Ok(())
     }
 
     /// Push one read query down to `shard`'s worker: drain that shard's
     /// staging into its channel, enqueue the query (FIFO ⇒ it acts as its
     /// own drain barrier) and wait for the answer.  Only the owning shard
     /// does any work; the other workers keep ingesting.
-    fn query_shard(&mut self, shard: usize, query: ReaderQuery) -> ReaderReply<T> {
-        self.dispatch_shard(shard);
+    ///
+    /// Returns `Ok(None)` when the owning shard is lost and degraded reads
+    /// are enabled: the caller substitutes the empty answer and the skipped
+    /// shard is recorded in [`Self::last_answer_lost`].
+    fn query_shard(
+        &mut self,
+        shard: usize,
+        query: ReaderQuery,
+    ) -> GrbResult<Option<ReaderReply<T>>> {
+        if !self.is_alive(shard) {
+            if self.config.degraded_reads {
+                self.last_answer_lost = vec![shard];
+                return Ok(None);
+            }
+            return Err(self.lost_error(vec![shard]));
+        }
+        self.last_answer_lost.clear();
+        self.dispatch_shard(shard)?;
         let (reply_tx, reply_rx) = sync_channel(1);
-        self.workers[shard]
-            .tx
-            .send(WorkerMsg::Query(query, reply_tx))
-            .expect("shard worker exited");
+        if self
+            .send_msg(shard, WorkerMsg::Query(query, reply_tx))
+            .is_err()
+        {
+            return Err(self.mark_lost(shard));
+        }
         self.pushdown_queries += 1;
         self.last_fanout = 1;
-        reply_rx.recv().expect("shard worker exited")
+        self.recv_bounded(shard, "query reply", &reply_rx).map(Some)
     }
 
     /// Push one read query down to a *subset* of workers and collect their
-    /// partial answers (arrival order).  The range dispatch uses this to
-    /// consult only the workers whose row bands overlap a scan.
+    /// partial answers.  The range dispatch uses this to consult only the
+    /// workers whose row bands overlap a scan.  One reply channel per
+    /// worker keeps loss attribution exact; all targeted workers still
+    /// compute concurrently.
     fn query_shards(
         &mut self,
         shards: &[usize],
         mk: impl Fn() -> ReaderQuery,
-    ) -> Vec<ReaderReply<T>> {
-        for &s in shards {
-            self.dispatch_shard(s);
+    ) -> GrbResult<Vec<ReaderReply<T>>> {
+        let targets = self.surviving_targets(shards)?;
+        for &s in &targets {
+            self.dispatch_shard(s)?;
         }
-        let (reply_tx, reply_rx) = sync_channel(shards.len());
-        for &s in shards {
-            self.workers[s]
-                .tx
-                .send(WorkerMsg::Query(mk(), reply_tx.clone()))
-                .expect("shard worker exited");
+        let mut receivers = Vec::with_capacity(targets.len());
+        for &s in &targets {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if self.send_msg(s, WorkerMsg::Query(mk(), reply_tx)).is_err() {
+                return Err(self.mark_lost(s));
+            }
+            receivers.push((s, reply_rx));
         }
-        drop(reply_tx);
         self.pushdown_queries += 1;
-        self.last_fanout = shards.len();
-        (0..shards.len())
-            .map(|_| reply_rx.recv().expect("shard worker exited"))
+        self.last_fanout = targets.len();
+        receivers
+            .iter()
+            .map(|(s, rx)| self.recv_bounded(*s, "query reply", rx))
             .collect()
     }
 
     /// Push one read query down to *every* worker and collect the partial
-    /// answers (arrival order).  All shards compute concurrently; because
-    /// shards own disjoint row sets the producer only concatenates or
-    /// k-way merges the partials — no materialised matrices travel through
-    /// the channels.
-    fn query_all(&mut self, mk: impl Fn() -> ReaderQuery) -> Vec<ReaderReply<T>> {
+    /// answers.  All shards compute concurrently; because shards own
+    /// disjoint row sets the producer only concatenates or k-way merges
+    /// the partials — no materialised matrices travel through the
+    /// channels.
+    fn query_all(&mut self, mk: impl Fn() -> ReaderQuery) -> GrbResult<Vec<ReaderReply<T>>> {
         let all: Vec<usize> = (0..self.workers.len()).collect();
         self.query_shards(&all, mk)
     }
@@ -666,26 +1105,36 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// dispatch: each shard gets exactly the keys it owns) and collect the
     /// replies in the same order as `queries`.  One reply channel per query
     /// keeps the pairing; all targeted workers still compute concurrently.
-    fn query_each(&mut self, queries: Vec<(usize, ReaderQuery)>) -> Vec<ReaderReply<T>> {
-        for &(s, _) in &queries {
-            self.dispatch_shard(s);
+    /// A `None` slot stands for a lost shard skipped by a degraded read.
+    fn query_each(
+        &mut self,
+        queries: Vec<(usize, ReaderQuery)>,
+    ) -> GrbResult<Vec<Option<ReaderReply<T>>>> {
+        let targets: Vec<usize> = queries.iter().map(|&(s, _)| s).collect();
+        let live = self.surviving_targets(&targets)?;
+        for &s in &live {
+            self.dispatch_shard(s)?;
         }
-        let receivers: Vec<Receiver<ReaderReply<T>>> = queries
-            .into_iter()
-            .map(|(s, q)| {
-                let (reply_tx, reply_rx) = sync_channel(1);
-                self.workers[s]
-                    .tx
-                    .send(WorkerMsg::Query(q, reply_tx))
-                    .expect("shard worker exited");
-                reply_rx
-            })
-            .collect();
+        let mut pending = Vec::with_capacity(queries.len());
+        for (s, q) in queries {
+            if !live.contains(&s) {
+                pending.push((s, None));
+                continue;
+            }
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if self.send_msg(s, WorkerMsg::Query(q, reply_tx)).is_err() {
+                return Err(self.mark_lost(s));
+            }
+            pending.push((s, Some(reply_rx)));
+        }
         self.pushdown_queries += 1;
-        self.last_fanout = receivers.len();
-        receivers
+        self.last_fanout = pending.iter().filter(|(_, rx)| rx.is_some()).count();
+        pending
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker exited"))
+            .map(|(s, rx)| match rx {
+                None => Ok(None),
+                Some(rx) => self.recv_bounded(s, "query reply", &rx).map(Some),
+            })
             .collect()
     }
 
@@ -717,30 +1166,35 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// [`ShardedSnapshot`] answers every [`MatrixReader`] query from the
     /// captured state while the workers keep draining their channels —
     /// the analytics-while-ingest overlap the roadmap parked here.
-    pub fn snapshot(&mut self) -> ShardedSnapshot<T> {
+    pub fn snapshot(&mut self) -> GrbResult<ShardedSnapshot<T>> {
         let shards = self
-            .query_all(|| ReaderQuery::Snapshot)
+            .query_all(|| ReaderQuery::Snapshot)?
             .into_iter()
             .map(|reply| match reply {
                 ReaderReply::Snapshot(s) => s,
                 _ => unreachable!("worker answered Snapshot with a non-Snapshot reply"),
             })
             .collect();
-        ShardedSnapshot {
+        Ok(ShardedSnapshot {
             nrows: self.nrows,
             ncols: self.ncols,
             shards,
-        }
+            lost: self.last_answer_lost.clone(),
+        })
     }
 
     /// Full column → in-degree map summed across every shard.  A column's
     /// degree splits across the row-partitioned shards, so per-shard top-k
     /// lists cannot be re-ranked; workers ship their complete column stats
     /// and the producer sums them before ranking or binning.
-    fn ensure_in_degrees(&mut self) -> &std::collections::BTreeMap<Index, usize> {
+    ///
+    /// A degraded (survivors-only) sum is cached like any other: every
+    /// staged tuple already invalidates the cache, and
+    /// [`Self::respawn_shard`] clears it when a lost band comes back.
+    fn ensure_in_degrees(&mut self) -> GrbResult<&std::collections::BTreeMap<Index, usize>> {
         if self.in_degrees_cache.is_none() {
             let parts: Vec<Vec<(Index, usize)>> = self
-                .query_all(|| ReaderQuery::InDegrees)
+                .query_all(|| ReaderQuery::InDegrees)?
                 .into_iter()
                 .map(|reply| match reply {
                     ReaderReply::TopK(part) => part,
@@ -749,7 +1203,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
                 .collect();
             self.in_degrees_cache = Some(sum_col_degrees(parts));
         }
-        self.in_degrees_cache.as_ref().expect("just filled")
+        Ok(self.in_degrees_cache.as_ref().expect("just filled"))
     }
 
     /// The shard owning `row` under the configured partitioner.
@@ -760,40 +1214,92 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     }
 
     /// Block until `shard`'s worker has applied everything queued so far,
-    /// surfacing any worker error (unreachable today — tuples validate
-    /// before staging — but never swallowed).
+    /// surfacing any worker error (a failed apply or flush latched since
+    /// the previous barrier) — never swallowed.
     fn barrier_shard(&self, shard: usize) -> GrbResult<()> {
+        if !self.is_alive(shard) {
+            return Err(self.lost_error(vec![shard]));
+        }
         let (ack_tx, ack_rx) = sync_channel(1);
-        self.workers[shard]
-            .tx
-            .send(WorkerMsg::Barrier(ack_tx))
-            .expect("shard worker exited");
-        let ack = ack_rx.recv().expect("shard worker exited");
+        if self.send_msg(shard, WorkerMsg::Barrier(ack_tx)).is_err() {
+            return Err(self.mark_lost(shard));
+        }
+        let ack = self.recv_bounded(shard, "barrier ack", &ack_rx)?;
         debug_assert_eq!(ack.shard, shard);
         ack.result
     }
 
-    /// Send a drain barrier to every worker and collect the raw
-    /// acknowledgements (one per worker, arrival order).
-    fn collect_barrier_acks(&self) -> Vec<BarrierAck> {
-        let (ack_tx, ack_rx) = sync_channel(self.workers.len());
-        for w in &self.workers {
-            w.tx.send(WorkerMsg::Barrier(ack_tx.clone()))
-                .expect("shard worker exited");
+    /// Send a drain barrier to every *live* worker and collect the
+    /// acknowledgements, one entry per shard.  A known-lost or
+    /// newly-disconnected shard yields a typed error entry; the rest are
+    /// still drained (all barriers are sent before any ack is awaited, so
+    /// live workers drain concurrently).
+    fn collect_barrier_acks(&self) -> Vec<(usize, GrbResult<BarrierAck>)> {
+        let mut pending: Vec<(usize, Result<Receiver<BarrierAck>, GrbError>)> =
+            Vec::with_capacity(self.workers.len());
+        for i in 0..self.workers.len() {
+            if !self.is_alive(i) {
+                pending.push((i, Err(self.lost_error(vec![i]))));
+                continue;
+            }
+            let (ack_tx, ack_rx) = sync_channel(1);
+            match self.send_msg(i, WorkerMsg::Barrier(ack_tx)) {
+                Ok(()) => pending.push((i, Ok(ack_rx))),
+                Err(_) => pending.push((i, Err(self.mark_lost(i)))),
+            }
         }
-        drop(ack_tx);
-        (0..self.workers.len())
-            .map(|_| ack_rx.recv().expect("shard worker exited"))
+        pending
+            .into_iter()
+            .map(|(i, rx)| {
+                let ack = rx.and_then(|rx| self.recv_bounded(i, "barrier ack", &rx));
+                (i, ack)
+            })
             .collect()
     }
 
-    /// Block until every worker has applied everything queued so far,
-    /// surfacing the first worker error.
-    fn barrier_all(&self) -> GrbResult<()> {
+    /// Drain every live worker, tolerating already-lost shards when
+    /// degraded reads are enabled.  Returns the lost shards the caller
+    /// must exclude from producer-side sums (a dead worker's hierarchy may
+    /// be mid-mutation and is never read).
+    fn barrier_live(&self) -> GrbResult<Vec<usize>> {
+        let known_lost = self.lost_shards();
+        if !known_lost.is_empty() && !self.config.degraded_reads {
+            return Err(self.lost_error(known_lost));
+        }
         let mut result = Ok(());
-        for ack in self.collect_barrier_acks() {
+        for (_, ack) in self.collect_barrier_acks() {
+            let r = match ack {
+                Ok(a) => a.result,
+                Err(GrbError::ShardsLost { .. }) if self.config.degraded_reads => Ok(()),
+                Err(e) => Err(e),
+            };
             if result.is_ok() {
-                result = ack.result;
+                result = r;
+            }
+        }
+        result?;
+        Ok(self.lost_shards())
+    }
+
+    /// [`Self::barrier_all`] plus replay retirement: a shard whose ack came
+    /// back clean has provably applied every retained batch, so its replay
+    /// buffer empties (this is what bounds the buffer on a healthy engine).
+    fn settle_barrier(&mut self) -> GrbResult<()> {
+        let acks = self.collect_barrier_acks();
+        let mut result = Ok(());
+        for (shard, ack) in acks {
+            match ack {
+                Ok(a) if a.result.is_ok() => self.replay[shard].on_barrier_ack(),
+                Ok(a) => {
+                    if result.is_ok() {
+                        result = a.result;
+                    }
+                }
+                Err(e) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
             }
         }
         result
@@ -802,50 +1308,166 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
     /// Complete all deferred work: dispatch staged tuples, wait for the
     /// workers to apply them, and finish every shard's outstanding
     /// cascades.  The workers stay parked on their channels afterwards.
+    /// On a degraded engine the surviving shards are still flushed and the
+    /// first loss is reported.
     pub fn flush(&mut self) -> GrbResult<()> {
+        let mut result = Ok(());
         if self.since_round > 0 || self.staging.total() > 0 {
-            self.dispatch_all();
+            result = self.dispatch_all();
             self.since_round = 0;
             self.rounds += 1;
         }
-        for w in &self.workers {
-            w.tx.send(WorkerMsg::Flush).expect("shard worker exited");
+        for i in 0..self.workers.len() {
+            if !self.is_alive(i) {
+                if result.is_ok() {
+                    result = Err(self.lost_error(vec![i]));
+                }
+                continue;
+            }
+            if self.send_msg(i, WorkerMsg::Flush).is_err() {
+                let e = self.mark_lost(i);
+                if result.is_ok() {
+                    result = Err(e);
+                }
+            }
         }
-        self.barrier_all()
+        let settled = self.settle_barrier();
+        if result.is_ok() {
+            result = settled;
+        }
+        result
     }
 
     /// Materialise the full matrix `A = Σ_shards Σ_levels` (staged and
     /// in-flight tuples are applied first; streaming can continue
-    /// afterwards).
+    /// afterwards).  With [`ShardedConfig::degraded_reads`], a degraded
+    /// engine materialises the surviving shards and records the skipped
+    /// bands in [`Self::last_answer_lost`].
     pub fn materialize(&mut self) -> GrbResult<Matrix<T>> {
-        self.dispatch_all();
-        self.barrier_all()?;
-        Ok(self.shard_sum())
+        let known_lost = self.lost_shards();
+        if !known_lost.is_empty() && !self.config.degraded_reads {
+            return Err(self.lost_error(known_lost));
+        }
+        for s in 0..self.shards.len() {
+            if self.is_alive(s) {
+                self.dispatch_shard(s)?;
+            }
+        }
+        let lost = self.barrier_live()?;
+        self.last_answer_lost = lost.clone();
+        Ok(self.shard_sum(&lost))
     }
 
-    /// `Σ_shards Σ_levels` of the shards' contents.  Callers must have
-    /// drained the workers; tuples still staged producer-side are folded
-    /// in by the caller where required.  This is the *snapshot* path — it
-    /// counts one materialisation per shard, which is how the tests verify
-    /// that the query push-down never comes through here.
-    fn shard_sum(&self) -> Matrix<T> {
+    /// `Σ_shards Σ_levels` of the shards' contents, excluding `skip` (lost
+    /// shards, whose hierarchies may be mid-mutation).  Callers must have
+    /// drained the live workers; tuples still staged producer-side are
+    /// folded in by the caller where required.  This is the *snapshot*
+    /// path — it counts one materialisation per shard, which is how the
+    /// tests verify that the query push-down never comes through here.
+    fn shard_sum(&self, skip: &[usize]) -> Matrix<T> {
         let mut acc = Matrix::new(self.nrows, self.ncols);
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if skip.contains(&i) {
+                continue;
+            }
             let level_sum = shard.lock().materialize();
             ewise_add_into(&mut acc, &level_sum, Plus).expect("shards share dimensions");
         }
         acc
     }
 
+    /// Rebuild shard `i` after a worker loss: fresh hierarchy, fresh
+    /// channels, a fresh supervised thread, then replay of the retained
+    /// batches ([`ShardedConfig::replay_limit_tuples`]).  Tuples that were
+    /// dropped by the bound, or retired by a pre-loss barrier, cannot be
+    /// recovered — the returned [`ShardRecovery`] reports them, so data
+    /// loss is always explicit.  A no-op on a live worker.
+    pub fn respawn_shard(&mut self, i: usize) -> GrbResult<ShardRecovery> {
+        assert!(i < self.workers.len(), "shard index out of range");
+        if self.is_alive(i) {
+            return Ok(ShardRecovery {
+                shard: i,
+                replayed_tuples: 0,
+                lost_tuples: 0,
+            });
+        }
+        let fresh = Arc::new(Mutex::new(HierMatrix::new(
+            self.nrows,
+            self.ncols,
+            self.hier_config.clone(),
+        )?));
+        let depth = self.config.channel_depth.max(1);
+        let old = std::mem::replace(
+            &mut self.workers[i],
+            spawn_worker(i, Arc::clone(&fresh), depth),
+        );
+        self.shards[i] = fresh;
+        drop(old.tx);
+        drop(old.recycled);
+        // The old thread already exited (that is what being lost means);
+        // join just reaps it.
+        let _ = old.handle.join();
+        // Answers derived from the dead shard's contents are stale now.
+        self.in_degrees_cache = None;
+        let rb = &mut self.replay[i];
+        let lost_tuples = rb.dropped + rb.retired;
+        let replayed_tuples = rb.retained();
+        let rows = std::mem::take(&mut rb.rows);
+        let cols = std::mem::take(&mut rb.cols);
+        let vals = std::mem::take(&mut rb.vals);
+        rb.reset();
+        // Re-dispatch through the normal path: the replayed tuples join
+        // whatever is still staged for the shard (⊕ is commutative, order
+        // is irrelevant) and are themselves retained until the next
+        // acknowledged barrier.  Weight totals were counted at original
+        // ingest and are not recounted.
+        for j in 0..rows.len() {
+            self.staging.push(i, rows[j], cols[j], vals[j]);
+        }
+        self.dispatch_shard(i)?;
+        Ok(ShardRecovery {
+            shard: i,
+            replayed_tuples,
+            lost_tuples,
+        })
+    }
+
     /// Value of the represented matrix at `(row, col)` — answered by the
     /// single shard that owns the row.  The row partitioner routes the
     /// query: only that shard's staging is dispatched and only its worker
     /// does any work (no producer-side locks, no scan of other shards).
+    ///
+    /// Infallible legacy signature: an error (lost shard, timeout) latches
+    /// into [`Self::take_read_error`] and answers `None`.  Prefer
+    /// [`Self::try_get`] on supervised engines.
     pub fn get(&mut self, row: Index, col: Index) -> Option<T> {
+        match self.try_get(row, col) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch_err(e);
+                None
+            }
+        }
+    }
+
+    /// Fallible dual of [`Self::get`].  `Ok(None)` is also the degraded
+    /// answer when the owning shard is lost and degraded reads are on
+    /// (recorded in [`Self::last_answer_lost`]).
+    pub fn try_get(&mut self, row: Index, col: Index) -> GrbResult<Option<T>> {
         let shard = self.owner(row);
-        match self.query_shard(shard, ReaderQuery::Get(row, col)) {
-            ReaderReply::Value(v) => v,
-            _ => unreachable!("worker answered Get with a non-Value reply"),
+        match self.query_shard(shard, ReaderQuery::Get(row, col))? {
+            None => Ok(None),
+            Some(ReaderReply::Value(v)) => Ok(v),
+            Some(_) => unreachable!("worker answered Get with a non-Value reply"),
+        }
+    }
+
+    /// Latch an error swallowed by an infallible signature (never
+    /// overwrites an earlier unretrieved one).
+    fn latch_err(&self, e: GrbError) {
+        let mut slot = self.last_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
         }
     }
 
@@ -858,14 +1480,19 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
 }
 
 /// Join the pool on drop: closing the command channels unparks every
-/// worker, which then exits its loop.
+/// worker, which then exits its loop.  Dead workers are reaped the same
+/// way (their channels are already disconnected), so dropping an engine
+/// with lost shards or in-flight tuples never hangs: every live worker
+/// exits as soon as it drains, and `join` on an exited thread returns
+/// immediately.
 impl<T> Drop for ShardedHierMatrix<T> {
     fn drop(&mut self) {
         for w in self.workers.drain(..) {
             drop(w.tx);
             drop(w.recycled);
-            // A worker that panicked already delivered its panic message;
-            // propagating out of drop would abort instead.
+            // Panics were captured by the supervision wrapper, so this
+            // join cannot propagate one (propagating out of drop would
+            // abort).
             let _ = w.handle.join();
         }
     }
@@ -892,14 +1519,31 @@ impl<T: ScalarType> StreamingSink<T> for ShardedHierMatrix<T> {
     }
 
     fn nvals(&self) -> usize {
-        self.barrier_all().expect("worker pool alive");
+        // Infallible legacy signature: drain what can be drained, latch
+        // any error into `take_read_error`, and count the surviving
+        // shards (a lost hierarchy may be mid-mutation and is never
+        // read).  Bounded like every other wait — this cannot hang.
+        for (_, ack) in self.collect_barrier_acks() {
+            if let Err(e) = ack.and_then(|a| a.result) {
+                self.latch_err(e);
+            }
+        }
+        let lost = self.lost_shards();
         if self.staging.total() == 0 {
             // Shards own disjoint row sets: distinct cells simply add up.
-            self.shards.iter().map(|s| s.lock().nvals_exact()).sum()
+            self.shards
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !lost.contains(i))
+                .map(|(_, s)| s.lock().nvals_exact())
+                .sum()
         } else {
             // Staged tuples may collide with stored cells; settle a snapshot.
-            let mut acc = self.shard_sum();
+            let mut acc = self.shard_sum(&lost);
             for s in 0..self.staging.shards() {
+                if lost.contains(&s) {
+                    continue;
+                }
                 let (r, c, v) = self.staging.shard_slices(s);
                 acc.accum_tuples(r, c, v).expect("staged tuples validated");
             }
@@ -941,82 +1585,80 @@ fn merge_disjoint_entries<T: ScalarType>(
     }
 }
 
-/// The read path pushed down the drain-barrier protocol: row-targeted
-/// queries go to the one owning worker; whole-matrix queries fan out and
-/// every worker answers *in parallel* from its own shard's merged level
-/// cursors.  The producer only sums counts, k-way merges disjoint-row
-/// entry runs, or re-ranks partial top-k lists — it never receives (or
-/// builds) a materialised matrix.
-impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
-    fn reader_name(&self) -> &str {
-        "sharded-hier-graphblas"
-    }
-
-    fn read_dims(&self) -> (Index, Index) {
-        (self.nrows, self.ncols)
-    }
-
-    fn read_nnz(&mut self) -> usize {
+/// Fallible duals of the [`MatrixReader`] surface.  These carry the
+/// supervision semantics exactly: a lost shard or a timed-out wait is a
+/// typed error (or, with [`ShardedConfig::degraded_reads`], a
+/// survivors-only answer with the skipped shards recorded in
+/// [`ShardedHierMatrix::last_answer_lost`]).  The infallible trait
+/// methods below wrap these, latching errors into
+/// [`ShardedHierMatrix::take_read_error`].
+impl<T: ScalarType> ShardedHierMatrix<T> {
+    /// Fallible dual of [`MatrixReader::read_nnz`].
+    pub fn try_read_nnz(&mut self) -> GrbResult<usize> {
         // Shards own disjoint rows: distinct cells simply add up.
-        self.query_all(|| ReaderQuery::Nnz)
+        Ok(self
+            .query_all(|| ReaderQuery::Nnz)?
             .into_iter()
             .map(|reply| match reply {
                 ReaderReply::Count(n) => n,
                 _ => unreachable!("worker answered Nnz with a non-Count reply"),
             })
-            .sum()
+            .sum())
     }
 
-    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
-        ShardedHierMatrix::get(self, row, col)
-    }
-
-    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+    /// Fallible dual of [`MatrixReader::read_row`].
+    pub fn try_read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) -> GrbResult<()> {
         let shard = self.owner(row);
-        match self.query_shard(shard, ReaderQuery::Row(row)) {
-            ReaderReply::Row(r) => {
-                out.clear();
-                out.extend(r);
-            }
-            _ => unreachable!("worker answered Row with a non-Row reply"),
+        out.clear();
+        match self.query_shard(shard, ReaderQuery::Row(row))? {
+            None => {}
+            Some(ReaderReply::Row(r)) => out.extend(r),
+            Some(_) => unreachable!("worker answered Row with a non-Row reply"),
+        }
+        Ok(())
+    }
+
+    /// Fallible dual of [`MatrixReader::read_row_degree`].
+    pub fn try_read_row_degree(&mut self, row: Index) -> GrbResult<usize> {
+        let shard = self.owner(row);
+        match self.query_shard(shard, ReaderQuery::RowDegree(row))? {
+            None => Ok(0),
+            Some(ReaderReply::Count(n)) => Ok(n),
+            Some(_) => unreachable!("worker answered RowDegree with a non-Count reply"),
         }
     }
 
-    fn read_row_degree(&mut self, row: Index) -> usize {
+    /// Fallible dual of [`MatrixReader::read_row_reduce`].
+    pub fn try_read_row_reduce(&mut self, row: Index) -> GrbResult<Option<T>> {
         let shard = self.owner(row);
-        match self.query_shard(shard, ReaderQuery::RowDegree(row)) {
-            ReaderReply::Count(n) => n,
-            _ => unreachable!("worker answered RowDegree with a non-Count reply"),
+        match self.query_shard(shard, ReaderQuery::RowReduce(row))? {
+            None => Ok(None),
+            Some(ReaderReply::Value(v)) => Ok(v),
+            Some(_) => unreachable!("worker answered RowReduce with a non-Value reply"),
         }
     }
 
-    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
-        let shard = self.owner(row);
-        match self.query_shard(shard, ReaderQuery::RowReduce(row)) {
-            ReaderReply::Value(v) => v,
-            _ => unreachable!("worker answered RowReduce with a non-Value reply"),
-        }
-    }
-
-    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+    /// Fallible dual of [`MatrixReader::read_top_k`].
+    pub fn try_read_top_k(&mut self, k: usize) -> GrbResult<Vec<(Index, usize)>> {
         if k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Every worker returns its local top-k; rows are disjoint, so the
         // global top-k is the top-k of the concatenated partials.
         let mut all: Vec<(Index, usize)> = Vec::new();
-        for reply in self.query_all(|| ReaderQuery::TopK(k)) {
+        for reply in self.query_all(|| ReaderQuery::TopK(k))? {
             match reply {
                 ReaderReply::TopK(part) => all.extend(part),
                 _ => unreachable!("worker answered TopK with a non-TopK reply"),
             }
         }
-        rerank_top_k(all, k)
+        Ok(rerank_top_k(all, k))
     }
 
-    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+    /// Fallible dual of [`MatrixReader::read_entries`].
+    pub fn try_read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) -> GrbResult<()> {
         let parts: Vec<Vec<(Index, Index, T)>> = self
-            .query_all(|| ReaderQuery::Entries)
+            .query_all(|| ReaderQuery::Entries)?
             .into_iter()
             .map(|reply| match reply {
                 ReaderReply::Entries(e) => e,
@@ -1024,18 +1666,25 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             })
             .collect();
         merge_disjoint_entries(parts, f);
+        Ok(())
     }
 
-    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+    /// Fallible dual of [`MatrixReader::read_row_range`].
+    pub fn try_read_row_range(
+        &mut self,
+        lo: Index,
+        hi: Index,
+        f: &mut dyn FnMut(Index, Index, T),
+    ) -> GrbResult<()> {
         if lo >= hi {
-            return;
+            return Ok(());
         }
         // Only the workers whose row bands can overlap the range are
         // consulted: a RowRange-partitioned engine serves a narrow scan
         // from one worker while the rest keep ingesting.
         let targets = self.range_shards(lo, hi);
         let parts: Vec<Vec<(Index, Index, T)>> = self
-            .query_shards(&targets, || ReaderQuery::RowRange(lo, hi))
+            .query_shards(&targets, || ReaderQuery::RowRange(lo, hi))?
             .into_iter()
             .map(|reply| match reply {
                 ReaderReply::Entries(e) => e,
@@ -1043,24 +1692,29 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             })
             .collect();
         merge_disjoint_entries(parts, f);
+        Ok(())
     }
 
-    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+    /// Fallible dual of [`MatrixReader::read_degree_histogram`].
+    pub fn try_read_degree_histogram(&mut self) -> GrbResult<std::collections::BTreeMap<u64, u64>> {
         // Shards own disjoint rows: per-shard histograms sum exactly.
-        sum_histograms(self.query_all(|| ReaderQuery::Histogram).into_iter().map(
-            |reply| match reply {
-                ReaderReply::Hist(part) => part,
-                _ => unreachable!("worker answered Histogram with a non-Hist reply"),
-            },
+        Ok(sum_histograms(
+            self.query_all(|| ReaderQuery::Histogram)?
+                .into_iter()
+                .map(|reply| match reply {
+                    ReaderReply::Hist(part) => part,
+                    _ => unreachable!("worker answered Histogram with a non-Hist reply"),
+                }),
         ))
     }
 
-    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+    /// Fallible dual of [`MatrixReader::read_col`].
+    pub fn try_read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) -> GrbResult<()> {
         // A column intersects every row partition, so the query fans out to
         // all workers (each answering O(k) off its shard's column twins);
         // the partials hold disjoint row sets, so one sort merges them.
         let mut all: Vec<(Index, T)> = Vec::new();
-        for reply in self.query_all(|| ReaderQuery::Col(col)) {
+        for reply in self.query_all(|| ReaderQuery::Col(col))? {
             match reply {
                 ReaderReply::Row(part) => all.extend(part),
                 _ => unreachable!("worker answered Col with a non-Row reply"),
@@ -1069,51 +1723,66 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
         all.sort_unstable_by_key(|&(r, _)| r);
         out.clear();
         out.extend(all);
+        Ok(())
     }
 
-    fn read_col_degree(&mut self, col: Index) -> usize {
+    /// Fallible dual of [`MatrixReader::read_col_degree`].
+    pub fn try_read_col_degree(&mut self, col: Index) -> GrbResult<usize> {
         // Disjoint rows: per-shard distinct-row counts of one column add.
-        self.query_all(|| ReaderQuery::ColDegree(col))
+        Ok(self
+            .query_all(|| ReaderQuery::ColDegree(col))?
             .into_iter()
             .map(|reply| match reply {
                 ReaderReply::Count(n) => n,
                 _ => unreachable!("worker answered ColDegree with a non-Count reply"),
             })
-            .sum()
+            .sum())
     }
 
-    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
-        self.query_all(|| ReaderQuery::ColReduce(col))
+    /// Fallible dual of [`MatrixReader::read_col_reduce`].
+    pub fn try_read_col_reduce(&mut self, col: Index) -> GrbResult<Option<T>> {
+        Ok(self
+            .query_all(|| ReaderQuery::ColReduce(col))?
             .into_iter()
             .filter_map(|reply| match reply {
                 ReaderReply::Value(v) => v,
                 _ => unreachable!("worker answered ColReduce with a non-Value reply"),
             })
-            .reduce(|a, b| a.add(b))
+            .reduce(|a, b| a.add(b)))
     }
 
-    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+    /// Fallible dual of [`MatrixReader::read_in_top_k`].
+    pub fn try_read_in_top_k(&mut self, k: usize) -> GrbResult<Vec<(Index, usize)>> {
         if k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Per-shard in-degree top-k lists can NOT be re-ranked like the row
         // side: a column's degree splits across the row-partitioned shards.
         // Workers ship their complete column stats; sum, then rank.
-        rank_col_degrees(self.ensure_in_degrees(), k)
+        Ok(rank_col_degrees(self.ensure_in_degrees()?, k))
     }
 
-    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
-        col_degree_histogram(self.ensure_in_degrees())
+    /// Fallible dual of [`MatrixReader::read_in_degree_histogram`].
+    pub fn try_read_in_degree_histogram(
+        &mut self,
+    ) -> GrbResult<std::collections::BTreeMap<u64, u64>> {
+        Ok(col_degree_histogram(self.ensure_in_degrees()?))
     }
 
-    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+    /// Fallible dual of [`MatrixReader::read_col_range`].
+    pub fn try_read_col_range(
+        &mut self,
+        lo: Index,
+        hi: Index,
+        f: &mut dyn FnMut(Index, Index, T),
+    ) -> GrbResult<()> {
         if lo >= hi {
-            return;
+            return Ok(());
         }
         // Column bands cannot be bounded by the row partitioner: full
         // fan-out, then one (col, row) sort over the disjoint-row partials.
         let mut all: Vec<(Index, Index, T)> = Vec::new();
-        for reply in self.query_all(|| ReaderQuery::ColRange(lo, hi)) {
+        for reply in self.query_all(|| ReaderQuery::ColRange(lo, hi))? {
             match reply {
                 ReaderReply::Entries(part) => all.extend(part),
                 _ => unreachable!("worker answered ColRange with a non-Entries reply"),
@@ -1123,9 +1792,12 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
         for (r, c, v) in all {
             f(r, c, v);
         }
+        Ok(())
     }
 
-    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+    /// Fallible dual of [`MatrixReader::read_rows`].  Rows owned by a lost
+    /// shard come back empty under degraded reads.
+    pub fn try_read_rows(&mut self, rows: &[Index]) -> GrbResult<Vec<Vec<(Index, T)>>> {
         // Group the keys by owning shard, push one batched query per
         // involved worker, and scatter the per-shard answers back into
         // request order.
@@ -1145,20 +1817,23 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             .map(|(s, _, keys)| (*s, ReaderQuery::Rows(keys.clone())))
             .collect();
         let mut out: Vec<Vec<(Index, T)>> = vec![Vec::new(); rows.len()];
-        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)) {
+        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)?) {
             match reply {
-                ReaderReply::Rows(parts) => {
+                None => {}
+                Some(ReaderReply::Rows(parts)) => {
                     for (&i, part) in idxs.iter().zip(parts) {
                         out[i] = part;
                     }
                 }
-                _ => unreachable!("worker answered Rows with a non-Rows reply"),
+                Some(_) => unreachable!("worker answered Rows with a non-Rows reply"),
             }
         }
-        out
+        Ok(out)
     }
 
-    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+    /// Fallible dual of [`MatrixReader::read_get_many`].  Keys owned by a
+    /// lost shard come back `None` under degraded reads.
+    pub fn try_read_get_many(&mut self, keys: &[(Index, Index)]) -> GrbResult<Vec<Option<T>>> {
         let mut per_shard: ShardBatch<(Index, Index)> = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
             let owner = self.owner(key.0);
@@ -1175,17 +1850,136 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
             .map(|(s, _, ks)| (*s, ReaderQuery::GetMany(ks.clone())))
             .collect();
         let mut out: Vec<Option<T>> = vec![None; keys.len()];
-        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)) {
+        for ((_, idxs, _), reply) in per_shard.iter().zip(self.query_each(queries)?) {
             match reply {
-                ReaderReply::Values(vals) => {
+                None => {}
+                Some(ReaderReply::Values(vals)) => {
                     for (&i, v) in idxs.iter().zip(vals) {
                         out[i] = v;
                     }
                 }
-                _ => unreachable!("worker answered GetMany with a non-Values reply"),
+                Some(_) => unreachable!("worker answered GetMany with a non-Values reply"),
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Unwrap an infallible reader answer: latch the error and hand back
+    /// the empty default so the legacy [`MatrixReader`] signatures keep
+    /// working on supervised engines.
+    fn latch<R>(&self, r: GrbResult<R>, default: R) -> R {
+        match r {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch_err(e);
+                default
+            }
+        }
+    }
+}
+
+/// The read path pushed down the drain-barrier protocol: row-targeted
+/// queries go to the one owning worker; whole-matrix queries fan out and
+/// every worker answers *in parallel* from its own shard's merged level
+/// cursors.  The producer only sums counts, k-way merges disjoint-row
+/// entry runs, or re-ranks partial top-k lists — it never receives (or
+/// builds) a materialised matrix.
+///
+/// These signatures are infallible, so a supervision error (lost shard,
+/// timeout) answers with the empty default and latches into
+/// [`ShardedHierMatrix::take_read_error`]; the `try_*` duals above carry
+/// the typed errors directly.
+impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
+    fn reader_name(&self) -> &str {
+        "sharded-hier-graphblas"
+    }
+
+    fn read_dims(&self) -> (Index, Index) {
+        (self.nrows, self.ncols)
+    }
+
+    fn read_nnz(&mut self) -> usize {
+        let r = self.try_read_nnz();
+        self.latch(r, 0)
+    }
+
+    fn read_get(&mut self, row: Index, col: Index) -> Option<T> {
+        ShardedHierMatrix::get(self, row, col)
+    }
+
+    fn read_row(&mut self, row: Index, out: &mut Vec<(Index, T)>) {
+        let r = self.try_read_row(row, out);
+        self.latch(r, ());
+    }
+
+    fn read_row_degree(&mut self, row: Index) -> usize {
+        let r = self.try_read_row_degree(row);
+        self.latch(r, 0)
+    }
+
+    fn read_row_reduce(&mut self, row: Index) -> Option<T> {
+        let r = self.try_read_row_reduce(row);
+        self.latch(r, None)
+    }
+
+    fn read_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let r = self.try_read_top_k(k);
+        self.latch(r, Vec::new())
+    }
+
+    fn read_entries(&mut self, f: &mut dyn FnMut(Index, Index, T)) {
+        let r = self.try_read_entries(f);
+        self.latch(r, ());
+    }
+
+    fn read_row_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let r = self.try_read_row_range(lo, hi, f);
+        self.latch(r, ());
+    }
+
+    fn read_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let r = self.try_read_degree_histogram();
+        self.latch(r, std::collections::BTreeMap::new())
+    }
+
+    fn read_col(&mut self, col: Index, out: &mut Vec<(Index, T)>) {
+        let r = self.try_read_col(col, out);
+        self.latch(r, ());
+    }
+
+    fn read_col_degree(&mut self, col: Index) -> usize {
+        let r = self.try_read_col_degree(col);
+        self.latch(r, 0)
+    }
+
+    fn read_col_reduce(&mut self, col: Index) -> Option<T> {
+        let r = self.try_read_col_reduce(col);
+        self.latch(r, None)
+    }
+
+    fn read_in_top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
+        let r = self.try_read_in_top_k(k);
+        self.latch(r, Vec::new())
+    }
+
+    fn read_in_degree_histogram(&mut self) -> std::collections::BTreeMap<u64, u64> {
+        let r = self.try_read_in_degree_histogram();
+        self.latch(r, std::collections::BTreeMap::new())
+    }
+
+    fn read_col_range(&mut self, lo: Index, hi: Index, f: &mut dyn FnMut(Index, Index, T)) {
+        let r = self.try_read_col_range(lo, hi, f);
+        self.latch(r, ());
+    }
+
+    fn read_rows(&mut self, rows: &[Index]) -> Vec<Vec<(Index, T)>> {
+        let r = self.try_read_rows(rows);
+        self.latch(r, vec![Vec::new(); rows.len()])
+    }
+
+    fn read_get_many(&mut self, keys: &[(Index, Index)]) -> Vec<Option<T>> {
+        let r = self.try_read_get_many(keys);
+        self.latch(r, vec![None; keys.len()])
     }
 }
 
@@ -1200,12 +1994,21 @@ pub struct ShardedSnapshot<T> {
     nrows: Index,
     ncols: Index,
     shards: Vec<MatrixSnapshot<T>>,
+    /// Shards missing from the capture (degraded snapshot of a degraded
+    /// engine); empty for a complete capture.
+    lost: Vec<usize>,
 }
 
 impl<T: ScalarType> ShardedSnapshot<T> {
     /// Number of captured shard snapshots.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Shards missing from the capture (only non-empty when the snapshot
+    /// was taken from a degraded engine with degraded reads enabled).
+    pub fn lost_shards(&self) -> &[usize] {
+        &self.lost
     }
 
     /// Every captured level structure across all shards (for k-way merged
@@ -1375,6 +2178,7 @@ mod tests {
                 chunk_tuples: 64,
                 channel_depth: 2,
                 round_tuples: 256,
+                ..ShardedConfig::with_shards(shards)
             },
         )
         .unwrap()
@@ -1461,7 +2265,7 @@ mod tests {
         engine.flush().unwrap();
         assert_eq!(engine.total_weight_f64(), 15.0);
         assert_eq!(engine.get(1, 1), Some(10));
-        assert_eq!(engine.total_updates(), 2);
+        assert_eq!(engine.total_updates().unwrap(), 2);
     }
 
     #[test]
@@ -1483,7 +2287,7 @@ mod tests {
         }
         engine.flush().unwrap();
         assert_eq!(engine.num_shards(), 1);
-        assert!(engine.total_updates() == 500);
+        assert!(engine.total_updates().unwrap() == 500);
         // Zero shards clamps to one.
         let clamped = ShardedHierMatrix::<u64>::with_shards(100, 100, 0).unwrap();
         assert_eq!(clamped.num_shards(), 1);
@@ -1526,16 +2330,16 @@ mod tests {
             engine.update(r, c, v).unwrap();
         }
         engine.flush().unwrap();
-        let agg = engine.aggregate_stats();
+        let agg = engine.aggregate_stats().unwrap();
         assert_eq!(agg.updates, 2000);
         assert!(agg.total_cascades() > 0, "small cuts must cascade");
-        assert!((0..engine.num_shards()).all(|i| engine.shard_stats(i).updates > 0));
+        assert!((0..engine.num_shards()).all(|i| engine.shard_stats(i).unwrap().updates > 0));
     }
 
     #[test]
     fn workers_persist_across_rounds_and_flushes() {
         let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
-        let ids_start = engine.worker_ids();
+        let ids_start = engine.worker_ids().unwrap();
         assert_eq!(ids_start.len(), 3);
         // All workers are distinct threads, none of them this one.
         let me = std::thread::current().id();
@@ -1552,7 +2356,7 @@ mod tests {
             engine.flush().unwrap();
             let _ = engine.materialize().unwrap();
             assert_eq!(
-                engine.worker_ids(),
+                engine.worker_ids().unwrap(),
                 ids_start,
                 "worker set changed in round {round}"
             );
@@ -1625,11 +2429,11 @@ mod tests {
         assert!(engine.pushdown_queries() >= before + 6);
         // The whole query battery ran through the worker pool's cursors:
         // no shard ever materialised `Σ levels`.
-        assert_eq!(engine.aggregate_stats().materializations, 0);
+        assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
         // The snapshot path, by contrast, is counted — proving the counter
         // would have caught a materialising query path.
         let _ = engine.materialize().unwrap();
-        assert_eq!(engine.aggregate_stats().materializations, 3);
+        assert_eq!(engine.aggregate_stats().unwrap().materializations, 3);
     }
 
     /// A column-dense stream: 60 columns, ~42 distinct rows each, so
@@ -1721,7 +2525,7 @@ mod tests {
         );
         // The whole column battery ran off worker-side twins and cursors:
         // no shard ever materialised `Σ levels`.
-        assert_eq!(engine.aggregate_stats().materializations, 0);
+        assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
     }
 
     #[test]
@@ -1769,7 +2573,7 @@ mod tests {
             transposed.accum_element(c, r, v).unwrap();
         }
         transposed.wait();
-        let mut snap = engine.snapshot();
+        let mut snap = engine.snapshot().unwrap();
         // Keep ingesting after the capture: the snapshot must stay pinned
         // to the barrier state.
         for &(r, c, v) in second {
@@ -1820,7 +2624,7 @@ mod tests {
             flat.accum_element(r, c, v).unwrap();
         }
         flat.wait();
-        let mut snap = engine.snapshot();
+        let mut snap = engine.snapshot().unwrap();
         assert_eq!(snap.num_shards(), 3);
         // The engine keeps ingesting *after* the capture...
         for &(r, c, v) in &stream(1000) {
@@ -1845,7 +2649,7 @@ mod tests {
         ranking.truncate(5);
         assert_eq!(snap.read_top_k(5), ranking);
         // The capture never materialised any shard.
-        assert_eq!(engine.aggregate_stats().materializations, 0);
+        assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
     }
 
     #[test]
@@ -1899,7 +2703,7 @@ mod tests {
             flat.accum_element(r, c, v).unwrap();
         }
         assert_eq!(engine.read_degree_histogram(), flat.read_degree_histogram());
-        assert_eq!(engine.aggregate_stats().materializations, 0);
+        assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
     }
 
     #[test]

@@ -170,16 +170,18 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
     /// All the involved windows' levels merge through the k-way cursor
     /// kernel in one pass (previously: one full `ewise_add` rebuild per
     /// window).
-    pub fn recent(&self, k: usize) -> Matrix<T> {
+    pub fn recent(&self, k: usize) -> GrbResult<Matrix<T>> {
         let ws = self.recent_windows(k);
         let dcsrs: Vec<&Dcsr<T>> = ws.iter().flat_map(|w| w.level_dcsrs()).collect();
-        let merged =
-            merge_levels(self.nrows, self.ncols, &dcsrs, Plus).expect("windows share dimensions");
+        // All windows are constructed with this matrix's dimensions, so the
+        // merge cannot mismatch; the error is propagated rather than
+        // swallowed so a future invariant break surfaces as a typed error.
+        let merged = merge_levels(self.nrows, self.ncols, &dcsrs, Plus)?;
         let mut acc = Matrix::from_dcsr(merged);
         for w in &ws {
             w.fold_pending_into(&mut acc);
         }
-        acc
+        Ok(acc)
     }
 
     /// Per-window total weights (oldest retained first, then the current
@@ -201,7 +203,7 @@ impl<T: ScalarType> WindowedHierMatrix<T> {
     }
 
     /// Materialised union of all retained windows plus the current one.
-    pub fn materialize_retained(&self) -> Matrix<T> {
+    pub fn materialize_retained(&self) -> GrbResult<Matrix<T>> {
         self.recent(self.closed.len())
     }
 }
@@ -223,14 +225,16 @@ impl<T: ScalarType> StreamingSink<T> for WindowedHierMatrix<T> {
         // Completing deferred work means finishing cascades in every
         // retained hierarchy; the window schedule itself is not advanced.
         for w in &mut self.closed {
-            w.flush();
+            w.flush()?;
         }
-        self.current.flush();
-        Ok(())
+        self.current.flush()
     }
 
     fn nvals(&self) -> usize {
-        self.materialize_retained().nvals()
+        // Infallible trait signature over a now-fallible materialisation:
+        // the merge can only fail on a dimension-invariant break, in which
+        // case report nothing rather than panic.
+        self.materialize_retained().map(|m| m.nvals()).unwrap_or(0)
     }
 
     fn total_weight(&self) -> f64 {
@@ -598,11 +602,11 @@ mod tests {
             w.update(7, 7, 1).unwrap();
         }
         // Two closed windows (10 + 10) and 5 in the current one.
-        let last1 = w.recent(1);
+        let last1 = w.recent(1).unwrap();
         assert_eq!(last1.get(7, 7), Some(15));
-        let last2 = w.recent(2);
+        let last2 = w.recent(2).unwrap();
         assert_eq!(last2.get(7, 7), Some(25));
-        let current_only = w.recent(0);
+        let current_only = w.recent(0).unwrap();
         assert_eq!(current_only.get(7, 7), Some(5));
     }
 
@@ -628,7 +632,7 @@ mod tests {
         }
         // 4 closed windows (2 evicted) + current: 2 * 10 + 10 remain.
         assert_eq!(w.total_weight_f64(), 30.0);
-        assert_eq!(w.materialize_retained().nvals(), 30);
+        assert_eq!(w.materialize_retained().unwrap().nvals(), 30);
     }
 
     #[test]
@@ -639,7 +643,7 @@ mod tests {
         }
         // 4 closed (2 evicted) + current: reader answers must equal the
         // materialised retained union.
-        let snap = w.materialize_retained();
+        let snap = w.materialize_retained().unwrap();
         assert_eq!(w.read_nnz(), snap.nvals());
         assert_eq!(w.read_get(0, 7), snap.get(0, 7));
         let mut row = Vec::new();

@@ -57,8 +57,9 @@ pub mod prelude {
     pub use hyperstream_graphblas::prelude::*;
 
     pub use hyperstream_hier::{
-        HierConfig, HierMatrix, HierStats, InstancePool, PartitionBuffers, ShardPartitioner,
-        ShardedConfig, ShardedHierMatrix, ShardedSnapshot, WindowedHierMatrix,
+        EngineHealth, HierConfig, HierMatrix, HierStats, InstancePool, PartitionBuffers,
+        ShardPartitioner, ShardRecovery, ShardedConfig, ShardedHierMatrix, ShardedSnapshot,
+        WindowedHierMatrix,
     };
 
     pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};

@@ -78,7 +78,7 @@ proptest! {
                 // the stream, and the snapshot must freeze here.
                 let _ = hier.read_top_k(3);
                 snap = Some((hier.snapshot(), i));
-                hier.flush();
+                hier.flush().unwrap();
             }
         }
         // Index-served answers == cursor-sweep fallback == flat reference.
@@ -145,11 +145,11 @@ proptest! {
             DIM,
             cfg,
             ShardedConfig {
-                shards,
                 partitioner,
                 chunk_tuples: chunk,
                 channel_depth: 2,
                 round_tuples: 128,
+                ..ShardedConfig::with_shards(shards)
             },
         )
         .unwrap();
@@ -157,7 +157,7 @@ proptest! {
         for (i, &(r, c, v)) in updates.iter().enumerate() {
             engine.update(r, c, v).unwrap();
             if i == flush_at {
-                snap = Some((engine.snapshot(), i));
+                snap = Some((engine.snapshot().unwrap(), i));
                 engine.flush().unwrap();
             }
         }
@@ -177,7 +177,7 @@ proptest! {
             engine.read_row_degree(probe),
             flat.dcsr().row(probe).map_or(0, |(c, _)| c.len())
         );
-        prop_assert_eq!(engine.aggregate_stats().materializations, 0);
+        prop_assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
         // Range scans dispatch to the overlapping workers only (RowRange)
         // or everyone (RowHash) — answers identical either way.
         let (lo, hi) = (0u64, DIM / 2);
@@ -217,7 +217,7 @@ proptest! {
         }
         // Index answers == cursor sweep over the retained windows ==
         // materialised retained union (evictions included).
-        let retained = w.materialize_retained();
+        let retained = w.materialize_retained().unwrap();
         prop_assert_eq!(w.read_nnz(), w.sweep_nnz());
         prop_assert_eq!(w.read_nnz(), retained.nvals());
         prop_assert_eq!(w.read_top_k(k), w.sweep_top_k(k));

@@ -1,0 +1,450 @@
+#![cfg(feature = "failpoints")]
+#![recursion_limit = "256"] // the proptest macro expansion is token-heavy
+
+//! Chaos suite for the supervised sharded engine (`--features failpoints`).
+//!
+//! Each case arms a deterministic failpoint (worker panic, injected apply
+//! error, or an injected stall), drives a stream into a
+//! `ShardedHierMatrix`, and asserts the fault-tolerance contract:
+//!
+//! * a worker panic never panics the producer and never hangs it — every
+//!   wait is bounded by `ShardedConfig::wait_timeout`;
+//! * failures surface as *typed* errors (`GrbError::ShardsLost`,
+//!   `GrbError::Timeout`, `GrbError::Injected`) naming the lost shards;
+//! * with `degraded_reads`, answers from the survivors are byte-identical
+//!   to a flat oracle restricted to the surviving row bands;
+//! * `respawn_shard` with replay enabled rebuilds a shard *exactly* when
+//!   the loss happened before any barrier retired the replay buffer;
+//! * dropping the engine mid-fault (barrier outstanding, worker dead)
+//!   completes in bounded time.
+//!
+//! The failpoint registry is process-global, so every test serialises
+//! through [`exclusive`], which also disarms all sites on scope exit.
+//! That keeps armed sites from leaking into a concurrently running test.
+
+use hyperstream::hier::failpoint::{self, FailAction};
+use hyperstream::prelude::*;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+const DIM: u64 = 1 << 32;
+
+/// Global test-order lock: held for the duration of any test that arms
+/// failpoints.  Disarms everything when released, even on panic.
+static REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct Exclusive(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+impl Drop for Exclusive {
+    fn drop(&mut self) {
+        failpoint::disarm_all();
+    }
+}
+
+fn exclusive() -> Exclusive {
+    // A previous test panicking under the lock poisons it; the registry is
+    // reset below, so the poison carries no state worth propagating.
+    let guard = REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    failpoint::disarm_all();
+    quiet_failpoint_panics();
+    Exclusive(guard)
+}
+
+/// Injected worker panics are the *point* of this suite; silence their
+/// default backtrace spew while leaving every other panic loud.
+fn quiet_failpoint_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("failpoint") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A stream of updates drawn from a small id pool (duplicates included)
+/// scattered over the hypersparse index space.
+fn update_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..200, 0u64..200, 1u64..5), 64..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(r, c, w)| ((r * 20_000_019) % DIM, (c * 40_000_003) % DIM, w))
+            .collect()
+    })
+}
+
+fn build_flat(updates: &[(u64, u64, u64)]) -> Matrix<u64> {
+    let mut m = Matrix::<u64>::new(DIM, DIM);
+    for &(r, c, v) in updates {
+        m.accum_element(r, c, v).unwrap();
+    }
+    m.wait();
+    m
+}
+
+/// Reference ranking (degree descending, id ascending) from a flat matrix.
+fn reference_top_k(flat: &Matrix<u64>, k: usize) -> Vec<(u64, usize)> {
+    let d = flat.dcsr();
+    let mut degs: Vec<(u64, usize)> = (0..d.nrows_nonempty())
+        .map(|slot| (d.row_ids()[slot], d.row_slot(slot).0.len()))
+        .collect();
+    degs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    degs.truncate(k);
+    degs
+}
+
+/// A small engine with knobs sized so every few updates reach a worker.
+fn chaos_config(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        chunk_tuples: 4,
+        channel_depth: 2,
+        round_tuples: 64,
+        wait_timeout: Duration::from_secs(10),
+        ..ShardedConfig::with_shards(shards)
+    }
+}
+
+/// Wait (bounded) for a worker loss to become visible producer-side; a
+/// panicking worker clears its liveness flag when its thread unwinds, a
+/// hair after the failpoint fires.
+fn await_loss(engine: &ShardedHierMatrix<u64>, victim: usize, bound: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < bound {
+        if engine.lost_shards().contains(&victim) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // A worker panic mid-stream: the producer must never panic or hang,
+    // every surfaced error must be `ShardsLost` naming exactly the victim,
+    // and health must degrade to report it.  Strict mode (no degraded
+    // reads): reads touching the loss fail typed, and the infallible
+    // `MatrixReader` signatures answer defaults while latching the error.
+    #[test]
+    fn worker_panic_mid_stream_is_typed_and_bounded(
+        updates in update_stream(400),
+        shards in 2usize..=8,
+        victim_sel in 0usize..8,
+        nth in 1u64..4,
+    ) {
+        let _fp = exclusive();
+        let victim = victim_sel % shards;
+        failpoint::arm_at("worker-apply", Some(victim), nth, FailAction::Panic);
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![8, 64]).unwrap(),
+            chaos_config(shards),
+        )
+        .unwrap();
+        for &(r, c, v) in &updates {
+            if let Err(e) = engine.update(r, c, v) {
+                match e {
+                    GrbError::ShardsLost { shards: lost, .. } => {
+                        prop_assert_eq!(lost, vec![victim])
+                    }
+                    other => prop_assert!(false, "unexpected ingest error: {other}"),
+                }
+            }
+        }
+        let flushed = engine.flush();
+        if failpoint::fired("worker-apply") == 0 {
+            // The victim never saw its nth batch — nothing may have failed.
+            prop_assert!(flushed.is_ok());
+            prop_assert_eq!(engine.health(), EngineHealth::Healthy);
+            return;
+        }
+        // The flush barrier discovers the death: typed error, degraded
+        // health, and strict reads refuse while infallible reads latch.
+        prop_assert!(
+            matches!(&flushed, Err(GrbError::ShardsLost { shards, .. }) if shards == &vec![victim]),
+            "flush reported {flushed:?}"
+        );
+        prop_assert_eq!(engine.health(), EngineHealth::Degraded { lost: vec![victim] });
+        prop_assert!(matches!(
+            engine.try_read_top_k(5),
+            Err(GrbError::ShardsLost { .. })
+        ));
+        prop_assert!(engine.read_top_k(5).is_empty());
+        prop_assert!(matches!(
+            engine.take_read_error(),
+            Some(GrbError::ShardsLost { .. })
+        ));
+        prop_assert!(engine.take_read_error().is_none());
+        prop_assert!(matches!(
+            engine.materialize(),
+            Err(GrbError::ShardsLost { .. })
+        ));
+    }
+
+    // Degraded reads after a worker panic answer from the survivors,
+    // byte-identical to a flat oracle restricted to the surviving row
+    // bands, with the lost band reported on every answer.
+    #[test]
+    fn degraded_reads_match_surviving_shard_oracle(
+        updates in update_stream(400),
+        shards in 2usize..=8,
+        victim_sel in 0usize..8,
+        k in 1usize..10,
+    ) {
+        let _fp = exclusive();
+        let victim = victim_sel % shards;
+        failpoint::arm_at("worker-apply", Some(victim), 1, FailAction::Panic);
+        let config = ShardedConfig {
+            degraded_reads: true,
+            ..chaos_config(shards)
+        };
+        let partitioner = config.partitioner;
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![8, 64]).unwrap(),
+            config,
+        )
+        .unwrap();
+        for &(r, c, v) in &updates {
+            let _ = engine.update(r, c, v);
+        }
+        // Flush reports the loss (mutating the stream under a fault is
+        // never silent) while draining the survivors.
+        let flushed = engine.flush();
+        if failpoint::fired("worker-apply") == 0 {
+            prop_assert!(flushed.is_ok());
+            return;
+        }
+        prop_assert!(flushed.is_err());
+        prop_assert_eq!(engine.health(), EngineHealth::Degraded { lost: vec![victim] });
+        // The oracle: the same stream, minus every row the victim owns.
+        let surviving: Vec<(u64, u64, u64)> = updates
+            .iter()
+            .copied()
+            .filter(|&(r, _, _)| partitioner.shard(r, DIM, shards) != victim)
+            .collect();
+        let oracle = build_flat(&surviving);
+        prop_assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            oracle.extract_tuples()
+        );
+        prop_assert_eq!(engine.last_answer_lost(), &[victim]);
+        prop_assert_eq!(engine.try_read_nnz().unwrap(), oracle.nvals());
+        prop_assert_eq!(engine.try_read_top_k(k).unwrap(), reference_top_k(&oracle, k));
+        // A row owned by the lost shard answers empty (and records why).
+        if let Some(&(lost_row, _, _)) = updates
+            .iter()
+            .find(|&&(r, _, _)| partitioner.shard(r, DIM, shards) == victim)
+        {
+            let mut out = Vec::new();
+            engine.try_read_row(lost_row, &mut out).unwrap();
+            prop_assert!(out.is_empty());
+            prop_assert_eq!(engine.last_answer_lost(), &[victim]);
+        }
+    }
+
+    // Respawn with replay: a worker killed before any barrier retires the
+    // replay buffer is rebuilt *exactly* — `lost_tuples == 0` and the
+    // recovered engine equals the flat accumulation of the full stream.
+    #[test]
+    fn respawn_with_replay_recovers_exactly(
+        updates in update_stream(400),
+        shards in 2usize..=6,
+        victim_sel in 0usize..6,
+    ) {
+        let _fp = exclusive();
+        let victim = victim_sel % shards;
+        failpoint::arm_at("worker-apply", Some(victim), 1, FailAction::Panic);
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![8, 64]).unwrap(),
+            ShardedConfig {
+                replay_limit_tuples: 1 << 20,
+                ..chaos_config(shards)
+            },
+        )
+        .unwrap();
+        // Stream without a single barrier: no flush, no query, so nothing
+        // retires the replay buffers before the fault.
+        for &(r, c, v) in &updates {
+            let _ = engine.update(r, c, v);
+        }
+        if failpoint::fired("worker-apply") == 0 {
+            engine.flush().unwrap();
+            prop_assert_eq!(engine.health(), EngineHealth::Healthy);
+            return;
+        }
+        prop_assert!(await_loss(&engine, victim, Duration::from_secs(10)));
+        let recovery = engine.respawn_shard(victim).unwrap();
+        prop_assert_eq!(recovery.shard, victim);
+        prop_assert_eq!(recovery.lost_tuples, 0, "loss preceded every barrier");
+        prop_assert_eq!(engine.health(), EngineHealth::Healthy);
+        engine.flush().unwrap();
+        let flat = build_flat(&updates);
+        prop_assert_eq!(
+            engine.materialize().unwrap().extract_tuples(),
+            flat.extract_tuples()
+        );
+        prop_assert_eq!(
+            engine.total_weight_f64(),
+            updates.iter().map(|u| u.2).sum::<u64>() as f64
+        );
+    }
+}
+
+/// Satellite regression: a worker-side apply error (injected, but standing
+/// in for any failed batch apply) is latched and surfaces in the *next*
+/// barrier ack — `flush` reports it — instead of being silently dropped.
+/// The worker stays alive and the engine recovers on the next round.
+#[test]
+fn injected_apply_error_surfaces_at_flush() {
+    let _fp = exclusive();
+    failpoint::arm("worker-apply-error", 1, FailAction::Error);
+    let mut engine = ShardedHierMatrix::<u64>::with_shards(DIM, DIM, 2).unwrap();
+    engine.update(7, 9, 3).unwrap();
+    let flushed = engine.flush();
+    assert_eq!(flushed, Err(GrbError::Injected("worker-apply-error")));
+    assert_eq!(engine.health(), EngineHealth::Healthy);
+    // The latched error was consumed by the report; the engine is clean.
+    engine.update(8, 10, 4).unwrap();
+    engine.flush().unwrap();
+}
+
+/// An injected stall longer than `wait_timeout` surfaces as a typed
+/// `Timeout` — and a slow worker is *not* a dead one: health stays
+/// `Healthy` and the engine answers exactly once the stall clears.
+#[test]
+fn stalled_worker_times_out_without_being_marked_lost() {
+    let _fp = exclusive();
+    failpoint::arm(
+        "worker-barrier",
+        1,
+        FailAction::Sleep(Duration::from_millis(400)),
+    );
+    let mut engine = ShardedHierMatrix::<u64>::new(
+        DIM,
+        DIM,
+        HierConfig::from_cuts(vec![8, 64]).unwrap(),
+        ShardedConfig {
+            wait_timeout: Duration::from_millis(50),
+            ..ShardedConfig::with_shards(2)
+        },
+    )
+    .unwrap();
+    engine.update(3, 4, 5).unwrap();
+    engine.update(1 << 20, 4, 6).unwrap();
+    let flushed = engine.flush();
+    assert!(
+        matches!(flushed, Err(GrbError::Timeout { .. })),
+        "expected a typed timeout, got {flushed:?}"
+    );
+    assert_eq!(engine.health(), EngineHealth::Healthy);
+    // Let the stall clear, then the same engine answers in full.
+    std::thread::sleep(Duration::from_millis(450));
+    engine.flush().unwrap();
+    assert_eq!(engine.try_read_nnz().unwrap(), 2);
+}
+
+/// Drop-under-load: tearing the engine down while a barrier is still
+/// outstanding (its ack wait timed out against a stalled worker) must
+/// complete in bounded time — the `Drop` join waits for the stall to
+/// clear, never forever.
+#[test]
+fn drop_with_barrier_outstanding_is_bounded() {
+    let _fp = exclusive();
+    failpoint::arm(
+        "worker-barrier",
+        1,
+        FailAction::Sleep(Duration::from_millis(300)),
+    );
+    let start = Instant::now();
+    {
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![8, 64]).unwrap(),
+            ShardedConfig {
+                wait_timeout: Duration::from_millis(20),
+                ..ShardedConfig::with_shards(3)
+            },
+        )
+        .unwrap();
+        for i in 0..32u64 {
+            engine.update(i * 1_000_003, i, 1).unwrap();
+        }
+        let flushed = engine.flush();
+        assert!(
+            matches!(flushed, Err(GrbError::Timeout { .. })),
+            "expected a timed-out barrier, got {flushed:?}"
+        );
+        // Engine dropped here with the slept barrier still in flight.
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "drop with an outstanding barrier took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Drop-under-load: dropping an engine whose worker has already panicked
+/// is clean and bounded — the poison-pill loop must not wait on the dead
+/// worker's channel, and the captured panic must not resurface.
+#[test]
+fn drop_after_worker_panic_is_bounded() {
+    let _fp = exclusive();
+    failpoint::arm_at("worker-apply", Some(0), 1, FailAction::Panic);
+    let start = Instant::now();
+    {
+        let mut engine = ShardedHierMatrix::<u64>::new(
+            DIM,
+            DIM,
+            HierConfig::from_cuts(vec![8, 64]).unwrap(),
+            ShardedConfig {
+                chunk_tuples: 1,
+                ..chaos_config(3)
+            },
+        )
+        .unwrap();
+        for i in 0..64u64 {
+            let _ = engine.update(i * 1_000_003, i, 1);
+        }
+        assert!(
+            await_loss(&engine, 0, Duration::from_secs(10)),
+            "victim worker never died"
+        );
+        // Engine dropped here with shard 0 dead and batches still staged.
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "drop after a worker panic took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Hierarchy-level fault sites compose with the sharded supervisor: an
+/// injected `HierMatrix` flush failure inside one worker is latched and
+/// reported by the engine-level flush, exactly like a batch-apply error.
+#[test]
+fn injected_hier_flush_error_propagates_through_engine() {
+    let _fp = exclusive();
+    failpoint::arm("hier-flush", 1, FailAction::Error);
+    let mut engine = ShardedHierMatrix::<u64>::with_shards(DIM, DIM, 2).unwrap();
+    engine.update(11, 13, 2).unwrap();
+    let flushed = engine.flush();
+    assert_eq!(flushed, Err(GrbError::Injected("hier-flush")));
+    assert_eq!(engine.health(), EngineHealth::Healthy);
+    engine.flush().unwrap();
+}

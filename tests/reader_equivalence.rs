@@ -74,11 +74,11 @@ fn all_systems(cuts: &[u64], shards: usize, chunk: usize) -> Vec<Box<dyn Streami
                 DIM,
                 hier_cfg,
                 ShardedConfig {
-                    shards,
                     partitioner: ShardPartitioner::RowHash,
                     chunk_tuples: chunk,
                     channel_depth: 2,
                     round_tuples: 128,
+                    ..ShardedConfig::with_shards(shards)
                 },
             )
             .unwrap(),

@@ -94,7 +94,7 @@ proptest! {
                 // and the snapshot must freeze here.
                 let _ = hier.read_in_top_k(3);
                 snap = Some((hier.snapshot(), i));
-                hier.flush();
+                hier.flush().unwrap();
             }
         }
         // Twin-served answers == cursor-sweep fallback == transposed flat.
@@ -187,11 +187,11 @@ proptest! {
             DIM,
             cfg,
             ShardedConfig {
-                shards,
                 partitioner,
                 chunk_tuples: chunk,
                 channel_depth: 2,
                 round_tuples: 128,
+                ..ShardedConfig::with_shards(shards)
             },
         )
         .unwrap();
@@ -199,7 +199,7 @@ proptest! {
         for (i, &(r, c, v)) in updates.iter().enumerate() {
             engine.update(r, c, v).unwrap();
             if i == flush_at {
-                snap = Some((engine.snapshot(), i));
+                snap = Some((engine.snapshot().unwrap(), i));
                 engine.flush().unwrap();
             }
         }
@@ -224,7 +224,7 @@ proptest! {
         }
         prop_assert_eq!(&got, &expect);
         prop_assert_eq!(engine.read_col_degree(probe), expect.len());
-        prop_assert_eq!(engine.aggregate_stats().materializations, 0);
+        prop_assert_eq!(engine.aggregate_stats().unwrap().materializations, 0);
         // Column bands fan out to every shard and come back (col, row)
         // sorted.
         let mut band = Vec::new();
@@ -280,7 +280,7 @@ proptest! {
         // Eviction makes incremental column maintenance inexact, so the
         // union index rebuilds wholesale; answers must equal the cursor
         // sweep over retained windows and the transposed retained union.
-        let retained = w.materialize_retained();
+        let retained = w.materialize_retained().unwrap();
         let (rrows, rcols, rvals) = retained.extract_tuples();
         let retained_t =
             Matrix::from_tuples(DIM, DIM, &rcols, &rrows, &rvals, Plus).unwrap();
