@@ -1,0 +1,233 @@
+//! Experiment E10 — the price of durability and the cost of coming back.
+//!
+//! Two sweeps over the durable hierarchy (`crates/hier/src/persist`):
+//!
+//! 1. **Ingest rate vs. fsync policy** — the paper-shaped power-law
+//!    stream driven into an in-memory hierarchy (the WAL-off baseline)
+//!    and into durable stores under `EveryBatch`, `EveryN(64)`, and
+//!    `Never`, all through the same `StreamingSink` harness as every
+//!    other rate experiment.  The spread is the durability trade-off
+//!    table in the README, measured.
+//! 2. **Reopen latency vs. size** — stores checkpointed at growing entry
+//!    counts (fixed level count) and reopened cold.  Recovery is
+//!    O(levels) structural work (each level is one sequential file read,
+//!    no per-entry re-ingest), so reopen time must stay far below
+//!    re-ingest time and grow only with the bytes of the level files.
+//!
+//! Writes `BENCH_persist.json`.  Run with `--quick` for a reduced
+//! configuration (the CI smoke greps a `reopen_seconds` row from it).
+
+use hyperstream_bench::{bench_meta, fmt_rate, paper_batches, quick_mode, timed_drive, TrialRates};
+use hyperstream_hier::{DurableConfig, FsyncPolicy, HierConfig, HierMatrix};
+use hyperstream_workload::Edge;
+use std::path::PathBuf;
+
+const DIM: u64 = 1 << 32;
+
+/// One ingest mode: WAL off, or a WAL under one fsync policy.
+struct IngestRow {
+    mode: &'static str,
+    updates: u64,
+    seconds: f64,
+    trials: TrialRates,
+}
+
+/// One reopen measurement: a store of `nnz` entries across `levels`
+/// levels, reopened cold.
+struct ReopenRow {
+    nnz: usize,
+    levels: usize,
+    ingest_seconds: f64,
+    reopen_seconds: f64,
+    wal_records_replayed: u64,
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("hs-persist-rate-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn hier_cfg() -> HierConfig {
+    HierConfig::geometric(3, 1 << 12, 8).expect("valid geometric schedule")
+}
+
+fn measure_ingest(
+    mode: &'static str,
+    policy: Option<FsyncPolicy>,
+    batches: &[Vec<Edge>],
+    runs: usize,
+) -> IngestRow {
+    let mut trials = TrialRates::default();
+    let (mut updates, mut best_seconds) = (0u64, f64::INFINITY);
+    for run in 0..runs.max(1) {
+        let (u, seconds) = match policy {
+            None => {
+                let mut m = HierMatrix::<u64>::new(DIM, DIM, hier_cfg()).expect("valid dims");
+                timed_drive(&mut m, batches)
+            }
+            Some(p) => {
+                let dir = scratch(&format!("{mode}-{run}"));
+                let mut m = HierMatrix::<u64>::new_durable(
+                    DIM,
+                    DIM,
+                    hier_cfg(),
+                    DurableConfig::new(&dir).fsync(p),
+                )
+                .expect("fresh durable store");
+                let r = timed_drive(&mut m, batches);
+                drop(m);
+                let _ = std::fs::remove_dir_all(&dir);
+                r
+            }
+        };
+        trials.push(u as f64 / seconds);
+        updates = u;
+        best_seconds = best_seconds.min(seconds);
+    }
+    IngestRow {
+        mode,
+        updates,
+        seconds: best_seconds,
+        trials,
+    }
+}
+
+fn measure_reopen(batches: &[Vec<Edge>]) -> ReopenRow {
+    let dir = scratch(&format!("reopen-{}", batches.len()));
+    let mut m = HierMatrix::<u64>::new_durable(
+        DIM,
+        DIM,
+        hier_cfg(),
+        // The reopen sweep measures recovery, not WAL pacing.
+        DurableConfig::new(&dir).fsync(FsyncPolicy::Never),
+    )
+    .expect("fresh durable store");
+    let (_, ingest_seconds) = timed_drive(&mut m, batches);
+    m.flush().expect("checkpoint");
+    let nnz = m.nvals_exact();
+    let levels = m.levels();
+    drop(m);
+
+    let start = std::time::Instant::now();
+    let r = HierMatrix::<u64>::open(&dir).expect("reopen checkpointed store");
+    let reopen_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let wal_records_replayed = r
+        .recovery_report()
+        .map(|rep| rep.wal_records_replayed)
+        .unwrap_or(0);
+    assert_eq!(r.nvals_exact(), nnz, "reopen must reproduce the store");
+    drop(r);
+    let _ = std::fs::remove_dir_all(&dir);
+    ReopenRow {
+        nnz,
+        levels,
+        ingest_seconds,
+        reopen_seconds,
+        wal_records_replayed,
+    }
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    ingest: &[IngestRow],
+    reopen: &[ReopenRow],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"persist_rate\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"dim\": {DIM},");
+    out.push_str(
+        &bench_meta()
+            .with_fsync_policy("off,every-batch,every-64,never")
+            .json_fields(),
+    );
+    out.push_str("  \"ingest\": [\n");
+    for (i, r) in ingest.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"fsync_policy\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"best_of\": {}, {}}}",
+            r.mode,
+            r.updates,
+            r.seconds,
+            r.updates as f64 / r.seconds,
+            r.trials.best_of(),
+            r.trials.json_fields("updates_per_sec"),
+        );
+        out.push_str(if i + 1 < ingest.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"reopen\": [\n");
+    for (i, r) in reopen.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"nnz\": {}, \"levels\": {}, \"ingest_seconds\": {:.6}, \"reopen_seconds\": {:.6}, \"wal_records_replayed\": {}}}",
+            r.nnz, r.levels, r.ingest_seconds, r.reopen_seconds, r.wal_records_replayed,
+        );
+        out.push_str(if i + 1 < reopen.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let n_batches = if quick { 3 } else { 20 };
+    let runs = if quick { 1 } else { 2 };
+    println!("=== E10: durable ingest rate and reopen latency ===");
+    println!(
+        "workload: power-law stream, {} batches x 100,000 edges{}",
+        n_batches,
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!();
+
+    let batches = paper_batches(n_batches, 2020);
+    println!(
+        "{:<16} {:>14} {:>12} {:>16}",
+        "fsync_policy", "updates", "seconds", "updates/sec"
+    );
+    println!("{}", "-".repeat(62));
+    let modes: [(&'static str, Option<FsyncPolicy>); 4] = [
+        ("off", None),
+        ("every-batch", Some(FsyncPolicy::EveryBatch)),
+        ("every-64", Some(FsyncPolicy::EveryN(64))),
+        ("never", Some(FsyncPolicy::Never)),
+    ];
+    let mut ingest = Vec::new();
+    for (mode, policy) in modes {
+        let row = measure_ingest(mode, policy, &batches, runs);
+        println!(
+            "{:<16} {:>14} {:>12.3} {:>16}",
+            row.mode,
+            row.updates,
+            row.seconds,
+            fmt_rate(row.updates as f64 / row.seconds)
+        );
+        ingest.push(row);
+    }
+
+    println!();
+    println!(
+        "{:<12} {:>8} {:>16} {:>16} {:>10}",
+        "nnz", "levels", "ingest_seconds", "reopen_seconds", "replayed"
+    );
+    println!("{}", "-".repeat(68));
+    let scales: &[usize] = if quick { &[1, 3] } else { &[2, 8, 20] };
+    let mut reopen = Vec::new();
+    for &n in scales {
+        let row = measure_reopen(&batches[..n.min(batches.len())]);
+        println!(
+            "{:<12} {:>8} {:>16.4} {:>16.4} {:>10}",
+            row.nnz, row.levels, row.ingest_seconds, row.reopen_seconds, row.wal_records_replayed
+        );
+        reopen.push(row);
+    }
+
+    write_json("BENCH_persist.json", quick, &ingest, &reopen).expect("write BENCH_persist.json");
+    println!();
+    println!("wrote BENCH_persist.json");
+}

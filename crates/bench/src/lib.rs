@@ -83,6 +83,12 @@ pub struct BenchMeta {
     /// so artifacts from fault-capable builds attest the measurement ran
     /// clean.
     pub faults_injected: u64,
+    /// WAL fsync policy (or policy sweep) the measurement ran under —
+    /// `None` for experiments that never touch the durable store, and
+    /// then omitted from the artifact entirely.  Durability artifacts are
+    /// meaningless without it: an `EveryBatch` rate and a `Never` rate
+    /// are different experiments.
+    pub fsync_policy: Option<String>,
 }
 
 /// Collect the run metadata for a benchmark artifact.
@@ -109,15 +115,26 @@ pub fn bench_meta() -> BenchMeta {
         faults_injected: hyperstream_hier::failpoint::total_fired(),
         #[cfg(not(feature = "failpoints"))]
         faults_injected: 0,
+        fsync_policy: None,
     }
 }
 
 impl BenchMeta {
+    /// Record the WAL fsync policy (or sweep label) this run used.
+    pub fn with_fsync_policy(mut self, policy: impl Into<String>) -> Self {
+        self.fsync_policy = Some(policy.into());
+        self
+    }
+
     /// The metadata rendered as JSON object fields (no surrounding braces),
     /// ready to splice into a benchmark artifact.
     pub fn json_fields(&self) -> String {
+        let fsync = match &self.fsync_policy {
+            Some(p) => format!("  \"fsync_policy\": \"{}\",\n", p.replace(['"', '\\'], "?")),
+            None => String::new(),
+        };
         format!(
-            "  \"threads\": {},\n  \"git_commit\": \"{}\",\n  \"unix_time\": {},\n  \"faults_injected\": {},\n",
+            "  \"threads\": {},\n  \"git_commit\": \"{}\",\n  \"unix_time\": {},\n  \"faults_injected\": {},\n{fsync}",
             self.threads,
             self.git_commit.replace(['"', '\\'], "?"),
             self.unix_time,
@@ -198,6 +215,16 @@ mod tests {
         // Deterministic for the same seed.
         let b2 = paper_batches(2, 1);
         assert_eq!(b[0][..10], b2[0][..10]);
+    }
+
+    #[test]
+    fn bench_meta_fsync_policy_is_optional() {
+        let meta = bench_meta();
+        assert!(!meta.json_fields().contains("fsync_policy"));
+        let with = meta.with_fsync_policy("every-batch");
+        assert!(with
+            .json_fields()
+            .contains("\"fsync_policy\": \"every-batch\""));
     }
 
     #[test]

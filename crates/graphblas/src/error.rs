@@ -52,6 +52,14 @@ pub enum GrbError {
     /// An error injected by the fault-injection harness (the `failpoints`
     /// feature).  Never constructed in production builds.
     Injected(&'static str),
+    /// A durable-store failure: on-disk data failed strict validation
+    /// (bad magic, checksum mismatch, out-of-bounds section, invariant
+    /// violation) or an I/O operation on the store failed.  Parsers return
+    /// this instead of panicking, whatever the input bytes.
+    Corruption {
+        /// What failed validation and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GrbError {
@@ -74,6 +82,9 @@ impl fmt::Display for GrbError {
                 write!(f, "timed out waiting on {what} after {after_ms} ms")
             }
             GrbError::Injected(site) => write!(f, "injected fault at failpoint '{site}'"),
+            GrbError::Corruption { detail } => {
+                write!(f, "durable store corruption: {detail}")
+            }
         }
     }
 }
@@ -122,6 +133,12 @@ mod tests {
 
         let e = GrbError::Injected("worker-apply");
         assert!(e.to_string().contains("worker-apply"));
+
+        let e = GrbError::Corruption {
+            detail: "level 2: section crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("corruption"));
+        assert!(e.to_string().contains("section crc mismatch"));
     }
 
     #[test]

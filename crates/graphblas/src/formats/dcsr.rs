@@ -255,9 +255,40 @@ impl<T: ScalarType> Dcsr<T> {
     }
 
     /// The four raw compressed arrays `(row_ids, row_ptr, col_idx, vals)` —
-    /// read-only access for the cursor kernel's bulk run copies.
-    pub(crate) fn raw_parts(&self) -> (&[Index], &[usize], &[Index], &[T]) {
+    /// read-only access for the cursor kernel's bulk run copies and the
+    /// durable level-file writer.
+    pub fn raw_parts(&self) -> (&[Index], &[usize], &[Index], &[T]) {
         (&self.row_ids, &self.row_ptr, &self.col_idx, &self.vals)
+    }
+
+    /// Reassemble a DCSR from raw compressed arrays, validating every
+    /// structural invariant (strictly increasing row ids and in-row
+    /// columns, monotone row pointers starting at 0, no empty rows, all
+    /// indices in bounds).  This is the loader's entry point for
+    /// untrusted on-disk data: any violation is a typed error, never a
+    /// panic or an inconsistent matrix.
+    pub fn try_from_raw_parts(
+        nrows: Index,
+        ncols: Index,
+        row_ids: Vec<Index>,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        vals: Vec<T>,
+    ) -> GrbResult<Self> {
+        validate_dims(nrows, ncols)?;
+        if row_ptr.first() != Some(&0) {
+            return Err(GrbError::InvalidValue("row_ptr must start at 0".into()));
+        }
+        let d = Self {
+            nrows,
+            ncols,
+            row_ids,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        d.check_invariants()?;
+        Ok(d)
     }
 
     /// Build from a COO that has already been sorted and deduplicated.
@@ -939,5 +970,65 @@ mod tests {
         let small_dims = Dcsr::from_tuples(100, 100, &[1], &[1], &[1u64], Plus).unwrap();
         let huge_dims = Dcsr::from_tuples(1 << 50, 1 << 50, &[1], &[1], &[1u64], Plus).unwrap();
         assert_eq!(small_dims.memory().total(), huge_dims.memory().total());
+    }
+
+    #[test]
+    fn try_from_raw_parts_round_trips() {
+        let a = sample();
+        let (row_ids, row_ptr, col_idx, vals) = a.raw_parts();
+        let b = Dcsr::try_from_raw_parts(
+            a.nrows(),
+            a.ncols(),
+            row_ids.to_vec(),
+            row_ptr.to_vec(),
+            col_idx.to_vec(),
+            vals.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_from_raw_parts_rejects_malformed_input() {
+        // row_ptr not starting at zero.
+        assert!(
+            Dcsr::<u64>::try_from_raw_parts(10, 10, vec![1], vec![1, 2], vec![3], vec![7]).is_err()
+        );
+        // Empty row_ptr.
+        assert!(Dcsr::<u64>::try_from_raw_parts(10, 10, vec![], vec![], vec![], vec![]).is_err());
+        // row_ptr length inconsistent with row_ids.
+        assert!(
+            Dcsr::<u64>::try_from_raw_parts(10, 10, vec![1, 2], vec![0, 1], vec![3], vec![7])
+                .is_err()
+        );
+        // Column out of bounds.
+        assert!(
+            Dcsr::<u64>::try_from_raw_parts(10, 10, vec![1], vec![0, 1], vec![10], vec![7])
+                .is_err()
+        );
+        // Row ids not strictly increasing.
+        assert!(Dcsr::<u64>::try_from_raw_parts(
+            10,
+            10,
+            vec![2, 2],
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![7, 8]
+        )
+        .is_err());
+        // Empty stored row.
+        assert!(Dcsr::<u64>::try_from_raw_parts(
+            10,
+            10,
+            vec![1, 2],
+            vec![0, 1, 1],
+            vec![3],
+            vec![7]
+        )
+        .is_err());
+        // The valid shape still parses.
+        assert!(
+            Dcsr::<u64>::try_from_raw_parts(10, 10, vec![1], vec![0, 1], vec![3], vec![7]).is_ok()
+        );
     }
 }

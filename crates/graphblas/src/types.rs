@@ -14,6 +14,12 @@
 pub trait ScalarType:
     Copy + PartialEq + PartialOrd + std::fmt::Debug + Default + Send + Sync + 'static
 {
+    /// Stable one-byte discriminant of the concrete type, recorded in
+    /// on-disk headers so a file written as one type is never silently
+    /// reinterpreted as another (e.g. `u64` bits read back as `f64`).
+    /// Tags are part of the durable format and must never be reassigned.
+    const TYPE_TAG: u8;
+
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -46,6 +52,14 @@ pub trait ScalarType:
     /// Conversion from a `u64` count (used when values are edge weights/counts).
     fn from_u64(v: u64) -> Self;
 
+    /// Exact 64-bit encoding for on-disk storage: bit-preserving for
+    /// floats (`to_bits`), sign-extending for signed integers, zero-
+    /// extending otherwise.  [`Self::decode_bits`] is its exact inverse
+    /// for every value of `Self` (including float NaNs, bit for bit).
+    fn encode_bits(self) -> u64;
+    /// Inverse of [`Self::encode_bits`].
+    fn decode_bits(bits: u64) -> Self;
+
     /// True when the value is exactly the additive identity.
     fn is_zero(self) -> bool {
         self == Self::zero()
@@ -53,8 +67,9 @@ pub trait ScalarType:
 }
 
 macro_rules! impl_scalar_float {
-    ($($t:ty),*) => {$(
+    ($($t:ty => $tag:expr),*) => {$(
         impl ScalarType for $t {
+            const TYPE_TAG: u8 = $tag;
             fn zero() -> Self { 0.0 }
             fn one() -> Self { 1.0 }
             fn max_value() -> Self { <$t>::INFINITY }
@@ -69,13 +84,16 @@ macro_rules! impl_scalar_float {
             fn to_f64(self) -> f64 { self as f64 }
             fn from_f64(v: f64) -> Self { v as $t }
             fn from_u64(v: u64) -> Self { v as $t }
+            fn encode_bits(self) -> u64 { self.to_bits() as u64 }
+            fn decode_bits(bits: u64) -> Self { <$t>::from_bits(bits as _) }
         }
     )*};
 }
 
 macro_rules! impl_scalar_int {
-    ($($t:ty),*) => {$(
+    ($($t:ty => $tag:expr),*) => {$(
         impl ScalarType for $t {
+            const TYPE_TAG: u8 = $tag;
             fn zero() -> Self { 0 }
             fn one() -> Self { 1 }
             fn max_value() -> Self { <$t>::MAX }
@@ -95,14 +113,23 @@ macro_rules! impl_scalar_int {
             fn to_f64(self) -> f64 { self as f64 }
             fn from_f64(v: f64) -> Self { v as $t }
             fn from_u64(v: u64) -> Self { v as $t }
+            // `as u64` sign-extends signed types, so truncating back with
+            // `as $t` round-trips every value exactly.
+            fn encode_bits(self) -> u64 { self as u64 }
+            fn decode_bits(bits: u64) -> Self { bits as $t }
         }
     )*};
 }
 
-impl_scalar_float!(f32, f64);
-impl_scalar_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+impl_scalar_float!(f32 => 10, f64 => 11);
+impl_scalar_int!(
+    i8 => 2, i16 => 3, i32 => 4, i64 => 5,
+    u8 => 6, u16 => 7, u32 => 8, u64 => 9,
+    usize => 12, isize => 13
+);
 
 impl ScalarType for bool {
+    const TYPE_TAG: u8 = 1;
     fn zero() -> Self {
         false
     }
@@ -152,6 +179,12 @@ impl ScalarType for bool {
     }
     fn from_u64(v: u64) -> Self {
         v != 0
+    }
+    fn encode_bits(self) -> u64 {
+        self as u64
+    }
+    fn decode_bits(bits: u64) -> Self {
+        bits != 0
     }
 }
 
@@ -207,6 +240,63 @@ mod tests {
         assert!(bool::from_u64(3));
         assert!(!bool::from_f64(0.0));
         assert_eq!(true.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn encode_bits_round_trips_exactly() {
+        for v in [0i8, 1, -1, i8::MIN, i8::MAX] {
+            assert_eq!(i8::decode_bits(v.encode_bits()), v);
+        }
+        for v in [0i64, -1, i64::MIN, i64::MAX, 42] {
+            assert_eq!(i64::decode_bits(v.encode_bits()), v);
+        }
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::decode_bits(v.encode_bits()), v);
+        }
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(f64::decode_bits(v.encode_bits()).to_bits(), v.to_bits());
+        }
+        // NaN payload bits survive the round trip.
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64::decode_bits(nan.encode_bits()).to_bits(), nan.to_bits());
+        for v in [0.25f32, -3.5, f32::NAN] {
+            assert_eq!(f32::decode_bits(v.encode_bits()).to_bits(), v.to_bits());
+        }
+        assert!(bool::decode_bits(true.encode_bits()));
+        assert!(!bool::decode_bits(false.encode_bits()));
+    }
+
+    #[test]
+    fn type_tags_are_distinct_and_stable() {
+        let tags = [
+            bool::TYPE_TAG,
+            i8::TYPE_TAG,
+            i16::TYPE_TAG,
+            i32::TYPE_TAG,
+            i64::TYPE_TAG,
+            u8::TYPE_TAG,
+            u16::TYPE_TAG,
+            u32::TYPE_TAG,
+            u64::TYPE_TAG,
+            f32::TYPE_TAG,
+            f64::TYPE_TAG,
+            usize::TYPE_TAG,
+            isize::TYPE_TAG,
+        ];
+        let mut sorted = tags.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tags.len(), "type tags must be unique");
+        // Pin the values: they are part of the on-disk format.
+        assert_eq!(u64::TYPE_TAG, 9);
+        assert_eq!(f64::TYPE_TAG, 11);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod config;
 pub mod failpoint;
 pub mod matrix;
 pub mod memtrace;
+pub mod persist;
 pub mod pool;
 pub mod sharded;
 pub mod stats;
@@ -59,6 +60,7 @@ pub use config::HierConfig;
 pub use failpoint::FailAction;
 pub use matrix::HierMatrix;
 pub use memtrace::{simulate_flat_trace, simulate_hier_trace, TraceComparison};
+pub use persist::{DurableConfig, FsyncPolicy, RecoveryReport};
 pub use pool::{InstancePool, PartitionBuffers};
 pub use sharded::{EngineHealth, ShardRecovery};
 pub use sharded::{ShardPartitioner, ShardedConfig, ShardedHierMatrix, ShardedSnapshot};

@@ -1,6 +1,7 @@
 //! The hierarchical hypersparse matrix itself.
 
 use crate::config::HierConfig;
+use crate::persist::{self, manifest, recover, wal, DurableConfig, DurableState, RecoveryReport};
 use crate::stats::HierStats;
 use hyperstream_graphblas::cursor::{
     for_each_merged, merge_levels, merged_col_degree, merged_col_into, merged_col_range,
@@ -44,7 +45,7 @@ use std::sync::Arc;
 /// and column-range scans in O(k) per level.  Cascades are union-preserving
 /// so they cost the column structures nothing either; the `sweep_col_*` /
 /// `sweep_in_*` fallbacks retain the cursor path for equivalence checks.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HierMatrix<T> {
     nrows: Index,
     ncols: Index,
@@ -57,6 +58,40 @@ pub struct HierMatrix<T> {
     /// is coordinate-agnostic).  Lazily activated by the first column-side
     /// degree query, so pure-ingest and row-only workloads never pay.
     col_index: DegreeIndex<T>,
+    /// Durable backing (WAL + checkpointed level files), present only for
+    /// matrices created through [`HierMatrix::new_durable`] /
+    /// [`HierMatrix::open`].  See [`crate::persist`].
+    durable: Option<DurableState>,
+}
+
+/// A clone is a detached in-memory copy: it shares no durable directory
+/// with the original (two writers to one WAL would corrupt it), so the
+/// clone's `durable` state is `None` regardless of the source's.
+impl<T: Clone> Clone for HierMatrix<T> {
+    fn clone(&self) -> Self {
+        Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            config: self.config.clone(),
+            levels: self.levels.clone(),
+            stats: self.stats.clone(),
+            index: self.index.clone(),
+            col_index: self.col_index.clone(),
+            durable: None,
+        }
+    }
+}
+
+/// Clean shutdown flushes the WAL tail to stable storage, so the next
+/// open never sees a torn tail after an orderly drop.  Errors are
+/// swallowed — a failing disk at drop time has nowhere to report to, and
+/// recovery handles the resulting state anyway.
+impl<T> Drop for HierMatrix<T> {
+    fn drop(&mut self) {
+        if let Some(d) = self.durable.as_mut() {
+            let _ = d.wal.sync();
+        }
+    }
 }
 
 impl<T: ScalarType> HierMatrix<T> {
@@ -77,6 +112,7 @@ impl<T: ScalarType> HierMatrix<T> {
             levels,
             index: DegreeIndex::new(),
             col_index: DegreeIndex::new(),
+            durable: None,
         })
     }
 
@@ -117,9 +153,13 @@ impl<T: ScalarType> HierMatrix<T> {
 
     /// Apply one streaming update `A(row, col) += val`.
     pub fn update(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
+        if self.durable.is_some() {
+            self.wal_log(&[row], &[col], &[val])?;
+        }
         self.levels[0].accum_element(row, col, val)?;
         self.stats.updates += 1;
-        self.maybe_cascade();
+        self.mark_dirty(0);
+        self.maybe_cascade()?;
         Ok(())
     }
 
@@ -131,9 +171,13 @@ impl<T: ScalarType> HierMatrix<T> {
     /// The batch applies atomically: on any invalid index nothing is
     /// inserted.
     pub fn update_batch(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        if self.durable.is_some() {
+            self.wal_log(rows, cols, vals)?;
+        }
         self.levels[0].accum_tuples(rows, cols, vals)?;
         self.stats.updates += rows.len() as u64;
-        self.maybe_cascade();
+        self.mark_dirty(0);
+        self.maybe_cascade()?;
         Ok(())
     }
 
@@ -151,6 +195,10 @@ impl<T: ScalarType> HierMatrix<T> {
             });
         }
         let nupd = a.nvals_settled() + a.npending();
+        if self.durable.is_some() {
+            let (r, c, v) = a.extract_tuples();
+            self.wal_log(&r, &c, &v)?;
+        }
         // `accum_matrix` settles level 0 internally; settle through the
         // observed path first so the index sees the dedup-unpack, then feed
         // the whole update matrix through the cell oracle.
@@ -166,7 +214,8 @@ impl<T: ScalarType> HierMatrix<T> {
             self.levels[0].accum_matrix(&settled)?;
         }
         self.stats.updates += nupd as u64;
-        self.maybe_cascade();
+        self.mark_dirty(0);
+        self.maybe_cascade()?;
         Ok(())
     }
 
@@ -411,11 +460,24 @@ impl<T: ScalarType> HierMatrix<T> {
             }
             self.cascade_level(i);
         }
+        // A durable flush is also a checkpoint barrier: the flushed state
+        // lands in level files and the WAL rotates empty, so a reopen
+        // after a clean flush replays nothing.
+        if self.durable.is_some() {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
     /// Remove every stored entry from every level (dimensions and
     /// configuration are kept; statistics are reset).
+    ///
+    /// # Panics
+    ///
+    /// A durable matrix checkpoints the empty state immediately (the WAL
+    /// has no delete records, so the old levels must be retired on the
+    /// spot) and panics if that store write fails — an unpersisted clear
+    /// would resurrect the deleted entries on the next open.
     pub fn clear(&mut self) {
         for level in &mut self.levels {
             level.clear();
@@ -423,6 +485,13 @@ impl<T: ScalarType> HierMatrix<T> {
         self.index.clear();
         self.col_index.clear();
         self.reset_stats();
+        if self.durable.is_some() {
+            for i in 0..self.levels.len() {
+                self.mark_dirty(i);
+            }
+            self.checkpoint()
+                .expect("durable clear: checkpointing the empty state failed");
+        }
     }
 
     /// Run the cascade check starting at level 0, exactly as in the paper:
@@ -434,8 +503,9 @@ impl<T: ScalarType> HierMatrix<T> {
     /// entry count decides whether a cascade really happens.  Duplicate-heavy
     /// streams therefore stay in fast memory, which is the behaviour the
     /// paper relies on for traffic matrices with heavy-hitter flows.
-    fn maybe_cascade(&mut self) {
+    fn maybe_cascade(&mut self) -> GrbResult<()> {
         let mut i = 0;
+        let mut cascaded = false;
         while i + 1 < self.levels.len() {
             let cut = self
                 .config
@@ -451,8 +521,16 @@ impl<T: ScalarType> HierMatrix<T> {
                 }
             }
             self.cascade_level(i);
+            cascaded = true;
             i += 1;
         }
+        // Checkpoint when a cascade chain completes: level 0 is empty at
+        // this point, so the settled levels are the complete state and
+        // the WAL can rotate empty (cascade-as-compaction).
+        if cascaded && self.durable.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Unconditionally cascade level `i` into level `i + 1` and clear it.
@@ -481,6 +559,298 @@ impl<T: ScalarType> HierMatrix<T> {
         self.levels[i].clear_retaining_capacity();
         self.stats.cascades[i] += 1;
         self.stats.entries_moved[i] += moved;
+        self.mark_dirty(i);
+        self.mark_dirty(i + 1);
+    }
+
+    // ----- durability ---------------------------------------------------
+
+    /// Create a durable matrix backed by a fresh store at `cfg.dir`.
+    ///
+    /// The directory is created if absent; an already-initialised store is
+    /// refused ([`GrbError::InvalidValue`]) — reopen it with
+    /// [`HierMatrix::open_with`] instead, so a typo'd path can never
+    /// silently shadow existing data.
+    pub fn new_durable(
+        nrows: Index,
+        ncols: Index,
+        config: HierConfig,
+        cfg: DurableConfig,
+    ) -> GrbResult<Self> {
+        std::fs::create_dir_all(&cfg.dir).map_err(|e| persist::io_err("create durable dir", e))?;
+        if manifest::exists(&cfg.dir) {
+            return Err(GrbError::InvalidValue(format!(
+                "durable store at {} is already initialised; open it instead",
+                cfg.dir.display()
+            )));
+        }
+        let mut m = Self::new(nrows, ncols, config)?;
+        let wal_gen = 1u64;
+        let wal_path = cfg.dir.join(manifest::wal_file_name(wal_gen));
+        let wal = wal::WalWriter::create(&wal_path, T::TYPE_TAG)?;
+        let n_levels = m.levels.len();
+        let entries = vec![manifest::LevelEntry { gen: 0, nnz: 0 }; n_levels];
+        manifest::write(
+            &cfg.dir,
+            &manifest::Manifest {
+                type_tag: T::TYPE_TAG,
+                nrows,
+                ncols,
+                next_gen: 2,
+                wal_gen,
+                cuts: m.config.cuts().to_vec(),
+                levels: entries.clone(),
+            },
+        )?;
+        m.durable = Some(DurableState {
+            cfg,
+            wal,
+            wal_gen,
+            next_gen: 2,
+            levels: entries,
+            dirty: vec![false; n_levels],
+            report: None,
+        });
+        Ok(m)
+    }
+
+    /// Reopen a durable store with the default (strict, fsync-every-batch)
+    /// configuration.  See [`HierMatrix::open_with`].
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> GrbResult<Self> {
+        Self::open_with(DurableConfig::new(dir))
+    }
+
+    /// Reopen a durable store: load the checkpointed level files
+    /// (O(levels) structural work — each settled level is one sequential
+    /// read, never a per-entry re-ingest), truncate any torn WAL tail,
+    /// replay the surviving WAL records, and resume logging.
+    ///
+    /// The dimensions and cut schedule come from the manifest; the scalar
+    /// type must match the one the store was created with
+    /// ([`GrbError::Corruption`] otherwise).  Inspect what recovery did
+    /// via [`HierMatrix::recovery_report`].
+    pub fn open_with(cfg: DurableConfig) -> GrbResult<Self> {
+        let recovered = recover::open_dir::<T>(&cfg)?;
+        let recover::Recovered {
+            manifest: man,
+            levels,
+            records,
+            wal_writer,
+            mut report,
+        } = recovered;
+        let config = HierConfig::from_cuts(man.cuts.clone())?;
+        let n_levels = levels.len();
+        let mut m = Self {
+            nrows: man.nrows,
+            ncols: man.ncols,
+            config,
+            levels,
+            stats: HierStats::new(n_levels),
+            index: DegreeIndex::new(),
+            col_index: DegreeIndex::new(),
+            durable: None,
+        };
+        // Replay the WAL on top of the checkpoint while `durable` is still
+        // `None`: replay must not re-log records or trigger checkpoints,
+        // and any cascades it causes stay in memory (⊕ is associative and
+        // commutative, so the cascade schedule during replay need not match
+        // the pre-crash one — the represented matrix is identical either
+        // way).
+        let replayed = report.wal_records_replayed > 0;
+        for r in &records {
+            let vals: Vec<T> = r.valbits.iter().map(|&b| T::decode_bits(b)).collect();
+            m.update_batch(&r.rows, &r.cols, &vals)
+                .map_err(|e| persist::corruption(format!("wal record failed to replay: {e}")))?;
+        }
+        report.wal_records_replayed = records.len() as u64;
+        // Replay is reconstruction, not new ingest.
+        m.reset_stats();
+        // Replayed state diverges from the level files until the next
+        // checkpoint; a corrupt-but-salvaged level must also be rewritten.
+        let mut dirty = vec![replayed; n_levels];
+        for &i in &report.corrupt_levels {
+            dirty[i] = true;
+        }
+        m.durable = Some(DurableState {
+            cfg,
+            wal: wal_writer,
+            wal_gen: man.wal_gen,
+            next_gen: man.next_gen,
+            levels: man.levels,
+            dirty,
+            report: Some(report),
+        });
+        Ok(m)
+    }
+
+    /// Open the store at `cfg.dir` if initialised (validating that its
+    /// dimensions and cut schedule match the requested ones), otherwise
+    /// create it.
+    pub fn open_or_create(
+        nrows: Index,
+        ncols: Index,
+        config: HierConfig,
+        cfg: DurableConfig,
+    ) -> GrbResult<Self> {
+        if manifest::exists(&cfg.dir) {
+            let m = Self::open_with(cfg)?;
+            if m.nrows != nrows || m.ncols != ncols {
+                return Err(GrbError::InvalidValue(format!(
+                    "durable store is {}x{}, requested {}x{}",
+                    m.nrows, m.ncols, nrows, ncols
+                )));
+            }
+            if m.config.cuts() != config.cuts() {
+                return Err(GrbError::InvalidValue(
+                    "durable store was created with a different cut schedule".into(),
+                ));
+            }
+            Ok(m)
+        } else {
+            Self::new_durable(nrows, ncols, config, cfg)
+        }
+    }
+
+    /// Whether this matrix persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What the recovery that produced this matrix observed (`None` for a
+    /// non-durable or freshly created matrix).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().and_then(|d| d.report.as_ref())
+    }
+
+    /// Force the WAL tail to stable storage regardless of the configured
+    /// [`FsyncPolicy`](crate::persist::FsyncPolicy) — a durability barrier
+    /// for `EveryN`/`Never` stores.
+    /// No-op on non-durable matrices.
+    pub fn wal_sync(&mut self) -> GrbResult<()> {
+        if let Some(d) = self.durable.as_mut() {
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint the settled levels to fresh files and rotate the WAL.
+    ///
+    /// Crash-consistency: every new file (dirty level files, the empty
+    /// replacement WAL) is written and fsynced under a *fresh* generation
+    /// number the old manifest does not reference, then the new manifest
+    /// is committed via write-temp → fsync → rename → directory fsync.
+    /// A crash anywhere before the rename leaves the old manifest naming
+    /// the old, complete file set (the orphans are swept on reopen); the
+    /// rename itself is atomic.  Only after the commit does the in-memory
+    /// state swap and the old files retire, so an error at any point
+    /// leaves `self` still consistently backed by the previous
+    /// checkpoint + WAL.
+    ///
+    /// No-op on a non-durable matrix; called automatically when a cascade
+    /// chain completes, on [`HierMatrix::flush`], and on
+    /// [`HierMatrix::clear`].
+    pub fn checkpoint(&mut self) -> GrbResult<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        // Compress pending tails so the level files carry everything.
+        self.settle_levels();
+        let d = self.durable.as_ref().expect("checked durable above");
+        let dir = d.cfg.dir.clone();
+        let mut next_gen = d.next_gen;
+        // Build the new entry table locally; `self.durable` is swapped only
+        // after the manifest commit succeeds.
+        let mut new_entries = Vec::with_capacity(self.levels.len());
+        for (i, level) in self.levels.iter().enumerate() {
+            debug_assert_eq!(level.npending(), 0, "settled above");
+            let nnz = level.nvals_settled() as u64;
+            if !d.dirty[i] {
+                new_entries.push(d.levels[i]);
+                continue;
+            }
+            if nnz == 0 {
+                new_entries.push(manifest::LevelEntry { gen: 0, nnz: 0 });
+                continue;
+            }
+            let gen = next_gen;
+            next_gen += 1;
+            let name = manifest::level_file_name(gen);
+            persist::format::write_level(&dir, &name, &level.settled_arc())?;
+            new_entries.push(manifest::LevelEntry { gen, nnz });
+        }
+        // Fresh empty WAL for the post-checkpoint tail.
+        let new_wal_gen = next_gen;
+        next_gen += 1;
+        let wal_path = dir.join(manifest::wal_file_name(new_wal_gen));
+        let new_wal = wal::WalWriter::create(&wal_path, T::TYPE_TAG)?;
+        // The new files must be *named* durably before the manifest can
+        // reference them.
+        manifest::fsync_dir(&dir)?;
+        // Commit point.
+        let man = manifest::Manifest {
+            type_tag: T::TYPE_TAG,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            next_gen,
+            wal_gen: new_wal_gen,
+            cuts: self.config.cuts().to_vec(),
+            levels: new_entries.clone(),
+        };
+        manifest::write(&dir, &man)?;
+        // Committed: swap in-memory state and retire the old generation's
+        // files (best-effort — reopen sweeps leftovers).
+        let d = self.durable.as_mut().expect("checked durable above");
+        let old_wal_gen = d.wal_gen;
+        let old_entries = std::mem::replace(&mut d.levels, new_entries);
+        d.wal = new_wal;
+        d.wal_gen = new_wal_gen;
+        d.next_gen = next_gen;
+        for flag in d.dirty.iter_mut() {
+            *flag = false;
+        }
+        for (old, new) in old_entries.iter().zip(d.levels.iter()) {
+            if old.gen != 0 && old.gen != new.gen {
+                let _ = std::fs::remove_file(dir.join(manifest::level_file_name(old.gen)));
+            }
+        }
+        let _ = std::fs::remove_file(dir.join(manifest::wal_file_name(old_wal_gen)));
+        Ok(())
+    }
+
+    /// Mark level `i`'s committed file stale (no-op when not durable).
+    fn mark_dirty(&mut self, i: usize) {
+        if let Some(d) = self.durable.as_mut() {
+            d.dirty[i] = true;
+        }
+    }
+
+    /// Log a batch to the WAL *before* it touches the in-memory levels.
+    ///
+    /// Pre-validates everything `update_batch` would reject (length
+    /// mismatch, out-of-bounds indices) so the WAL never records a batch
+    /// the matrix then refuses — replay must be able to apply every
+    /// surviving record.
+    fn wal_log(&mut self, rows: &[Index], cols: &[Index], vals: &[T]) -> GrbResult<()> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(GrbError::DimensionMismatch {
+                detail: format!(
+                    "update batch slices disagree: {} rows, {} cols, {} vals",
+                    rows.len(),
+                    cols.len(),
+                    vals.len()
+                ),
+            });
+        }
+        if let (Some(&max_row), Some(&max_col)) = (rows.iter().max(), cols.iter().max()) {
+            hyperstream_graphblas::validate_index(max_row, self.nrows)?;
+            hyperstream_graphblas::validate_index(max_col, self.ncols)?;
+        }
+        let valbits: Vec<u64> = vals.iter().map(|v| v.encode_bits()).collect();
+        let d = self
+            .durable
+            .as_mut()
+            .expect("wal_log is only called when durable");
+        d.wal.append(rows, cols, &valbits, d.cfg.fsync)
     }
 
     /// The maintained degree index (settled content only — settle first via

@@ -1,0 +1,328 @@
+//! The manifest: the single mutable name in a durable directory.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   magic u32 ("HSMF")
+//! 4   version u32
+//! 8   type_tag u32
+//! 12  n_levels u32
+//! 16  nrows u64
+//! 24  ncols u64
+//! 32  next_gen u64
+//! 40  wal_gen u64
+//! 48  cuts[n_levels - 1] u64
+//! ..  levels[n_levels] { gen u64 (0 = empty level), nnz u64 }
+//! ..  crc32 u32 (over everything before it)
+//! ```
+//!
+//! Committed via write-temp → fsync → rename → fsync-directory: the
+//! rename is atomic, so the directory always holds either the old or the
+//! new manifest, each internally consistent and CRC-protected.
+
+use super::{corruption, crc32, get_u32, get_u64, io_err, put_u32, put_u64};
+use hyperstream_graphblas::GrbResult;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+pub(crate) const MANIFEST_MAGIC: u32 = 0x4853_4D46; // "HSMF"
+pub(crate) const MANIFEST_VERSION: u32 = 1;
+/// Sanity cap on the level count: a hierarchy needs a strictly
+/// increasing u64 cut per level, so 64 is already unreachable; anything
+/// larger in a manifest is corruption, not configuration.
+const MAX_LEVELS: u32 = 64;
+pub(crate) const MANIFEST_NAME: &str = "MANIFEST";
+
+/// One level's committed backing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LevelEntry {
+    /// Generation number of the level file (`lvl-<gen>.dat`); 0 means
+    /// the level is empty and has no file.
+    pub(crate) gen: u64,
+    /// Entry count the file must carry (cross-checked on load).
+    pub(crate) nnz: u64,
+}
+
+/// Decoded manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Manifest {
+    /// Scalar type tag of the stored matrix.
+    pub(crate) type_tag: u8,
+    /// Matrix dimensions.
+    pub(crate) nrows: u64,
+    /// Matrix dimensions.
+    pub(crate) ncols: u64,
+    /// Next unused generation number.
+    pub(crate) next_gen: u64,
+    /// Generation of the current WAL file.
+    pub(crate) wal_gen: u64,
+    /// Hierarchy cut schedule (`levels.len() - 1` entries).
+    pub(crate) cuts: Vec<u64>,
+    /// Per-level backing files.
+    pub(crate) levels: Vec<LevelEntry>,
+}
+
+/// `<dir>/MANIFEST`.
+pub(crate) fn path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_NAME)
+}
+
+/// True when `dir` holds an initialised durable store.
+pub(crate) fn exists(dir: &Path) -> bool {
+    path(dir).is_file()
+}
+
+/// Name of a level file for generation `gen`.
+pub(crate) fn level_file_name(gen: u64) -> String {
+    format!("lvl-{gen:016x}.dat")
+}
+
+/// Name of a WAL file for generation `gen`.
+pub(crate) fn wal_file_name(gen: u64) -> String {
+    format!("wal-{gen:016x}.log")
+}
+
+fn encode(m: &Manifest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 8 * m.cuts.len() + 16 * m.levels.len());
+    put_u32(&mut buf, MANIFEST_MAGIC);
+    put_u32(&mut buf, MANIFEST_VERSION);
+    put_u32(&mut buf, m.type_tag as u32);
+    put_u32(&mut buf, m.levels.len() as u32);
+    put_u64(&mut buf, m.nrows);
+    put_u64(&mut buf, m.ncols);
+    put_u64(&mut buf, m.next_gen);
+    put_u64(&mut buf, m.wal_gen);
+    for &c in &m.cuts {
+        put_u64(&mut buf, c);
+    }
+    for e in &m.levels {
+        put_u64(&mut buf, e.gen);
+        put_u64(&mut buf, e.nnz);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+/// Commit `m` atomically: write `MANIFEST.tmp`, fsync it, rename over
+/// `MANIFEST`, fsync the directory.
+pub(crate) fn write(dir: &Path, m: &Manifest) -> GrbResult<()> {
+    let bytes = encode(m);
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let mut file = File::create(&tmp).map_err(|e| io_err("create manifest tmp", e))?;
+    file.write_all(&bytes)
+        .map_err(|e| io_err("write manifest", e))?;
+    crate::failpoint!("persist-pre-fsync");
+    file.sync_all().map_err(|e| io_err("fsync manifest", e))?;
+    crate::failpoint!("persist-post-fsync");
+    drop(file);
+    // The commit point: everything before the rename is invisible to
+    // recovery; everything after it is fully committed.
+    crate::failpoint!("persist-manifest-swap");
+    std::fs::rename(&tmp, path(dir)).map_err(|e| io_err("swap manifest", e))?;
+    fsync_dir(dir)?;
+    Ok(())
+}
+
+/// Fsync the directory so renames within it are durable.
+pub(crate) fn fsync_dir(dir: &Path) -> GrbResult<()> {
+    let d = File::open(dir).map_err(|e| io_err("open dir for fsync", e))?;
+    d.sync_all().map_err(|e| io_err("fsync dir", e))?;
+    Ok(())
+}
+
+/// Read and strictly validate `<dir>/MANIFEST`.
+pub(crate) fn read(dir: &Path) -> GrbResult<Manifest> {
+    let mut file = File::open(path(dir)).map_err(|e| io_err("open manifest", e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("read manifest", e))?;
+    if bytes.len() < 52 {
+        return Err(corruption(format!(
+            "manifest: {} bytes is shorter than any valid manifest",
+            bytes.len()
+        )));
+    }
+    let body_len = bytes.len() - 4;
+    if get_u32(&bytes, body_len, "manifest crc")? != crc32(&bytes[..body_len]) {
+        return Err(corruption("manifest: crc mismatch"));
+    }
+    if get_u32(&bytes, 0, "manifest magic")? != MANIFEST_MAGIC {
+        return Err(corruption("manifest: bad magic"));
+    }
+    if get_u32(&bytes, 4, "manifest version")? != MANIFEST_VERSION {
+        return Err(corruption("manifest: unsupported version"));
+    }
+    let tag = get_u32(&bytes, 8, "manifest type tag")?;
+    if tag > u8::MAX as u32 {
+        return Err(corruption("manifest: type tag out of range"));
+    }
+    let n_levels = get_u32(&bytes, 12, "manifest level count")?;
+    if !(2..=MAX_LEVELS).contains(&n_levels) {
+        return Err(corruption(format!(
+            "manifest: level count {n_levels} outside [2, {MAX_LEVELS}]"
+        )));
+    }
+    let nrows = get_u64(&bytes, 16, "manifest nrows")?;
+    let ncols = get_u64(&bytes, 24, "manifest ncols")?;
+    let next_gen = get_u64(&bytes, 32, "manifest next_gen")?;
+    let wal_gen = get_u64(&bytes, 40, "manifest wal_gen")?;
+    let n = n_levels as usize;
+    let expected_len = 48 + 8 * (n - 1) + 16 * n + 4;
+    if bytes.len() != expected_len {
+        return Err(corruption(format!(
+            "manifest: length {} does not match expected {expected_len} for {n} levels",
+            bytes.len()
+        )));
+    }
+    let mut cuts = Vec::with_capacity(n - 1);
+    let mut off = 48;
+    for _ in 0..n - 1 {
+        cuts.push(get_u64(&bytes, off, "manifest cut")?);
+        off += 8;
+    }
+    let mut levels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let gen = get_u64(&bytes, off, "manifest level gen")?;
+        let nnz = get_u64(&bytes, off + 8, "manifest level nnz")?;
+        if gen == 0 && nnz != 0 {
+            return Err(corruption("manifest: empty level with non-zero nnz"));
+        }
+        if gen != 0 && gen >= next_gen {
+            return Err(corruption(format!(
+                "manifest: level gen {gen} not below next_gen {next_gen}"
+            )));
+        }
+        levels.push(LevelEntry { gen, nnz });
+        off += 16;
+    }
+    if wal_gen == 0 || wal_gen >= next_gen {
+        return Err(corruption(format!(
+            "manifest: wal gen {wal_gen} not in (0, next_gen {next_gen})"
+        )));
+    }
+    Ok(Manifest {
+        type_tag: tag as u8,
+        nrows,
+        ncols,
+        next_gen,
+        wal_gen,
+        cuts,
+        levels,
+    })
+}
+
+/// Best-effort removal of files the committed manifest does not
+/// reference: stale `.tmp` files and unreferenced level/WAL generations
+/// left behind by a crash mid-checkpoint.  Never fails the caller —
+/// garbage is harmless, deleting it is a bonus.
+pub(crate) fn sweep_unreferenced(dir: &Path, m: &Manifest) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut referenced: Vec<String> = m
+        .levels
+        .iter()
+        .filter(|e| e.gen != 0)
+        .map(|e| level_file_name(e.gen))
+        .collect();
+    referenced.push(wal_file_name(m.wal_gen));
+    referenced.push(MANIFEST_NAME.to_string());
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_ours = name.ends_with(".tmp")
+            || (name.starts_with("lvl-") && name.ends_with(".dat"))
+            || (name.starts_with("wal-") && name.ends_with(".log"));
+        if is_ours && !referenced.iter().any(|r| r == name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("hyperstream-mantest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            type_tag: 9,
+            nrows: 1 << 32,
+            ncols: 1 << 32,
+            next_gen: 7,
+            wal_gen: 6,
+            cuts: vec![1 << 12, 1 << 15, 1 << 18],
+            levels: vec![
+                LevelEntry { gen: 0, nnz: 0 },
+                LevelEntry { gen: 3, nnz: 1000 },
+                LevelEntry {
+                    gen: 4,
+                    nnz: 50_000,
+                },
+                LevelEntry { gen: 5, nnz: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let m = sample();
+        write(&dir, &m).unwrap();
+        assert!(exists(&dir));
+        assert_eq!(read(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let dir = tmpdir("flips");
+        write(&dir, &sample()).unwrap();
+        let p = path(&dir);
+        let orig = std::fs::read(&p).unwrap();
+        for i in 0..orig.len() {
+            let mut mutated = orig.clone();
+            mutated[i] ^= 0x10;
+            std::fs::write(&p, &mutated).unwrap();
+            assert!(read(&dir).is_err(), "flip at byte {i} went undetected");
+        }
+        // Truncation and extension too.
+        std::fs::write(&p, &orig[..orig.len() - 3]).unwrap();
+        assert!(read(&dir).is_err());
+        let mut ext = orig.clone();
+        ext.extend_from_slice(&[1, 2, 3]);
+        std::fs::write(&p, &ext).unwrap();
+        assert!(read(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_unreferenced_store_files() {
+        let dir = tmpdir("sweep");
+        let m = sample();
+        write(&dir, &m).unwrap();
+        let keep_lvl = dir.join(level_file_name(3));
+        let keep_wal = dir.join(wal_file_name(6));
+        let drop_lvl = dir.join(level_file_name(99));
+        let drop_tmp = dir.join("lvl-x.dat.tmp");
+        let unrelated = dir.join("notes.txt");
+        for f in [&keep_lvl, &keep_wal, &drop_lvl, &drop_tmp, &unrelated] {
+            std::fs::write(f, b"x").unwrap();
+        }
+        sweep_unreferenced(&dir, &m);
+        assert!(keep_lvl.exists() && keep_wal.exists() && unrelated.exists());
+        assert!(!drop_lvl.exists() && !drop_tmp.exists());
+        assert!(exists(&dir));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,369 @@
+//! CRC-framed write-ahead log for the pending tail.
+//!
+//! File layout:
+//!
+//! ```text
+//! header (16 bytes): magic u32 | version u32 | type_tag u32 | crc32(header[..12]) u32
+//! frame:             len u32 | seq u32 | crc32(payload) u32 | payload (len bytes)
+//! payload:           rows[n] u64 LE | cols[n] u64 LE | valbits[n] u64 LE   (n = len / 24)
+//! ```
+//!
+//! Frames carry a monotonically increasing sequence number starting at 0
+//! for each WAL generation.  Replay stops at the first frame that fails
+//! any check — short header, bad length, CRC mismatch, out-of-order
+//! sequence — and reports the byte offset of the last good frame so the
+//! caller can truncate the torn tail.
+
+use super::{corruption, crc32, decode_u64s, get_u32, io_err, put_u32, FsyncPolicy};
+use hyperstream_graphblas::GrbResult;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+pub(crate) const WAL_MAGIC: u32 = 0x4853_5741; // "HSWA"
+pub(crate) const WAL_VERSION: u32 = 1;
+pub(crate) const WAL_HEADER_BYTES: u64 = 16;
+const FRAME_HEADER_BYTES: usize = 12;
+/// Upper bound on one frame's payload: a batch this large would be tens
+/// of millions of tuples, far beyond any producer; anything larger in a
+/// length field is corruption, and bounding it keeps a malicious length
+/// from driving a huge allocation.
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+/// Bytes per tuple in a frame payload (row + col + value bits).
+const TUPLE_BYTES: usize = 24;
+
+/// Append half of the WAL writer: owns the open file and the framing
+/// state.  Reading happens separately through [`scan`].
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    /// Sequence number of the next frame to append.
+    seq: u32,
+    /// Batches appended since the last fsync.
+    unsynced: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL file at `path` (failing if one exists would
+    /// mask a generation-number bug, so truncate is refused), write and
+    /// fsync the header.
+    pub(crate) fn create(path: &Path, type_tag: u8) -> GrbResult<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| io_err("create wal", e))?;
+        let mut header = Vec::with_capacity(WAL_HEADER_BYTES as usize);
+        put_u32(&mut header, WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION);
+        put_u32(&mut header, type_tag as u32);
+        let crc = crc32(&header);
+        put_u32(&mut header, crc);
+        file.write_all(&header)
+            .map_err(|e| io_err("write wal header", e))?;
+        file.sync_all().map_err(|e| io_err("fsync new wal", e))?;
+        Ok(Self {
+            file,
+            seq: 0,
+            unsynced: 0,
+        })
+    }
+
+    /// Reopen an existing (already scanned and truncated) WAL for append.
+    pub(crate) fn resume(path: &Path, good_len: u64, next_seq: u32) -> GrbResult<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopen wal", e))?;
+        file.seek(SeekFrom::Start(good_len))
+            .map_err(|e| io_err("seek wal tail", e))?;
+        Ok(Self {
+            file,
+            seq: next_seq,
+            unsynced: 0,
+        })
+    }
+
+    /// Append one batch as a single frame and apply the fsync policy.
+    /// `rows`/`cols`/`valbits` must have equal lengths (the caller
+    /// validates before logging).  Empty batches are not logged.
+    pub(crate) fn append(
+        &mut self,
+        rows: &[u64],
+        cols: &[u64],
+        valbits: &[u64],
+        policy: FsyncPolicy,
+    ) -> GrbResult<()> {
+        crate::failpoint!("persist-wal-append");
+        let n = rows.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let len = n * TUPLE_BYTES;
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + len);
+        put_u32(&mut frame, len as u32);
+        put_u32(&mut frame, self.seq);
+        // CRC is computed over the payload, which is appended after the
+        // header below; stage the payload first in a scratch then splice.
+        let mut payload = Vec::with_capacity(len);
+        for &r in rows {
+            payload.extend_from_slice(&r.to_le_bytes());
+        }
+        for &c in cols {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        for &v in valbits {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        // Two physical writes with a failpoint between them: an armed
+        // `persist-partial-write` leaves a torn frame on disk, exactly
+        // what a crash mid-append produces.
+        let mid = frame.len() / 2;
+        self.file
+            .write_all(&frame[..mid])
+            .map_err(|e| io_err("append wal frame", e))?;
+        crate::failpoint!("persist-partial-write");
+        self.file
+            .write_all(&frame[mid..])
+            .map_err(|e| io_err("append wal frame", e))?;
+        self.seq = self.seq.wrapping_add(1);
+        match policy {
+            FsyncPolicy::EveryBatch => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => self.unsynced += 1,
+        }
+        Ok(())
+    }
+
+    /// Force appended frames to stable storage.
+    pub(crate) fn sync(&mut self) -> GrbResult<()> {
+        crate::failpoint!("persist-pre-fsync");
+        self.file.sync_data().map_err(|e| io_err("fsync wal", e))?;
+        crate::failpoint!("persist-post-fsync");
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// One decoded WAL record: a batch of updates in encoded form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalRecord {
+    /// Row indices.
+    pub(crate) rows: Vec<u64>,
+    /// Column indices.
+    pub(crate) cols: Vec<u64>,
+    /// Values as [`ScalarType::encode_bits`](hyperstream_graphblas::ScalarType::encode_bits) words.
+    pub(crate) valbits: Vec<u64>,
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    /// Every frame up to (excluding) the first bad one.
+    pub(crate) records: Vec<WalRecord>,
+    /// Byte offset just past the last good frame.
+    pub(crate) good_len: u64,
+    /// True when bytes past `good_len` existed (a torn or corrupt tail).
+    pub(crate) torn: bool,
+    /// Sequence number the next appended frame must carry.
+    pub(crate) next_seq: u32,
+}
+
+/// Read and validate `path`.  The 16-byte header must be intact — it was
+/// written and fsynced before the manifest ever referenced this
+/// generation, so a bad header is corruption, not a crash artifact.
+/// Frames after it are validated one by one; the first failure ends the
+/// scan (torn tail).
+pub(crate) fn scan(path: &Path, expect_tag: u8) -> GrbResult<WalScan> {
+    let mut file = File::open(path).map_err(|e| io_err("open wal", e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("read wal", e))?;
+    if bytes.len() < WAL_HEADER_BYTES as usize {
+        return Err(corruption(format!(
+            "wal header: {} bytes, need {}",
+            bytes.len(),
+            WAL_HEADER_BYTES
+        )));
+    }
+    if get_u32(&bytes, 0, "wal magic")? != WAL_MAGIC {
+        return Err(corruption("wal: bad magic"));
+    }
+    if get_u32(&bytes, 4, "wal version")? != WAL_VERSION {
+        return Err(corruption("wal: unsupported version"));
+    }
+    let tag = get_u32(&bytes, 8, "wal type tag")?;
+    if tag != expect_tag as u32 {
+        return Err(corruption(format!(
+            "wal: type tag {tag} does not match expected {expect_tag}"
+        )));
+    }
+    if get_u32(&bytes, 12, "wal header crc")? != crc32(&bytes[..12]) {
+        return Err(corruption("wal: header crc mismatch"));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_BYTES as usize;
+    let mut next_seq = 0u32;
+    while let Some(frame_end) = frame_at(&bytes, pos, next_seq) {
+        let payload = &bytes[pos + FRAME_HEADER_BYTES..frame_end];
+        let n = payload.len() / TUPLE_BYTES;
+        let words = decode_u64s(payload);
+        records.push(WalRecord {
+            rows: words[..n].to_vec(),
+            cols: words[n..2 * n].to_vec(),
+            valbits: words[2 * n..].to_vec(),
+        });
+        next_seq = next_seq.wrapping_add(1);
+        pos = frame_end;
+    }
+    Ok(WalScan {
+        records,
+        good_len: pos as u64,
+        torn: pos < bytes.len(),
+        next_seq,
+    })
+}
+
+/// Validate the frame starting at `pos`; return its end offset, or
+/// `None` when the frame is torn, corrupt, or out of sequence.
+fn frame_at(bytes: &[u8], pos: usize, expect_seq: u32) -> Option<usize> {
+    let header = bytes.get(pos..pos + FRAME_HEADER_BYTES)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().ok()?);
+    let seq = u32::from_le_bytes(header[4..8].try_into().ok()?);
+    let crc = u32::from_le_bytes(header[8..12].try_into().ok()?);
+    if len == 0 || len > MAX_FRAME_BYTES || len as usize % TUPLE_BYTES != 0 {
+        return None;
+    }
+    if seq != expect_seq {
+        return None;
+    }
+    let start = pos + FRAME_HEADER_BYTES;
+    let end = start.checked_add(len as usize)?;
+    let payload = bytes.get(start..end)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some(end)
+}
+
+/// Truncate `path` to `good_len` (discarding a torn tail) and fsync.
+pub(crate) fn truncate_to(path: &Path, good_len: u64) -> GrbResult<()> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err("open wal for truncation", e))?;
+    file.set_len(good_len)
+        .map_err(|e| io_err("truncate torn wal tail", e))?;
+    file.sync_data()
+        .map_err(|e| io_err("fsync truncated wal", e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "hyperstream-waltest-{}-{name}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = WalWriter::create(&path, 9).unwrap();
+        w.append(&[1, 2], &[3, 4], &[10, 20], FsyncPolicy::EveryBatch)
+            .unwrap();
+        w.append(&[5], &[6], &[30], FsyncPolicy::Never).unwrap();
+        drop(w);
+        let scan = scan(&path, 9).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.torn);
+        assert_eq!(scan.next_seq, 2);
+        assert_eq!(scan.records[0].rows, vec![1, 2]);
+        assert_eq!(scan.records[0].cols, vec![3, 4]);
+        assert_eq!(scan.records[0].valbits, vec![10, 20]);
+        assert_eq!(scan.records[1].rows, vec![5]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncatable() {
+        let path = tmp("torn");
+        let mut w = WalWriter::create(&path, 9).unwrap();
+        w.append(&[1], &[2], &[3], FsyncPolicy::EveryBatch).unwrap();
+        w.append(&[4], &[5], &[6], FsyncPolicy::EveryBatch).unwrap();
+        drop(w);
+        // Chop the last frame in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let cut = full - 10;
+        truncate_to(&path, cut).unwrap();
+        let s = scan(&path, 9).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn);
+        assert!(s.good_len < cut);
+        truncate_to(&path, s.good_len).unwrap();
+        let clean = scan(&path, 9).unwrap();
+        assert_eq!(clean.records.len(), 1);
+        assert!(!clean.torn);
+        // Resume appending after the truncation.
+        let mut w = WalWriter::resume(&path, clean.good_len, clean.next_seq).unwrap();
+        w.append(&[7], &[8], &[9], FsyncPolicy::EveryBatch).unwrap();
+        drop(w);
+        let s = scan(&path, 9).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert!(!s.torn);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_type_tag_and_bad_magic_are_corruption() {
+        let path = tmp("tagmagic");
+        let w = WalWriter::create(&path, 9).unwrap();
+        drop(w);
+        assert!(matches!(
+            scan(&path, 11),
+            Err(hyperstream_graphblas::GrbError::Corruption { .. })
+        ));
+        // Flip a magic byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            scan(&path, 9),
+            Err(hyperstream_graphblas::GrbError::Corruption { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_payload_ends_scan_at_previous_frame() {
+        let path = tmp("badframe");
+        let mut w = WalWriter::create(&path, 9).unwrap();
+        w.append(&[1], &[2], &[3], FsyncPolicy::EveryBatch).unwrap();
+        w.append(&[4], &[5], &[6], FsyncPolicy::EveryBatch).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte in the second frame's payload.
+        let second_payload = WAL_HEADER_BYTES as usize + 12 + 24 + 12 + 4;
+        bytes[second_payload] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path, 9).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -67,6 +67,7 @@
 
 use crate::config::HierConfig;
 use crate::matrix::HierMatrix;
+use crate::persist::{DurableConfig, RecoveryReport};
 use crate::pool::{
     col_degree_histogram, rank_col_degrees, rerank_top_k, row_hash, sum_col_degrees,
     sum_histograms, PartitionBuffers,
@@ -203,18 +204,30 @@ pub enum EngineHealth {
 }
 
 /// The outcome of [`ShardedHierMatrix::respawn_shard`]: how much of the
-/// lost shard's stream the replay buffer could restore.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// lost shard's stream could be restored — from the in-memory replay
+/// buffer, or (on a durable engine) from the shard's on-disk store.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRecovery {
     /// The respawned shard.
     pub shard: usize,
     /// Tuples re-dispatched into the fresh hierarchy from the replay
-    /// buffer.
+    /// buffer (always 0 on a durable engine, where the on-disk store is
+    /// authoritative and re-dispatching would double-apply under `⊕`).
     pub replayed_tuples: usize,
-    /// Tuples that could not be recovered: dropped by the replay bound
-    /// (or disabled retention) or retired by a pre-loss barrier.  Zero
-    /// means the rebuilt shard is exact.
+    /// In-memory engine: tuples that could not be recovered — dropped by
+    /// the replay bound (or disabled retention) or retired by a pre-loss
+    /// barrier.  Zero means the rebuilt shard is exact.
+    ///
+    /// Durable engine: an *upper bound* on the at-risk tuples — those
+    /// dispatched since the last acknowledged barrier, which may or may
+    /// not have reached the store before the worker died (applied batches
+    /// are WAL-logged before they touch memory, so under
+    /// [`crate::persist::FsyncPolicy::EveryBatch`] everything the worker
+    /// actually applied is on disk).  Zero still means provably exact.
     pub lost_tuples: u64,
+    /// Present when the shard is durable: what reopening its on-disk
+    /// store observed.  `None` on in-memory engines.
+    pub disk: Option<RecoveryReport>,
 }
 
 /// State shared between the engine and one worker thread's panic wrapper.
@@ -553,6 +566,11 @@ pub struct ShardedHierMatrix<T> {
     /// Shard cut schedule, kept so [`Self::respawn_shard`] can build a
     /// fresh hierarchy identical to the lost one's.
     hier_config: HierConfig,
+    /// Durable backing for the whole engine: shard `i` persists to
+    /// `dir/shard-i` ([`DurableConfig::shard`]).  `None` for in-memory
+    /// engines.  Kept so [`Self::respawn_shard`] can reopen a lost
+    /// shard's store instead of rebuilding from the replay buffer.
+    durable: Option<DurableConfig>,
     /// First error swallowed by an infallible [`MatrixReader`] method since
     /// the last [`Self::take_read_error`] — the trait's signatures cannot
     /// carry it, so it is latched here instead of vanishing.  Mutexed so
@@ -623,17 +641,49 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         hier_config: HierConfig,
         config: ShardedConfig,
     ) -> GrbResult<Self> {
+        Self::build(nrows, ncols, hier_config, config, None)
+    }
+
+    /// Create a *durable* engine: shard `i` persists to `durable.dir/shard-i`
+    /// with the configured fsync policy.  If the per-shard directories
+    /// already hold initialised stores they are reopened (crash recovery
+    /// included); otherwise fresh stores are created.  Inspect what each
+    /// shard's recovery observed via [`Self::shard_recovery_reports`].
+    ///
+    /// The shard count, dimensions, and cut schedule must match the ones
+    /// the stores were created with ([`GrbError::InvalidValue`] otherwise) —
+    /// re-sharding an existing store is not supported, because rows would
+    /// migrate between shard directories.
+    pub fn new_durable(
+        nrows: Index,
+        ncols: Index,
+        hier_config: HierConfig,
+        config: ShardedConfig,
+        durable: DurableConfig,
+    ) -> GrbResult<Self> {
+        Self::build(nrows, ncols, hier_config, config, Some(durable))
+    }
+
+    fn build(
+        nrows: Index,
+        ncols: Index,
+        hier_config: HierConfig,
+        config: ShardedConfig,
+        durable: Option<DurableConfig>,
+    ) -> GrbResult<Self> {
         let nshards = config.shards.max(1);
         let depth = config.channel_depth.max(1);
         let mut shards = Vec::with_capacity(nshards);
         let mut workers = Vec::with_capacity(nshards);
         let mut replay = Vec::with_capacity(nshards);
         for i in 0..nshards {
-            let shard = Arc::new(Mutex::new(HierMatrix::new(
-                nrows,
-                ncols,
-                hier_config.clone(),
-            )?));
+            let hier = match &durable {
+                Some(dcfg) => {
+                    HierMatrix::open_or_create(nrows, ncols, hier_config.clone(), dcfg.shard(i))?
+                }
+                None => HierMatrix::new(nrows, ncols, hier_config.clone())?,
+            };
+            let shard = Arc::new(Mutex::new(hier));
             workers.push(spawn_worker(i, Arc::clone(&shard), depth));
             shards.push(shard);
             replay.push(ReplayBuffer::default());
@@ -657,9 +707,26 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             in_degrees_cache: None,
             replay,
             hier_config,
+            durable,
             last_error: Mutex::new(None),
             last_answer_lost: Vec::new(),
         })
+    }
+
+    /// Per-shard recovery reports from a durable open: `reports[i]` is
+    /// what reopening shard `i`'s store observed, `None` when the shard
+    /// was freshly created (or the engine is in-memory, in which case
+    /// every entry is `None`).
+    pub fn shard_recovery_reports(&self) -> Vec<Option<RecoveryReport>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().recovery_report().cloned())
+            .collect()
+    }
+
+    /// Whether this engine persists its shards to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
     }
 
     /// Convenience constructor: `shards` shards with the paper-default cut
@@ -1389,13 +1456,31 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
                 shard: i,
                 replayed_tuples: 0,
                 lost_tuples: 0,
+                disk: None,
             });
         }
-        let fresh = Arc::new(Mutex::new(HierMatrix::new(
-            self.nrows,
-            self.ncols,
-            self.hier_config.clone(),
-        )?));
+        // Durable shards recover from their on-disk store: checkpointed
+        // levels plus the WAL tail the dead worker logged before each
+        // in-memory apply.  The old worker's file handles are harmless —
+        // the thread has already exited, so nothing writes through them.
+        let mut disk = None;
+        let fresh = match &self.durable {
+            Some(dcfg) => {
+                let reopened = HierMatrix::open_or_create(
+                    self.nrows,
+                    self.ncols,
+                    self.hier_config.clone(),
+                    dcfg.shard(i),
+                )?;
+                disk = reopened.recovery_report().cloned();
+                Arc::new(Mutex::new(reopened))
+            }
+            None => Arc::new(Mutex::new(HierMatrix::new(
+                self.nrows,
+                self.ncols,
+                self.hier_config.clone(),
+            )?)),
+        };
         let depth = self.config.channel_depth.max(1);
         let old = std::mem::replace(
             &mut self.workers[i],
@@ -1409,6 +1494,24 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
         let _ = old.handle.join();
         // Answers derived from the dead shard's contents are stale now.
         self.in_degrees_cache = None;
+        if self.durable.is_some() {
+            // The store is authoritative: re-dispatching retained tuples
+            // would double-apply everything the dead worker both logged
+            // and applied (⊕ is not idempotent).  The retained count is
+            // instead the honest at-risk bound — see [`ShardRecovery`].
+            let rb = &mut self.replay[i];
+            let lost_tuples = rb.retained() as u64;
+            rb.reset();
+            // Tuples still staged for the shard were never sent anywhere;
+            // they remain valid and flow to the fresh worker now.
+            self.dispatch_shard(i)?;
+            return Ok(ShardRecovery {
+                shard: i,
+                replayed_tuples: 0,
+                lost_tuples,
+                disk,
+            });
+        }
         let rb = &mut self.replay[i];
         let lost_tuples = rb.dropped + rb.retired;
         let replayed_tuples = rb.retained();
@@ -1429,6 +1532,7 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             shard: i,
             replayed_tuples,
             lost_tuples,
+            disk: None,
         })
     }
 

@@ -57,9 +57,9 @@ pub mod prelude {
     pub use hyperstream_graphblas::prelude::*;
 
     pub use hyperstream_hier::{
-        EngineHealth, HierConfig, HierMatrix, HierStats, InstancePool, PartitionBuffers,
-        ShardPartitioner, ShardRecovery, ShardedConfig, ShardedHierMatrix, ShardedSnapshot,
-        WindowedHierMatrix,
+        DurableConfig, EngineHealth, FsyncPolicy, HierConfig, HierMatrix, HierStats, InstancePool,
+        PartitionBuffers, RecoveryReport, ShardPartitioner, ShardRecovery, ShardedConfig,
+        ShardedHierMatrix, ShardedSnapshot, WindowedHierMatrix,
     };
 
     pub use hyperstream_d4m::{Assoc, HierAssoc, HierAssocConfig};
