@@ -1,0 +1,440 @@
+//! Experiment E11 — how fast is ⊕ when the operands are lopsided?
+//!
+//! Three sweeps over the skew-aware merge kernels
+//! (`crates/graphblas/src/formats/merge.rs`):
+//!
+//! 1. **Adaptive vs. linear merge rate** — full `Dcsr::merge` over a grid
+//!    of per-row size ratios (1:1 … 1:8192) × row-overlap fractions
+//!    (0, ½, 1).  The cascade primitive `A_{i+1} ⊕= A_i` is exactly a
+//!    skewed colliding-row merge once levels diverge in size, so the
+//!    skewed cells of this grid are the production shape.  Strategy
+//!    counter deltas ([`merge_kernel_stats`]) prove which kernel ran.
+//! 2. **Crossover table** — the isolated single-row kernel with each
+//!    strategy *forced* ([`RowMergeStrategy`]), sweeping the size ratio to
+//!    locate where galloping overtakes the branchless two-pointer loop.
+//!    This is the measurement behind [`GALLOP_RATIO`].
+//! 3. **Radix digit-width sweep** — `Coo::sort_dedup_radix` with the digit
+//!    width forced over 8/11/12/13/14/16 bits, re-measuring the table that
+//!    chose the 13-bit default on the current split-plane layout.
+//!
+//! Writes `BENCH_merge_rate.json`.  `--quick` runs a reduced grid and
+//! *enforces* a regression tripwire: the skewed full-overlap cell must
+//! beat the linear kernel by a floor and must show nonzero galloped and
+//! bulk-row counters, else the process exits 1 (the CI smoke relies on
+//! this).
+
+use hyperstream_bench::{bench_meta, fmt_rate, quick_mode, TrialRates};
+use hyperstream_graphblas::formats::merge::{merge_row_into_planes, RowMergeStrategy};
+use hyperstream_graphblas::prelude::{Coo, Dcsr, Index, Plus};
+use hyperstream_graphblas::{merge_kernel_stats, MergeScratch};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Logical matrix dimension for the merge sweep (hypersparse: only a few
+/// hundred rows are occupied).
+const DIM: Index = 1 << 20;
+
+/// Speedup floor enforced by the `--quick` tripwire on the skewed
+/// full-overlap cell.  The measured speedup on this container is far
+/// higher (see `BENCH_merge_rate.json`); 1.3 leaves headroom for CI
+/// hosts with noisy neighbours while still catching a kernel that
+/// silently degraded to linear.
+const TRIPWIRE_FLOOR: f64 = 1.3;
+
+/// One cell of the adaptive-vs-linear grid.
+struct SweepRow {
+    ratio: usize,
+    overlap: f64,
+    nnz_a: usize,
+    nnz_b: usize,
+    adaptive: TrialRates,
+    linear: TrialRates,
+    /// Strategy counter deltas from one adaptive merge of this cell.
+    galloped: u64,
+    bulk_row: u64,
+    branchless: u64,
+    linear_elems: u64,
+}
+
+/// One row of the forced-strategy crossover table.
+struct CrossoverRow {
+    ratio: usize,
+    n: usize,
+    m: usize,
+    gallop_eps: f64,
+    branchless_eps: f64,
+    linear_eps: f64,
+}
+
+/// One cell of the radix digit-width sweep.
+struct DigitRow {
+    nnz: usize,
+    digit_bits: usize,
+    tuples_per_sec: f64,
+}
+
+/// The sweep's large operand: `rows` occupied rows (even ids, so odd ids
+/// are free for non-colliding `B` rows), `cols_per_row` columns at stride
+/// 4 (so stride-2 offsets interleave without colliding).
+fn build_a(rows: usize, cols_per_row: usize) -> Dcsr<u64> {
+    let mut coo = Coo::<u64>::with_capacity(DIM, DIM, rows * cols_per_row);
+    for i in 0..rows {
+        let r = (i * 2) as Index;
+        for j in 0..cols_per_row {
+            coo.push(r, (j * 4) as Index, (i * cols_per_row + j) as u64);
+        }
+    }
+    Dcsr::from_coo(coo, Plus).expect("valid A operand")
+}
+
+/// Deterministic 64-bit mix (Fibonacci hashing + xor-shift) — the bench
+/// cannot use an RNG, but the merge pattern must be *irregular*: a
+/// regular alternating pattern is perfectly branch-predictable and
+/// flatters branchy kernels in a way no power-law stream does.
+fn mix(x: u64) -> u64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// The sweep's small operand: same number of occupied rows as `A`, but
+/// only `cols_per_row / ratio` entries per row (floored at 1), hash-spread
+/// across `A`'s column range.  A fraction `overlap` of its rows collide
+/// with `A`'s rows (the rest take odd row ids); within a colliding row
+/// each entry lands *irregularly* either exactly on an `A` column
+/// (exercising ⊕) or between two (exercising the skip path), with
+/// hash-jittered gaps.
+fn build_b(rows: usize, cols_per_row: usize, ratio: usize, overlap: f64) -> Dcsr<u64> {
+    let b_cols = (cols_per_row / ratio).max(1);
+    let colliding = ((rows as f64) * overlap).round() as usize;
+    let mut coo = Coo::<u64>::with_capacity(DIM, DIM, rows * b_cols);
+    for i in 0..rows {
+        let r = if i < colliding {
+            (i * 2) as Index
+        } else {
+            (i * 2 + 1) as Index
+        };
+        for k in 0..b_cols {
+            let h = mix((i * b_cols + k) as u64 + 1);
+            // One entry per stride-`ratio` bucket keeps columns unique and
+            // sorted-by-construction while the position inside the bucket
+            // and the collide-vs-interleave choice stay irregular.
+            let p = k * ratio + h as usize % ratio.max(1);
+            let c = (p * 4 + if h & (1 << 40) != 0 { 0 } else { 2 }) as Index;
+            coo.push(r, c, 1);
+        }
+    }
+    Dcsr::from_coo(coo, Plus).expect("valid B operand")
+}
+
+/// Best-of-`trials` elements/sec for one merge direction.
+fn time_merge(a: &Dcsr<u64>, b: &Dcsr<u64>, adaptive: bool, trials: usize) -> TrialRates {
+    let elems = (a.nvals() + b.nvals()) as f64;
+    let mut rates = TrialRates::default();
+    for _ in 0..trials {
+        let start = Instant::now();
+        let out = if adaptive {
+            a.merge(b, Plus)
+        } else {
+            a.merge_linear(b, Plus)
+        }
+        .expect("same dims");
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        black_box(out.nvals());
+        rates.push(elems / secs);
+    }
+    rates
+}
+
+fn run_sweep(quick: bool) -> Vec<SweepRow> {
+    let (rows, cols_per_row) = if quick { (64, 1024) } else { (128, 8192) };
+    let ratios: &[usize] = if quick {
+        &[1, 1024]
+    } else {
+        &[1, 16, 128, 1024, 8192]
+    };
+    let overlaps: &[f64] = if quick { &[0.5, 1.0] } else { &[0.0, 0.5, 1.0] };
+    let trials = if quick { 2 } else { 3 };
+
+    let a = build_a(rows, cols_per_row);
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>14} {:>14} {:>8}",
+        "ratio", "overlap", "nnz_a", "nnz_b", "adaptive", "linear", "speedup"
+    );
+    println!("{}", "-".repeat(74));
+    let mut out = Vec::new();
+    for &ratio in ratios {
+        for &overlap in overlaps {
+            let b = build_b(rows, cols_per_row, ratio, overlap);
+            // One untimed adaptive merge bracketed by stat snapshots:
+            // the counters are process-global, so deltas must be taken
+            // around a run that is *only* this cell's adaptive merge.
+            let before = merge_kernel_stats();
+            black_box(a.merge(&b, Plus).expect("same dims").nvals());
+            let after = merge_kernel_stats();
+            let adaptive = time_merge(&a, &b, true, trials);
+            let linear = time_merge(&a, &b, false, trials);
+            let speedup = adaptive.best() / linear.best();
+            println!(
+                "{:>6} {:>8.1} {:>10} {:>8} {:>14} {:>14} {:>7.2}x",
+                ratio,
+                overlap,
+                a.nvals(),
+                b.nvals(),
+                fmt_rate(adaptive.best()),
+                fmt_rate(linear.best()),
+                speedup
+            );
+            out.push(SweepRow {
+                ratio,
+                overlap,
+                nnz_a: a.nvals(),
+                nnz_b: b.nvals(),
+                adaptive,
+                linear,
+                galloped: after.galloped_elems - before.galloped_elems,
+                bulk_row: after.bulk_row_elems - before.bulk_row_elems,
+                branchless: after.branchless_elems - before.branchless_elems,
+                linear_elems: after.linear_elems - before.linear_elems,
+            });
+        }
+    }
+    out
+}
+
+/// Time `reps` single-row merges under one forced strategy.
+fn time_forced(
+    strategy: RowMergeStrategy,
+    ca: &[Index],
+    va: &[u64],
+    cb: &[Index],
+    vb: &[u64],
+    reps: usize,
+) -> f64 {
+    let mut oc: Vec<Index> = Vec::with_capacity(ca.len() + cb.len());
+    let mut ov: Vec<u64> = Vec::with_capacity(ca.len() + cb.len());
+    let elems = ((ca.len() + cb.len()) * reps) as f64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        oc.clear();
+        ov.clear();
+        merge_row_into_planes(strategy, ca, va, cb, vb, Plus, &mut oc, &mut ov);
+        black_box(oc.len());
+    }
+    elems / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn run_crossover(quick: bool) -> Vec<CrossoverRow> {
+    let n: usize = if quick { 1 << 14 } else { 1 << 16 };
+    let reps = if quick { 20 } else { 200 };
+    let ca: Vec<Index> = (0..n).map(|i| (i * 2) as Index).collect();
+    let va: Vec<u64> = vec![1; n];
+    println!(
+        "{:>6} {:>8} {:>6} {:>14} {:>14} {:>14}",
+        "ratio", "n", "m", "gallop", "branchless", "linear"
+    );
+    println!("{}", "-".repeat(68));
+    let mut out = Vec::new();
+    for &ratio in &[2usize, 4, 8, 16, 32, 128] {
+        let m = n / ratio;
+        // Interleaved, collision-free small side: worst case for the skip
+        // path (every gallop lands between two `A` columns), hash-jittered
+        // inside each stride-`ratio` bucket so no kernel gets a perfectly
+        // predictable pattern.
+        let cb: Vec<Index> = (0..m)
+            .map(|j| (j * 2 * ratio + 2 * (mix(j as u64 + 1) as usize % ratio) + 1) as Index)
+            .collect();
+        let vb: Vec<u64> = vec![1; m];
+        let gallop_eps = time_forced(RowMergeStrategy::Gallop, &ca, &va, &cb, &vb, reps);
+        let branchless_eps = time_forced(RowMergeStrategy::Branchless, &ca, &va, &cb, &vb, reps);
+        let linear_eps = time_forced(RowMergeStrategy::Linear, &ca, &va, &cb, &vb, reps);
+        println!(
+            "{:>6} {:>8} {:>6} {:>14} {:>14} {:>14}",
+            ratio,
+            n,
+            m,
+            fmt_rate(gallop_eps),
+            fmt_rate(branchless_eps),
+            fmt_rate(linear_eps)
+        );
+        out.push(CrossoverRow {
+            ratio,
+            n,
+            m,
+            gallop_eps,
+            branchless_eps,
+            linear_eps,
+        });
+    }
+    out
+}
+
+fn run_digit_sweep(quick: bool) -> Vec<DigitRow> {
+    let sizes: &[usize] = if quick {
+        &[1 << 14]
+    } else {
+        &[1 << 14, 1 << 17, 1 << 20]
+    };
+    let trials = if quick { 1 } else { 3 };
+    println!("{:>10} {:>6} {:>14}", "nnz", "bits", "tuples/sec");
+    println!("{}", "-".repeat(34));
+    let mut out = Vec::new();
+    for &nnz in sizes {
+        // Deterministic pseudo-random tuples (Fibonacci hashing): the
+        // shuffled, duplicate-bearing shape the settle path actually sees.
+        let mut base = Coo::<u64>::with_capacity(DIM, DIM, nnz);
+        for i in 0..nnz as u64 {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            base.push((h >> 44) & (DIM - 1), (h >> 20) & (DIM - 1), 1);
+        }
+        for &bits in &[8usize, 11, 12, 13, 14, 16] {
+            let mut best = 0.0f64;
+            for _ in 0..trials {
+                let mut coo = base.clone();
+                let mut scratch = MergeScratch::<u64>::default();
+                let start = Instant::now();
+                coo.sort_dedup_radix_forced(Plus, &mut scratch, bits);
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                black_box(coo.len());
+                best = best.max(nnz as f64 / secs);
+            }
+            println!("{:>10} {:>6} {:>14}", nnz, bits, fmt_rate(best));
+            out.push(DigitRow {
+                nnz,
+                digit_bits: bits,
+                tuples_per_sec: best,
+            });
+        }
+        let winner = out
+            .iter()
+            .filter(|r| r.nnz == nnz)
+            .max_by(|a, b| a.tuples_per_sec.total_cmp(&b.tuples_per_sec))
+            .expect("nonempty sweep");
+        println!("  -> winner at nnz={nnz}: {} bits", winner.digit_bits);
+    }
+    out
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    sweep: &[SweepRow],
+    crossover: &[CrossoverRow],
+    digits: &[DigitRow],
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"merge_rate\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"dim\": {DIM},");
+    let _ = writeln!(out, "  \"gallop_ratio_constant\": 8,");
+    out.push_str(&bench_meta().json_fields());
+    out.push_str("  \"sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"ratio\": {}, \"overlap\": {:.1}, \"nnz_a\": {}, \"nnz_b\": {}, \"adaptive_elems_per_sec\": {:.1}, \"linear_elems_per_sec\": {:.1}, \"speedup\": {:.3}, \"galloped\": {}, \"bulk_row\": {}, \"branchless\": {}, \"linear_elems\": {}, \"best_of\": {}, {}}}",
+            r.ratio,
+            r.overlap,
+            r.nnz_a,
+            r.nnz_b,
+            r.adaptive.best(),
+            r.linear.best(),
+            r.adaptive.best() / r.linear.best(),
+            r.galloped,
+            r.bulk_row,
+            r.branchless,
+            r.linear_elems,
+            r.adaptive.best_of(),
+            r.adaptive.json_fields("adaptive_elems_per_sec"),
+        );
+        out.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"crossover\": [\n");
+    for (i, r) in crossover.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"ratio\": {}, \"n\": {}, \"m\": {}, \"gallop_elems_per_sec\": {:.1}, \"branchless_elems_per_sec\": {:.1}, \"linear_elems_per_sec\": {:.1}}}",
+            r.ratio, r.n, r.m, r.gallop_eps, r.branchless_eps, r.linear_eps,
+        );
+        out.push_str(if i + 1 < crossover.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"digit_sweep\": [\n");
+    for (i, r) in digits.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"nnz\": {}, \"digit_bits\": {}, \"tuples_per_sec\": {:.1}}}",
+            r.nnz, r.digit_bits, r.tuples_per_sec,
+        );
+        out.push_str(if i + 1 < digits.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = quick_mode();
+    println!("=== E11: skew-aware merge kernel rates ===");
+    println!(
+        "adaptive vs linear over ratio x overlap grid{}",
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!();
+
+    let sweep = run_sweep(quick);
+    println!();
+    println!("crossover (forced single-row strategies):");
+    let crossover = run_crossover(quick);
+    println!();
+    println!("radix digit-width sweep:");
+    let digits = run_digit_sweep(quick);
+
+    write_json("BENCH_merge_rate.json", quick, &sweep, &crossover, &digits)
+        .expect("write BENCH_merge_rate.json");
+    println!();
+    println!("wrote BENCH_merge_rate.json");
+
+    // Regression tripwire: the skewed full-overlap cell is the shape the
+    // adaptive dispatch exists for.  If it no longer gallops (zero
+    // counters) or no longer beats linear by the floor, fail the run so
+    // CI goes red instead of silently shipping a degraded kernel.
+    let skewed: Vec<&SweepRow> = sweep
+        .iter()
+        .filter(|r| r.ratio >= 1024 && r.overlap >= 1.0)
+        .collect();
+    assert!(
+        !skewed.is_empty(),
+        "sweep grid must include a skewed full-overlap cell"
+    );
+    let mut failed = false;
+    for r in &skewed {
+        let speedup = r.adaptive.best() / r.linear.best();
+        if quick && speedup < TRIPWIRE_FLOOR {
+            eprintln!(
+                "TRIPWIRE: ratio {} overlap {:.1} speedup {:.2}x < floor {:.1}x",
+                r.ratio, r.overlap, speedup, TRIPWIRE_FLOOR
+            );
+            failed = true;
+        }
+        if r.galloped == 0 {
+            eprintln!(
+                "TRIPWIRE: ratio {} overlap {:.1} galloped=0 (skewed merge must gallop)",
+                r.ratio, r.overlap
+            );
+            failed = true;
+        }
+    }
+    // Bulk row copies only occur where the operands have non-colliding
+    // rows, so require them across the whole sweep (the partial-overlap
+    // cells), not per skewed cell.
+    if sweep.iter().map(|r| r.bulk_row).sum::<u64>() == 0 {
+        eprintln!("TRIPWIRE: no bulk row copies anywhere in the sweep");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

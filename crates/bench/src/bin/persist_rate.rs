@@ -30,6 +30,12 @@ struct IngestRow {
     updates: u64,
     seconds: f64,
     trials: TrialRates,
+    /// WAL frames appended / fsyncs issued during one trial (0 for WAL
+    /// off).  Makes a policy's *actual* sync behaviour visible: on a
+    /// 20-batch stream `EveryN(64)` never reaches its threshold and issues
+    /// the same zero mid-stream syncs as `Never`.
+    wal_appends: u64,
+    wal_syncs: u64,
 }
 
 /// One reopen measurement: a store of `nnz` entries across `levels`
@@ -52,44 +58,35 @@ fn hier_cfg() -> HierConfig {
     HierConfig::geometric(3, 1 << 12, 8).expect("valid geometric schedule")
 }
 
-fn measure_ingest(
+/// One timed drive of the full stream under one mode: returns
+/// `(updates, seconds, wal_appends, wal_syncs)`.
+fn ingest_trial(
     mode: &'static str,
     policy: Option<FsyncPolicy>,
     batches: &[Vec<Edge>],
-    runs: usize,
-) -> IngestRow {
-    let mut trials = TrialRates::default();
-    let (mut updates, mut best_seconds) = (0u64, f64::INFINITY);
-    for run in 0..runs.max(1) {
-        let (u, seconds) = match policy {
-            None => {
-                let mut m = HierMatrix::<u64>::new(DIM, DIM, hier_cfg()).expect("valid dims");
-                timed_drive(&mut m, batches)
-            }
-            Some(p) => {
-                let dir = scratch(&format!("{mode}-{run}"));
-                let mut m = HierMatrix::<u64>::new_durable(
-                    DIM,
-                    DIM,
-                    hier_cfg(),
-                    DurableConfig::new(&dir).fsync(p),
-                )
-                .expect("fresh durable store");
-                let r = timed_drive(&mut m, batches);
-                drop(m);
-                let _ = std::fs::remove_dir_all(&dir);
-                r
-            }
-        };
-        trials.push(u as f64 / seconds);
-        updates = u;
-        best_seconds = best_seconds.min(seconds);
-    }
-    IngestRow {
-        mode,
-        updates,
-        seconds: best_seconds,
-        trials,
+    run: usize,
+) -> (u64, f64, u64, u64) {
+    match policy {
+        None => {
+            let mut m = HierMatrix::<u64>::new(DIM, DIM, hier_cfg()).expect("valid dims");
+            let (u, s) = timed_drive(&mut m, batches);
+            (u, s, 0, 0)
+        }
+        Some(p) => {
+            let dir = scratch(&format!("{mode}-{run}"));
+            let mut m = HierMatrix::<u64>::new_durable(
+                DIM,
+                DIM,
+                hier_cfg(),
+                DurableConfig::new(&dir).fsync(p),
+            )
+            .expect("fresh durable store");
+            let (u, s) = timed_drive(&mut m, batches);
+            let (appends, syncs) = m.wal_telemetry().unwrap_or((0, 0));
+            drop(m);
+            let _ = std::fs::remove_dir_all(&dir);
+            (u, s, appends, syncs)
+        }
     }
 }
 
@@ -149,12 +146,14 @@ fn write_json(
     for (i, r) in ingest.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"fsync_policy\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"best_of\": {}, {}}}",
+            "    {{\"fsync_policy\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"best_of\": {}, \"wal_appends\": {}, \"wal_syncs\": {}, {}}}",
             r.mode,
             r.updates,
             r.seconds,
             r.updates as f64 / r.seconds,
             r.trials.best_of(),
+            r.wal_appends,
+            r.wal_syncs,
             r.trials.json_fields("updates_per_sec"),
         );
         out.push_str(if i + 1 < ingest.len() { ",\n" } else { "\n" });
@@ -176,7 +175,7 @@ fn write_json(
 fn main() {
     let quick = quick_mode();
     let n_batches = if quick { 3 } else { 20 };
-    let runs = if quick { 1 } else { 2 };
+    let runs = if quick { 1 } else { 3 };
     println!("=== E10: durable ingest rate and reopen latency ===");
     println!(
         "workload: power-law stream, {} batches x 100,000 edges{}",
@@ -197,9 +196,36 @@ fn main() {
         ("every-64", Some(FsyncPolicy::EveryN(64))),
         ("never", Some(FsyncPolicy::Never)),
     ];
-    let mut ingest = Vec::new();
-    for (mode, policy) in modes {
-        let row = measure_ingest(mode, policy, &batches, runs);
+    // Trials interleave round-robin across the modes instead of running
+    // each mode's trials back to back: on a 1-core container with ±30%
+    // host drift, sequential blocks hand later modes a different host
+    // state than earlier ones, which is exactly how an earlier artifact
+    // measured `never` *slower* than `every-64` (neither issues a
+    // mid-stream fsync on this stream — see the wal_syncs column).
+    // Round-robin spreads any drift epoch across all four modes.
+    let mut ingest: Vec<IngestRow> = modes
+        .iter()
+        .map(|&(mode, _)| IngestRow {
+            mode,
+            updates: 0,
+            seconds: f64::INFINITY,
+            trials: TrialRates::default(),
+            wal_appends: 0,
+            wal_syncs: 0,
+        })
+        .collect();
+    for run in 0..runs.max(1) {
+        for (i, &(mode, policy)) in modes.iter().enumerate() {
+            let (u, seconds, appends, syncs) = ingest_trial(mode, policy, &batches, run);
+            let row = &mut ingest[i];
+            row.trials.push(u as f64 / seconds);
+            row.updates = u;
+            row.seconds = row.seconds.min(seconds);
+            row.wal_appends = appends;
+            row.wal_syncs = syncs;
+        }
+    }
+    for row in &ingest {
         println!(
             "{:<16} {:>14} {:>12.3} {:>16}",
             row.mode,
@@ -207,7 +233,6 @@ fn main() {
             row.seconds,
             fmt_rate(row.updates as f64 / row.seconds)
         );
-        ingest.push(row);
     }
 
     println!();

@@ -14,6 +14,7 @@
 
 use hyperstream_bench::{bench_meta, fmt_rate, paper_batches, quick_mode, timed_drive, TrialRates};
 use hyperstream_cluster::{measure_system, SystemKind};
+use hyperstream_graphblas::{merge_kernel_stats, MergeKernelStats};
 use hyperstream_hier::{HierConfig, HierMatrix};
 use hyperstream_workload::Edge;
 
@@ -75,6 +76,7 @@ fn write_json(
     quick: bool,
     systems: &[(SystemKind, u64, f64, TrialRates)],
     depths: &[DepthRate],
+    merges: &MergeKernelStats,
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
 
@@ -115,7 +117,16 @@ fn write_json(
         );
         out.push_str(if i + 1 < depths.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Which merge-kernel strategies the whole run's cascades exercised
+    // (element counts): end-to-end evidence that the production ingest
+    // path gallops through skewed colliding rows instead of walking them.
+    let _ = writeln!(
+        out,
+        "  \"merge_kernels\": {{\"galloped_elems\": {}, \"bulk_row_elems\": {}, \"branchless_elems\": {}, \"linear_elems\": {}}}",
+        merges.galloped_elems, merges.bulk_row_elems, merges.branchless_elems, merges.linear_elems,
+    );
+    out.push_str("}\n");
     std::fs::write(path, out)
 }
 
@@ -137,6 +148,7 @@ fn main() {
     println!("{}", "-".repeat(74));
 
     let stream = paper_batches(batches, 2020);
+    let merges_at_start = merge_kernel_stats();
     let mut hier_rate = 0.0;
     let mut system_rows: Vec<(SystemKind, u64, f64, TrialRates)> = Vec::new();
     for &sys in SystemKind::all() {
@@ -207,8 +219,21 @@ fn main() {
         })
         .collect();
 
+    let end = merge_kernel_stats();
+    let merges = MergeKernelStats {
+        galloped_elems: end.galloped_elems - merges_at_start.galloped_elems,
+        bulk_row_elems: end.bulk_row_elems - merges_at_start.bulk_row_elems,
+        branchless_elems: end.branchless_elems - merges_at_start.branchless_elems,
+        linear_elems: end.linear_elems - merges_at_start.linear_elems,
+    };
+    println!();
+    println!(
+        "merge kernels (elements): galloped {}  bulk-row {}  branchless {}  linear {}",
+        merges.galloped_elems, merges.bulk_row_elems, merges.branchless_elems, merges.linear_elems
+    );
+
     let json_path = "BENCH_single_rate.json";
-    match write_json(json_path, quick, &system_rows, &depths) {
+    match write_json(json_path, quick, &system_rows, &depths, &merges) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
     }

@@ -23,6 +23,7 @@
 
 use crate::error::{GrbError, GrbResult};
 use crate::formats::dcsr::Dcsr;
+use crate::formats::merge::{gallop_while, merge_row_adaptive, MergeTally, PairSink, PlaneSink};
 use crate::index::Index;
 use crate::ops::BinaryOp;
 use crate::types::ScalarType;
@@ -61,6 +62,23 @@ fn merge_parts<T: ScalarType, Op: BinaryOp<T>>(
     op: Op,
     emit: &mut dyn FnMut(Index, T),
 ) {
+    if parts.len() == 2 {
+        // The common collision width (two levels share a row) dispatches to
+        // the skew-aware two-way kernel — parts[0] stays the left operand,
+        // preserving the left-to-right collision order.
+        let mut tally = MergeTally::default();
+        merge_row_adaptive(
+            parts[0].0,
+            parts[0].1,
+            parts[1].0,
+            parts[1].1,
+            op,
+            &mut |c, v| emit(c, v),
+            &mut tally,
+        );
+        tally.commit();
+        return;
+    }
     pos.clear();
     pos.resize(parts.len(), 0);
     loop {
@@ -257,17 +275,14 @@ impl<'a, T: ScalarType> RawLevel<'a, T> {
         self.ids.get(self.slot).copied()
     }
 
-    /// One past the last slot whose row id stays below `bound`.
+    /// One past the last slot whose row id stays below `bound`, found by
+    /// galloping (the run is usually long when one level dominates a region
+    /// of the row space, and short otherwise — gallop pays `O(log run)`
+    /// either way).
     fn run_end(&self, bound: Option<Index>) -> usize {
         match bound {
             None => self.ids.len(),
-            Some(b) => {
-                let mut end = self.slot + 1;
-                while end < self.ids.len() && self.ids[end] < b {
-                    end += 1;
-                }
-                end
-            }
+            Some(b) => gallop_while(self.ids, self.slot + 1, |x| x < b),
         }
     }
 
@@ -418,6 +433,17 @@ pub fn merged_row_into<T: ScalarType, Op: BinaryOp<T>>(
             let (cols, vals) = parts[0];
             out.extend(cols.iter().copied().zip(vals.iter().copied()));
         }
+        2 => {
+            // Two colliding parts: the skew-aware kernel with a tuple sink,
+            // so skipped spans bulk-extend `out` instead of pushing one
+            // element at a time.
+            let mut tally = MergeTally::default();
+            let mut sink = PairSink { out };
+            merge_row_adaptive(
+                parts[0].0, parts[0].1, parts[1].0, parts[1].1, op, &mut sink, &mut tally,
+            );
+            tally.commit();
+        }
         _ => {
             let mut pos = Vec::with_capacity(parts.len());
             merge_parts(&parts, &mut pos, op, &mut |c, v| out.push((c, v)));
@@ -551,10 +577,14 @@ pub fn merged_row_range<T: ScalarType, Op: BinaryOp<T>>(
 /// Extract one logical *column* of `Σ levels` into `out` (cleared first),
 /// sorted by row, values combined under `op` — the transpose twin of
 /// [`merged_row_into`].  Row-major storage cannot seek a column directly,
-/// so this walks every merged row and column-seeks each (one binary search
-/// per level holding the row): `O(rows · log degree)`.  This is the
-/// retained cursor-sweep fallback; the column-shadow fast path answers in
-/// `O(column degree)`.
+/// so each level is column-seeked independently (one binary search per
+/// non-empty row), producing a sorted per-level hit plane; the planes then
+/// fold left-to-right (level order, preserving the collision order)
+/// through the same skew-aware merge kernel the cascade uses — levels
+/// rarely store the same column in the same rows, so the folds are mostly
+/// disjoint bulk copies or galloped skips.  `O(rows · log degree)` for the
+/// seeks; this is the retained fallback, the column-shadow fast path
+/// answers in `O(column degree)`.
 pub fn merged_col_into<T: ScalarType, Op: BinaryOp<T>>(
     levels: &[&Dcsr<T>],
     col: Index,
@@ -562,12 +592,46 @@ pub fn merged_col_into<T: ScalarType, Op: BinaryOp<T>>(
     out: &mut Vec<(Index, T)>,
 ) {
     out.clear();
-    let mut cur = LevelCursors::new(levels);
-    while let Some(row) = cur.next_row() {
-        if let Some(v) = cur.col_in_row(col, op) {
-            out.push((row, v));
+    let mut hits: Vec<(Vec<Index>, Vec<T>)> = Vec::new();
+    for d in levels {
+        let (ids, ptr, cols, vals) = d.raw_parts();
+        let mut hit_rows: Vec<Index> = Vec::new();
+        let mut hit_vals: Vec<T> = Vec::new();
+        for slot in 0..ids.len() {
+            let (lo, hi) = (ptr[slot], ptr[slot + 1]);
+            if let Ok(j) = cols[lo..hi].binary_search(&col) {
+                hit_rows.push(ids[slot]);
+                hit_vals.push(vals[lo + j]);
+            }
+        }
+        if !hit_rows.is_empty() {
+            hits.push((hit_rows, hit_vals));
         }
     }
+    let mut iter = hits.into_iter();
+    let Some((mut acc_rows, mut acc_vals)) = iter.next() else {
+        return;
+    };
+    let mut tally = MergeTally::default();
+    let mut alt_rows: Vec<Index> = Vec::new();
+    let mut alt_vals: Vec<T> = Vec::new();
+    for (hit_rows, hit_vals) in iter {
+        alt_rows.clear();
+        alt_vals.clear();
+        {
+            let mut sink = PlaneSink {
+                cols: &mut alt_rows,
+                vals: &mut alt_vals,
+            };
+            merge_row_adaptive(
+                &acc_rows, &acc_vals, &hit_rows, &hit_vals, op, &mut sink, &mut tally,
+            );
+        }
+        std::mem::swap(&mut acc_rows, &mut alt_rows);
+        std::mem::swap(&mut acc_vals, &mut alt_vals);
+    }
+    tally.commit();
+    out.extend(acc_rows.iter().copied().zip(acc_vals.iter().copied()));
 }
 
 /// Number of distinct rows storing something in column `col` of

@@ -21,12 +21,19 @@ use crate::types::ScalarType;
 pub const RADIX_DIM_MAX: Index = 1 << 32;
 
 /// Batch length at which the radix settle kernel switches from 8-bit to
-/// 13-bit digits.  13 bits won a measured sweep (11/12/13/14/16) on the
-/// settle-sized batches the hierarchy produces: wide enough that a full
-/// 64-bit key needs only 5 passes, narrow enough that the 8,192 scatter
-/// bucket tails (512 KB) stay cache-resident instead of thrashing like
-/// 65,536 streams do.
+/// 13-bit digits.  13 bits won a measured sweep (8/11/12/13/14/16, the
+/// `merge_rate` bench's `digit_sweep` section) on settle-sized batches:
+/// wide enough that a full 64-bit key needs only 5 passes, narrow enough
+/// that the 8,192 scatter bucket tails (512 KB) stay cache-resident
+/// instead of thrashing like 65,536 streams do.
 const RADIX_WIDE_MIN: usize = 1 << 14;
+
+/// Batch length at which the kernel widens again to 14-bit digits.  The
+/// re-measured sweep on the split-plane layout shows 14 bits consistently
+/// ahead of 13 by ~6–9% from ~10⁵ tuples (the extra bucket tails amortise
+/// across the longer scatter; at 10⁶ every width from 12–16 measures
+/// within noise, so the mid-size winner decides).
+const RADIX_XWIDE_MIN: usize = 1 << 17;
 
 /// An append-only list of `(row, col, value)` tuples with matrix dimensions.
 #[derive(Debug, Clone, PartialEq)]
@@ -260,15 +267,57 @@ impl<T: ScalarType> Coo<T> {
     /// * **constant digits are skipped** — a plane whose histogram puts all
     ///   `n` tuples in one bucket needs no pass, and a hypersparse update
     ///   batch rarely spans the full 64-bit key space;
-    /// * **digit width adapts**: large batches use 13-bit digits (5 passes
-    ///   worst case, 8,192 cache-resident bucket tails — see
-    ///   [`RADIX_WIDE_MIN`]), small ones 8-bit digits whose histograms
-    ///   stay in L1;
+    /// * **digit width adapts**: large batches use 13- then 14-bit digits
+    ///   (5 passes worst case, cache-resident bucket tails — see
+    ///   [`RADIX_WIDE_MIN`] / [`RADIX_XWIDE_MIN`]), small ones 8-bit
+    ///   digits whose histograms stay in L1;
     /// * **the scatter is stable**, so duplicates of a cell stay in
     ///   insertion order and order-sensitive duplicate operators
     ///   (`First`/`Second`, "last write wins") need no re-sorting — the
     ///   comparison path pays an extra per-run index sort for this.
     fn sort_dedup_radix<Op: BinaryOp<T>>(&mut self, dup: Op, scratch: &mut MergeScratch<T>) {
+        let n = self.rows.len();
+        let digit_bits: usize = if n >= RADIX_XWIDE_MIN {
+            14
+        } else if n >= RADIX_WIDE_MIN {
+            13
+        } else {
+            8
+        };
+        self.sort_dedup_radix_with_bits(dup, scratch, digit_bits);
+    }
+
+    /// [`Coo::sort_dedup_radix`] with the digit width forced — the
+    /// `merge_rate` digit-width sweep re-measures the 8/11/12/13/14/16
+    /// table on the current plane layout through this.  Requires both
+    /// dimensions within the packed-key space (`<= 2^32`) and
+    /// `8 <= digit_bits <= 16`.  Not part of the supported API.
+    #[doc(hidden)]
+    pub fn sort_dedup_radix_forced<Op: BinaryOp<T>>(
+        &mut self,
+        dup: Op,
+        scratch: &mut MergeScratch<T>,
+        digit_bits: usize,
+    ) {
+        assert!(
+            self.nrows <= RADIX_DIM_MAX && self.ncols <= RADIX_DIM_MAX,
+            "radix settle requires packed-key dimensions"
+        );
+        if self.sorted_dedup {
+            return;
+        }
+        self.sort_dedup_radix_with_bits(dup, scratch, digit_bits);
+    }
+
+    fn sort_dedup_radix_with_bits<Op: BinaryOp<T>>(
+        &mut self,
+        dup: Op,
+        scratch: &mut MergeScratch<T>,
+        digit_bits: usize,
+    ) {
+        // The fixed-size `active` table below caps the plane count at 8, so
+        // digits narrower than 8 bits (9 planes for a 64-bit key) are out.
+        assert!((8..=16).contains(&digit_bits), "unsupported digit width");
         let n = self.rows.len();
         if n == 0 {
             self.sorted_dedup = true;
@@ -289,8 +338,8 @@ impl<T: ScalarType> Coo<T> {
         // Digit width: scatter passes are the expensive part (random
         // 16-byte writes), so larger batches use 13-bit digits — fewer
         // passes whose 8,192 bucket tails still fit in cache (see
-        // RADIX_WIDE_MIN for the measured sweep).
-        let digit_bits: usize = if n >= RADIX_WIDE_MIN { 13 } else { 8 };
+        // RADIX_WIDE_MIN for the measured sweep; the caller picked the
+        // width).
         let nplanes = 64usize.div_ceil(digit_bits);
         let nbuckets = 1usize << digit_bits;
         let digit_mask = (nbuckets - 1) as u64;

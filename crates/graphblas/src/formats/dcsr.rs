@@ -14,6 +14,9 @@
 
 use crate::error::{GrbError, GrbResult};
 use crate::formats::coo::Coo;
+use crate::formats::merge::{
+    gallop_while, merge_row_adaptive, merge_row_linear, MergeTally, PlaneSink,
+};
 use crate::formats::{Entry, MemoryFootprint};
 use crate::index::{validate_dims, Index};
 use crate::ops::BinaryOp;
@@ -152,7 +155,7 @@ impl<T: ScalarType> MergeScratch<T> {
     /// an arithmetic rebase of the row pointers, instead of a push per
     /// row.  Runs of rows unique to one merge operand take this path,
     /// which is most of a hypersparse merge (row collisions are rare).
-    fn push_rows_bulk(&mut self, d: &Dcsr<T>, lo: usize, hi: usize) {
+    fn push_rows_bulk(&mut self, d: &Dcsr<T>, lo: usize, hi: usize, tally: &mut MergeTally) {
         if lo >= hi {
             return;
         }
@@ -163,12 +166,19 @@ impl<T: ScalarType> MergeScratch<T> {
         self.vals.extend_from_slice(&d.vals[plo..phi]);
         self.row_ptr
             .extend(d.row_ptr[lo + 1..=hi].iter().map(|&p| base + p - plo));
+        tally.bulk_row += (phi - plo) as u64;
     }
 
     /// Bulk-append a run of sorted COO tuples spanning one or more whole
     /// rows: the column/value slices copy in bulk and only the row
     /// boundaries are scanned.
-    fn push_coo_rows_bulk(&mut self, rows: &[Index], cols: &[Index], vs: &[T]) {
+    fn push_coo_rows_bulk(
+        &mut self,
+        rows: &[Index],
+        cols: &[Index],
+        vs: &[T],
+        tally: &mut MergeTally,
+    ) {
         if rows.is_empty() {
             return;
         }
@@ -178,17 +188,18 @@ impl<T: ScalarType> MergeScratch<T> {
         let mut start = 0;
         while start < rows.len() {
             let r = rows[start];
-            let mut end = start + 1;
-            while end < rows.len() && rows[end] == r {
-                end += 1;
-            }
+            let end = gallop_while(rows, start + 1, |x| x == r);
             self.row_ids.push(r);
             self.row_ptr.push(base + end);
             start = end;
         }
+        tally.bulk_row += cols.len() as u64;
     }
 
-    /// Two-pointer column merge of one row into the staging buffers.
+    /// Column merge of one colliding row into the staging buffers:
+    /// skew-aware ([`merge_row_adaptive`]) or the retained element-at-a-time
+    /// fallback ([`merge_row_linear`]), selected by the public entry point.
+    #[allow(clippy::too_many_arguments)]
     fn push_merged_row<Op: BinaryOp<T>>(
         &mut self,
         row: Index,
@@ -197,39 +208,18 @@ impl<T: ScalarType> MergeScratch<T> {
         cb: &[Index],
         vb: &[T],
         op: Op,
+        adaptive: bool,
+        tally: &mut MergeTally,
     ) {
         self.row_ids.push(row);
-        let (mut ja, mut jb) = (0usize, 0usize);
-        while ja < ca.len() || jb < cb.len() {
-            match (ca.get(ja), cb.get(jb)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    self.col_idx.push(a);
-                    self.vals.push(op.apply(va[ja], vb[jb]));
-                    ja += 1;
-                    jb += 1;
-                }
-                (Some(&a), Some(&b)) if a < b => {
-                    self.col_idx.push(a);
-                    self.vals.push(va[ja]);
-                    ja += 1;
-                }
-                (Some(_), Some(&b)) => {
-                    self.col_idx.push(b);
-                    self.vals.push(vb[jb]);
-                    jb += 1;
-                }
-                (Some(&a), None) => {
-                    self.col_idx.push(a);
-                    self.vals.push(va[ja]);
-                    ja += 1;
-                }
-                (None, Some(&b)) => {
-                    self.col_idx.push(b);
-                    self.vals.push(vb[jb]);
-                    jb += 1;
-                }
-                (None, None) => break,
-            }
+        let mut sink = PlaneSink {
+            cols: &mut self.col_idx,
+            vals: &mut self.vals,
+        };
+        if adaptive {
+            merge_row_adaptive(ca, va, cb, vb, op, &mut sink, tally);
+        } else {
+            merge_row_linear(ca, va, cb, vb, op, &mut sink, tally);
         }
         self.row_ptr.push(self.col_idx.len());
     }
@@ -422,17 +412,39 @@ impl<T: ScalarType> Dcsr<T> {
     /// (set-union on the pattern, `op` on collisions).
     ///
     /// This is the cascade primitive `A_{i+1} = A_{i+1} ⊕ A_i` of the
-    /// hierarchical hypersparse matrix: a two-pointer merge whose cost is
-    /// `O(nnz(self) + nnz(other))`, i.e. it reads and rewrites the larger
-    /// matrix once per cascade rather than once per streaming update.
+    /// hierarchical hypersparse matrix.  Colliding rows go through the
+    /// skew-aware kernels of [`crate::formats::merge`] (disjoint bulk copy
+    /// / gallop / branchless two-pointer, picked per row by shape), so the
+    /// common cascade case — a small settled batch folded into a large
+    /// lower level — costs `O(k log(n/k))` in the colliding rows instead of
+    /// the `O(nnz(self) + nnz(other))` walk of [`Dcsr::merge_linear`].
     pub fn merge<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op) -> GrbResult<Dcsr<T>> {
+        self.merge_impl(other, op, true)
+    }
+
+    /// [`Dcsr::merge`] forced through the retained element-at-a-time
+    /// fallback kernel — the verification baseline the equivalence
+    /// proptests and the `merge_rate` benchmark compare against.  Output is
+    /// byte-identical to [`Dcsr::merge`].
+    pub fn merge_linear<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op) -> GrbResult<Dcsr<T>> {
+        self.merge_impl(other, op, false)
+    }
+
+    fn merge_impl<Op: BinaryOp<T>>(
+        &self,
+        other: &Dcsr<T>,
+        op: Op,
+        adaptive: bool,
+    ) -> GrbResult<Dcsr<T>> {
         self.check_same_dims(other)?;
         let mut scratch = MergeScratch::new();
         scratch.begin_merge(
             self.row_ids.len().max(other.row_ids.len()),
             self.nvals() + other.nvals(),
         );
-        self.merge_core(other, op, &mut scratch);
+        let mut tally = MergeTally::default();
+        self.merge_core(other, op, &mut scratch, adaptive, &mut tally);
+        tally.commit();
         Ok(Dcsr {
             nrows: self.nrows,
             ncols: self.ncols,
@@ -454,6 +466,27 @@ impl<T: ScalarType> Dcsr<T> {
         op: Op,
         scratch: &mut MergeScratch<T>,
     ) -> GrbResult<()> {
+        self.merge_into_impl(other, op, scratch, true)
+    }
+
+    /// [`Dcsr::merge_into`] forced through the retained element-at-a-time
+    /// fallback kernel (byte-identical output; equivalence-test baseline).
+    pub fn merge_into_linear<Op: BinaryOp<T>>(
+        &mut self,
+        other: &Dcsr<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+    ) -> GrbResult<()> {
+        self.merge_into_impl(other, op, scratch, false)
+    }
+
+    fn merge_into_impl<Op: BinaryOp<T>>(
+        &mut self,
+        other: &Dcsr<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+        adaptive: bool,
+    ) -> GrbResult<()> {
         self.check_same_dims(other)?;
         if other.is_empty() {
             return Ok(());
@@ -474,7 +507,9 @@ impl<T: ScalarType> Dcsr<T> {
             self.row_ids.len().max(other.row_ids.len()),
             self.nvals() + other.nvals(),
         );
-        self.merge_core(other, op, scratch);
+        let mut tally = MergeTally::default();
+        self.merge_core(other, op, scratch, adaptive, &mut tally);
+        tally.commit();
         std::mem::swap(&mut self.row_ids, &mut scratch.row_ids);
         std::mem::swap(&mut self.row_ptr, &mut scratch.row_ptr);
         std::mem::swap(&mut self.col_idx, &mut scratch.col_idx);
@@ -491,6 +526,28 @@ impl<T: ScalarType> Dcsr<T> {
         coo: &Coo<T>,
         op: Op,
         scratch: &mut MergeScratch<T>,
+    ) -> GrbResult<()> {
+        self.merge_sorted_coo_into_impl(coo, op, scratch, true)
+    }
+
+    /// [`Dcsr::merge_sorted_coo_into`] forced through the retained
+    /// element-at-a-time fallback kernel (byte-identical output;
+    /// equivalence-test baseline).
+    pub fn merge_sorted_coo_into_linear<Op: BinaryOp<T>>(
+        &mut self,
+        coo: &Coo<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+    ) -> GrbResult<()> {
+        self.merge_sorted_coo_into_impl(coo, op, scratch, false)
+    }
+
+    fn merge_sorted_coo_into_impl<Op: BinaryOp<T>>(
+        &mut self,
+        coo: &Coo<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+        adaptive: bool,
     ) -> GrbResult<()> {
         if self.nrows != coo.nrows() || self.ncols != coo.ncols() {
             return Err(GrbError::DimensionMismatch {
@@ -516,53 +573,55 @@ impl<T: ScalarType> Dcsr<T> {
             self.row_ids.len() + b_rows.len(),
             self.nvals() + b_rows.len(),
         );
+        let mut tally = MergeTally::default();
         let (mut ia, mut ib) = (0usize, 0usize);
         while ia < self.row_ids.len() || ib < b_rows.len() {
             // The COO side groups naturally into runs of equal row id; rows
-            // unique to either side are detected as runs and copied in bulk.
+            // unique to either side are detected as runs (galloped — a
+            // settle's batch usually touches few distinct rows, so the run
+            // boundaries are far apart) and copied in bulk.
             let rb = b_rows.get(ib).copied();
             let ra = self.row_ids.get(ia).copied();
             match (ra, rb) {
                 (Some(r), Some(rr)) if r == rr => {
-                    let run = b_rows[ib..].iter().take_while(|&&x| x == rr).count();
+                    let end = gallop_while(b_rows, ib + 1, |x| x == rr);
                     let (ca, va) = self.row_slot(ia);
                     scratch.push_merged_row(
                         r,
                         ca,
                         va,
-                        &b_cols[ib..ib + run],
-                        &b_vals[ib..ib + run],
+                        &b_cols[ib..end],
+                        &b_vals[ib..end],
                         op,
+                        adaptive,
+                        &mut tally,
                     );
                     ia += 1;
-                    ib += run;
+                    ib = end;
                 }
                 (Some(r), Some(rr)) if r < rr => {
-                    let mut end = ia + 1;
-                    while end < self.row_ids.len() && self.row_ids[end] < rr {
-                        end += 1;
-                    }
-                    scratch.push_rows_bulk(self, ia, end);
+                    let end = gallop_while(&self.row_ids, ia + 1, |x| x < rr);
+                    scratch.push_rows_bulk(self, ia, end, &mut tally);
                     ia = end;
                 }
                 (Some(_), None) => {
-                    scratch.push_rows_bulk(self, ia, self.row_ids.len());
+                    scratch.push_rows_bulk(self, ia, self.row_ids.len(), &mut tally);
                     ia = self.row_ids.len();
                 }
                 (_, Some(_)) => {
-                    let limit = ra.map_or(b_rows.len(), |r| {
-                        ib + b_rows[ib..].iter().take_while(|&&x| x < r).count()
-                    });
+                    let limit = ra.map_or(b_rows.len(), |r| gallop_while(b_rows, ib, |x| x < r));
                     scratch.push_coo_rows_bulk(
                         &b_rows[ib..limit],
                         &b_cols[ib..limit],
                         &b_vals[ib..limit],
+                        &mut tally,
                     );
                     ib = limit;
                 }
                 (None, None) => break,
             }
         }
+        tally.commit();
         std::mem::swap(&mut self.row_ids, &mut scratch.row_ids);
         std::mem::swap(&mut self.row_ptr, &mut scratch.row_ptr);
         std::mem::swap(&mut self.col_idx, &mut scratch.col_idx);
@@ -593,10 +652,19 @@ impl<T: ScalarType> Dcsr<T> {
         Ok(())
     }
 
-    /// Row-wise two-pointer merge of `self` and `other` into the staging
-    /// buffers of `scratch` (which must have been prepared with
-    /// [`MergeScratch::begin_merge`]).
-    fn merge_core<Op: BinaryOp<T>>(&self, other: &Dcsr<T>, op: Op, scratch: &mut MergeScratch<T>) {
+    /// Row-wise merge of `self` and `other` into the staging buffers of
+    /// `scratch` (which must have been prepared with
+    /// [`MergeScratch::begin_merge`]).  Runs of rows unique to one operand
+    /// are found by galloping along the row-id arrays and copied in bulk;
+    /// colliding rows dispatch to the adaptive or linear column kernel.
+    fn merge_core<Op: BinaryOp<T>>(
+        &self,
+        other: &Dcsr<T>,
+        op: Op,
+        scratch: &mut MergeScratch<T>,
+        adaptive: bool,
+        tally: &mut MergeTally,
+    ) {
         let (mut ia, mut ib) = (0usize, 0usize);
         while ia < self.row_ids.len() || ib < other.row_ids.len() {
             let ra = self.row_ids.get(ia).copied();
@@ -605,35 +673,28 @@ impl<T: ScalarType> Dcsr<T> {
                 (Some(r), Some(rr)) if r == rr => {
                     let (ca, va) = self.row_slot(ia);
                     let (cb, vb) = other.row_slot(ib);
-                    scratch.push_merged_row(r, ca, va, cb, vb, op);
+                    scratch.push_merged_row(r, ca, va, cb, vb, op, adaptive, tally);
                     ia += 1;
                     ib += 1;
                 }
                 (Some(r), Some(rr)) if r < rr => {
                     // Run of rows unique to `self`: bulk copy.
-                    let mut end = ia + 1;
-                    while end < self.row_ids.len() && self.row_ids[end] < rr {
-                        end += 1;
-                    }
-                    scratch.push_rows_bulk(self, ia, end);
+                    let end = gallop_while(&self.row_ids, ia + 1, |x| x < rr);
+                    scratch.push_rows_bulk(self, ia, end, tally);
                     ia = end;
                 }
                 (Some(_), None) => {
-                    scratch.push_rows_bulk(self, ia, self.row_ids.len());
+                    scratch.push_rows_bulk(self, ia, self.row_ids.len(), tally);
                     ia = self.row_ids.len();
                 }
                 (_, Some(_)) => {
                     // Run of rows unique to `other` (rb < ra, or `self`
                     // exhausted): bulk copy.
-                    let mut end = ib + 1;
-                    if let Some(r) = ra {
-                        while end < other.row_ids.len() && other.row_ids[end] < r {
-                            end += 1;
-                        }
-                    } else {
-                        end = other.row_ids.len();
-                    }
-                    scratch.push_rows_bulk(other, ib, end);
+                    let end = match ra {
+                        Some(r) => gallop_while(&other.row_ids, ib + 1, |x| x < r),
+                        None => other.row_ids.len(),
+                    };
+                    scratch.push_rows_bulk(other, ib, end, tally);
                     ib = end;
                 }
                 (None, None) => break,

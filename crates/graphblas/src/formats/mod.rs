@@ -15,6 +15,7 @@ pub mod coo;
 pub mod csr;
 pub mod dcsr;
 pub mod dok;
+pub mod merge;
 
 use crate::index::Index;
 

@@ -69,6 +69,7 @@ pub mod algo;
 pub use degree_index::{DegreeIndex, DegreeIndexView};
 pub use error::{GrbError, GrbResult};
 pub use formats::dcsr::MergeScratch;
+pub use formats::merge::{merge_kernel_stats, reset_merge_kernel_stats, MergeKernelStats};
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
 pub use reader::{MatrixReader, StreamingSystem};

@@ -58,54 +58,63 @@ pub struct IsEq;
 pub struct IsNe;
 
 impl<T: ScalarType> BinaryOp<T> for Plus {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.add(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Minus {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.sub(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Times {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.mul(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Div {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.div(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Min {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.min_val(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Max {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         x.max_val(y)
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for First {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, _y: T) -> T {
         x
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Second {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, _x: T, y: T) -> T {
         y
     }
 }
 
 impl<T: ScalarType> BinaryOp<T> for Land {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         if !x.is_zero() && !y.is_zero() {
             T::one()
@@ -116,6 +125,7 @@ impl<T: ScalarType> BinaryOp<T> for Land {
 }
 
 impl<T: ScalarType> BinaryOp<T> for Lor {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         if !x.is_zero() || !y.is_zero() {
             T::one()
@@ -126,6 +136,7 @@ impl<T: ScalarType> BinaryOp<T> for Lor {
 }
 
 impl<T: ScalarType> BinaryOp<T> for Lxor {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         if x.is_zero() != y.is_zero() {
             T::one()
@@ -136,6 +147,7 @@ impl<T: ScalarType> BinaryOp<T> for Lxor {
 }
 
 impl<T: ScalarType> BinaryOp<T> for IsEq {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         if x == y {
             T::one()
@@ -146,6 +158,7 @@ impl<T: ScalarType> BinaryOp<T> for IsEq {
 }
 
 impl<T: ScalarType> BinaryOp<T> for IsNe {
+    const SPECULATION_SAFE: bool = true;
     fn apply(&self, x: T, y: T) -> T {
         if x != y {
             T::one()

@@ -31,6 +31,16 @@ use crate::types::ScalarType;
 pub trait BinaryOp<T: ScalarType>: Copy + Send + Sync {
     /// Apply the operator.
     fn apply(&self, x: T, y: T) -> T;
+
+    /// True when [`BinaryOp::apply`] is total and side-effect free for
+    /// *every* operand pair, so a kernel may evaluate it speculatively on
+    /// operands that do not actually collide and discard the result.  The
+    /// branchless merge kernel uses this to replace its collision branch
+    /// with conditional moves.  All built-in operators opt in (integer
+    /// arithmetic wraps and division by zero yields zero, so none can
+    /// panic); the default is `false` so a custom operator that may panic
+    /// or observe its inputs keeps the guarded merge path.
+    const SPECULATION_SAFE: bool = false;
 }
 
 /// A unary operator `z = f(x)`.

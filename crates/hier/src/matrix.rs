@@ -151,6 +151,16 @@ impl<T: ScalarType> HierMatrix<T> {
         self.stats = HierStats::new(self.levels.len());
     }
 
+    /// Merge-kernel strategy counters (galloped / bulk-row / branchless /
+    /// linear elements).  These are **process-global** — every matrix and
+    /// every shard worker in the process shares them — re-exported here so
+    /// engine-level debugging and the bench harness can explain *which*
+    /// merge strategy a workload's cascades took without reaching into the
+    /// graphblas crate.
+    pub fn merge_kernel_stats() -> hyperstream_graphblas::MergeKernelStats {
+        hyperstream_graphblas::merge_kernel_stats()
+    }
+
     /// Apply one streaming update `A(row, col) += val`.
     pub fn update(&mut self, row: Index, col: Index, val: T) -> GrbResult<()> {
         if self.durable.is_some() {
@@ -610,6 +620,8 @@ impl<T: ScalarType> HierMatrix<T> {
             levels: entries,
             dirty: vec![false; n_levels],
             report: None,
+            retired_appends: 0,
+            retired_syncs: 0,
         });
         Ok(m)
     }
@@ -679,6 +691,8 @@ impl<T: ScalarType> HierMatrix<T> {
             levels: man.levels,
             dirty,
             report: Some(report),
+            retired_appends: 0,
+            retired_syncs: 0,
         });
         Ok(m)
     }
@@ -720,6 +734,21 @@ impl<T: ScalarType> HierMatrix<T> {
     /// non-durable or freshly created matrix).
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
         self.durable.as_ref().and_then(|d| d.report.as_ref())
+    }
+
+    /// WAL telemetry `(frames appended, fsyncs issued)` over this store's
+    /// lifetime in this process, accumulated across checkpoint rotations;
+    /// `None` for non-durable matrices.  Recorded in bench artifacts so a
+    /// policy's *actual* sync behaviour is visible — e.g. `EveryN(64)`
+    /// never reaching its threshold on a short stream, making it
+    /// behaviourally identical to `Never` for that run.
+    pub fn wal_telemetry(&self) -> Option<(u64, u64)> {
+        self.durable.as_ref().map(|d| {
+            (
+                d.retired_appends + d.wal.appends(),
+                d.retired_syncs + d.wal.syncs(),
+            )
+        })
     }
 
     /// Force the WAL tail to stable storage regardless of the configured
@@ -802,6 +831,8 @@ impl<T: ScalarType> HierMatrix<T> {
         let d = self.durable.as_mut().expect("checked durable above");
         let old_wal_gen = d.wal_gen;
         let old_entries = std::mem::replace(&mut d.levels, new_entries);
+        d.retired_appends += d.wal.appends();
+        d.retired_syncs += d.wal.syncs();
         d.wal = new_wal;
         d.wal_gen = new_wal_gen;
         d.next_gen = next_gen;

@@ -251,6 +251,11 @@ pub(crate) struct DurableState {
     /// Report of the recovery that produced this state (None for a
     /// freshly created store).
     pub(crate) report: Option<RecoveryReport>,
+    /// WAL frames appended by writers already retired by checkpoint
+    /// rotation (the live writer's own count is added on read).
+    pub(crate) retired_appends: u64,
+    /// Fsyncs issued by retired WAL writers.
+    pub(crate) retired_syncs: u64,
 }
 
 #[cfg(test)]
