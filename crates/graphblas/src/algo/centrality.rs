@@ -2,25 +2,127 @@
 //! the GraphBLAS kernels.
 //!
 //! These round out the "various network statistics" computed on streaming
-//! traffic matrices (paper §III) and exercise `mxv`/`vxm` and `ewise` paths
-//! on hypersparse operands.  Both run over any [`MatrixReader`], pulling
-//! the adjacency pattern through the reader's entry cursor.
+//! traffic matrices (paper §III).  The primary entry points run over any
+//! [`CursorReader`], driving the iteration directly off the reader's DCSR
+//! level slices; the `*_tuples` fallbacks pull the pattern through the
+//! plain entry cursor and rebuild a flat matrix first, which is what the
+//! DB-analogue stores use.
 
+use crate::cursor::LevelCursors;
 use crate::index::Index;
 use crate::matrix::Matrix;
+use crate::ops::binary::{First, Plus};
 use crate::ops::mxv::vxm;
 use crate::ops::semiring::{MinFirst, PlusTimes};
-use crate::reader::{read_tuples, MatrixReader};
+use crate::reader::{read_tuples, CursorReader, MatrixReader};
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 
 /// PageRank over the directed graph whose adjacency pattern is `a`
 /// (edge `i -> j` for every stored entry; weights ignored).
 ///
+/// Runs over any [`CursorReader`].  Out-degrees are served straight from
+/// the reader's row [`DegreeIndex`](crate::degree_index::DegreeIndex) when
+/// it keeps one (`O(rows)` once instead of a counting sweep; a
+/// `debug_assert` cross-checks the index against the sweep in debug
+/// builds).  One cursor sweep folds the distinct adjacency pattern into a
+/// position-ranked scratch (each destination as a `u32` slot into the
+/// active set), so every iteration is a dense-array push of
+/// `rank(i)/outdeg(i)` under `plus` — no per-iteration level lookups, no
+/// scatter sorts, and the weighted transition matrix is never built.
+///
 /// Returns the rank of every vertex that has at least one in- or out-edge.
 /// `damping` is the usual 0.85; iteration stops after `max_iters` or when
 /// the L1 change drops below `tol`.
 pub fn pagerank<V, R>(a: &mut R, damping: f64, max_iters: usize, tol: f64) -> SparseVector<f64>
+where
+    V: ScalarType,
+    R: CursorReader<V> + ?Sized,
+{
+    let (nrows, ncols) = a.read_dims();
+    let indexed = a.out_degrees();
+    let need_sweep = indexed.is_none() || cfg!(debug_assertions);
+    let mut rank = SparseVector::<f64>::new(nrows.max(ncols));
+    a.with_level_dcsrs(&mut |lv| {
+        // One sweep collects the source rows, their distinct out-neighbour
+        // lists folded across levels (flattened CSR-style into `adj`), and
+        // — when no index served them — the distinct out-degree per row.
+        let mut sweep: Vec<(Index, u64)> = Vec::new();
+        let mut srcs: Vec<Index> = Vec::new();
+        let mut offsets: Vec<usize> = vec![0];
+        let mut adj: Vec<Index> = Vec::new();
+        let mut cur = LevelCursors::new(lv);
+        while let Some(r) = cur.next_row() {
+            srcs.push(r);
+            cur.fold_row(First, &mut |c, _| adj.push(c));
+            offsets.push(adj.len());
+            if need_sweep {
+                sweep.push((r, (offsets[srcs.len()] - offsets[srcs.len() - 1]) as u64));
+            }
+        }
+        let mut active: Vec<Index> = srcs.clone();
+        active.extend_from_slice(&adj);
+        active.sort_unstable();
+        active.dedup();
+        let n = active.len();
+        if n == 0 {
+            return;
+        }
+        if let Some(ix) = &indexed {
+            debug_assert_eq!(
+                ix, &sweep,
+                "DegreeIndex-served out-degrees must match the level sweep"
+            );
+        }
+        let degrees = indexed.as_ref().unwrap_or(&sweep);
+
+        // Rank every vertex once into its position in the sorted active
+        // set, so the iterations below run on dense arrays.
+        assert!(n <= u32::MAX as usize, "active set exceeds u32 positions");
+        let pos = |v: Index| active.binary_search(&v).expect("vertex is active") as u32;
+        let targets: Vec<u32> = adj.iter().map(|&c| pos(c)).collect();
+        let src_pos: Vec<u32> = degrees.iter().map(|&(r, _)| pos(r)).collect();
+
+        let teleport = (1.0 - damping) / n as f64;
+        let mut cur_rank = vec![1.0 / n as f64; n];
+        let mut spread = vec![0.0f64; n];
+        for _ in 0..max_iters {
+            spread.iter_mut().for_each(|s| *s = 0.0);
+            for (k, &(r, d)) in degrees.iter().enumerate() {
+                debug_assert_eq!(r, srcs[k], "degrees align with the sweep order");
+                let contrib = cur_rank[src_pos[k] as usize] / d as f64;
+                for &t in &targets[offsets[k]..offsets[k + 1]] {
+                    spread[t as usize] += contrib;
+                }
+            }
+            let mut delta = 0.0;
+            for p in 0..n {
+                let val = teleport + damping * spread[p];
+                delta += (val - cur_rank[p]).abs();
+                cur_rank[p] = val;
+            }
+            if delta < tol {
+                break;
+            }
+        }
+        for (p, &v) in active.iter().enumerate() {
+            rank.set(v, cur_rank[p]).expect("active vertex in range");
+        }
+    });
+    rank
+}
+
+/// [`pagerank`] over any [`MatrixReader`], the tuple-materialising
+/// fallback: the pattern is pulled through the reader's entry cursor, the
+/// column-stochastic transition matrix is built flat, and the iteration
+/// runs as `vxm` over `(plus, times)`.  Kept for readers without level
+/// access and as the oracle the equivalence tests compare against.
+pub fn pagerank_tuples<V, R>(
+    a: &mut R,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> SparseVector<f64>
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
@@ -54,7 +156,7 @@ where
         }
         start = end;
     }
-    let p = Matrix::from_tuples(nrows, ncols, &rows, &cols, &pvals, crate::ops::binary::Plus)
+    let p = Matrix::from_tuples(nrows, ncols, &rows, &cols, &pvals, Plus)
         .expect("transition matrix coordinates are in bounds");
 
     // Rank vector initialised uniformly over the active set.
@@ -82,12 +184,76 @@ where
 }
 
 /// Connected components of the *undirected* graph whose adjacency pattern is
-/// `a` (treated symmetrically), via label propagation with the `(min,
-/// second)` semiring.
+/// `a` (treated symmetrically), via min-label propagation.
+///
+/// Runs over any [`CursorReader`]: each round sweeps the stored cells of
+/// the level slices once, propagating the smaller endpoint label in *both*
+/// directions — no symmetrised copy of the pattern is ever built, and
+/// duplicate cells across levels are harmless under `min`.
 ///
 /// Returns, for every vertex with at least one edge, the smallest vertex id
 /// in its component.
 pub fn connected_components<V, R>(a: &mut R) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: CursorReader<V> + ?Sized,
+{
+    let (nrows, ncols) = a.read_dims();
+    let mut out = SparseVector::<u64>::new(nrows.max(ncols));
+    a.with_level_dcsrs(&mut |lv| {
+        let mut active: Vec<Index> = Vec::new();
+        for d in lv {
+            let (row_ids, _, cols, _) = d.raw_parts();
+            active.extend_from_slice(row_ids);
+            active.extend_from_slice(cols);
+        }
+        active.sort_unstable();
+        active.dedup();
+        if active.is_empty() {
+            return;
+        }
+        // labels[p] is the label of vertex active[p]; start from the id.
+        let mut labels: Vec<u64> = active.clone();
+        loop {
+            let mut changed = false;
+            let mut next = labels.clone();
+            for d in lv {
+                let (row_ids, row_ptr, cols, _) = d.raw_parts();
+                for (s, &i) in row_ids.iter().enumerate() {
+                    let pi = active.binary_search(&i).expect("endpoint is active");
+                    let li = labels[pi];
+                    for &j in &cols[row_ptr[s]..row_ptr[s + 1]] {
+                        let pj = active.binary_search(&j).expect("endpoint is active");
+                        let lj = labels[pj];
+                        if lj < next[pi] {
+                            next[pi] = lj;
+                            changed = true;
+                        }
+                        if li < next[pj] {
+                            next[pj] = li;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            labels = next;
+            if !changed {
+                break;
+            }
+        }
+        for (p, &v) in active.iter().enumerate() {
+            out.set(v, labels[p]).expect("vertex in range");
+        }
+    });
+    out
+}
+
+/// [`connected_components`] over any [`MatrixReader`], the
+/// tuple-materialising fallback: the pattern is pulled through the entry
+/// cursor, symmetrised into a flat matrix, and labels propagate with `vxm`
+/// over `(min, first)`.  Kept for readers without level access and as the
+/// oracle the equivalence tests compare against.
+pub fn connected_components_tuples<V, R>(a: &mut R) -> SparseVector<u64>
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
@@ -148,7 +314,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::binary::Plus;
 
     fn graph(nrows: u64, edges: &[(u64, u64)]) -> Matrix<u64> {
         let rows: Vec<u64> = edges.iter().map(|e| e.0).collect();
@@ -193,6 +358,21 @@ mod tests {
     }
 
     #[test]
+    fn pagerank_agrees_with_tuples_fallback() {
+        let mut g = graph(
+            32,
+            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 4), (4, 3), (9, 2)],
+        );
+        let fast = pagerank(&mut g, 0.85, 60, 1e-12);
+        let slow = pagerank_tuples(&mut g, 0.85, 60, 1e-12);
+        assert_eq!(fast.nvals(), slow.nvals());
+        for (v, r) in fast.iter() {
+            let s = slow.get(v).expect("same active set");
+            assert!((r - s).abs() < 1e-9, "v={v}: {r} vs {s}");
+        }
+    }
+
+    #[test]
     fn components_two_clusters() {
         let mut g = graph(1 << 32, &[(1, 2), (2, 3), (100, 101)]);
         let cc = connected_components(&mut g);
@@ -220,5 +400,16 @@ mod tests {
         let cc = connected_components(&mut g);
         assert_eq!(cc.get(a), Some(a));
         assert_eq!(cc.get(a + 7), Some(a));
+    }
+
+    #[test]
+    fn components_agree_with_tuples_fallback() {
+        let mut g = graph(64, &[(1, 2), (2, 3), (10, 11), (11, 1), (40, 41)]);
+        let fast = connected_components(&mut g);
+        let slow = connected_components_tuples(&mut g);
+        assert_eq!(
+            fast.iter().collect::<Vec<_>>(),
+            slow.iter().collect::<Vec<_>>()
+        );
     }
 }

@@ -4,17 +4,24 @@
 //! process would compute on each traffic matrix as it is updated (paper,
 //! §III), and they double as end-to-end exercises of the GraphBLAS kernels.
 //!
-//! Every algorithm runs over any [`MatrixReader`](crate::reader::MatrixReader):
-//! pass `&mut` a flat [`Matrix`](crate::matrix::Matrix), a hierarchical or
-//! sharded matrix, or any other reader — the pattern is pulled through the
-//! reader's sorted entry cursor, so no materialised snapshot is needed.
+//! The primary entry points run over any
+//! [`CursorReader`](crate::reader::CursorReader) — a flat
+//! [`Matrix`](crate::matrix::Matrix), a hierarchical matrix or a snapshot —
+//! driving the kernels directly off the reader's DCSR level slices, so no
+//! materialised `Σ levels` or tuple round-trip is ever formed.  The
+//! `*_tuples` fallbacks accept any
+//! [`MatrixReader`](crate::reader::MatrixReader) (e.g. the DB-analogue
+//! stores) by pulling the pattern through the sorted entry cursor and
+//! rebuilding a flat matrix first.
 
 pub mod centrality;
 pub mod degree;
 pub mod traversal;
 pub mod triangles;
 
-pub use centrality::{connected_components, pagerank};
+pub use centrality::{
+    connected_components, connected_components_tuples, pagerank, pagerank_tuples,
+};
 pub use degree::{col_degree, degree_distribution, row_degree, DegreeDistribution};
-pub use traversal::bfs_levels;
-pub use triangles::triangle_count;
+pub use traversal::{bfs_levels, bfs_levels_tuples};
+pub use triangles::{triangle_count, triangle_count_tuples};

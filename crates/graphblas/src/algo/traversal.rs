@@ -1,24 +1,70 @@
-//! Breadth-first search expressed as repeated `vxm` over a boolean-style
-//! semiring.
+//! Breadth-first search expressed as a masked frontier push over the
+//! adjacency pattern.
 
 use crate::index::Index;
+use crate::mask::VectorMask;
 use crate::matrix::Matrix;
+use crate::ops::binary::Min;
 use crate::ops::mxv::vxm;
+use crate::ops::reader_mx::vxm_pattern_levels;
 use crate::ops::semiring::MinSecond;
-use crate::reader::{read_tuples, MatrixReader};
+use crate::ops::spa::SpaScratch;
+use crate::reader::{read_tuples, CursorReader, MatrixReader};
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
 
 /// Level-synchronous BFS from `source` on the directed graph whose adjacency
 /// pattern is `a` (edge `i -> j` when `a(i, j)` is stored).
 ///
-/// Runs over any [`MatrixReader`] — the adjacency pattern is pulled through
-/// the reader's entry cursor, so hierarchical or sharded matrices are
-/// traversed without materialisation.
+/// Runs over any [`CursorReader`]: each wave is one masked pattern push
+/// ([`vxm_pattern_levels`]) driven directly off the reader's DCSR level
+/// slices — the complement of the visited set masks columns *before* any
+/// accumulation, so already-discovered vertices cost one membership check
+/// instead of a product, and the adjacency is never rebuilt as a flat
+/// matrix.  Readers without level access use [`bfs_levels_tuples`].
 ///
 /// Returns a sparse vector whose entry `v(j)` is the BFS level of vertex `j`
 /// (source has level 1), containing only the reachable vertices.
 pub fn bfs_levels<V, R>(a: &mut R, source: Index) -> SparseVector<u64>
+where
+    V: ScalarType,
+    R: CursorReader<V> + ?Sized,
+{
+    let (nrows, ncols) = a.read_dims();
+    let mut levels = SparseVector::<u64>::new(nrows.max(ncols));
+    if source >= nrows {
+        return levels;
+    }
+    levels.set(source, 1).expect("source in range");
+    a.with_level_dcsrs(&mut |lv| {
+        let mut spa = SpaScratch::<u64>::new();
+        let mut frontier: Vec<(Index, u64)> = vec![(source, 1)];
+        let mut reached: Vec<(Index, u64)> = Vec::new();
+        let mut level = 1u64;
+        while !frontier.is_empty() {
+            level += 1;
+            {
+                // Mask = complement of the visited set (the level vector's
+                // pattern *is* the visited set), applied before the push.
+                let unvisited = VectorMask::complement(&levels);
+                vxm_pattern_levels(&frontier, lv, Min, Some(&unvisited), &mut spa, &mut reached);
+            }
+            frontier.clear();
+            for &(j, _) in &reached {
+                levels.set(j, level).expect("in range");
+                frontier.push((j, 1));
+            }
+        }
+    });
+    levels
+}
+
+/// [`bfs_levels`] over any [`MatrixReader`], the tuple-materialising
+/// fallback: the pattern is pulled through the reader's entry cursor and
+/// rebuilt flat, then traversed with repeated `vxm` over `(min, second)`.
+/// Kept for readers without level access and as the oracle the equivalence
+/// tests compare against.
+pub fn bfs_levels_tuples<V, R>(a: &mut R, source: Index) -> SparseVector<u64>
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
@@ -120,5 +166,28 @@ mod tests {
         let levels = bfs_levels(&mut g, 2);
         assert_eq!(levels.nvals(), 1);
         assert_eq!(levels.get(2), Some(1));
+    }
+
+    #[test]
+    fn cursor_and_tuples_paths_agree() {
+        // Diamond plus a back edge and a detached 2-cycle.
+        let mut g = Matrix::from_tuples(
+            16,
+            16,
+            &[0, 0, 1, 2, 3, 5, 9],
+            &[1, 2, 3, 3, 0, 9, 5],
+            &[1u64; 7],
+            Plus,
+        )
+        .unwrap();
+        for src in [0u64, 3, 5, 7] {
+            let fast = bfs_levels(&mut g, src);
+            let slow = bfs_levels_tuples(&mut g, src);
+            assert_eq!(
+                fast.iter().collect::<Vec<_>>(),
+                slow.iter().collect::<Vec<_>>(),
+                "src={src}"
+            );
+        }
     }
 }

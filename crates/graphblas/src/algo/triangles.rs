@@ -6,17 +6,41 @@ use crate::ops::binary::Times;
 use crate::ops::ewise_mult::ewise_mult;
 use crate::ops::monoid::PlusMonoid;
 use crate::ops::mxm::mxm;
+use crate::ops::reader_mx::triangle_count_levels;
 use crate::ops::reduce::reduce_scalar;
 use crate::ops::semiring::PlusTimes;
-use crate::reader::{read_tuples, MatrixReader};
+use crate::reader::{read_tuples, CursorReader, MatrixReader};
 use crate::types::ScalarType;
 
 /// Count triangles in an undirected graph whose *symmetric* adjacency
 /// pattern is stored in `a` (both `(i,j)` and `(j,i)` present, no
-/// self-loops).  Weights are ignored.  Runs over any [`MatrixReader`]: the
-/// pattern is pulled through the reader's sorted entry cursor, so a
-/// hierarchical matrix needs no materialised snapshot first.
+/// self-loops).  Weights are ignored.
+///
+/// Runs over any [`CursorReader`]: the masked multiply is driven directly
+/// off the reader's DCSR level slices ([`triangle_count_levels`]), so the
+/// `A ⊕.⊗ A` intermediate is never formed and a hierarchical or snapshot
+/// reader is consumed without materialising `Σ levels` or round-tripping
+/// the pattern through tuples.  For readers that only implement the plain
+/// entry cursor (e.g. the DB-analogue stores), use
+/// [`triangle_count_tuples`].
 pub fn triangle_count<V, R>(a: &mut R) -> u64
+where
+    V: ScalarType,
+    R: CursorReader<V> + ?Sized,
+{
+    let mut hits = 0u64;
+    a.with_level_dcsrs(&mut |levels| {
+        hits = triangle_count_levels(levels);
+    });
+    hits / 6
+}
+
+/// [`triangle_count`] over any [`MatrixReader`], the tuple-materialising
+/// fallback: the pattern is pulled through the reader's sorted entry
+/// cursor, rebuilt as a flat ones matrix, and counted with the explicit
+/// `sum((A*A) .* A) / 6` pipeline.  Kept for readers without level access
+/// and as the oracle the equivalence tests compare against.
+pub fn triangle_count_tuples<V, R>(a: &mut R) -> u64
 where
     V: ScalarType,
     R: MatrixReader<V> + ?Sized,
@@ -107,5 +131,23 @@ mod tests {
             1 << 40,
         );
         assert_eq!(triangle_count(&mut g), 1);
+    }
+
+    #[test]
+    fn cursor_and_tuples_paths_agree() {
+        let mut g = symmetric(
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 7),
+                (7, 9),
+            ],
+            16,
+        );
+        assert_eq!(triangle_count(&mut g), triangle_count_tuples(&mut g));
     }
 }

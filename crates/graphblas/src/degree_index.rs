@@ -198,6 +198,16 @@ impl<V: ScalarType> DegreeIndexView<V> {
         self.core.rows.get(&row).map(|s| s.weight)
     }
 
+    /// Every non-empty row's `(row, distinct-column count)`, sorted by
+    /// row — the out-degree table the reader-native pagerank consumes in
+    /// one O(rows) pass instead of a per-iteration entry sweep.
+    pub fn row_degrees(&self) -> Vec<(Index, u64)> {
+        let mut out: Vec<(Index, u64)> =
+            self.core.rows.iter().map(|(&r, s)| (r, s.degree)).collect();
+        out.sort_unstable_by_key(|&(r, _)| r);
+        out
+    }
+
     /// The `k` rows with the most distinct columns (degree descending, row
     /// ascending) — O(k) when the cache is warm, one O(rows) bounded-heap
     /// scan to rebuild it after a mutation.
@@ -468,6 +478,11 @@ impl<V: ScalarType> DegreeIndex<V> {
     /// The `k` highest-degree rows (degree desc, row asc) — O(k) warm.
     pub fn top_k(&mut self, k: usize) -> Vec<(Index, usize)> {
         self.view.top_k(k)
+    }
+
+    /// Every non-empty row's `(row, degree)` sorted by row — O(rows).
+    pub fn row_degrees(&self) -> Vec<(Index, u64)> {
+        self.view.row_degrees()
     }
 
     /// The degree histogram — O(distinct degrees) warm.

@@ -72,7 +72,8 @@ pub use formats::dcsr::MergeScratch;
 pub use formats::merge::{merge_kernel_stats, reset_merge_kernel_stats, MergeKernelStats};
 pub use index::{validate_dims, validate_index, Index};
 pub use matrix::Matrix;
-pub use reader::{MatrixReader, StreamingSystem};
+pub use ops::spa::{reset_spa_kernel_stats, spa_kernel_stats, SpaKernelStats, SpaScratch};
+pub use reader::{CursorReader, MatrixReader, StreamingSystem};
 pub use sink::StreamingSink;
 pub use snapshot::MatrixSnapshot;
 pub use types::ScalarType;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::formats::dok::Dok;
     pub use crate::index::Index;
     pub use crate::mask::Mask;
+    pub use crate::mask::VectorMask;
     pub use crate::matrix::Matrix;
     pub use crate::ops::apply::apply;
     pub use crate::ops::binary::{
@@ -100,15 +102,22 @@ pub mod prelude {
     pub use crate::ops::monoid::{
         LandMonoid, LorMonoid, MaxMonoid, MinMonoid, PlusMonoid, TimesMonoid,
     };
-    pub use crate::ops::mxm::mxm;
-    pub use crate::ops::mxv::{mxv, vxm};
+    pub use crate::ops::mxm::{mxm, mxm_btree, try_mxm_with};
+    pub use crate::ops::mxv::{mxv, try_vxm_with, vxm, vxm_btree};
+    pub use crate::ops::reader_mx::{
+        mxm_reader, mxm_reader_masked, mxv_reader, mxv_reader_masked, vxm_pattern_levels,
+        vxm_reader, vxm_reader_masked, PatternAdd,
+    };
     pub use crate::ops::reduce::{reduce_cols, reduce_rows, reduce_scalar};
     pub use crate::ops::select::{select, SelectOp};
     pub use crate::ops::semiring::{MaxPlus, MinPlus, PlusTimes};
+    pub use crate::ops::spa::{
+        reset_spa_kernel_stats, spa_kernel_stats, SpaKernelStats, SpaScratch,
+    };
     pub use crate::ops::transpose::transpose;
     pub use crate::ops::unary::{AInv, Abs, Identity, MInv, One};
     pub use crate::ops::{BinaryOp, Monoid, Semiring, UnaryOp};
-    pub use crate::reader::{read_tuples, MatrixReader, StreamingSystem};
+    pub use crate::reader::{read_tuples, CursorReader, MatrixReader, StreamingSystem};
     pub use crate::sink::StreamingSink;
     pub use crate::snapshot::MatrixSnapshot;
     pub use crate::types::ScalarType;

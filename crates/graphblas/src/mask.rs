@@ -11,6 +11,7 @@ use crate::formats::dcsr::Dcsr;
 use crate::index::Index;
 use crate::matrix::Matrix;
 use crate::types::ScalarType;
+use crate::vector::SparseVector;
 
 /// A structural write mask borrowed from a mask matrix.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +71,40 @@ impl<'a, M: ScalarType> Mask<'a, M> {
     }
 }
 
+/// The vector-side dual of [`Mask`]: a structural mask over a
+/// [`SparseVector`] pattern, used by the masked `mxv`/`vxm` duals — a BFS
+/// wave pushes its frontier under the *complement* of the visited vector so
+/// already-levelled vertices are never rewritten.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorMask<'a, M> {
+    pattern: &'a SparseVector<M>,
+    complement: bool,
+}
+
+impl<'a, M: ScalarType> VectorMask<'a, M> {
+    /// Mask allowing positions where `pattern` has a stored entry.
+    pub fn structural(pattern: &'a SparseVector<M>) -> Self {
+        Self {
+            pattern,
+            complement: false,
+        }
+    }
+
+    /// Mask allowing positions where `pattern` has **no** stored entry.
+    pub fn complement(pattern: &'a SparseVector<M>) -> Self {
+        Self {
+            pattern,
+            complement: true,
+        }
+    }
+
+    /// True when output position `i` may be written.
+    pub fn allows(&self, i: Index) -> bool {
+        let present = self.pattern.get(i).is_some();
+        present != self.complement
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +145,16 @@ mod tests {
         let complement_filtered = Mask::complement(&mm).filter(&data);
         assert_eq!(complement_filtered.nvals(), 1);
         assert_eq!(complement_filtered.get(3, 3), Some(30));
+    }
+
+    #[test]
+    fn vector_mask_mirrors_matrix_mask() {
+        let visited = SparseVector::from_tuples(10, &[1, 4], &[1u64, 2], Plus).unwrap();
+        let m = VectorMask::structural(&visited);
+        assert!(m.allows(1));
+        assert!(!m.allows(2));
+        let c = VectorMask::complement(&visited);
+        assert!(!c.allows(1));
+        assert!(c.allows(2));
     }
 }

@@ -18,8 +18,10 @@ pub mod extract;
 pub mod kron;
 pub mod mxm;
 pub mod mxv;
+pub mod reader_mx;
 pub mod reduce;
 pub mod select;
+pub mod spa;
 pub mod transpose;
 
 use crate::types::ScalarType;

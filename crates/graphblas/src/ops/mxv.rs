@@ -1,7 +1,15 @@
 //! Matrix–vector and vector–matrix products over a semiring.
+//!
+//! `mxv` folds each stored row against the vector with a scalar
+//! accumulator (no per-row scatter is ever needed).  `vxm` accumulates one
+//! logical output row — the whole product — through the reusable
+//! [`SpaScratch`] (see [`crate::ops::spa`]); the previous `BTreeMap` kernel
+//! is retained as [`vxm_btree`] and the equivalence proptests pin the SPA
+//! path byte-identical to it.
 
 use crate::error::{GrbError, GrbResult};
 use crate::matrix::Matrix;
+use crate::ops::spa::SpaScratch;
 use crate::ops::{BinaryOp, Semiring};
 use crate::types::ScalarType;
 use crate::vector::SparseVector;
@@ -71,17 +79,107 @@ where
     try_vxm(u, a, semiring).expect("vxm dimension mismatch")
 }
 
-/// Fallible version of [`vxm`].
+/// Fallible version of [`vxm`]; allocates a fresh accumulator scratch.
 pub fn try_vxm<T, S>(u: &SparseVector<T>, a: &Matrix<T>, semiring: S) -> GrbResult<SparseVector<T>>
 where
     T: ScalarType,
     S: Semiring<T>,
 {
+    let mut spa = SpaScratch::new();
+    try_vxm_with(u, a, semiring, &mut spa)
+}
+
+fn check_vxm_dims<T: ScalarType>(u: &SparseVector<T>, a: &Matrix<T>) -> GrbResult<()> {
     if u.size() != a.nrows() {
         return Err(GrbError::DimensionMismatch {
             detail: format!("u has size {}, A is {}x{}", u.size(), a.nrows(), a.ncols()),
         });
     }
+    Ok(())
+}
+
+/// [`try_vxm`] with a caller-held [`SpaScratch`], so iterated products
+/// (BFS waves, pagerank sweeps) reuse one allocation across calls.
+pub fn try_vxm_with<T, S>(
+    u: &SparseVector<T>,
+    a: &Matrix<T>,
+    semiring: S,
+    spa: &mut SpaScratch<T>,
+) -> GrbResult<SparseVector<T>>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    check_vxm_dims(u, a)?;
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let settled;
+    let da = if a.npending() == 0 {
+        a.dcsr()
+    } else {
+        settled = a.to_settled();
+        settled.dcsr()
+    };
+    // Span pass: the whole product is one accumulator row, so gather the
+    // matched rows once and size the strategy from their column bounds.
+    let mut hits: Vec<(T, &[u64], &[T])> = Vec::new();
+    let (mut lo, mut hi, mut flops) = (u64::MAX, 0u64, 0usize);
+    for (i, ui) in u.iter() {
+        if let Some((cols, vals)) = da.row(i) {
+            flops += cols.len();
+            lo = lo.min(cols[0]);
+            hi = hi.max(*cols.last().expect("stored row is non-empty"));
+            hits.push((ui, cols, vals));
+        }
+    }
+    let mut out = SparseVector::new(a.ncols());
+    if flops == 0 {
+        return Ok(out);
+    }
+    spa.begin(spa.choose(lo, hi, flops), lo, hi);
+    for &(ui, cols, vals) in &hits {
+        for (k, &j) in cols.iter().enumerate() {
+            spa.push(j, mul.apply(ui, vals[k]), add);
+        }
+    }
+    let mut err = None;
+    spa.drain(add, &mut |j, v| {
+        // Ascending columns append at the tail: O(1) per entry.
+        if let Err(e) = out.set(j, v) {
+            err = Some(e);
+        }
+    });
+    spa.commit_stats();
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// The retained `BTreeMap`-accumulator `vxm` — the verification fallback
+/// the equivalence proptests and the `algo_rate` bench compare against.
+///
+/// # Panics
+/// Panics when `u.size() != A.nrows()`; see [`try_vxm_btree`].
+pub fn vxm_btree<T, S>(u: &SparseVector<T>, a: &Matrix<T>, semiring: S) -> SparseVector<T>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    try_vxm_btree(u, a, semiring).expect("vxm dimension mismatch")
+}
+
+/// Fallible version of [`vxm_btree`].
+pub fn try_vxm_btree<T, S>(
+    u: &SparseVector<T>,
+    a: &Matrix<T>,
+    semiring: S,
+) -> GrbResult<SparseVector<T>>
+where
+    T: ScalarType,
+    S: Semiring<T>,
+{
+    check_vxm_dims(u, a)?;
     let add = semiring.add();
     let mul = semiring.mul();
     let settled;
@@ -113,7 +211,7 @@ where
 mod tests {
     use super::*;
     use crate::ops::binary::Plus;
-    use crate::ops::semiring::PlusTimes;
+    use crate::ops::semiring::{MinPlus, PlusTimes};
 
     fn m(nrows: u64, ncols: u64, entries: &[(u64, u64, i64)]) -> Matrix<i64> {
         let rows: Vec<_> = entries.iter().map(|e| e.0).collect();
@@ -160,6 +258,7 @@ mod tests {
         assert!(try_mxv(&a, &u, PlusTimes).is_err());
         let u4 = SparseVector::<i64>::new(4);
         assert!(try_vxm(&u4, &a, PlusTimes).is_err());
+        assert!(try_vxm_btree(&u4, &a, PlusTimes).is_err());
     }
 
     #[test]
@@ -179,5 +278,38 @@ mod tests {
         let u = SparseVector::<i64>::new(4);
         assert!(mxv(&a, &u, PlusTimes).is_empty());
         assert!(vxm(&u, &a, PlusTimes).is_empty());
+        assert!(vxm_btree(&u, &a, PlusTimes).is_empty());
+    }
+
+    #[test]
+    fn spa_vxm_matches_btree_on_wide_spans() {
+        let big = 1u64 << 44;
+        let a = m(
+            big,
+            big,
+            &[
+                (3, 7, 2),
+                (3, big - 1, 5),
+                (9, 7, -1),
+                (9, 8, 4),
+                (1000, 8, 11),
+            ],
+        );
+        let u = SparseVector::from_tuples(big, &[3, 9, 1000], &[1, 2, 3], Plus).unwrap();
+        for_semirings(&u, &a);
+        fn for_semirings(u: &SparseVector<i64>, a: &Matrix<i64>) {
+            let fast = vxm(u, a, PlusTimes);
+            let slow = vxm_btree(u, a, PlusTimes);
+            assert_eq!(
+                fast.iter().collect::<Vec<_>>(),
+                slow.iter().collect::<Vec<_>>()
+            );
+            let fast = vxm(u, a, MinPlus);
+            let slow = vxm_btree(u, a, MinPlus);
+            assert_eq!(
+                fast.iter().collect::<Vec<_>>(),
+                slow.iter().collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -290,6 +290,30 @@ pub fn read_tuples<V: ScalarType, R: MatrixReader<V> + ?Sized>(
     (rows, cols, vals)
 }
 
+/// A reader whose settled content is reachable as DCSR level slices — the
+/// contract the reader-native semiring kernels
+/// ([`crate::ops::reader_mx`]) build on.
+///
+/// The represented matrix is `Σ levels` under the `+` monoid of `V` (the
+/// flat matrix is the single-level case, a hierarchy exposes one slice per
+/// level, a snapshot adds its pending tail as an extra level).  Handing the
+/// slices to a callback lets every implementation complete its cheap
+/// deferred work (settle, drain, index refresh) first and keep borrowing
+/// local — products over a live structure never materialize `Σ levels`.
+pub trait CursorReader<V: ScalarType>: MatrixReader<V> {
+    /// Complete deferred work, then call `f` once with the settled level
+    /// slices.  Row ids and in-row columns are sorted within each level;
+    /// the same cell may appear in several levels and combines under `+`.
+    fn with_level_dcsrs(&mut self, f: &mut dyn FnMut(&[&crate::formats::dcsr::Dcsr<V>]));
+
+    /// `(row, distinct stored columns)` for every non-empty row, sorted by
+    /// row — served from a degree index when the reader keeps one.  `None`
+    /// means the caller should sweep the level slices itself.
+    fn out_degrees(&mut self) -> Option<Vec<(Index, u64)>> {
+        None
+    }
+}
+
 /// A full system under test: ingests a stream *and* answers queries — the
 /// combined contract the mixed-workload harness drives through one
 /// `Box<dyn StreamingSystem<u64>>`.
@@ -439,6 +463,27 @@ impl<T: ScalarType> MatrixReader<T> for Matrix<T> {
     }
 }
 
+/// The flat matrix is the single-level case: settle, then the one DCSR.
+impl<T: ScalarType> CursorReader<T> for Matrix<T> {
+    fn with_level_dcsrs(&mut self, f: &mut dyn FnMut(&[&crate::formats::dcsr::Dcsr<T>])) {
+        self.wait();
+        f(&[self.dcsr()]);
+    }
+
+    /// O(non-empty rows) straight off the compressed row pointers.
+    fn out_degrees(&mut self) -> Option<Vec<(Index, u64)>> {
+        self.wait();
+        let (row_ids, ptr, _, _) = self.dcsr().raw_parts();
+        Some(
+            row_ids
+                .iter()
+                .zip(ptr.windows(2))
+                .map(|(&r, w)| (r, (w[1] - w[0]) as u64))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +619,18 @@ mod tests {
         m.read_col(2, &mut col);
         assert_eq!(col, vec![(5, 25), (7, 2)]);
         assert_eq!(m.read_in_top_k(1), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn cursor_reader_exposes_single_level_and_degrees() {
+        let mut m = sample();
+        let mut nnz = 0;
+        m.with_level_dcsrs(&mut |levels| {
+            assert_eq!(levels.len(), 1);
+            nnz = levels[0].nvals();
+        });
+        assert_eq!(nnz, 4);
+        assert_eq!(m.out_degrees(), Some(vec![(5, 3), (9, 1)]));
     }
 
     #[test]

@@ -14,8 +14,8 @@ use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::monoid::PlusMonoid;
 use hyperstream_graphblas::ops::reduce::reduce_scalar;
 use hyperstream_graphblas::{
-    DegreeIndex, GrbError, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
-    StreamingSink,
+    CursorReader, DegreeIndex, GrbError, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot,
+    ScalarType, StreamingSink,
 };
 use std::sync::Arc;
 
@@ -1212,6 +1212,24 @@ impl<T: ScalarType> MatrixReader<T> for HierMatrix<T> {
         keys.iter()
             .map(|&(row, col)| merged_point(&dcsrs, row, col, Plus))
             .collect()
+    }
+}
+
+impl<T: ScalarType> CursorReader<T> for HierMatrix<T> {
+    fn with_level_dcsrs(&mut self, f: &mut dyn FnMut(&[&Dcsr<T>])) {
+        // One settle folds the pending tuples into level 0; afterwards the
+        // level DCSRs are the complete represented content, summed under
+        // `+` — exactly the level-slice contract the cursor kernels need.
+        self.settle_levels();
+        f(&self.dcsr_refs());
+    }
+
+    fn out_degrees(&mut self) -> Option<Vec<(Index, u64)>> {
+        // Cells living in several levels are counted once: the index is
+        // rebuilt through the cell oracle on activation and maintained by
+        // the settle observer, which deduplicates across levels.
+        self.ensure_index();
+        Some(self.index.row_degrees())
     }
 }
 

@@ -76,11 +76,12 @@ use crate::stats::HierStats;
 use hyperstream_graphblas::formats::dcsr::Dcsr;
 use hyperstream_graphblas::ops::binary::Plus;
 use hyperstream_graphblas::ops::ewise_add::ewise_add_into;
+use hyperstream_graphblas::ops::reader_mx::{vxm_pattern_levels_f64, PatternAdd};
 use hyperstream_graphblas::sink::check_tuple_lengths;
 use hyperstream_graphblas::GrbError;
 use hyperstream_graphblas::{
-    validate_index, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot, ScalarType,
-    StreamingSink,
+    validate_index, CursorReader, GrbResult, Index, Matrix, MatrixReader, MatrixSnapshot,
+    ScalarType, SpaScratch, SparseVector, StreamingSink,
 };
 use parking_lot::Mutex;
 use std::panic::AssertUnwindSafe;
@@ -368,6 +369,15 @@ enum ReaderQuery {
     Rows(Vec<Index>),
     /// Batched point gets.
     GetMany(Vec<(Index, Index)>),
+    /// The frontier pattern push `w(j) = ⊕ u(i)` over this shard's slice
+    /// of the frontier: the worker runs the reader-native kernel over its
+    /// own level DCSRs and ships the partial product back; the producer
+    /// folds overlapping output columns under the same monoid.  This is
+    /// the distributed `mxv` step of BFS (`min`) and pagerank (`plus`).
+    VxmPattern(Vec<(Index, f64)>, PatternAdd),
+    /// The shard's complete row → out-degree list (distinct cells per
+    /// row, served from the shard's degree index).
+    OutDegrees,
 }
 
 /// A worker's answer to a [`ReaderQuery`] (disjoint-row partials the
@@ -385,6 +395,8 @@ enum ReaderReply<T> {
     Snapshot(MatrixSnapshot<T>),
     Rows(Vec<Vec<(Index, T)>>),
     Values(Vec<Option<T>>),
+    Push(Vec<(Index, f64)>),
+    Degrees(Vec<(Index, u64)>),
 }
 
 /// A worker's answer to a drain barrier.
@@ -513,6 +525,19 @@ fn worker_loop<T: ScalarType>(
                     }
                     ReaderQuery::Rows(rows) => ReaderReply::Rows(shard.read_rows(&rows)),
                     ReaderQuery::GetMany(keys) => ReaderReply::Values(shard.read_get_many(&keys)),
+                    ReaderQuery::VxmPattern(u, add) => {
+                        let mut spa = SpaScratch::new();
+                        let mut out = Vec::new();
+                        shard.with_level_dcsrs(&mut |lv| {
+                            vxm_pattern_levels_f64(&u, lv, add, &mut spa, &mut out);
+                        });
+                        ReaderReply::Push(out)
+                    }
+                    ReaderQuery::OutDegrees => ReaderReply::Degrees(
+                        shard
+                            .out_degrees()
+                            .expect("hier shards always serve out-degrees"),
+                    ),
                 };
                 let _ = reply.send(answer);
             }
@@ -1248,6 +1273,174 @@ impl<T: ScalarType> ShardedHierMatrix<T> {
             shards,
             lost: self.last_answer_lost.clone(),
         })
+    }
+
+    /// The distributed frontier pattern push `w(j) = ⊕ u(i)` over the
+    /// stored cells `(i, j)`: the frontier is sliced by owning shard, each
+    /// slice ships over the drain-barrier query channel (so every worker
+    /// answers after applying everything queued before the query), the
+    /// workers run the reader-native kernel over their own level DCSRs in
+    /// parallel, and the partial products are summed producer-side under
+    /// `add` — output columns overlap across shards even though rows are
+    /// disjoint.  `u` must be sorted by index; the result is sorted by
+    /// index.  Under degraded reads a lost shard's slice is skipped and
+    /// recorded in [`Self::last_answer_lost`].
+    pub fn try_vxm_pattern(
+        &mut self,
+        u: &[(Index, f64)],
+        add: PatternAdd,
+    ) -> GrbResult<Vec<(Index, f64)>> {
+        if u.is_empty() {
+            return Ok(Vec::new());
+        }
+        let nshards = self.shards.len();
+        let mut slices: Vec<Vec<(Index, f64)>> = vec![Vec::new(); nshards];
+        for &(r, m) in u {
+            slices[self.owner(r)].push((r, m));
+        }
+        let queries: Vec<(usize, ReaderQuery)> = slices
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(s, part)| (s, ReaderQuery::VxmPattern(part, add)))
+            .collect();
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut all: Vec<(Index, f64)> = Vec::new();
+        for reply in self.query_each(queries)? {
+            match reply {
+                Some(ReaderReply::Push(part)) => all.extend(part),
+                Some(_) => unreachable!("worker answered VxmPattern with a wrong reply"),
+                // Lost shard under degraded reads: its slice of the push
+                // is simply absent from the (degraded) product.
+                None => {}
+            }
+        }
+        all.sort_unstable_by_key(|&(j, _)| j);
+        let mut out: Vec<(Index, f64)> = Vec::with_capacity(all.len());
+        for (j, v) in all {
+            match out.last_mut() {
+                Some(last) if last.0 == j => {
+                    last.1 = match add {
+                        PatternAdd::Plus => last.1 + v,
+                        PatternAdd::Min => last.1.min(v),
+                    };
+                }
+                _ => out.push((j, v)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row → out-degree list for the whole engine, served from each
+    /// shard's degree index over the query channel.  Rows are disjoint
+    /// across shards, so the partials concatenate; one sort restores
+    /// global row order.
+    pub fn try_out_degrees(&mut self) -> GrbResult<Vec<(Index, u64)>> {
+        let mut all: Vec<(Index, u64)> = Vec::new();
+        for reply in self.query_all(|| ReaderQuery::OutDegrees)? {
+            match reply {
+                ReaderReply::Degrees(part) => all.extend(part),
+                _ => unreachable!("worker answered OutDegrees with a wrong reply"),
+            }
+        }
+        all.sort_unstable_by_key(|&(r, _)| r);
+        Ok(all)
+    }
+
+    /// PageRank with every `mxv` iteration pushed down to the shard pool:
+    /// out-degrees come from the per-shard degree indexes
+    /// ([`Self::try_out_degrees`]), and each iteration is one distributed
+    /// pattern push of `rank(i)/outdeg(i)` under `plus`
+    /// ([`Self::try_vxm_pattern`]) — no transition matrix and no
+    /// materialised `Σ shards Σ levels` are ever formed, and the shards
+    /// multiply their slices in parallel.
+    ///
+    /// Same contract as [`hyperstream_graphblas::algo::pagerank`]: ranks
+    /// for every vertex with at least one in- or out-edge.
+    pub fn pagerank(
+        &mut self,
+        damping: f64,
+        max_iters: usize,
+        tol: f64,
+    ) -> GrbResult<SparseVector<f64>> {
+        let degrees = self.try_out_degrees()?;
+        let mut active: Vec<Index> = self.ensure_in_degrees()?.keys().copied().collect();
+        active.extend(degrees.iter().map(|&(r, _)| r));
+        active.sort_unstable();
+        active.dedup();
+        let n = active.len();
+        let mut rank = SparseVector::<f64>::new(self.nrows.max(self.ncols));
+        if n == 0 {
+            return Ok(rank);
+        }
+        for &v in &active {
+            rank.set(v, 1.0 / n as f64)?;
+        }
+        let teleport = (1.0 - damping) / n as f64;
+        let mut push: Vec<(Index, f64)> = Vec::with_capacity(degrees.len());
+        for _ in 0..max_iters {
+            push.clear();
+            for &(r, d) in &degrees {
+                if let Some(rv) = rank.get(r) {
+                    push.push((r, rv / d as f64));
+                }
+            }
+            let spread = self.try_vxm_pattern(&push, PatternAdd::Plus)?;
+            let mut next = SparseVector::<f64>::new(rank.size());
+            let mut delta = 0.0;
+            let mut sp = spread.iter().peekable();
+            for &v in &active {
+                let mut mass = 0.0;
+                while let Some(&&(j, m)) = sp.peek() {
+                    if j < v {
+                        sp.next();
+                    } else {
+                        if j == v {
+                            mass = m;
+                        }
+                        break;
+                    }
+                }
+                let val = teleport + damping * mass;
+                delta += (val - rank.get(v).unwrap_or(0.0)).abs();
+                next.set(v, val)?;
+            }
+            rank = next;
+            if delta < tol {
+                break;
+            }
+        }
+        Ok(rank)
+    }
+
+    /// Level-synchronous BFS with each wave's frontier sliced to its
+    /// owning shards ([`Self::try_vxm_pattern`] under `min`); the visited
+    /// mask is applied producer-side, where the level vector lives.
+    ///
+    /// Same contract as [`hyperstream_graphblas::algo::bfs_levels`]:
+    /// `v(j)` is the BFS level of vertex `j`, source at level 1.
+    pub fn bfs_levels(&mut self, source: Index) -> GrbResult<SparseVector<u64>> {
+        let mut levels = SparseVector::<u64>::new(self.nrows.max(self.ncols));
+        if source >= self.nrows {
+            return Ok(levels);
+        }
+        levels.set(source, 1)?;
+        let mut frontier: Vec<(Index, f64)> = vec![(source, 1.0)];
+        let mut level = 1u64;
+        while !frontier.is_empty() {
+            level += 1;
+            let reached = self.try_vxm_pattern(&frontier, PatternAdd::Min)?;
+            frontier.clear();
+            for (j, _) in reached {
+                if levels.get(j).is_none() {
+                    levels.set(j, level)?;
+                    frontier.push((j, 1.0));
+                }
+            }
+        }
+        Ok(levels)
     }
 
     /// Full column → in-degree map summed across every shard.  A column's
@@ -2087,6 +2280,34 @@ impl<T: ScalarType> MatrixReader<T> for ShardedHierMatrix<T> {
     }
 }
 
+impl<T: ScalarType> CursorReader<T> for ShardedHierMatrix<T> {
+    fn with_level_dcsrs(&mut self, f: &mut dyn FnMut(&[&Dcsr<T>])) {
+        // A consistent engine-wide capture: every worker snapshots its
+        // shard at its drain barrier (O(levels) Arc bumps, no copies),
+        // and the Arc'd level structures stay alive for the duration of
+        // the callback while the workers keep draining.  Shards own
+        // disjoint rows, so the concatenated level list is a valid level
+        // decomposition of the whole engine.
+        match self.snapshot() {
+            Ok(mut snap) => snap.with_level_dcsrs(f),
+            Err(e) => {
+                self.latch_err(e);
+                f(&[]);
+            }
+        }
+    }
+
+    fn out_degrees(&mut self) -> Option<Vec<(Index, u64)>> {
+        match self.try_out_degrees() {
+            Ok(d) => Some(d),
+            Err(e) => {
+                self.latch_err(e);
+                None
+            }
+        }
+    }
+}
+
 /// One consistent point-in-time view of the whole sharded engine: a
 /// [`MatrixSnapshot`] per shard, captured at each worker's drain barrier.
 /// Shards own disjoint row sets, so cross-shard combination is pure
@@ -2258,6 +2479,26 @@ impl<T: ScalarType> MatrixReader<T> for ShardedSnapshot<T> {
         keys.iter()
             .map(|&(r, c)| hyperstream_graphblas::cursor::merged_point(&levels, r, c, Plus))
             .collect()
+    }
+}
+
+impl<T: ScalarType> CursorReader<T> for ShardedSnapshot<T> {
+    fn with_level_dcsrs(&mut self, f: &mut dyn FnMut(&[&Dcsr<T>])) {
+        // Shards hold disjoint rows, so their captured levels concatenate
+        // into one valid level decomposition of the whole engine.
+        f(&self.all_levels());
+    }
+
+    fn out_degrees(&mut self) -> Option<Vec<(Index, u64)>> {
+        // Disjoint rows: concatenate the per-shard index answers and
+        // restore global row order.  `None` as soon as any shard capture
+        // lacks its index view (e.g. it carried a pending tail).
+        let mut all: Vec<(Index, u64)> = Vec::new();
+        for s in &mut self.shards {
+            all.extend(s.out_degrees()?);
+        }
+        all.sort_unstable_by_key(|&(r, _)| r);
+        Some(all)
     }
 }
 
@@ -2818,5 +3059,96 @@ mod tests {
         }
         // Dropping with staged + in-flight tuples must not hang or panic.
         drop(engine);
+    }
+
+    #[test]
+    fn pattern_push_folds_partials_across_shards() {
+        // Edges 1->5, 2->5, 3->5 land on different shards under RowHash;
+        // column 5's partial products must sum producer-side.
+        for partitioner in [ShardPartitioner::RowHash, ShardPartitioner::RowRange] {
+            let mut engine = tiny_engine(4, partitioner);
+            let big = 3 * (DIM / 4) + 9; // lands in a high RowRange band
+            for (r, c) in [(1u64, 5u64), (2, 5), (3, 5), (3, 7), (big, 5)] {
+                engine.update(r, c, 1).unwrap();
+            }
+            let u: Vec<(u64, f64)> = vec![(1, 0.25), (2, 0.5), (3, 1.0), (big, 2.0)];
+            let before = engine.pushdown_queries();
+            let got = engine.try_vxm_pattern(&u, PatternAdd::Plus).unwrap();
+            assert_eq!(got, vec![(5, 3.75), (7, 1.0)], "{partitioner:?}");
+            assert!(engine.pushdown_queries() > before);
+            let got = engine.try_vxm_pattern(&u, PatternAdd::Min).unwrap();
+            assert_eq!(got, vec![(5, 0.25), (7, 1.0)], "{partitioner:?}");
+        }
+    }
+
+    #[test]
+    fn out_degrees_concatenate_disjoint_shards() {
+        let mut engine = tiny_engine(3, ShardPartitioner::RowHash);
+        let mut flat = Matrix::<u64>::new(DIM, DIM);
+        for &(r, c, v) in &stream(1200) {
+            engine.update(r, c, v).unwrap();
+            flat.accum_element(r, c, v).unwrap();
+        }
+        let got = engine.try_out_degrees().unwrap();
+        let want = CursorReader::out_degrees(&mut flat).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pushdown_pagerank_and_bfs_match_flat_oracle() {
+        let edges: &[(u64, u64)] = &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 0),
+            (3, 4),
+            (4, 3),
+            (9, 2),
+            (1 << 30, 0),
+        ];
+        for partitioner in [ShardPartitioner::RowHash, ShardPartitioner::RowRange] {
+            let mut engine = tiny_engine(4, partitioner);
+            let mut flat = Matrix::<u64>::new(DIM, DIM);
+            for &(r, c) in edges {
+                engine.update(r, c, 1).unwrap();
+                flat.accum_element(r, c, 1).unwrap();
+            }
+            let pr = engine.pagerank(0.85, 60, 1e-12).unwrap();
+            let oracle = hyperstream_graphblas::algo::pagerank(&mut flat, 0.85, 60, 1e-12);
+            assert_eq!(pr.nvals(), oracle.nvals(), "{partitioner:?}");
+            for (v, r) in pr.iter() {
+                let s = oracle.get(v).expect("same active set");
+                assert!((r - s).abs() < 1e-9, "{partitioner:?} v={v}: {r} vs {s}");
+            }
+            for src in [0u64, 3, 9, 77] {
+                let got = engine.bfs_levels(src).unwrap();
+                let want = hyperstream_graphblas::algo::bfs_levels(&mut flat, src);
+                assert_eq!(
+                    got.iter().collect::<Vec<_>>(),
+                    want.iter().collect::<Vec<_>>(),
+                    "{partitioner:?} src={src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_and_snapshot_serve_cursor_algorithms() {
+        // A symmetric triangle plus stragglers, counted straight off the
+        // engine (snapshot-backed CursorReader) and off an explicit
+        // snapshot while ingest continues.
+        let mut engine = tiny_engine(2, ShardPartitioner::RowHash);
+        for (a, b) in [(1u64, 2u64), (2, 3), (1, 3), (3, 900)] {
+            engine.update(a, b, 1).unwrap();
+            engine.update(b, a, 1).unwrap();
+        }
+        assert_eq!(hyperstream_graphblas::algo::triangle_count(&mut engine), 1);
+        let mut snap = engine.snapshot().unwrap();
+        engine.update(5, 6, 1).unwrap(); // ingest continues past the capture
+        assert_eq!(hyperstream_graphblas::algo::triangle_count(&mut snap), 1);
+        assert_eq!(
+            hyperstream_graphblas::algo::triangle_count_tuples(&mut snap),
+            1
+        );
     }
 }
